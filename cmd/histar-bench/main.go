@@ -1,0 +1,107 @@
+// Command histar-bench regenerates the paper's evaluation tables in textual
+// form.  It prints, for every row of Figure 12 and Figure 13, the paper's
+// measured value and the `go test -bench` target in this repository that
+// reproduces it, and runs the quick in-process experiments (syscall counts
+// per process-creation primitive, group-sync vs per-file-sync ratio) whose
+// results are shown inline.  Run the full harness with:
+//
+//	go test -bench=. -benchmem -benchtime=1x .
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"histar/internal/disk"
+	"histar/internal/kernel"
+	"histar/internal/label"
+	"histar/internal/store"
+	"histar/internal/unixlib"
+	"histar/internal/vclock"
+)
+
+func main() {
+	fmt.Println("HiStar reproduction — evaluation index (see EXPERIMENTS.md for details)")
+	fmt.Println()
+	rows := [][3]string{
+		{"Fig 12: IPC round trip", "HiStar 3.11us / Linux 4.32us / OpenBSD 2.13us", "BenchmarkFig12_IPC_*"},
+		{"Fig 12: fork/exec", "HiStar 1.35ms / Linux+OpenBSD 0.18ms", "BenchmarkFig12_ForkExec_*"},
+		{"Fig 12: spawn", "HiStar 0.47ms", "BenchmarkFig12_Spawn_HiStar"},
+		{"Fig 12: LFS small create (async/sync/group)", "0.31s / 459s / 2.57s (HiStar)", "BenchmarkFig12_LFSSmallCreate_*"},
+		{"Fig 12: LFS small read (cached/uncached/no-prefetch)", "0.16s / 6.49s / 86.4s (HiStar)", "BenchmarkFig12_LFSSmallRead_*"},
+		{"Fig 12: LFS small unlink (async/sync/group)", "0.09s / 456s / 0.38s (HiStar)", "BenchmarkFig12_LFSSmallUnlink_*"},
+		{"Fig 12: LFS large seq write / sync rand write / read", "2.14s / 93.0s / 1.96s (HiStar)", "BenchmarkFig12_LFSLarge*"},
+		{"Fig 13: building the kernel", "HiStar 6.2s / Linux 4.7s / OpenBSD 6.0s", "BenchmarkFig13_Build_*"},
+		{"Fig 13: wget 100MB", "9.1s / 9.0s / 9.0s (link-saturated)", "BenchmarkFig13_Wget100MB_HiStar"},
+		{"Fig 13: virus-scan 100MB (plain / with wrap)", "18.7s / 18.7s (HiStar)", "BenchmarkFig13_VirusScan_*"},
+		{"Sec 4.1: code size inventory", "15,200 C lines (kernel)", "go run ./cmd/loc"},
+	}
+	for _, r := range rows {
+		fmt.Printf("  %-55s paper: %-45s target: %s\n", r[0], r[1], r[2])
+	}
+	fmt.Println()
+
+	// E13: syscalls per process-creation primitive.
+	sys, err := unixlib.Boot(unixlib.BootOptions{KernelConfig: kernel.Config{Seed: 2}})
+	must(err)
+	must(sys.RegisterProgram("/bin/true", func(p *unixlib.Process, args []string) int { return 0 }))
+	p, err := sys.NewInitProcess("bench")
+	must(err)
+	sys.Kern.ResetSyscallCounts()
+	child, err := p.Fork()
+	must(err)
+	must(child.Exec("/bin/true", nil))
+	p.Wait(child)
+	forkExec := sys.Kern.SyscallTotal()
+	sys.Kern.ResetSyscallCounts()
+	child2, err := p.Spawn("/bin/true", nil)
+	must(err)
+	p.Wait(child2)
+	spawn := sys.Kern.SyscallTotal()
+	fmt.Printf("E13 syscall counts: fork/exec=%d, spawn=%d (paper: 317 vs 127; Linux 9)\n", forkExec, spawn)
+
+	// E4/E6 quick shape check: group sync vs per-file sync on 200 files.
+	ratio := groupVsPerFileSync()
+	fmt.Printf("E4 durability shapes: per-file sync is %.0fx slower than group sync for small-file creates (paper: up to ~200x)\n", ratio)
+}
+
+func groupVsPerFileSync() float64 {
+	run := func(group bool) time.Duration {
+		clk := &vclock.Clock{}
+		params := disk.PaperDisk()
+		params.Sectors = (1 << 30) / disk.SectorSize
+		params.WriteCache = true
+		d := disk.New(params, clk)
+		st, err := store.Format(d, store.Options{LogSize: 32 << 20})
+		must(err)
+		sys, err := unixlib.Boot(unixlib.BootOptions{Persist: st, KernelConfig: kernel.Config{Seed: 3}})
+		must(err)
+		p, err := sys.NewInitProcess("bench")
+		must(err)
+		payload := make([]byte, 1024)
+		clk.Reset()
+		for i := 0; i < 200; i++ {
+			path := fmt.Sprintf("/tmp/f%d", i)
+			must(p.WriteFile(path, payload, label.New(label.L1)))
+			if !group {
+				must(p.FsyncPath(path))
+			}
+		}
+		if group {
+			must(p.GroupSync())
+		}
+		return clk.Now()
+	}
+	perFile := run(false)
+	groupSync := run(true)
+	if groupSync == 0 {
+		return 0
+	}
+	return float64(perFile) / float64(groupSync)
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

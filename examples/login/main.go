@@ -1,0 +1,44 @@
+// Example: the Section 6.2 untrusted login.  No superuser process exists;
+// an sshd-like client authenticates against the per-user authentication
+// daemon and receives ownership of the user's categories only after the
+// password check, with guesses bounded by the retry-count segment.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"histar/internal/auth"
+	"histar/internal/kernel"
+	"histar/internal/label"
+	"histar/internal/unixlib"
+)
+
+func main() {
+	log.SetFlags(0)
+	sys, err := unixlib.Boot(unixlib.BootOptions{KernelConfig: kernel.Config{Seed: 9}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	svc := auth.New(sys)
+	if _, err := svc.Register("bob", "correct-horse-battery-staple"); err != nil {
+		log.Fatal(err)
+	}
+	setup, _ := sys.NewInitProcess("bob")
+	setup.WriteFile("/home/bob/mail", []byte("inbox contents"), label.Label{})
+
+	sshd, _ := sys.NewInitProcess("") // no privileges at all
+	fmt.Println("wrong password:", svc.Login(sshd, "bob", "12345"))
+	if _, err := sshd.ReadFile("/home/bob/mail"); err != nil {
+		fmt.Println("still cannot read bob's mail:", err)
+	}
+	if err := svc.Login(sshd, "bob", "correct-horse-battery-staple"); err != nil {
+		log.Fatal(err)
+	}
+	data, err := sshd.ReadFile("/home/bob/mail")
+	fmt.Printf("after login, bob's mail: %q (err=%v)\n", data, err)
+	fmt.Println("auth log:")
+	for _, line := range svc.Log.Entries() {
+		fmt.Println("  ", line)
+	}
+}

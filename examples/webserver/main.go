@@ -1,0 +1,39 @@
+// Example: the Section 6.4 web service.  Each request runs in a worker
+// holding exactly one authenticated user's categories; even an application
+// handler that tries to read another user's data is stopped by the kernel.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"histar/internal/auth"
+	"histar/internal/kernel"
+	"histar/internal/unixlib"
+	"histar/internal/webd"
+)
+
+func main() {
+	log.SetFlags(0)
+	sys, err := unixlib.Boot(unixlib.BootOptions{KernelConfig: kernel.Config{Seed: 21}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	authSvc := auth.New(sys)
+	authSvc.Register("alice", "alicepw")
+	authSvc.Register("bob", "bobpw")
+	srv := webd.New(sys, authSvc, webd.ProfileApp)
+
+	mustServe := func(req webd.Request) string {
+		resp, err := srv.Serve(req)
+		if err != nil {
+			return "error: " + err.Error()
+		}
+		return resp
+	}
+	fmt.Println(mustServe(webd.Request{User: "alice", Password: "alicepw", Path: "/profile/set/card=4111-1111"}))
+	fmt.Println(mustServe(webd.Request{User: "bob", Password: "bobpw", Path: "/profile/set/card=5500-0000"}))
+	fmt.Println("alice sees:", mustServe(webd.Request{User: "alice", Password: "alicepw", Path: "/profile"}))
+	fmt.Println("bob sees:  ", mustServe(webd.Request{User: "bob", Password: "bobpw", Path: "/profile"}))
+	fmt.Println("bad creds: ", mustServe(webd.Request{User: "alice", Password: "guess", Path: "/profile"}))
+}

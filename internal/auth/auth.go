@@ -1,0 +1,383 @@
+// Package auth implements HiStar's untrusted user authentication
+// (Section 6.2, Figures 8–10).  There is no highly trusted login process: a
+// directory service maps usernames to per-user authentication daemons, each
+// user's daemon owns that user's ur/uw categories and grants them to clients
+// that prove knowledge of the password, and a logging service records
+// attempts.  Password guesses are bounded by a retry-count segment, and what
+// a compromised authentication service can learn is limited to the stored
+// password hash plus the single success/failure bit per attempt.
+//
+// One simplification relative to the paper: the check-gate invocation here
+// retains the login client's ownership of the password category pir instead
+// of running tainted pir3 and recovering privilege through a separately
+// created return gate.  The full tainted-call-plus-return-gate pattern is
+// exercised at the kernel level (see TestReturnGatePattern in
+// internal/kernel); layering it under this package would only change how the
+// client sheds the taint, not which privileges the service can grant.
+package auth
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	"histar/internal/kernel"
+	"histar/internal/label"
+	"histar/internal/unixlib"
+)
+
+// Errors.
+var (
+	ErrNoSuchUser     = errors.New("auth: no such user")
+	ErrBadPassword    = errors.New("auth: authentication failed")
+	ErrTooManyRetries = errors.New("auth: retry limit exceeded")
+)
+
+// MaxRetries bounds password guesses per login session, enforced through the
+// retry-count segment the setup gate creates.
+const MaxRetries = 3
+
+// LogService is the append-only logging service (58 lines in the paper).
+type LogService struct {
+	mu      sync.Mutex
+	entries []string
+}
+
+// Append records one log line.
+func (l *LogService) Append(line string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.entries = append(l.entries, line)
+}
+
+// Entries returns a copy of the log.
+func (l *LogService) Entries() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]string(nil), l.entries...)
+}
+
+// userAuthService is one user's authentication daemon: it owns ur and uw,
+// stores the password hash, and exposes the setup gate.
+type userAuthService struct {
+	user     *unixlib.User
+	proc     *unixlib.Process
+	passHash [32]byte
+	setup    kernel.CEnt
+}
+
+// Service is the authentication facility: directory + per-user services +
+// logger.
+type Service struct {
+	sys *unixlib.System
+	Log *LogService
+
+	mu    sync.Mutex
+	users map[string]*userAuthService
+}
+
+// New creates an authentication service on sys.
+func New(sys *unixlib.System) *Service {
+	return &Service{sys: sys, Log: &LogService{}, users: make(map[string]*userAuthService)}
+}
+
+// hashPassword is the stored verifier; compromising the authentication
+// service reveals only this, never the password itself.
+func hashPassword(user, password string) [32]byte {
+	return sha256.Sum256([]byte("histar-auth\x00" + user + "\x00" + password))
+}
+
+// Register creates the account (ur/uw categories plus home directory) and
+// starts its authentication daemon.
+func (s *Service) Register(username, password string) (*unixlib.User, error) {
+	u, err := s.sys.AddUser(username)
+	if err != nil && err != unixlib.ErrExist {
+		return nil, err
+	}
+	if u == nil {
+		u, _ = s.sys.LookupUser(username)
+	}
+	proc, err := s.sys.NewInitProcess(username)
+	if err != nil {
+		return nil, err
+	}
+	svc := &userAuthService{user: u, proc: proc, passHash: hashPassword(username, password)}
+	if err := svc.createSetupGate(s); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.users[username] = svc
+	s.mu.Unlock()
+	s.Log.Append("registered " + username)
+	return u, nil
+}
+
+// Lookup is the directory service: it maps a username to the container entry
+// of that user's setup gate.  The directory is controlled by the
+// administrator but trusted only to resolve names.
+func (s *Service) Lookup(username string) (kernel.CEnt, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	svc, ok := s.users[username]
+	if !ok {
+		return kernel.CEnt{}, ErrNoSuchUser
+	}
+	return svc.setup, nil
+}
+
+// sessionState carries the per-login objects created by the setup gate
+// (Figure 10): the session category x, the retry-count segment, and the
+// check and grant gates.
+type sessionState struct {
+	x         label.Category
+	checkGate kernel.CEnt
+	grantGate kernel.CEnt
+	retrySeg  kernel.CEnt
+}
+
+// createSetupGate builds the user's setup gate (step 2 of Figure 9).
+func (svc *userAuthService) createSetupGate(s *Service) error {
+	tc := svc.proc.TC
+	u := svc.user
+	// The gate carries the user's categories (that is what it ultimately
+	// grants) and the daemon's own process categories, because the session
+	// objects it creates live in the daemon's process container.
+	gateLbl := label.New(label.L1,
+		label.P(u.Ur, label.Star), label.P(u.Uw, label.Star),
+		label.P(svc.proc.Pr, label.Star), label.P(svc.proc.Pw, label.Star))
+	gid, err := tc.GateCreate(svc.proc.ProcCt, kernel.GateSpec{
+		Label:     gateLbl,
+		Clearance: label.New(label.L2),
+		Descrip:   "auth setup gate: " + u.Name,
+		Entry: func(call *kernel.GateCallCtx) []byte {
+			s.Log.Append("setup attempt for " + u.Name)
+			x, err := call.TC.CategoryCreateNamed("x")
+			if err != nil {
+				return []byte("ERR " + err.Error())
+			}
+			pir := parseCategory(strings.TrimSpace(string(call.Args)))
+			sess := &sessionState{x: x}
+			// Retry-count segment: {pir3, uw0, 1} — written under the user's
+			// integrity category, readable only under the password taint.
+			retryLbl := label.New(label.L1, label.P(pir, label.L3), label.P(u.Uw, label.L0))
+			retrySeg, err := call.TC.SegmentCreate(svc.proc.ProcCt, retryLbl, "retry count", 8)
+			if err != nil {
+				return []byte("ERR " + err.Error())
+			}
+			sess.retrySeg = kernel.CEnt{Container: svc.proc.ProcCt, Object: retrySeg}
+			// Check gate: owns uw (to update the retry count) and x (to keep
+			// or withhold the session proof); clearance admits pir-tainted
+			// callers.
+			checkID, err := call.TC.GateCreate(svc.proc.ProcCt, kernel.GateSpec{
+				Label:     label.New(label.L1, label.P(u.Uw, label.Star), label.P(x, label.Star)),
+				Clearance: label.New(label.L2, label.P(pir, label.L3)),
+				Descrip:   "auth check gate: " + u.Name,
+				Entry:     svc.checkEntry(s, sess),
+			})
+			if err != nil {
+				return []byte("ERR " + err.Error())
+			}
+			sess.checkGate = kernel.CEnt{Container: svc.proc.ProcCt, Object: checkID}
+			// Grant gate: clearance {x0, 2} so only x owners may call; grants
+			// ur/uw and logs the success (which the pir-tainted check gate
+			// could not do itself).
+			grantID, err := call.TC.GateCreate(svc.proc.ProcCt, kernel.GateSpec{
+				Label:     label.New(label.L1, label.P(u.Ur, label.Star), label.P(u.Uw, label.Star)),
+				Clearance: label.New(label.L2, label.P(x, label.L0)),
+				Descrip:   "auth grant gate: " + u.Name,
+				Entry: func(call *kernel.GateCallCtx) []byte {
+					s.Log.Append("authentication success for " + u.Name)
+					return []byte("GRANTED")
+				},
+			})
+			if err != nil {
+				return []byte("ERR " + err.Error())
+			}
+			sess.grantGate = kernel.CEnt{Container: svc.proc.ProcCt, Object: grantID}
+			return encodeSession(sess)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	svc.setup = kernel.CEnt{Container: svc.proc.ProcCt, Object: gid}
+	return nil
+}
+
+// checkEntry returns the check gate's entry function (step 3): it enforces
+// the retry bound, verifies the password, and decides whether the calling
+// thread may keep ownership of the session category x.  On failure it
+// strips x (and its own uw) from the thread before returning, so a failed
+// login leaves the client with nothing.
+func (svc *userAuthService) checkEntry(s *Service, sess *sessionState) kernel.GateEntry {
+	return func(call *kernel.GateCallCtx) []byte {
+		verdict := func(ok bool, result string) []byte {
+			cur, err := call.TC.SelfLabel()
+			if err != nil {
+				return []byte("ERR " + err.Error())
+			}
+			next := cur.With(svc.user.Uw, label.L1)
+			if !ok {
+				next = next.With(sess.x, label.L1)
+			}
+			_ = call.TC.SelfSetLabel(next)
+			return []byte(result)
+		}
+		cnt, err := call.TC.SegmentRead(sess.retrySeg, 0, 8)
+		if err != nil {
+			return verdict(false, "ERR retry segment: "+err.Error())
+		}
+		n := binary.LittleEndian.Uint64(cnt)
+		if n >= MaxRetries {
+			return verdict(false, "RETRY-LIMIT")
+		}
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], n+1)
+		if err := call.TC.SegmentWrite(sess.retrySeg, 0, buf[:]); err != nil {
+			return verdict(false, "ERR retry update: "+err.Error())
+		}
+		if hashPassword(svc.user.Name, string(call.Args)) == svc.passHash {
+			return verdict(true, "OK")
+		}
+		return verdict(false, "BAD")
+	}
+}
+
+func encodeSession(sess *sessionState) []byte {
+	return []byte(fmt.Sprintf("SESSION %d %d %d %d %d %d %d",
+		uint64(sess.x),
+		uint64(sess.checkGate.Container), uint64(sess.checkGate.Object),
+		uint64(sess.grantGate.Container), uint64(sess.grantGate.Object),
+		uint64(sess.retrySeg.Container), uint64(sess.retrySeg.Object)))
+}
+
+func decodeSession(b []byte) (*sessionState, error) {
+	var x, cc, co, gc, gobj, rc, ro uint64
+	if _, err := fmt.Sscanf(string(b), "SESSION %d %d %d %d %d %d %d", &x, &cc, &co, &gc, &gobj, &rc, &ro); err != nil {
+		return nil, fmt.Errorf("auth: bad session reply %q: %w", b, err)
+	}
+	return &sessionState{
+		x:         label.Category(x),
+		checkGate: kernel.CEnt{Container: kernel.ID(cc), Object: kernel.ID(co)},
+		grantGate: kernel.CEnt{Container: kernel.ID(gc), Object: kernel.ID(gobj)},
+		retrySeg:  kernel.CEnt{Container: kernel.ID(rc), Object: kernel.ID(ro)},
+	}, nil
+}
+
+func parseCategory(s string) label.Category {
+	var v uint64
+	fmt.Sscanf(s, "%d", &v)
+	return label.Category(v)
+}
+
+// Login authenticates client as username with the given password.  On
+// success the client's thread gains ownership of the user's ur and uw and
+// the process is associated with the account; on failure it gains nothing.
+func (s *Service) Login(client *unixlib.Process, username, password string) error {
+	setup, err := s.Lookup(username)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	svc := s.users[username]
+	s.mu.Unlock()
+	if svc == nil {
+		return ErrNoSuchUser
+	}
+	tc := client.TC
+	// pir protects the password during the check.
+	pir, err := tc.CategoryCreateNamed("pir")
+	if err != nil {
+		return err
+	}
+	origLbl, _ := tc.SelfLabel()
+	origClr, _ := tc.SelfClearance()
+
+	// Step 2: invoke the setup gate, which creates the session objects.  The
+	// requested label carries the daemon's process categories (the session
+	// objects are created in the daemon's process container) alongside the
+	// user categories the gate itself provides.
+	out, err := tc.GateEnter(setup, kernel.GateRequest{
+		Label: origLbl.With(svc.user.Ur, label.Star).With(svc.user.Uw, label.Star).
+			With(svc.proc.Pr, label.Star).With(svc.proc.Pw, label.Star),
+		Clearance: origClr.With(pir, label.L3),
+		Verify:    origLbl,
+		Args:      []byte(fmt.Sprintf("%d", uint64(pir))),
+	})
+	// Drop the structurally acquired privileges: nothing has been proven yet.
+	cur, _ := tc.SelfLabel()
+	_ = tc.SelfSetLabel(cur.With(svc.user.Ur, label.L1).With(svc.user.Uw, label.L1).
+		With(svc.proc.Pr, label.L1).With(svc.proc.Pw, label.L1))
+	if err != nil {
+		return err
+	}
+	if strings.HasPrefix(string(out), "ERR") {
+		return errors.New("auth: setup failed: " + string(out))
+	}
+	sess, err := decodeSession(out)
+	if err != nil {
+		return err
+	}
+
+	// Step 3: the password check.  The check gate's label carries uw⋆ and
+	// x⋆; its entry decides whether the thread keeps x.
+	lbl2, _ := tc.SelfLabel()
+	clr2, _ := tc.SelfClearance()
+	checkOut, err := tc.GateEnter(sess.checkGate, kernel.GateRequest{
+		Label:     lbl2.With(svc.user.Uw, label.Star).With(sess.x, label.Star),
+		Clearance: clr2.With(pir, label.L3),
+		Verify:    lbl2.With(pir, label.Star),
+		Args:      []byte(password),
+	})
+	if err != nil {
+		return err
+	}
+	switch string(checkOut) {
+	case "OK":
+	case "RETRY-LIMIT":
+		s.Log.Append("retry limit hit for " + username)
+		return ErrTooManyRetries
+	default:
+		s.Log.Append("authentication failure for " + username)
+		return ErrBadPassword
+	}
+
+	// Step 4: the grant gate ({x0, 2} clearance: only x owners) hands over
+	// ur and uw durably and logs the success.
+	lbl3, _ := tc.SelfLabel()
+	clr3, _ := tc.SelfClearance()
+	grantOut, err := tc.GateEnter(sess.grantGate, kernel.GateRequest{
+		Label:     lbl3.With(svc.user.Ur, label.Star).With(svc.user.Uw, label.Star),
+		Clearance: clr3,
+		Verify:    lbl3,
+	})
+	if err != nil {
+		return err
+	}
+	if string(grantOut) != "GRANTED" {
+		return ErrBadPassword
+	}
+	// Owning ur/uw, the client may now raise its clearance in them so it can
+	// allocate objects (file descriptors, files) at the user's labels.
+	finalClr, _ := tc.SelfClearance()
+	_ = tc.SelfSetClearance(finalClr.With(svc.user.Ur, label.L3).With(svc.user.Uw, label.L3))
+	client.User = svc.user
+	return nil
+}
+
+// PasswordHashHex exposes the stored verifier, standing in for what an
+// attacker who fully compromised the user's authentication daemon could
+// read.
+func (s *Service) PasswordHashHex(username string) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	svc, ok := s.users[username]
+	if !ok {
+		return "", ErrNoSuchUser
+	}
+	return hex.EncodeToString(svc.passHash[:]), nil
+}

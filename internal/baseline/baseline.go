@@ -1,0 +1,314 @@
+// Package baseline models the comparison operating systems of the paper's
+// evaluation (Section 7): a Linux-like monolithic kernel with an ext3-style
+// journalling file system, and an OpenBSD-like variant with a memory file
+// system.  It is not a faithful Linux — it is the minimal model needed to
+// reproduce the *shape* of Figure 12 and Figure 13 on the same simulated
+// disk and network as the HiStar stack: cheap 9-syscall fork/exec,
+// kernel-mediated pipes, per-file metadata journalling (rather than
+// whole-system checkpoints), and block-group allocation that clusters the
+// files of a directory so the drive's read-ahead is effective.
+package baseline
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"time"
+
+	"histar/internal/disk"
+	"histar/internal/vclock"
+)
+
+// Variant selects which comparison system is modelled.
+type Variant int
+
+// Variants.
+const (
+	VariantLinux Variant = iota
+	VariantOpenBSD
+)
+
+// ErrNotExist is returned for missing files.
+var ErrNotExist = errors.New("baseline: no such file")
+
+// syscallCost is the modelled cost of crossing the kernel boundary on the
+// baseline systems; it stands in for the trap/return plus minimal kernel
+// work, and exists so fork/exec and IPC comparisons account for the baseline
+// doing *some* work per call rather than none.
+const syscallCost = 300 * time.Nanosecond
+
+const (
+	journalStart = 4096
+	journalSize  = 64 << 20
+	dataStart    = journalStart + journalSize
+	blockSize    = 4096
+	// dirClusterSize is the contiguous region reserved per directory by the
+	// block-group allocator; small files of one directory land next to each
+	// other, which is what makes Linux's uncached small-file reads fast.
+	dirClusterSize = 16 << 20
+)
+
+type file struct {
+	data    []byte
+	diskOff int64
+	onDisk  bool
+}
+
+// OS is one baseline machine instance.
+type OS struct {
+	mu      sync.Mutex
+	variant Variant
+	d       *disk.Disk
+	clk     *vclock.Clock
+
+	files       map[string]*file
+	dirCluster  map[string]int64 // directory → next free offset in its cluster
+	nextCluster int64
+	journalOff  int64
+
+	syscalls uint64
+}
+
+// New creates a baseline OS on the given simulated disk.  The OpenBSD
+// variant uses a memory file system, so its file operations never touch the
+// disk (matching the paper's mfs configuration, which is also why the paper
+// omits its synchronous numbers).
+func New(d *disk.Disk, clk *vclock.Clock, variant Variant) *OS {
+	return &OS{
+		variant:     variant,
+		d:           d,
+		clk:         clk,
+		files:       make(map[string]*file),
+		dirCluster:  make(map[string]int64),
+		nextCluster: dataStart,
+		journalOff:  journalStart,
+	}
+}
+
+// Syscalls returns the number of modelled system calls issued.
+func (o *OS) Syscalls() uint64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.syscalls
+}
+
+func (o *OS) syscall(n int) {
+	o.mu.Lock()
+	o.syscalls += uint64(n)
+	o.mu.Unlock()
+	if o.clk != nil {
+		o.clk.Advance(time.Duration(n) * syscallCost)
+	}
+}
+
+func dirOf(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[:i]
+		}
+	}
+	return "/"
+}
+
+// allocInCluster returns the disk offset for a new file, packing files of
+// the same directory contiguously (the ext3 block-group behaviour).
+func (o *OS) allocInCluster(path string, size int) int64 {
+	dir := dirOf(path)
+	next, ok := o.dirCluster[dir]
+	if !ok {
+		next = o.nextCluster
+		o.nextCluster += dirClusterSize
+	}
+	off := next
+	blocks := (int64(size) + blockSize - 1) / blockSize
+	if blocks == 0 {
+		blocks = 1
+	}
+	o.dirCluster[dir] = next + blocks*blockSize
+	return off
+}
+
+// WriteFile creates or replaces a file (asynchronously: data sits in the
+// page cache until Fsync or Sync).
+func (o *OS) WriteFile(path string, data []byte) {
+	o.syscall(3) // open, write, close
+	o.mu.Lock()
+	f := o.files[path]
+	if f == nil {
+		f = &file{}
+		o.files[path] = f
+	}
+	f.data = append([]byte(nil), data...)
+	f.onDisk = false
+	o.mu.Unlock()
+}
+
+// Fsync makes one file durable: the ext3-style path writes the file's data
+// blocks to its (clustered) location plus a journal record for the metadata,
+// then flushes — it does not checkpoint anything else.
+func (o *OS) Fsync(path string) error {
+	o.syscall(1)
+	if o.variant == VariantOpenBSD {
+		return nil // mfs: nothing to make durable
+	}
+	o.mu.Lock()
+	f := o.files[path]
+	if f == nil {
+		o.mu.Unlock()
+		return ErrNotExist
+	}
+	if f.diskOff == 0 {
+		f.diskOff = o.allocInCluster(path, len(f.data))
+	}
+	data := f.data
+	off := f.diskOff
+	journalOff := o.journalOff
+	o.journalOff += 512
+	if o.journalOff >= journalStart+journalSize {
+		o.journalOff = journalStart
+	}
+	f.onDisk = true
+	o.mu.Unlock()
+
+	if len(data) > 0 {
+		if _, err := o.d.WriteAt(data, off); err != nil {
+			return err
+		}
+	}
+	// Journal record for the inode/directory metadata.
+	rec := make([]byte, 512)
+	copy(rec, path)
+	if _, err := o.d.WriteAt(rec, journalOff); err != nil {
+		return err
+	}
+	return o.d.Flush()
+}
+
+// Unlink removes a file; with sync set, the metadata journal record is
+// flushed immediately (Linux writes only the modified directory entry, which
+// is why its synchronous unlinks beat HiStar's whole-system checkpoints).
+func (o *OS) Unlink(path string, sync bool) error {
+	o.syscall(1)
+	o.mu.Lock()
+	_, ok := o.files[path]
+	delete(o.files, path)
+	journalOff := o.journalOff
+	o.journalOff += 512
+	if o.journalOff >= journalStart+journalSize {
+		o.journalOff = journalStart
+	}
+	o.mu.Unlock()
+	if !ok {
+		return ErrNotExist
+	}
+	if !sync || o.variant == VariantOpenBSD {
+		return nil
+	}
+	rec := make([]byte, 512)
+	copy(rec, "unlink "+path)
+	if _, err := o.d.WriteAt(rec, journalOff); err != nil {
+		return err
+	}
+	return o.d.Flush()
+}
+
+// Sync flushes all dirty files and metadata (the end-of-phase sync of the
+// asynchronous benchmark variants).
+func (o *OS) Sync() error {
+	o.syscall(1)
+	if o.variant == VariantOpenBSD {
+		return nil
+	}
+	o.mu.Lock()
+	paths := make([]string, 0)
+	for p, f := range o.files {
+		if !f.onDisk {
+			paths = append(paths, p)
+		}
+	}
+	sort.Strings(paths)
+	o.mu.Unlock()
+	for _, p := range paths {
+		if err := o.Fsync(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadFile reads from the page cache.
+func (o *OS) ReadFile(path string) ([]byte, error) {
+	o.syscall(3)
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	f := o.files[path]
+	if f == nil {
+		return nil, ErrNotExist
+	}
+	return append([]byte(nil), f.data...), nil
+}
+
+// ReadFileUncached models a cold-cache read: the file's blocks are fetched
+// from their clustered on-disk location, so consecutive files of the same
+// directory are serviced largely by the drive's read-ahead.
+func (o *OS) ReadFileUncached(path string) ([]byte, error) {
+	o.syscall(3)
+	o.mu.Lock()
+	f := o.files[path]
+	o.mu.Unlock()
+	if f == nil {
+		return nil, ErrNotExist
+	}
+	if o.variant == VariantOpenBSD || !f.onDisk {
+		// Memory file system (or never written back): no disk access.
+		return append([]byte(nil), f.data...), nil
+	}
+	buf := make([]byte, len(f.data))
+	if len(buf) > 0 {
+		if _, err := o.d.ReadAt(buf, f.diskOff); err != nil {
+			return nil, err
+		}
+	}
+	return append([]byte(nil), f.data...), nil
+}
+
+// ---------------------------------------------------------------------------
+// Process and IPC cost models.
+// ---------------------------------------------------------------------------
+
+// ForkExec models the baseline's fork + exec of a trivial statically linked
+// binary + exit + wait: 9 system calls and a small amount of page-table and
+// VM setup work.
+func (o *OS) ForkExec() {
+	o.syscall(9)
+	// Copy-on-write setup and image load: a handful of page-sized copies.
+	pages := make([][]byte, 8)
+	for i := range pages {
+		pages[i] = make([]byte, 4096)
+		pages[i][0] = byte(i)
+	}
+}
+
+// Pipe is an in-kernel pipe between two baseline processes.
+type Pipe struct {
+	o  *OS
+	ch chan []byte
+}
+
+// NewPipe creates a pipe.
+func (o *OS) NewPipe() *Pipe {
+	o.syscall(1)
+	return &Pipe{o: o, ch: make(chan []byte, 16)}
+}
+
+// Write sends a message through the pipe (one syscall).
+func (p *Pipe) Write(data []byte) {
+	p.o.syscall(1)
+	p.ch <- append([]byte(nil), data...)
+}
+
+// Read receives a message from the pipe (one syscall).
+func (p *Pipe) Read() []byte {
+	p.o.syscall(1)
+	return <-p.ch
+}

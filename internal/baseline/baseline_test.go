@@ -1,0 +1,114 @@
+package baseline
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"histar/internal/disk"
+	"histar/internal/vclock"
+)
+
+func newOS(t *testing.T, v Variant) (*OS, *vclock.Clock, *disk.Disk) {
+	t.Helper()
+	clk := &vclock.Clock{}
+	d := disk.New(disk.Params{
+		Sectors:              1 << 19,
+		SeekTime:             8500 * time.Microsecond,
+		RotationalLatency:    4150 * time.Microsecond,
+		BandwidthBytesPerSec: 58e6,
+		WriteCache:           true,
+		ReadAhead:            256 * 1024,
+	}, clk)
+	return New(d, clk, v), clk, d
+}
+
+func TestWriteReadUnlink(t *testing.T) {
+	o, _, _ := newOS(t, VariantLinux)
+	o.WriteFile("/dir/a.txt", []byte("hello"))
+	data, err := o.ReadFile("/dir/a.txt")
+	if err != nil || string(data) != "hello" {
+		t.Fatalf("read = %q, %v", data, err)
+	}
+	if err := o.Unlink("/dir/a.txt", false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.ReadFile("/dir/a.txt"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("read after unlink: %v", err)
+	}
+	if _, err := o.ReadFile("/never"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("missing file: %v", err)
+	}
+}
+
+func TestFsyncCostsDiskTimeOnLinuxNotOpenBSD(t *testing.T) {
+	linux, lclk, _ := newOS(t, VariantLinux)
+	bsd, bclk, _ := newOS(t, VariantOpenBSD)
+	payload := bytes.Repeat([]byte("x"), 1024)
+	for i := 0; i < 20; i++ {
+		linux.WriteFile("/d/f", payload)
+		linux.Fsync("/d/f")
+		bsd.WriteFile("/d/f", payload)
+		bsd.Fsync("/d/f")
+	}
+	if lclk.Now() <= bclk.Now() {
+		t.Errorf("journalled fsync (%v) should cost more than mfs (%v)", lclk.Now(), bclk.Now())
+	}
+}
+
+func TestClusteredUncachedReadsBenefitFromReadAhead(t *testing.T) {
+	o, _, d := newOS(t, VariantLinux)
+	payload := bytes.Repeat([]byte("y"), 1024)
+	for i := 0; i < 200; i++ {
+		path := "/cluster/f" + string(rune('a'+i%26)) + string(rune('0'+i/26))
+		o.WriteFile(path, payload)
+		if err := o.Fsync(path); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.ResetStats()
+	for i := 0; i < 200; i++ {
+		path := "/cluster/f" + string(rune('a'+i%26)) + string(rune('0'+i/26))
+		if _, err := o.ReadFileUncached(path); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := d.Stats()
+	if st.PrefetchHits == 0 {
+		t.Error("clustered reads should hit the drive's read-ahead")
+	}
+	if st.Seeks > 100 {
+		t.Errorf("clustered reads should not seek per file: %d seeks", st.Seeks)
+	}
+}
+
+func TestForkExecAndPipeCountSyscalls(t *testing.T) {
+	o, _, _ := newOS(t, VariantLinux)
+	before := o.Syscalls()
+	o.ForkExec()
+	if got := o.Syscalls() - before; got != 9 {
+		t.Errorf("fork/exec syscalls = %d, want 9", got)
+	}
+	p := o.NewPipe()
+	done := make(chan []byte, 1)
+	go func() { done <- p.Read() }()
+	p.Write([]byte("ping"))
+	if string(<-done) != "ping" {
+		t.Error("pipe round trip failed")
+	}
+}
+
+func TestSyncFlushesEverything(t *testing.T) {
+	o, clk, _ := newOS(t, VariantLinux)
+	for i := 0; i < 10; i++ {
+		o.WriteFile("/batch/f"+string(rune('0'+i)), bytes.Repeat([]byte("z"), 512))
+	}
+	before := clk.Now()
+	if err := o.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if clk.Now() == before {
+		t.Error("Sync should have written to disk")
+	}
+}

@@ -1,0 +1,362 @@
+package kernel
+
+import (
+	"histar/internal/label"
+)
+
+// PageSize is the simulated page size.
+const PageSize = 4096
+
+// Mapping is the externally visible form of an address-space entry:
+// VA → 〈segment container entry, offset, npages, flags〉.
+type Mapping struct {
+	VA     uint64
+	Seg    CEnt
+	Offset uint64
+	NPages uint64
+	Flags  MapFlags
+}
+
+// AddressSpaceCreate creates an address space object with label l in
+// container d.
+func (tc *ThreadCall) AddressSpaceCreate(d ID, l label.Label, descrip string) (ID, error) {
+	tc.k.mu.Lock()
+	defer tc.k.mu.Unlock()
+	t, err := tc.self()
+	if err != nil {
+		return NilID, err
+	}
+	tc.k.count("as_create", t)
+	if !label.ValidObjectLabel(l) {
+		return NilID, ErrInvalid
+	}
+	cont, err := tc.k.lookupContainer(d)
+	if err != nil {
+		return NilID, err
+	}
+	if cont.immutable {
+		return NilID, ErrImmutable
+	}
+	if cont.avoidTypes.Has(ObjAddressSpace) {
+		return NilID, ErrAvoidType
+	}
+	if !tc.k.canModify(t.lbl, cont.lbl) {
+		return NilID, ErrLabel
+	}
+	if !label.CanAllocate(t.lbl, t.clearance, l) {
+		return NilID, ErrLabel
+	}
+	const quota = 64 * 1024
+	if err := tc.k.chargeLocked(cont, quota); err != nil {
+		return NilID, err
+	}
+	a := &addressSpace{
+		header: header{
+			id:      tc.k.newID(),
+			objType: ObjAddressSpace,
+			lbl:     l,
+			quota:   quota,
+			descrip: truncDescrip(descrip),
+		},
+	}
+	a.usage = a.footprint()
+	tc.k.objects[a.id] = a
+	cont.link(a.id)
+	a.refs = 1
+	return a.id, nil
+}
+
+// AddressSpaceSet replaces the mappings of the address space named by ce.
+// The invoking thread must be able to modify the address space
+// (LT ⊑ LA ⊑ LTᴶ).
+func (tc *ThreadCall) AddressSpaceSet(ce CEnt, maps []Mapping) error {
+	tc.k.mu.Lock()
+	defer tc.k.mu.Unlock()
+	t, err := tc.self()
+	if err != nil {
+		return err
+	}
+	tc.k.count("as_set", t)
+	a, err := tc.asForWrite(t, ce)
+	if err != nil {
+		return err
+	}
+	a.mappings = a.mappings[:0]
+	for _, m := range maps {
+		if m.VA%PageSize != 0 {
+			return ErrInvalid
+		}
+		a.mappings = append(a.mappings, mapping{
+			VA: m.VA, Seg: m.Seg, Offset: m.Offset, NPages: m.NPages, Flags: m.Flags,
+		})
+	}
+	a.bump()
+	return nil
+}
+
+// AddressSpaceGet returns the current mappings of the address space named by
+// ce.  The invoking thread must be able to observe it (LA ⊑ LTᴶ).
+func (tc *ThreadCall) AddressSpaceGet(ce CEnt) ([]Mapping, error) {
+	tc.k.mu.Lock()
+	defer tc.k.mu.Unlock()
+	t, err := tc.self()
+	if err != nil {
+		return nil, err
+	}
+	tc.k.count("as_get", t)
+	a, err := tc.asForRead(t, ce)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Mapping, 0, len(a.mappings))
+	for _, m := range a.mappings {
+		out = append(out, Mapping{VA: m.VA, Seg: m.Seg, Offset: m.Offset, NPages: m.NPages, Flags: m.Flags})
+	}
+	return out, nil
+}
+
+// AddressSpaceAddMapping appends one mapping without replacing the rest.
+func (tc *ThreadCall) AddressSpaceAddMapping(ce CEnt, m Mapping) error {
+	tc.k.mu.Lock()
+	defer tc.k.mu.Unlock()
+	t, err := tc.self()
+	if err != nil {
+		return err
+	}
+	tc.k.count("as_add_mapping", t)
+	a, err := tc.asForWrite(t, ce)
+	if err != nil {
+		return err
+	}
+	if m.VA%PageSize != 0 {
+		return ErrInvalid
+	}
+	a.mappings = append(a.mappings, mapping{VA: m.VA, Seg: m.Seg, Offset: m.Offset, NPages: m.NPages, Flags: m.Flags})
+	a.bump()
+	return nil
+}
+
+// AddressSpaceRemoveMapping removes the mapping that starts at va.
+func (tc *ThreadCall) AddressSpaceRemoveMapping(ce CEnt, va uint64) error {
+	tc.k.mu.Lock()
+	defer tc.k.mu.Unlock()
+	t, err := tc.self()
+	if err != nil {
+		return err
+	}
+	tc.k.count("as_remove_mapping", t)
+	a, err := tc.asForWrite(t, ce)
+	if err != nil {
+		return err
+	}
+	for i, m := range a.mappings {
+		if m.VA == va {
+			a.mappings = append(a.mappings[:i], a.mappings[i+1:]...)
+			a.bump()
+			return nil
+		}
+	}
+	return ErrNoMapping
+}
+
+// SetFaultHandler registers a user-mode page-fault handler on the address
+// space, invoked when a memory access fails its checks.  By default a fault
+// kills the process (the user-level library's choice).
+func (tc *ThreadCall) SetFaultHandler(ce CEnt, h func(va uint64, write bool, err error)) error {
+	tc.k.mu.Lock()
+	defer tc.k.mu.Unlock()
+	t, err := tc.self()
+	if err != nil {
+		return err
+	}
+	tc.k.count("as_set_fault_handler", t)
+	a, err := tc.asForWrite(t, ce)
+	if err != nil {
+		return err
+	}
+	a.faultHandler = h
+	return nil
+}
+
+func (tc *ThreadCall) asForRead(t *thread, ce CEnt) (*addressSpace, error) {
+	obj, err := tc.k.resolve(t.lbl, ce)
+	if err != nil {
+		return nil, err
+	}
+	a, ok := obj.(*addressSpace)
+	if !ok {
+		return nil, ErrWrongType
+	}
+	if !tc.k.canObserve(t.lbl, a.lbl) {
+		return nil, ErrLabel
+	}
+	return a, nil
+}
+
+func (tc *ThreadCall) asForWrite(t *thread, ce CEnt) (*addressSpace, error) {
+	obj, err := tc.k.resolve(t.lbl, ce)
+	if err != nil {
+		return nil, err
+	}
+	a, ok := obj.(*addressSpace)
+	if !ok {
+		return nil, ErrWrongType
+	}
+	if a.immutable {
+		return nil, ErrImmutable
+	}
+	if !tc.k.canModify(t.lbl, a.lbl) {
+		return nil, ErrLabel
+	}
+	return a, nil
+}
+
+// MemRead simulates a load through the invoking thread's address space.
+// The kernel looks up the faulting address, finds the backing segment, and
+// performs the page-fault label checks: the thread must be able to read the
+// mapping's container and segment (LD ⊑ LTᴶ and LO ⊑ LTᴶ).
+func (tc *ThreadCall) MemRead(va uint64, n int) ([]byte, error) {
+	tc.k.mu.Lock()
+	defer tc.k.mu.Unlock()
+	t, err := tc.self()
+	if err != nil {
+		return nil, err
+	}
+	tc.k.count("mem_read", t)
+	seg, off, err := tc.pageFault(t, va, n, false)
+	if err != nil {
+		return nil, err
+	}
+	end := off + n
+	if end > len(seg.data) {
+		end = len(seg.data)
+	}
+	if off > len(seg.data) {
+		off = len(seg.data)
+	}
+	out := make([]byte, end-off)
+	copy(out, seg.data[off:end])
+	return out, nil
+}
+
+// MemWrite simulates a store through the invoking thread's address space;
+// the mapping must include write permission and the thread must additionally
+// be able to modify the segment (LT ⊑ LO).
+func (tc *ThreadCall) MemWrite(va uint64, data []byte) error {
+	tc.k.mu.Lock()
+	defer tc.k.mu.Unlock()
+	t, err := tc.self()
+	if err != nil {
+		return err
+	}
+	tc.k.count("mem_write", t)
+	seg, off, err := tc.pageFault(t, va, len(data), true)
+	if err != nil {
+		return err
+	}
+	end := off + len(data)
+	if end > len(seg.data) {
+		if uint64(end)+128 > seg.quota {
+			return ErrQuota
+		}
+		grown := make([]byte, end)
+		copy(grown, seg.data)
+		seg.data = grown
+	}
+	copy(seg.data[off:], data)
+	seg.usage = seg.footprint()
+	seg.bump()
+	return nil
+}
+
+// pageFault resolves a virtual address through the thread's address space,
+// applying the label checks of Section 3.4.  It returns the backing segment
+// and the byte offset within it.  On failure the address space's user-mode
+// fault handler, if any, is notified (outside the error return so callers
+// still see the error).
+func (tc *ThreadCall) pageFault(t *thread, va uint64, n int, write bool) (*segment, int, error) {
+	seg, off, err := tc.pageFaultInner(t, va, n, write)
+	if err != nil {
+		if t.addressSpace.Object != NilID {
+			if aso, lerr := tc.k.lookup(t.addressSpace.Object); lerr == nil {
+				if as, ok := aso.(*addressSpace); ok && as.faultHandler != nil {
+					h := as.faultHandler
+					// Invoke without the kernel lock to let the handler issue
+					// system calls; re-acquire before returning.
+					tc.k.mu.Unlock()
+					h(va, write, err)
+					tc.k.mu.Lock()
+				}
+			}
+		}
+	}
+	return seg, off, err
+}
+
+func (tc *ThreadCall) pageFaultInner(t *thread, va uint64, n int, write bool) (*segment, int, error) {
+	if t.addressSpace.Object == NilID {
+		return nil, 0, ErrNoMapping
+	}
+	aso, err := tc.k.lookup(t.addressSpace.Object)
+	if err != nil {
+		return nil, 0, err
+	}
+	as, ok := aso.(*addressSpace)
+	if !ok {
+		return nil, 0, ErrWrongType
+	}
+	// The thread must be able to use its address space at all.
+	if !tc.k.canObserve(t.lbl, as.lbl) {
+		return nil, 0, ErrLabel
+	}
+	for _, m := range as.mappings {
+		lo := m.VA
+		hi := m.VA + m.NPages*PageSize
+		if va < lo || va >= hi {
+			continue
+		}
+		if write && m.Flags&MapWrite == 0 {
+			return nil, 0, ErrAccess
+		}
+		if !write && m.Flags&MapRead == 0 {
+			return nil, 0, ErrAccess
+		}
+		// Thread-local segment mapping: always accessible to its owner.
+		if m.Flags&MapThreadLocal != 0 {
+			return t.localSegment, int(va - lo), nil
+		}
+		// Page-fault label checks: read container and segment, plus modify
+		// for writes.
+		cont, err := tc.k.lookupContainer(m.Seg.Container)
+		if err != nil {
+			return nil, 0, err
+		}
+		if !tc.k.canObserve(t.lbl, cont.lbl) {
+			return nil, 0, ErrLabel
+		}
+		if m.Seg.Object != m.Seg.Container && !cont.entries[m.Seg.Object] {
+			return nil, 0, ErrNoSuchObject
+		}
+		so, err := tc.k.lookup(m.Seg.Object)
+		if err != nil {
+			return nil, 0, err
+		}
+		seg, ok := so.(*segment)
+		if !ok {
+			return nil, 0, ErrWrongType
+		}
+		if !tc.k.canObserve(t.lbl, seg.lbl) {
+			return nil, 0, ErrLabel
+		}
+		if write {
+			if seg.immutable {
+				return nil, 0, ErrImmutable
+			}
+			if !tc.k.leq(t.lbl, seg.lbl) {
+				return nil, 0, ErrLabel
+			}
+		}
+		return seg, int(uint64(va-lo) + m.Offset), nil
+	}
+	return nil, 0, ErrNoMapping
+}

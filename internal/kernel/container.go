@@ -1,0 +1,420 @@
+package kernel
+
+import (
+	"histar/internal/label"
+)
+
+// ContainerCreate creates a new container inside container d
+// (id_t container_create).  The invoking thread must be able to write d
+// (LT ⊑ LD ⊑ LTᴶ) and to allocate an object with label l (LT ⊑ l ⊑ CT).
+// avoidTypes restricts which object types may be created in the new
+// container or any of its descendants; quota bounds the storage usage
+// charged to d.
+func (tc *ThreadCall) ContainerCreate(d ID, l label.Label, descrip string, avoidTypes TypeMask, quota uint64) (ID, error) {
+	tc.k.mu.Lock()
+	defer tc.k.mu.Unlock()
+	t, err := tc.self()
+	if err != nil {
+		return NilID, err
+	}
+	tc.k.count("container_create", t)
+	if !label.ValidObjectLabel(l) {
+		return NilID, ErrInvalid
+	}
+	parent, err := tc.k.lookupContainer(d)
+	if err != nil {
+		return NilID, err
+	}
+	if parent.immutable {
+		return NilID, ErrImmutable
+	}
+	if parent.avoidTypes.Has(ObjContainer) {
+		return NilID, ErrAvoidType
+	}
+	if !tc.k.canModify(t.lbl, parent.lbl) {
+		return NilID, ErrLabel
+	}
+	if !label.CanAllocate(t.lbl, t.clearance, l) {
+		return NilID, ErrLabel
+	}
+	// A container less tainted than its parent pre-authorizes a small
+	// information flow (Section 3.2); the allocation rules already require
+	// the creating thread to own every category where LD(c) < LD'(c), which
+	// CanAllocate+canModify enforce, so no extra check is needed here.
+	if quota == 0 {
+		quota = 1 << 20
+	}
+	if err := tc.k.chargeLocked(parent, quota); err != nil {
+		return NilID, err
+	}
+	nc := &container{
+		header: header{
+			id:      tc.k.newID(),
+			objType: ObjContainer,
+			lbl:     l,
+			quota:   quota,
+			descrip: truncDescrip(descrip),
+		},
+		parent:     d,
+		entries:    make(map[ID]bool),
+		avoidTypes: parent.avoidTypes | avoidTypes,
+	}
+	nc.usage = nc.footprint()
+	tc.k.objects[nc.id] = nc
+	parent.link(nc.id)
+	nc.refs = 1
+	return nc.id, nil
+}
+
+// ContainerGetParent returns the parent container of the container named by
+// ce (container_get_parent).  The root container has no parent.
+func (tc *ThreadCall) ContainerGetParent(ce CEnt) (ID, error) {
+	tc.k.mu.Lock()
+	defer tc.k.mu.Unlock()
+	t, err := tc.self()
+	if err != nil {
+		return NilID, err
+	}
+	tc.k.count("container_get_parent", t)
+	o, err := tc.k.resolve(t.lbl, ce)
+	if err != nil {
+		return NilID, err
+	}
+	c, ok := o.(*container)
+	if !ok {
+		return NilID, ErrNotContainer
+	}
+	if c.parent == NilID {
+		return NilID, ErrNotFound
+	}
+	return c.parent, nil
+}
+
+// ContainerList returns the object IDs hard-linked into the container named
+// by ce.  The invoking thread must be able to observe the container.
+func (tc *ThreadCall) ContainerList(ce CEnt) ([]ID, error) {
+	tc.k.mu.Lock()
+	defer tc.k.mu.Unlock()
+	t, err := tc.self()
+	if err != nil {
+		return nil, err
+	}
+	tc.k.count("container_list", t)
+	o, err := tc.k.resolve(t.lbl, ce)
+	if err != nil {
+		return nil, err
+	}
+	c, ok := o.(*container)
+	if !ok {
+		return nil, ErrNotContainer
+	}
+	if !tc.k.canObserve(t.lbl, c.lbl) {
+		return nil, ErrLabel
+	}
+	return c.list(), nil
+}
+
+// Link adds a hard link to the object named by src into container d.  The
+// invoking thread must be able to write d and its clearance must be high
+// enough to allocate objects at the target's label (Lsrc ⊑ CT).  The target
+// object's quota must be fixed, since an object whose quota may change
+// cannot be multiply linked (Section 3.3).
+func (tc *ThreadCall) Link(d ID, src CEnt) error {
+	tc.k.mu.Lock()
+	defer tc.k.mu.Unlock()
+	t, err := tc.self()
+	if err != nil {
+		return err
+	}
+	tc.k.count("container_link", t)
+	dest, err := tc.k.lookupContainer(d)
+	if err != nil {
+		return err
+	}
+	if dest.immutable {
+		return ErrImmutable
+	}
+	if !tc.k.canModify(t.lbl, dest.lbl) {
+		return ErrLabel
+	}
+	obj, err := tc.k.resolve(t.lbl, src)
+	if err != nil {
+		return err
+	}
+	h := obj.hdr()
+	if h.objType == ObjContainer {
+		// Containers have a single parent; only their creator links them.
+		return ErrInvalid
+	}
+	if dest.avoidTypes.Has(h.objType) {
+		return ErrAvoidType
+	}
+	if !tc.k.leq(h.lbl, t.clearance) {
+		return ErrClearance
+	}
+	if !h.fixedQuota {
+		return ErrFixedQuota
+	}
+	if dest.entries[h.id] {
+		return ErrExists
+	}
+	// Conservatively double-charge: the full quota is charged to every
+	// container holding a link.
+	if err := tc.k.chargeLocked(dest, h.quota); err != nil {
+		return err
+	}
+	dest.link(h.id)
+	h.refs++
+	return nil
+}
+
+// Unref removes the hard link to object o from container d.  The invoking
+// thread must be able to write d.  When the last reference to an object is
+// removed the object is deallocated; unreferencing a container recursively
+// deallocates the subtree rooted at it.
+func (tc *ThreadCall) Unref(d ID, o ID) error {
+	tc.k.mu.Lock()
+	defer tc.k.mu.Unlock()
+	t, err := tc.self()
+	if err != nil {
+		return err
+	}
+	tc.k.count("container_unref", t)
+	cont, err := tc.k.lookupContainer(d)
+	if err != nil {
+		return err
+	}
+	if !tc.k.canModify(t.lbl, cont.lbl) {
+		return ErrLabel
+	}
+	if o == tc.k.rootID {
+		return ErrRootContainer
+	}
+	if !cont.entries[o] {
+		return ErrNoSuchObject
+	}
+	obj, err := tc.k.lookup(o)
+	if err != nil {
+		// Already gone; just clear the link.
+		cont.unlink(o)
+		return nil
+	}
+	cont.unlink(o)
+	tc.k.refundLocked(cont, obj.hdr().quota)
+	obj.hdr().refs--
+	if obj.hdr().refs <= 0 {
+		tc.k.deallocLocked(obj)
+	}
+	return nil
+}
+
+// deallocLocked removes an object from the object table, recursively
+// unreferencing container contents and halting threads.
+func (k *Kernel) deallocLocked(o object) {
+	h := o.hdr()
+	if h.dead {
+		return
+	}
+	h.dead = true
+	switch v := o.(type) {
+	case *container:
+		for _, child := range v.list() {
+			co, err := k.lookup(child)
+			if err != nil {
+				continue
+			}
+			co.hdr().refs--
+			if co.hdr().refs <= 0 {
+				k.deallocLocked(co)
+			}
+		}
+		v.entries = nil
+		v.order = nil
+	case *thread:
+		v.halted = true
+	case *device:
+		// nothing extra
+	}
+	delete(k.objects, h.id)
+}
+
+// QuotaMove moves n bytes of quota from container d to object o contained in
+// it (int quota_move): o's quota and d's usage both grow by n.  The invoking
+// thread must be able to write d (LT ⊑ LD ⊑ LTᴶ) and allocate at o's label
+// (LT ⊑ LO ⊑ CT).  When n is negative the call can fail if o has fewer than
+// |n| spare bytes, which conveys information about o, so the thread must
+// additionally be able to observe o (LO ⊑ LTᴶ).
+func (tc *ThreadCall) QuotaMove(d ID, o ID, n int64) error {
+	tc.k.mu.Lock()
+	defer tc.k.mu.Unlock()
+	t, err := tc.self()
+	if err != nil {
+		return err
+	}
+	tc.k.count("quota_move", t)
+	cont, err := tc.k.lookupContainer(d)
+	if err != nil {
+		return err
+	}
+	if !cont.entries[o] {
+		return ErrNoSuchObject
+	}
+	obj, err := tc.k.lookup(o)
+	if err != nil {
+		return err
+	}
+	h := obj.hdr()
+	if !tc.k.canModify(t.lbl, cont.lbl) {
+		return ErrLabel
+	}
+	if !tc.k.leq(t.lbl, h.lbl) || !tc.k.leq(h.lbl, t.clearance) {
+		return ErrLabel
+	}
+	if h.fixedQuota {
+		return ErrFixedQuota
+	}
+	if n >= 0 {
+		if err := tc.k.chargeLocked(cont, uint64(n)); err != nil {
+			return err
+		}
+		h.quota += uint64(n)
+		return nil
+	}
+	// Shrinking: returns an error when o has fewer than |n| spare bytes,
+	// thereby conveying information about o to the caller.
+	if !tc.k.canObserve(t.lbl, h.lbl) {
+		return ErrLabel
+	}
+	take := uint64(-n)
+	spare := h.quota - obj.footprint()
+	if h.quota < obj.footprint() || spare < take {
+		return ErrQuota
+	}
+	h.quota -= take
+	tc.k.refundLocked(cont, take)
+	return nil
+}
+
+// ObjectStat returns the externally visible state of the object named by ce.
+// The invoking thread must be able to read the containing container; in that
+// case it may read the object's descriptive string and, unless the object is
+// a thread, its label.  Thread labels are mutable, so reading another
+// thread's label additionally requires LT′ᴶ ⊑ LTᴶ.
+func (tc *ThreadCall) ObjectStat(ce CEnt) (Stat, error) {
+	tc.k.mu.Lock()
+	defer tc.k.mu.Unlock()
+	t, err := tc.self()
+	if err != nil {
+		return Stat{}, err
+	}
+	tc.k.count("object_stat", t)
+	obj, err := tc.k.resolve(t.lbl, ce)
+	if err != nil {
+		return Stat{}, err
+	}
+	h := obj.hdr()
+	st := Stat{
+		ID:         h.id,
+		Type:       h.objType,
+		Quota:      h.quota,
+		Usage:      obj.footprint(),
+		FixedQuota: h.fixedQuota,
+		Immutable:  h.immutable,
+		Descrip:    h.descrip,
+		Metadata:   h.metadata,
+	}
+	if th, ok := obj.(*thread); ok {
+		// Thread labels are not immutable; expose them only when
+		// LT'ᴶ ⊑ LTᴶ.
+		if tc.k.leq(th.lbl.RaiseJ(), t.lbl.RaiseJ()) {
+			st.Label = th.lbl
+		} else {
+			return Stat{}, ErrLabel
+		}
+	} else {
+		st.Label = h.lbl
+	}
+	return st, nil
+}
+
+// ObjectSetMetadata overwrites the 64 bytes of user-defined metadata on an
+// object the thread can modify.
+func (tc *ThreadCall) ObjectSetMetadata(ce CEnt, md [MetadataSize]byte) error {
+	tc.k.mu.Lock()
+	defer tc.k.mu.Unlock()
+	t, err := tc.self()
+	if err != nil {
+		return err
+	}
+	tc.k.count("object_set_metadata", t)
+	obj, err := tc.k.resolve(t.lbl, ce)
+	if err != nil {
+		return err
+	}
+	h := obj.hdr()
+	if h.immutable {
+		return ErrImmutable
+	}
+	if !tc.k.canModify(t.lbl, effectiveLabel(obj)) {
+		return ErrLabel
+	}
+	h.metadata = md
+	h.bump()
+	return nil
+}
+
+// ObjectSetImmutable irrevocably marks the object read-only.
+func (tc *ThreadCall) ObjectSetImmutable(ce CEnt) error {
+	tc.k.mu.Lock()
+	defer tc.k.mu.Unlock()
+	t, err := tc.self()
+	if err != nil {
+		return err
+	}
+	tc.k.count("object_set_immutable", t)
+	obj, err := tc.k.resolve(t.lbl, ce)
+	if err != nil {
+		return err
+	}
+	if !tc.k.canModify(t.lbl, effectiveLabel(obj)) {
+		return ErrLabel
+	}
+	obj.hdr().immutable = true
+	obj.hdr().bump()
+	return nil
+}
+
+// ObjectSetFixedQuota sets the fixed-quota flag on an object, which must be
+// set before the object can be hard linked into additional containers and
+// can never be cleared.
+func (tc *ThreadCall) ObjectSetFixedQuota(ce CEnt) error {
+	tc.k.mu.Lock()
+	defer tc.k.mu.Unlock()
+	t, err := tc.self()
+	if err != nil {
+		return err
+	}
+	tc.k.count("object_set_fixed_quota", t)
+	obj, err := tc.k.resolve(t.lbl, ce)
+	if err != nil {
+		return err
+	}
+	if !tc.k.canModify(t.lbl, effectiveLabel(obj)) {
+		return ErrLabel
+	}
+	obj.hdr().fixedQuota = true
+	obj.hdr().bump()
+	return nil
+}
+
+// effectiveLabel is the label used for modify checks: gates use their gate
+// label with ownership stripped to its storable form, threads their own
+// label, everything else the object label.
+func effectiveLabel(o object) label.Label {
+	switch v := o.(type) {
+	case *gate:
+		return v.gateLabel.LowerStar()
+	default:
+		return o.hdr().lbl
+	}
+}

@@ -1,0 +1,222 @@
+package kernel
+
+import (
+	"histar/internal/label"
+)
+
+// The kernel network API consists of three system calls: get the MAC
+// address of the card, provide a transmit or receive packet buffer, and wait
+// for a packet to be received or transmitted (Section 4.1).  There is no
+// dynamic packet allocation or queuing in the kernel.  In this reproduction
+// the device hands transmitted frames to a callback (wired to the simulated
+// network) and frames injected by the simulation are delivered into the
+// receive buffers user code has supplied.
+
+// DeviceCreate creates a network device object in container d.  It is a
+// bootstrap operation: the real kernel discovers devices at boot and the
+// administrator's startup code labels them (typically {nr3, nw0, i2, 1}).
+func (k *Kernel) DeviceCreate(d ID, lbl label.Label, mac [6]byte, descrip string) (ID, error) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	cont, err := k.lookupContainer(d)
+	if err != nil {
+		return NilID, err
+	}
+	if !label.ValidObjectLabel(lbl) {
+		return NilID, ErrInvalid
+	}
+	dev := &device{
+		header: header{
+			id:      k.newID(),
+			objType: ObjDevice,
+			lbl:     lbl,
+			quota:   64 * 1024,
+			descrip: truncDescrip(descrip),
+		},
+		mac:    mac,
+		waitCh: make(chan struct{}, 1),
+	}
+	dev.usage = dev.footprint()
+	if err := k.chargeLocked(cont, dev.quota); err != nil {
+		return NilID, err
+	}
+	k.objects[dev.id] = dev
+	cont.link(dev.id)
+	dev.refs = 1
+	k.netDevices = append(k.netDevices, dev.id)
+	return dev.id, nil
+}
+
+// SetDeviceTransmitHook wires the device's transmit path to the simulated
+// network; pkt slices passed to the hook are owned by the callee.
+func (k *Kernel) SetDeviceTransmitHook(dev ID, hook func(pkt []byte)) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	o, err := k.lookup(dev)
+	if err != nil {
+		return err
+	}
+	d, ok := o.(*device)
+	if !ok {
+		return ErrWrongType
+	}
+	d.txNotify = hook
+	return nil
+}
+
+// DeviceInject delivers an inbound frame to the device, as if it arrived
+// from the wire.  Called by the network simulation.
+func (k *Kernel) DeviceInject(dev ID, pkt []byte) error {
+	k.mu.Lock()
+	o, err := k.lookup(dev)
+	if err != nil {
+		k.mu.Unlock()
+		return err
+	}
+	d, ok := o.(*device)
+	if !ok {
+		k.mu.Unlock()
+		return ErrWrongType
+	}
+	d.rxQueue = append(d.rxQueue, append([]byte(nil), pkt...))
+	ch := d.waitCh
+	k.mu.Unlock()
+	select {
+	case ch <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+// Devices returns the IDs of all network devices (bootstrap plumbing).
+func (k *Kernel) Devices() []ID {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	out := make([]ID, len(k.netDevices))
+	copy(out, k.netDevices)
+	return out
+}
+
+// DeviceMAC returns the device's MAC address.  The invoking thread must be
+// able to observe the device object.
+func (tc *ThreadCall) DeviceMAC(ce CEnt) ([6]byte, error) {
+	tc.k.mu.Lock()
+	defer tc.k.mu.Unlock()
+	t, err := tc.self()
+	if err != nil {
+		return [6]byte{}, err
+	}
+	tc.k.count("net_macaddr", t)
+	d, err := tc.deviceForRead(t, ce)
+	if err != nil {
+		return [6]byte{}, err
+	}
+	return d.mac, nil
+}
+
+// DeviceTransmit hands a frame to the device for transmission.  The invoking
+// thread must be able to modify the device object; with the conventional
+// device label {nr3, nw0, i2, 1} that means only threads owning nw (netd)
+// and not tainted beyond i2 can transmit, which is exactly what keeps
+// tainted data off the network.
+func (tc *ThreadCall) DeviceTransmit(ce CEnt, pkt []byte) error {
+	tc.k.mu.Lock()
+	t, err := tc.self()
+	if err != nil {
+		tc.k.mu.Unlock()
+		return err
+	}
+	tc.k.count("net_tx", t)
+	d, err := tc.deviceForWrite(t, ce)
+	if err != nil {
+		tc.k.mu.Unlock()
+		return err
+	}
+	hook := d.txNotify
+	frame := append([]byte(nil), pkt...)
+	tc.k.mu.Unlock()
+	if hook != nil {
+		hook(frame)
+	}
+	return nil
+}
+
+// DeviceReceive removes and returns the next received frame, or (nil, false)
+// when none is pending.  The invoking thread must be able to observe the
+// device; the frame it receives is, by the device's label, tainted i2.
+func (tc *ThreadCall) DeviceReceive(ce CEnt) ([]byte, bool, error) {
+	tc.k.mu.Lock()
+	defer tc.k.mu.Unlock()
+	t, err := tc.self()
+	if err != nil {
+		return nil, false, err
+	}
+	tc.k.count("net_rx", t)
+	d, err := tc.deviceForRead(t, ce)
+	if err != nil {
+		return nil, false, err
+	}
+	if len(d.rxQueue) == 0 {
+		return nil, false, nil
+	}
+	pkt := d.rxQueue[0]
+	d.rxQueue = d.rxQueue[1:]
+	return pkt, true, nil
+}
+
+// DeviceWait blocks until a frame is available to receive (or one has been
+// transmitted, in the real interface); it returns immediately if the receive
+// queue is non-empty.
+func (tc *ThreadCall) DeviceWait(ce CEnt) error {
+	for {
+		tc.k.mu.Lock()
+		t, err := tc.self()
+		if err != nil {
+			tc.k.mu.Unlock()
+			return err
+		}
+		tc.k.count("net_wait", t)
+		d, err := tc.deviceForRead(t, ce)
+		if err != nil {
+			tc.k.mu.Unlock()
+			return err
+		}
+		if len(d.rxQueue) > 0 {
+			tc.k.mu.Unlock()
+			return nil
+		}
+		ch := d.waitCh
+		tc.k.mu.Unlock()
+		<-ch
+	}
+}
+
+func (tc *ThreadCall) deviceForRead(t *thread, ce CEnt) (*device, error) {
+	obj, err := tc.k.resolve(t.lbl, ce)
+	if err != nil {
+		return nil, err
+	}
+	d, ok := obj.(*device)
+	if !ok {
+		return nil, ErrWrongType
+	}
+	if !tc.k.canObserve(t.lbl, d.lbl) {
+		return nil, ErrLabel
+	}
+	return d, nil
+}
+
+func (tc *ThreadCall) deviceForWrite(t *thread, ce CEnt) (*device, error) {
+	obj, err := tc.k.resolve(t.lbl, ce)
+	if err != nil {
+		return nil, err
+	}
+	d, ok := obj.(*device)
+	if !ok {
+		return nil, ErrWrongType
+	}
+	if !tc.k.canModify(t.lbl, d.lbl) {
+		return nil, ErrLabel
+	}
+	return d, nil
+}

@@ -1,0 +1,96 @@
+package kernel
+
+import (
+	"encoding/binary"
+)
+
+// IPC support in the HiStar kernel, aside from shared memory and gates, is
+// limited to a memory-based futex synchronization primitive (Section 4.1).
+// The user-level library builds mutexes, condition variables, and pipes on
+// top of it.
+
+type futexKey struct {
+	seg    ID
+	offset uint64
+}
+
+type futexQueue struct {
+	waiters []chan struct{}
+}
+
+// FutexWait blocks the invoking thread until FutexWake is called on the same
+// 〈segment, offset〉 address, provided the 8-byte word at that offset still
+// equals expected; otherwise it returns immediately.  The thread must be
+// able to observe the segment.
+func (tc *ThreadCall) FutexWait(seg CEnt, offset uint64, expected uint64) error {
+	tc.k.mu.Lock()
+	t, err := tc.self()
+	if err != nil {
+		tc.k.mu.Unlock()
+		return err
+	}
+	tc.k.count("futex_wait", t)
+	s, err := tc.segmentForRead(t, seg)
+	if err != nil {
+		tc.k.mu.Unlock()
+		return err
+	}
+	if offset+8 > uint64(len(s.data)) {
+		tc.k.mu.Unlock()
+		return ErrInvalid
+	}
+	cur := binary.LittleEndian.Uint64(s.data[offset:])
+	if cur != expected {
+		tc.k.mu.Unlock()
+		return nil
+	}
+	key := futexKey{seg: s.id, offset: offset}
+	q := tc.k.futexes[key]
+	if q == nil {
+		q = &futexQueue{}
+		tc.k.futexes[key] = q
+	}
+	ch := make(chan struct{}, 1)
+	q.waiters = append(q.waiters, ch)
+	tc.k.mu.Unlock()
+	<-ch
+	return nil
+}
+
+// FutexWake wakes up to n threads blocked in FutexWait on the same
+// 〈segment, offset〉 address and returns how many were woken.  Waking a
+// thread conveys information to it, so the invoking thread must be able to
+// modify the segment.
+func (tc *ThreadCall) FutexWake(seg CEnt, offset uint64, n int) (int, error) {
+	tc.k.mu.Lock()
+	t, err := tc.self()
+	if err != nil {
+		tc.k.mu.Unlock()
+		return 0, err
+	}
+	tc.k.count("futex_wake", t)
+	s, err := tc.segmentForWrite(t, seg)
+	if err != nil {
+		tc.k.mu.Unlock()
+		return 0, err
+	}
+	key := futexKey{seg: s.id, offset: offset}
+	q := tc.k.futexes[key]
+	woken := 0
+	var toWake []chan struct{}
+	if q != nil {
+		for woken < n && len(q.waiters) > 0 {
+			toWake = append(toWake, q.waiters[0])
+			q.waiters = q.waiters[1:]
+			woken++
+		}
+		if len(q.waiters) == 0 {
+			delete(tc.k.futexes, key)
+		}
+	}
+	tc.k.mu.Unlock()
+	for _, ch := range toWake {
+		ch <- struct{}{}
+	}
+	return woken, nil
+}

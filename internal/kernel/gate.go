@@ -1,0 +1,213 @@
+package kernel
+
+import (
+	"histar/internal/label"
+)
+
+// GateSpec describes a gate to be created.
+type GateSpec struct {
+	// Label is the gate label LG; it may contain ⋆, which is how privilege
+	// is stored in a gate for later transfer.
+	Label label.Label
+	// Clearance is the gate clearance CG; a thread may invoke the gate only
+	// if its label is below CG, so clearances gate who may call.
+	Clearance label.Label
+	// AddressSpace is the address space the entering thread switches to.
+	AddressSpace CEnt
+	// Entry is the entry point function.
+	Entry GateEntry
+	// Closure is fixed data passed to every invocation (the paper's closure
+	// arguments, e.g. the object ID of the retry-count segment).
+	Closure []byte
+	// Descrip is the descriptive string.
+	Descrip string
+}
+
+// GateCreate creates a gate in container d (Section 3.5).  A thread T′ can
+// only allocate a gate G whose label and clearance satisfy
+// LT′ ⊑ LG ⊑ CG ⊑ CT′.
+func (tc *ThreadCall) GateCreate(d ID, spec GateSpec) (ID, error) {
+	tc.k.mu.Lock()
+	defer tc.k.mu.Unlock()
+	t, err := tc.self()
+	if err != nil {
+		return NilID, err
+	}
+	tc.k.count("gate_create", t)
+	if spec.Entry == nil {
+		return NilID, ErrInvalid
+	}
+	if !label.ValidThreadLabel(spec.Label) {
+		return NilID, ErrInvalid
+	}
+	cont, err := tc.k.lookupContainer(d)
+	if err != nil {
+		return NilID, err
+	}
+	if cont.immutable {
+		return NilID, ErrImmutable
+	}
+	if cont.avoidTypes.Has(ObjGate) {
+		return NilID, ErrAvoidType
+	}
+	if !tc.k.canModify(t.lbl, cont.lbl) {
+		return NilID, ErrLabel
+	}
+	// The creator cannot mint privilege it does not have (LT′ ⊑ LG) and the
+	// gate's label and clearance are bounded by the creator's clearance
+	// (LG ⊑ CT′ and CG ⊑ CT′).  The paper states the rule as
+	// LT′ ⊑ LG ⊑ CG ⊑ CT′, but its own Figure 10 grant gate — label
+	// {ur⋆, uw⋆, 1} with clearance {x0, 2} — has LG(x)=1 > CG(x)=0, so the
+	// LG ⊑ CG conjunct cannot be meant literally; gate clearances are purely
+	// a bound on callers (LT ⊑ CG at invocation), which the remaining
+	// conjuncts preserve.
+	if !tc.k.leq(t.lbl, spec.Label) ||
+		!tc.k.leq(spec.Label.LowerStar(), t.clearance) ||
+		!tc.k.leq(spec.Clearance, t.clearance) {
+		return NilID, ErrLabel
+	}
+	const quota = 8 * 1024
+	if err := tc.k.chargeLocked(cont, quota); err != nil {
+		return NilID, err
+	}
+	g := &gate{
+		header: header{
+			id:      tc.k.newID(),
+			objType: ObjGate,
+			// The externally visible object label strips ownership so that
+			// possession of the gate's container entry does not reveal what
+			// the gate can untaint.
+			lbl:     spec.Label.LowerStar(),
+			quota:   quota,
+			descrip: truncDescrip(spec.Descrip),
+		},
+		gateLabel:    spec.Label,
+		clearance:    spec.Clearance,
+		addressSpace: spec.AddressSpace,
+		entry:        spec.Entry,
+		closureArgs:  append([]byte(nil), spec.Closure...),
+	}
+	g.usage = g.footprint()
+	tc.k.objects[g.id] = g
+	cont.link(g.id)
+	g.refs = 1
+	return g.id, nil
+}
+
+// GateRequest bundles the labels a thread supplies when invoking a gate.
+type GateRequest struct {
+	// Label is the requested label LR the thread acquires on entry.
+	Label label.Label
+	// Clearance is the requested clearance CR acquired on entry.
+	Clearance label.Label
+	// Verify is the verify label LV, proving possession of categories
+	// without granting them across the call; entry code may inspect it.
+	Verify label.Label
+	// Args is the call payload (conventionally staged in the thread-local
+	// segment; passed directly here for convenience).
+	Args []byte
+}
+
+// GateEnter invokes the gate named by ce.  The checks of Section 3.5 apply:
+//
+//	LT ⊑ CG,  LT ⊑ LV,  (LTᴶ ⊔ LGᴶ)⋆ ⊑ LR ⊑ CR ⊑ (CT ⊔ CG)
+//
+// On success the invoking thread's label and clearance become LR and CR, its
+// address space becomes the gate's, and the gate's entry point runs on the
+// invoking thread (gates have no implicit return — services that want to
+// return privilege to the caller use an explicitly created return gate, as
+// the user-level library's gate-call convention does).  The entry point's
+// result bytes are returned to the invoker for convenience.
+func (tc *ThreadCall) GateEnter(ce CEnt, req GateRequest) ([]byte, error) {
+	tc.k.mu.Lock()
+	t, err := tc.self()
+	if err != nil {
+		tc.k.mu.Unlock()
+		return nil, err
+	}
+	tc.k.count("gate_enter", t)
+	obj, err := tc.k.resolve(t.lbl, ce)
+	if err != nil {
+		tc.k.mu.Unlock()
+		return nil, err
+	}
+	g, ok := obj.(*gate)
+	if !ok {
+		tc.k.mu.Unlock()
+		return nil, ErrWrongType
+	}
+	if !label.ValidThreadLabel(req.Label) || !label.ValidClearance(req.Clearance) {
+		tc.k.mu.Unlock()
+		return nil, ErrInvalid
+	}
+	// LT ⊑ CG: the gate's clearance bounds who may call it.
+	if !tc.k.leq(t.lbl, g.clearance) {
+		tc.k.mu.Unlock()
+		return nil, ErrClearance
+	}
+	// LT ⊑ LV: the verify label may only claim ownership the thread has.
+	if !tc.k.leq(t.lbl, req.Verify) {
+		tc.k.mu.Unlock()
+		return nil, ErrLabel
+	}
+	// (LTᴶ ⊔ LGᴶ)⋆ ⊑ LR: the requested label must carry at least the taint
+	// of both the thread and the gate (ownership from either may appear).
+	minLabel := t.lbl.RaiseJ().Join(g.gateLabel.RaiseJ()).LowerStar()
+	if !tc.k.leq(minLabel, req.Label) {
+		tc.k.mu.Unlock()
+		return nil, ErrLabel
+	}
+	// LR ⊑ CR ⊑ (CT ⊔ CG).
+	if !tc.k.leq(req.Label, req.Clearance) || !tc.k.leq(req.Clearance, t.clearance.Join(g.clearance)) {
+		tc.k.mu.Unlock()
+		return nil, ErrClearance
+	}
+	// Perform the transfer: the thread now runs with LR/CR in the gate's
+	// address space.
+	t.lbl = req.Label
+	t.clearance = req.Clearance
+	if g.addressSpace.Object != NilID {
+		t.addressSpace = g.addressSpace
+	}
+	t.localSegment.lbl = req.Label.LowerStar()
+	t.bump()
+	entry := g.entry
+	closure := append([]byte(nil), g.closureArgs...)
+	tc.k.mu.Unlock()
+
+	result := entry(&GateCallCtx{
+		TC:      tc,
+		Verify:  req.Verify,
+		Args:    req.Args,
+		Closure: closure,
+	})
+	return result, nil
+}
+
+// GateStat describes a gate's externally visible state.
+type GateStat struct {
+	ID        ID
+	Label     label.Label // ownership stripped
+	Clearance label.Label
+	Descrip   string
+}
+
+// GateStat returns the externally visible state of the gate named by ce.
+func (tc *ThreadCall) GateStat(ce CEnt) (GateStat, error) {
+	tc.k.mu.Lock()
+	defer tc.k.mu.Unlock()
+	t, err := tc.self()
+	if err != nil {
+		return GateStat{}, err
+	}
+	tc.k.count("gate_stat", t)
+	obj, err := tc.k.resolve(t.lbl, ce)
+	if err != nil {
+		return GateStat{}, err
+	}
+	g, ok := obj.(*gate)
+	if !ok {
+		return GateStat{}, ErrWrongType
+	}
+	return GateStat{ID: g.id, Label: g.lbl, Clearance: g.clearance, Descrip: g.descrip}, nil
+}

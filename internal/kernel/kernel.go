@@ -1,0 +1,379 @@
+// Package kernel implements the HiStar kernel object model and system-call
+// interface (Zeldovich et al., OSDI 2006, Sections 3 and 4) as a user-space
+// simulation.  The six kernel object types — segments, threads, address
+// spaces, gates, containers, and devices — are provided with the exact
+// information-flow checks the paper specifies; "hardware" concerns (the MMU,
+// the disk, the NIC) are modelled by sibling packages.
+//
+// The central property the interface maintains (Section 3):
+//
+//	The contents of object A can only affect object B if, for every
+//	category c in which A is more tainted than B, a thread owning c takes
+//	part in the process.
+//
+// Every system call is a method on ThreadCall, the per-thread syscall
+// context, so each call is checked against the invoking thread's label and
+// clearance.
+package kernel
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"histar/internal/label"
+)
+
+// Config controls optional kernel behaviour.
+type Config struct {
+	// Seed keys the object-ID and category generators so simulations are
+	// reproducible.
+	Seed uint64
+	// DisableLabelCache turns off memoization of label comparisons between
+	// immutable labels (the Section 4 optimization); used by the ablation
+	// benchmarks.
+	DisableLabelCache bool
+	// RootQuota is the quota of the root container; 0 means infinite.
+	RootQuota uint64
+}
+
+// Kernel is a single simulated HiStar machine: an object table rooted at the
+// root container plus the generators and caches the kernel maintains.
+type Kernel struct {
+	mu      sync.Mutex
+	objects map[ID]object
+	rootID  ID
+
+	ids  *label.Allocator
+	cats *label.Allocator
+
+	labelCache    *label.Cache
+	useLabelCache bool
+
+	futexes map[futexKey]*futexQueue
+
+	syscalls   map[string]uint64
+	syscallsMu sync.Mutex
+	totalCalls atomic.Uint64
+
+	// netDevices lists created device object IDs, for bootstrap plumbing.
+	netDevices []ID
+}
+
+// New boots a kernel: it creates the object table and the root container.
+// The root container is labeled {1} and has an infinite quota unless
+// cfg.RootQuota says otherwise.
+func New(cfg Config) *Kernel {
+	k := &Kernel{
+		objects:       make(map[ID]object),
+		ids:           label.NewAllocator(cfg.Seed ^ 0x9e3779b97f4a7c15),
+		cats:          label.NewAllocator(cfg.Seed),
+		labelCache:    label.NewCache(0),
+		useLabelCache: !cfg.DisableLabelCache,
+		futexes:       make(map[futexKey]*futexQueue),
+		syscalls:      make(map[string]uint64),
+	}
+	rootQuota := cfg.RootQuota
+	if rootQuota == 0 {
+		rootQuota = QuotaInfinite
+	}
+	root := &container{
+		header: header{
+			id:      k.newID(),
+			objType: ObjContainer,
+			lbl:     label.New(label.L1),
+			quota:   rootQuota,
+			descrip: "root container",
+			refs:    1, // the root container is always referenced
+		},
+		parent:  NilID,
+		entries: make(map[ID]bool),
+	}
+	root.usage = root.footprint()
+	k.objects[root.id] = root
+	k.rootID = root.id
+	return k
+}
+
+// RootContainer returns the object ID of the root container.
+func (k *Kernel) RootContainer() ID { return k.rootID }
+
+// CategoryAllocator exposes the kernel's category namer for formatting
+// labels in diagnostics; it does not grant any privilege.
+func (k *Kernel) CategoryAllocator() *label.Allocator { return k.cats }
+
+// newID allocates a fresh 61-bit object ID.
+func (k *Kernel) newID() ID { return ID(k.ids.Alloc()) }
+
+// count records a syscall invocation for the statistics the evaluation
+// reports (e.g. 317 syscalls per fork/exec, 127 per spawn).
+func (k *Kernel) count(name string, t *thread) {
+	k.totalCalls.Add(1)
+	if t != nil {
+		t.syscallCount++
+	}
+	k.syscallsMu.Lock()
+	k.syscalls[name]++
+	k.syscallsMu.Unlock()
+}
+
+// SyscallTotal returns the total number of system calls executed since boot.
+func (k *Kernel) SyscallTotal() uint64 { return k.totalCalls.Load() }
+
+// SyscallCounts returns a copy of the per-syscall invocation counts.
+func (k *Kernel) SyscallCounts() map[string]uint64 {
+	k.syscallsMu.Lock()
+	defer k.syscallsMu.Unlock()
+	out := make(map[string]uint64, len(k.syscalls))
+	for n, c := range k.syscalls {
+		out[n] = c
+	}
+	return out
+}
+
+// ResetSyscallCounts zeroes the syscall statistics (benchmark plumbing).
+func (k *Kernel) ResetSyscallCounts() {
+	k.syscallsMu.Lock()
+	k.syscalls = make(map[string]uint64)
+	k.syscallsMu.Unlock()
+	k.totalCalls.Store(0)
+}
+
+// LabelCacheStats returns hit/miss counts of the immutable-label comparison
+// cache.
+func (k *Kernel) LabelCacheStats() (hits, misses uint64) { return k.labelCache.Stats() }
+
+// leq applies the ⊑ check, through the comparison cache when enabled.
+func (k *Kernel) leq(a, b label.Label) bool {
+	if k.useLabelCache {
+		return k.labelCache.Leq(a, b)
+	}
+	return a.Leq(b)
+}
+
+func (k *Kernel) canObserve(thr, obj label.Label) bool {
+	return k.leq(obj, thr.RaiseJ())
+}
+
+func (k *Kernel) canModify(thr, obj label.Label) bool {
+	return k.leq(thr, obj) && k.leq(obj, thr.RaiseJ())
+}
+
+// lookup returns the live object with the given ID.
+func (k *Kernel) lookup(id ID) (object, error) {
+	o, ok := k.objects[id]
+	if !ok || o.hdr().dead {
+		return nil, ErrNoSuchObject
+	}
+	return o, nil
+}
+
+func (k *Kernel) lookupContainer(id ID) (*container, error) {
+	o, err := k.lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	c, ok := o.(*container)
+	if !ok {
+		return nil, ErrNotContainer
+	}
+	return c, nil
+}
+
+// resolve validates a container entry 〈D,O〉 for a thread with label lt:
+// D must contain O (or be O itself, since every container contains itself)
+// and the thread must be able to read D (LD ⊑ LTᴶ).
+func (k *Kernel) resolve(lt label.Label, ce CEnt) (object, error) {
+	cont, err := k.lookupContainer(ce.Container)
+	if err != nil {
+		return nil, err
+	}
+	if !k.canObserve(lt, cont.lbl) {
+		return nil, ErrLabel
+	}
+	if ce.Object == ce.Container {
+		return cont, nil
+	}
+	if !cont.entries[ce.Object] {
+		return nil, ErrNoSuchObject
+	}
+	return k.lookup(ce.Object)
+}
+
+// ThreadCall is the per-thread system-call context.  All system calls are
+// methods on ThreadCall so that every operation is attributed to, and
+// checked against, a specific thread.
+type ThreadCall struct {
+	k   *Kernel
+	tid ID
+}
+
+// ThreadCall returns the syscall context for an existing thread.  In real
+// HiStar the binding of executing code to its thread object is enforced by
+// the hardware; in this simulation the caller that created the thread is
+// trusted to hand the context only to that thread's code.
+func (k *Kernel) ThreadCall(tid ID) (*ThreadCall, error) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	o, err := k.lookup(tid)
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := o.(*thread); !ok {
+		return nil, ErrWrongType
+	}
+	return &ThreadCall{k: k, tid: tid}, nil
+}
+
+// Kernel returns the kernel this syscall context belongs to.
+func (tc *ThreadCall) Kernel() *Kernel { return tc.k }
+
+// ID returns the invoking thread's object ID.
+func (tc *ThreadCall) ID() ID { return tc.tid }
+
+// self returns the thread object; the kernel lock must be held.
+func (tc *ThreadCall) self() (*thread, error) {
+	o, err := tc.k.lookup(tc.tid)
+	if err != nil {
+		return nil, ErrHalted
+	}
+	t, ok := o.(*thread)
+	if !ok {
+		return nil, ErrWrongType
+	}
+	if t.halted {
+		return nil, ErrHalted
+	}
+	return t, nil
+}
+
+// SyscallsIssued returns how many system calls this thread has issued.
+func (tc *ThreadCall) SyscallsIssued() uint64 {
+	tc.k.mu.Lock()
+	defer tc.k.mu.Unlock()
+	t, err := tc.self()
+	if err != nil {
+		return 0
+	}
+	return t.syscallCount
+}
+
+// ---------------------------------------------------------------------------
+// Bootstrap: creating the first thread.
+// ---------------------------------------------------------------------------
+
+// BootThread creates the initial thread directly in the root container with
+// the given label and clearance.  It bypasses the usual "creator must be a
+// thread" rule exactly once, the way the real kernel's bootstrap code hands
+// control to the first user-level thread.
+func (k *Kernel) BootThread(lbl, clearance label.Label, descrip string) (*ThreadCall, error) {
+	if !label.ValidThreadLabel(lbl) || !label.ValidClearance(clearance) {
+		return nil, ErrInvalid
+	}
+	if !lbl.Leq(clearance) {
+		return nil, ErrLabel
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	root, err := k.lookupContainer(k.rootID)
+	if err != nil {
+		return nil, err
+	}
+	t := &thread{
+		header: header{
+			id:      k.newID(),
+			objType: ObjThread,
+			lbl:     lbl,
+			quota:   1 << 20,
+			descrip: truncDescrip(descrip),
+		},
+		clearance: clearance,
+		alertCh:   make(chan struct{}, 1),
+	}
+	t.localSegment = &segment{
+		header: header{
+			id:      k.newID(),
+			objType: ObjSegment,
+			lbl:     lbl.LowerStar(),
+			quota:   localSegmentSize,
+			descrip: "thread-local segment",
+		},
+		data:             make([]byte, localSegmentSize),
+		threadLocalOwner: t.id,
+	}
+	if err := k.chargeLocked(root, t.quota); err != nil {
+		return nil, err
+	}
+	t.usage = t.footprint()
+	k.objects[t.id] = t
+	root.link(t.id)
+	t.refs = 1
+	return &ThreadCall{k: k, tid: t.id}, nil
+}
+
+// localSegmentSize is one page, as in the paper.
+const localSegmentSize = 4096
+
+func truncDescrip(s string) string {
+	if len(s) > DescripSize {
+		return s[:DescripSize]
+	}
+	return s
+}
+
+// chargeLocked charges q bytes of quota to container c, failing if the
+// container's quota would be exceeded.  The kernel lock must be held.
+func (k *Kernel) chargeLocked(c *container, q uint64) error {
+	if c.quota == QuotaInfinite {
+		c.usage += q
+		return nil
+	}
+	if q == QuotaInfinite {
+		return ErrQuota
+	}
+	if c.usage+q > c.quota {
+		return ErrQuota
+	}
+	c.usage += q
+	return nil
+}
+
+func (k *Kernel) refundLocked(c *container, q uint64) {
+	if q == QuotaInfinite {
+		return
+	}
+	if c.usage >= q {
+		c.usage -= q
+	} else {
+		c.usage = 0
+	}
+}
+
+// ObjectCount returns the number of live kernel objects (for tests and the
+// resource-exhaustion experiments).
+func (k *Kernel) ObjectCount() int {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	n := 0
+	for _, o := range k.objects {
+		if !o.hdr().dead {
+			n++
+		}
+	}
+	return n
+}
+
+// Describe returns a debugging one-liner for an object, without any label
+// checks; intended for tests and the administrative tooling that runs with
+// write permission on the root container.
+func (k *Kernel) Describe(id ID) (string, error) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	o, err := k.lookup(id)
+	if err != nil {
+		return "", err
+	}
+	h := o.hdr()
+	return fmt.Sprintf("%s %s %q label=%s quota=%d usage=%d refs=%d",
+		h.id, h.objType, h.descrip, h.lbl.Format(k.cats), h.quota, h.usage, h.refs), nil
+}

@@ -1,0 +1,529 @@
+package kernel
+
+import (
+	"errors"
+	"testing"
+
+	"histar/internal/label"
+)
+
+// boot creates a kernel and a root thread with full default privileges.
+func boot(t *testing.T) (*Kernel, *ThreadCall) {
+	t.Helper()
+	k := New(Config{Seed: 1})
+	tc, err := k.BootThread(label.New(label.L1), label.New(label.L2), "boot thread")
+	if err != nil {
+		t.Fatalf("BootThread: %v", err)
+	}
+	return k, tc
+}
+
+func TestBoot(t *testing.T) {
+	k, tc := boot(t)
+	if k.RootContainer() == NilID {
+		t.Fatal("no root container")
+	}
+	lbl, err := tc.SelfLabel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lbl.Equal(label.New(label.L1)) {
+		t.Errorf("boot thread label = %v", lbl)
+	}
+	clr, err := tc.SelfClearance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !clr.Equal(label.New(label.L2)) {
+		t.Errorf("boot thread clearance = %v", clr)
+	}
+	if k.ObjectCount() < 2 {
+		t.Errorf("expected at least root container + thread, got %d", k.ObjectCount())
+	}
+}
+
+func TestBootThreadRejectsBadLabels(t *testing.T) {
+	k := New(Config{Seed: 1})
+	// Label above clearance.
+	if _, err := k.BootThread(label.New(label.L3), label.New(label.L2), "bad"); err == nil {
+		t.Error("label above clearance should be rejected")
+	}
+	// Star default.
+	if _, err := k.BootThread(label.New(label.L1).WithDefault(label.L1), label.New(label.L2), "ok"); err != nil {
+		t.Errorf("valid boot thread rejected: %v", err)
+	}
+}
+
+func TestCategoryCreateGrantsOwnership(t *testing.T) {
+	_, tc := boot(t)
+	c, err := tc.CategoryCreate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lbl, _ := tc.SelfLabel()
+	if !lbl.Owns(c) {
+		t.Error("creating thread must own the new category")
+	}
+	clr, _ := tc.SelfClearance()
+	if clr.Get(c) != label.L3 {
+		t.Errorf("clearance in new category = %v, want 3", clr.Get(c))
+	}
+}
+
+func TestSelfSetLabelTaintAndRefuseUntaint(t *testing.T) {
+	_, tc := boot(t)
+	c, _ := tc.CategoryCreate()
+	other, _ := tc.CategoryCreate()
+	_ = other
+
+	// Taint self in a category we do not own: allocate via a different
+	// thread? Simpler: drop ownership by raising to c3 is allowed since we
+	// own c. Use a brand new category from the allocator that nobody owns.
+	lbl, _ := tc.SelfLabel()
+	// Raise taint in an arbitrary (unowned) category up to clearance.
+	unowned := label.Category(999999)
+	if err := tc.SelfSetLabel(lbl.With(unowned, label.L2)); err != nil {
+		t.Fatalf("tainting to level 2 should be allowed: %v", err)
+	}
+	// Going back down is not.
+	lbl2, _ := tc.SelfLabel()
+	if err := tc.SelfSetLabel(lbl2.With(unowned, label.L1)); err == nil {
+		t.Error("untainting without ownership must fail")
+	}
+	// Raising beyond clearance (level 3 in an unowned category) must fail.
+	if err := tc.SelfSetLabel(lbl2.With(unowned, label.L3)); err == nil {
+		t.Error("tainting above clearance must fail")
+	}
+	// But in a category we own, any level is reachable because clearance was
+	// raised to 3 at creation.
+	if err := tc.SelfSetLabel(lbl2.With(c, label.L3)); err != nil {
+		t.Errorf("owner should be able to taint itself to 3 in its category: %v", err)
+	}
+}
+
+func TestSelfSetClearance(t *testing.T) {
+	_, tc := boot(t)
+	c, _ := tc.CategoryCreate()
+	clr, _ := tc.SelfClearance()
+
+	// Lowering clearance is allowed.
+	if err := tc.SelfSetClearance(clr.With(c, label.L2)); err != nil {
+		t.Fatalf("lowering clearance: %v", err)
+	}
+	// Raising it again in an owned category is allowed (CT ⊔ LTᴶ includes J).
+	clr2, _ := tc.SelfClearance()
+	if err := tc.SelfSetClearance(clr2.With(c, label.L3)); err != nil {
+		t.Fatalf("owner raising clearance: %v", err)
+	}
+	// Raising clearance in an unowned category must fail.
+	if err := tc.SelfSetClearance(clr2.With(label.Category(424242), label.L3)); err == nil {
+		t.Error("raising clearance in unowned category must fail")
+	}
+	// Clearance below the label must fail.
+	lbl, _ := tc.SelfLabel()
+	if err := tc.SelfSetLabel(lbl.With(label.Category(7777), label.L2)); err != nil {
+		t.Fatal(err)
+	}
+	bad := label.New(label.L2).With(label.Category(7777), label.L1)
+	if err := tc.SelfSetClearance(bad); err == nil {
+		t.Error("clearance below label must fail")
+	}
+}
+
+func TestContainerCreateAndList(t *testing.T) {
+	k, tc := boot(t)
+	root := k.RootContainer()
+	id, err := tc.ContainerCreate(root, label.New(label.L1), "homes", 0, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, err := tc.ContainerList(Self(root))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, x := range ids {
+		if x == id {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("new container not listed in root")
+	}
+	// Parent lookup.
+	parent, err := tc.ContainerGetParent(CEnt{Container: root, Object: id})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parent != root {
+		t.Errorf("parent = %v, want root %v", parent, root)
+	}
+	// The root container has no parent.
+	if _, err := tc.ContainerGetParent(Self(root)); !errors.Is(err, ErrNotFound) {
+		t.Errorf("root parent err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestContainerCreateDeniedAboveClearance(t *testing.T) {
+	k, tc := boot(t)
+	root := k.RootContainer()
+	c, _ := tc.CategoryCreate()
+	// Label {c3,1} is within the creator's clearance (owner has clearance 3
+	// in c), so allowed.
+	if _, err := tc.ContainerCreate(root, label.New(label.L1, label.P(c, label.L3)), "tmp", 0, 1<<20); err != nil {
+		t.Fatalf("owner creating c3 container: %v", err)
+	}
+	// A label at level 3 in an unowned category exceeds clearance {2}.
+	if _, err := tc.ContainerCreate(root, label.New(label.L1, label.P(label.Category(31337), label.L3)), "tmp2", 0, 1<<20); err == nil {
+		t.Error("creating object above clearance must fail")
+	}
+}
+
+func TestAvoidTypes(t *testing.T) {
+	k, tc := boot(t)
+	root := k.RootContainer()
+	noThreads, err := tc.ContainerCreate(root, label.New(label.L1), "no-threads", Mask(ObjThread), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = tc.ThreadCreate(noThreads, ThreadSpec{
+		Label:     label.New(label.L1),
+		Clearance: label.New(label.L2),
+		Descrip:   "forbidden",
+	})
+	if !errors.Is(err, ErrAvoidType) {
+		t.Errorf("thread creation in avoid-types container: err=%v, want ErrAvoidType", err)
+	}
+	// The restriction is inherited by descendants.
+	child, err := tc.ContainerCreate(noThreads, label.New(label.L1), "child", 0, 1<<19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = tc.ThreadCreate(child, ThreadSpec{Label: label.New(label.L1), Clearance: label.New(label.L2)})
+	if !errors.Is(err, ErrAvoidType) {
+		t.Errorf("avoid-types must be inherited: err=%v", err)
+	}
+	// Segments are still allowed.
+	if _, err := tc.SegmentCreate(child, label.New(label.L1), "ok", 10); err != nil {
+		t.Errorf("segment creation should still work: %v", err)
+	}
+}
+
+func TestSegmentReadWriteResize(t *testing.T) {
+	k, tc := boot(t)
+	root := k.RootContainer()
+	seg, err := tc.SegmentCreate(root, label.New(label.L1), "file", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ce := CEnt{Container: root, Object: seg}
+	if err := tc.SegmentWrite(ce, 0, []byte("hello!!!")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tc.SegmentRead(ce, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello!!!" {
+		t.Errorf("read back %q", got)
+	}
+	// Extend by writing past the end (within slack quota).
+	if err := tc.SegmentWrite(ce, 8, []byte(" world")); err != nil {
+		t.Fatal(err)
+	}
+	n, _ := tc.SegmentLen(ce)
+	if n != 14 {
+		t.Errorf("len = %d, want 14", n)
+	}
+	if err := tc.SegmentResize(ce, 5); err != nil {
+		t.Fatal(err)
+	}
+	n, _ = tc.SegmentLen(ce)
+	if n != 5 {
+		t.Errorf("after resize len = %d", n)
+	}
+	// Reading past the end truncates.
+	got, err = tc.SegmentRead(ce, 0, 100)
+	if err != nil || len(got) != 5 {
+		t.Errorf("read past end: %q, %v", got, err)
+	}
+	// Quota bounds growth.
+	if err := tc.SegmentResize(ce, 10*1024*1024); !errors.Is(err, ErrQuota) {
+		t.Errorf("resize beyond quota: err=%v, want ErrQuota", err)
+	}
+}
+
+func TestSegmentLabelEnforcement(t *testing.T) {
+	k, tc := boot(t)
+	root := k.RootContainer()
+	c, _ := tc.CategoryCreate()
+
+	// A secret segment {c3, 1} and an integrity-protected one {c0, 1},
+	// created by the owner of c.
+	secret, err := tc.SegmentCreate(root, label.New(label.L1, label.P(c, label.L3)), "secret", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	protected, err := tc.SegmentCreate(root, label.New(label.L1, label.P(c, label.L0)), "protected", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A second thread without ownership of c.
+	tid, err := tc.ThreadCreate(root, ThreadSpec{
+		Label:     label.New(label.L1),
+		Clearance: label.New(label.L2),
+		Descrip:   "unprivileged",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc2, err := k.ThreadCall(tid)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	secretCE := CEnt{Container: root, Object: secret}
+	protectedCE := CEnt{Container: root, Object: protected}
+
+	// The unprivileged thread cannot read the secret.
+	if _, err := tc2.SegmentRead(secretCE, 0, 4); !errors.Is(err, ErrLabel) {
+		t.Errorf("read secret: err=%v, want ErrLabel", err)
+	}
+	// Nor write the protected segment.
+	if err := tc2.SegmentWrite(protectedCE, 0, []byte("x")); !errors.Is(err, ErrLabel) {
+		t.Errorf("write protected: err=%v, want ErrLabel", err)
+	}
+	// But it can read the protected segment (c0 only restricts writes).
+	if _, err := tc2.SegmentRead(protectedCE, 0, 4); err != nil {
+		t.Errorf("read protected: %v", err)
+	}
+	// The owner can do everything.
+	if err := tc.SegmentWrite(secretCE, 0, []byte("ssh!")); err != nil {
+		t.Errorf("owner write secret: %v", err)
+	}
+	if err := tc.SegmentWrite(protectedCE, 0, []byte("ok")); err != nil {
+		t.Errorf("owner write protected: %v", err)
+	}
+	// Tainted readers can observe the secret but then cannot write untainted
+	// objects — enforced via SelfSetLabel plus the modify check.
+	lbl2, _ := tc2.SelfLabel()
+	if err := tc2.SelfSetLabel(lbl2.With(c, label.L2)); err != nil {
+		t.Fatalf("tainting to 2: %v", err)
+	}
+	// Level 2 is still below the secret's 3; clearance {2} blocks 3.
+	if _, err := tc2.SegmentRead(secretCE, 0, 4); err == nil {
+		t.Error("level-2 taint must not read a level-3 secret")
+	}
+}
+
+func TestSegmentCopyAcrossLabels(t *testing.T) {
+	k, tc := boot(t)
+	root := k.RootContainer()
+	c, _ := tc.CategoryCreate()
+	src, err := tc.SegmentCreate(root, label.New(label.L1), "plain", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tc.SegmentWrite(CEnt{root, src}, 0, []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	// Copy it to a tainted label (the copy becomes secret).
+	cp, err := tc.SegmentCopy(CEnt{root, src}, root, label.New(label.L1, label.P(c, label.L3)), "tainted copy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := tc.SegmentRead(CEnt{root, cp}, 0, 4)
+	if err != nil || string(got) != "data" {
+		t.Errorf("copy contents = %q, %v", got, err)
+	}
+}
+
+func TestImmutableObjects(t *testing.T) {
+	k, tc := boot(t)
+	root := k.RootContainer()
+	seg, _ := tc.SegmentCreate(root, label.New(label.L1), "ro", 4)
+	ce := CEnt{root, seg}
+	if err := tc.SegmentWrite(ce, 0, []byte("once")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tc.ObjectSetImmutable(ce); err != nil {
+		t.Fatal(err)
+	}
+	if err := tc.SegmentWrite(ce, 0, []byte("more")); !errors.Is(err, ErrImmutable) {
+		t.Errorf("write to immutable: err=%v", err)
+	}
+	if err := tc.SegmentResize(ce, 0); !errors.Is(err, ErrImmutable) {
+		t.Errorf("resize immutable: err=%v", err)
+	}
+	// Reads still work.
+	if got, err := tc.SegmentRead(ce, 0, 4); err != nil || string(got) != "once" {
+		t.Errorf("read immutable: %q %v", got, err)
+	}
+}
+
+func TestObjectStatAndMetadata(t *testing.T) {
+	k, tc := boot(t)
+	root := k.RootContainer()
+	seg, _ := tc.SegmentCreate(root, label.New(label.L1), "meta-test", 4)
+	ce := CEnt{root, seg}
+	st, err := tc.ObjectStat(ce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Type != ObjSegment || st.Descrip != "meta-test" {
+		t.Errorf("stat = %+v", st)
+	}
+	var md [MetadataSize]byte
+	copy(md[:], "mtime=12345")
+	if err := tc.ObjectSetMetadata(ce, md); err != nil {
+		t.Fatal(err)
+	}
+	st, _ = tc.ObjectStat(ce)
+	if string(st.Metadata[:11]) != "mtime=12345" {
+		t.Errorf("metadata = %q", st.Metadata[:11])
+	}
+	// Descriptive strings are truncated to 32 bytes.
+	long := "this descriptive string is much longer than thirty-two bytes"
+	seg2, _ := tc.SegmentCreate(root, label.New(label.L1), long, 1)
+	st2, _ := tc.ObjectStat(CEnt{root, seg2})
+	if len(st2.Descrip) != DescripSize {
+		t.Errorf("descrip length = %d, want %d", len(st2.Descrip), DescripSize)
+	}
+}
+
+func TestUnrefAndRecursiveDealloc(t *testing.T) {
+	k, tc := boot(t)
+	root := k.RootContainer()
+	dir, _ := tc.ContainerCreate(root, label.New(label.L1), "dir", 0, 1<<20)
+	seg, _ := tc.SegmentCreate(dir, label.New(label.L1), "f", 4)
+	sub, _ := tc.ContainerCreate(dir, label.New(label.L1), "sub", 0, 1<<19)
+	seg2, _ := tc.SegmentCreate(sub, label.New(label.L1), "g", 4)
+
+	before := k.ObjectCount()
+	if err := tc.Unref(root, dir); err != nil {
+		t.Fatal(err)
+	}
+	after := k.ObjectCount()
+	if after != before-4 {
+		t.Errorf("expected 4 objects reclaimed, got %d -> %d", before, after)
+	}
+	// All are gone.
+	for _, id := range []ID{dir, seg, sub, seg2} {
+		if _, err := k.Describe(id); !errors.Is(err, ErrNoSuchObject) {
+			t.Errorf("object %v should be deallocated, err=%v", id, err)
+		}
+	}
+	// The root container can never be unreferenced.
+	if err := tc.Unref(root, root); !errors.Is(err, ErrRootContainer) {
+		t.Errorf("unref root: err=%v", err)
+	}
+}
+
+func TestHardLinkKeepsObjectAlive(t *testing.T) {
+	k, tc := boot(t)
+	root := k.RootContainer()
+	dirA, _ := tc.ContainerCreate(root, label.New(label.L1), "a", 0, 1<<20)
+	dirB, _ := tc.ContainerCreate(root, label.New(label.L1), "b", 0, 1<<20)
+	seg, _ := tc.SegmentCreate(dirA, label.New(label.L1), "shared", 4)
+
+	// Linking requires the fixed-quota flag.
+	err := tc.Link(dirB, CEnt{dirA, seg})
+	if !errors.Is(err, ErrFixedQuota) {
+		t.Fatalf("link without fixed quota: err=%v", err)
+	}
+	if err := tc.ObjectSetFixedQuota(CEnt{dirA, seg}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tc.Link(dirB, CEnt{dirA, seg}); err != nil {
+		t.Fatal(err)
+	}
+	// Remove from A; still reachable through B.
+	if err := tc.Unref(dirA, seg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tc.SegmentRead(CEnt{dirB, seg}, 0, 4); err != nil {
+		t.Errorf("segment should survive via second link: %v", err)
+	}
+	// Remove from B; now it is deallocated.
+	if err := tc.Unref(dirB, seg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tc.SegmentRead(CEnt{dirB, seg}, 0, 4); err == nil {
+		t.Error("segment should be gone after last unref")
+	}
+}
+
+func TestQuotaEnforcement(t *testing.T) {
+	k, tc := boot(t)
+	root := k.RootContainer()
+	small, err := tc.ContainerCreate(root, label.New(label.L1), "small", 0, 40*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One segment fits.
+	if _, err := tc.SegmentCreate(small, label.New(label.L1), "a", 1024); err != nil {
+		t.Fatal(err)
+	}
+	// A second one of the same size exceeds the container's quota
+	// (each segment is charged size+slack).
+	if _, err := tc.SegmentCreate(small, label.New(label.L1), "b", 20*1024); !errors.Is(err, ErrQuota) {
+		t.Errorf("expected quota failure, got %v", err)
+	}
+}
+
+func TestQuotaMove(t *testing.T) {
+	k, tc := boot(t)
+	root := k.RootContainer()
+	dir, _ := tc.ContainerCreate(root, label.New(label.L1), "dir", 0, 1<<20)
+	seg, _ := tc.SegmentCreate(dir, label.New(label.L1), "grow", 8)
+	ce := CEnt{dir, seg}
+
+	// Growing past the initial quota fails until quota_move adds room.
+	big := make([]byte, 64*1024)
+	if err := tc.SegmentWrite(ce, 0, big); !errors.Is(err, ErrQuota) {
+		t.Fatalf("expected quota error, got %v", err)
+	}
+	if err := tc.QuotaMove(dir, seg, 128*1024); err != nil {
+		t.Fatal(err)
+	}
+	if err := tc.SegmentWrite(ce, 0, big); err != nil {
+		t.Fatalf("write after quota_move: %v", err)
+	}
+	// Shrinking below current usage fails and reports ErrQuota.
+	if err := tc.QuotaMove(dir, seg, -(128*1024 + segmentSlack)); !errors.Is(err, ErrQuota) {
+		t.Errorf("shrinking below usage: err=%v", err)
+	}
+	// A modest shrink succeeds.
+	if err := tc.QuotaMove(dir, seg, -1024); err != nil {
+		t.Errorf("modest shrink: %v", err)
+	}
+	// quota_move on an object with the fixed-quota flag fails.
+	seg2, _ := tc.SegmentCreate(dir, label.New(label.L1), "fixed", 8)
+	if err := tc.ObjectSetFixedQuota(CEnt{dir, seg2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tc.QuotaMove(dir, seg2, 4096); !errors.Is(err, ErrFixedQuota) {
+		t.Errorf("quota_move on fixed-quota object: err=%v", err)
+	}
+}
+
+func TestSyscallCounting(t *testing.T) {
+	k, tc := boot(t)
+	k.ResetSyscallCounts()
+	root := k.RootContainer()
+	if _, err := tc.SegmentCreate(root, label.New(label.L1), "x", 1); err != nil {
+		t.Fatal(err)
+	}
+	tc.SegmentLen(CEnt{root, 0}) // error path still counts
+	if k.SyscallTotal() < 2 {
+		t.Errorf("expected at least 2 syscalls counted, got %d", k.SyscallTotal())
+	}
+	counts := k.SyscallCounts()
+	if counts["segment_create"] != 1 {
+		t.Errorf("segment_create count = %d", counts["segment_create"])
+	}
+	if tc.SyscallsIssued() < 2 {
+		t.Errorf("per-thread syscall count = %d", tc.SyscallsIssued())
+	}
+}

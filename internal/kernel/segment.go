@@ -1,0 +1,323 @@
+package kernel
+
+import (
+	"histar/internal/label"
+)
+
+// segmentSlack is the extra quota granted to a fresh segment beyond its
+// initial size, so small writes do not immediately require quota_move.
+const segmentSlack = 16 * 1024
+
+// SegmentCreate creates a segment of initial size nbytes in container d.
+// The invoking thread must be able to write d and allocate at label l.
+func (tc *ThreadCall) SegmentCreate(d ID, l label.Label, descrip string, nbytes int) (ID, error) {
+	tc.k.mu.Lock()
+	defer tc.k.mu.Unlock()
+	t, err := tc.self()
+	if err != nil {
+		return NilID, err
+	}
+	tc.k.count("segment_create", t)
+	if nbytes < 0 {
+		return NilID, ErrInvalid
+	}
+	if !label.ValidObjectLabel(l) {
+		return NilID, ErrInvalid
+	}
+	cont, err := tc.k.lookupContainer(d)
+	if err != nil {
+		return NilID, err
+	}
+	if cont.immutable {
+		return NilID, ErrImmutable
+	}
+	if cont.avoidTypes.Has(ObjSegment) {
+		return NilID, ErrAvoidType
+	}
+	if !tc.k.canModify(t.lbl, cont.lbl) {
+		return NilID, ErrLabel
+	}
+	if !label.CanAllocate(t.lbl, t.clearance, l) {
+		return NilID, ErrLabel
+	}
+	quota := uint64(nbytes) + segmentSlack
+	if err := tc.k.chargeLocked(cont, quota); err != nil {
+		return NilID, err
+	}
+	s := &segment{
+		header: header{
+			id:      tc.k.newID(),
+			objType: ObjSegment,
+			lbl:     l,
+			quota:   quota,
+			descrip: truncDescrip(descrip),
+		},
+		data: make([]byte, nbytes),
+	}
+	s.usage = s.footprint()
+	tc.k.objects[s.id] = s
+	cont.link(s.id)
+	s.refs = 1
+	return s.id, nil
+}
+
+// SegmentCopy creates a copy of the segment named by src in container d with
+// a (possibly different) label l.  Copies are how HiStar avoids re-labeling:
+// object labels are immutable after creation, but some objects allow
+// efficient copies to be made with different labels (Section 3).  The
+// invoking thread must be able to observe the source, write d, and allocate
+// at l.
+func (tc *ThreadCall) SegmentCopy(src CEnt, d ID, l label.Label, descrip string) (ID, error) {
+	tc.k.mu.Lock()
+	defer tc.k.mu.Unlock()
+	t, err := tc.self()
+	if err != nil {
+		return NilID, err
+	}
+	tc.k.count("segment_copy", t)
+	if !label.ValidObjectLabel(l) {
+		return NilID, ErrInvalid
+	}
+	obj, err := tc.k.resolve(t.lbl, src)
+	if err != nil {
+		return NilID, err
+	}
+	seg, ok := obj.(*segment)
+	if !ok {
+		return NilID, ErrWrongType
+	}
+	if !tc.k.canObserve(t.lbl, seg.lbl) {
+		return NilID, ErrLabel
+	}
+	cont, err := tc.k.lookupContainer(d)
+	if err != nil {
+		return NilID, err
+	}
+	if cont.immutable {
+		return NilID, ErrImmutable
+	}
+	if cont.avoidTypes.Has(ObjSegment) {
+		return NilID, ErrAvoidType
+	}
+	if !tc.k.canModify(t.lbl, cont.lbl) {
+		return NilID, ErrLabel
+	}
+	if !label.CanAllocate(t.lbl, t.clearance, l) {
+		return NilID, ErrLabel
+	}
+	quota := uint64(len(seg.data)) + segmentSlack
+	if err := tc.k.chargeLocked(cont, quota); err != nil {
+		return NilID, err
+	}
+	ns := &segment{
+		header: header{
+			id:      tc.k.newID(),
+			objType: ObjSegment,
+			lbl:     l,
+			quota:   quota,
+			descrip: truncDescrip(descrip),
+		},
+		data: append([]byte(nil), seg.data...),
+	}
+	ns.usage = ns.footprint()
+	tc.k.objects[ns.id] = ns
+	cont.link(ns.id)
+	ns.refs = 1
+	return ns.id, nil
+}
+
+// segmentForRead resolves ce to a segment the invoking thread may observe.
+// The kernel lock must be held.
+func (tc *ThreadCall) segmentForRead(t *thread, ce CEnt) (*segment, error) {
+	obj, err := tc.k.resolve(t.lbl, ce)
+	if err != nil {
+		return nil, err
+	}
+	seg, ok := obj.(*segment)
+	if !ok {
+		return nil, ErrWrongType
+	}
+	if seg.threadLocalOwner != NilID && seg.threadLocalOwner == t.id {
+		return seg, nil
+	}
+	if !tc.k.canObserve(t.lbl, seg.lbl) {
+		return nil, ErrLabel
+	}
+	return seg, nil
+}
+
+// segmentForWrite resolves ce to a segment the invoking thread may modify.
+func (tc *ThreadCall) segmentForWrite(t *thread, ce CEnt) (*segment, error) {
+	obj, err := tc.k.resolve(t.lbl, ce)
+	if err != nil {
+		return nil, err
+	}
+	seg, ok := obj.(*segment)
+	if !ok {
+		return nil, ErrWrongType
+	}
+	if seg.immutable {
+		return nil, ErrImmutable
+	}
+	if seg.threadLocalOwner != NilID {
+		if seg.threadLocalOwner == t.id {
+			return seg, nil
+		}
+		return nil, ErrLabel
+	}
+	if !tc.k.canModify(t.lbl, seg.lbl) {
+		return nil, ErrLabel
+	}
+	return seg, nil
+}
+
+// SegmentRead reads n bytes at offset off from the segment named by ce.
+func (tc *ThreadCall) SegmentRead(ce CEnt, off, n int) ([]byte, error) {
+	tc.k.mu.Lock()
+	defer tc.k.mu.Unlock()
+	t, err := tc.self()
+	if err != nil {
+		return nil, err
+	}
+	tc.k.count("segment_read", t)
+	seg, err := tc.segmentForRead(t, ce)
+	if err != nil {
+		return nil, err
+	}
+	if off < 0 || n < 0 || off > len(seg.data) {
+		return nil, ErrInvalid
+	}
+	end := off + n
+	if end > len(seg.data) {
+		end = len(seg.data)
+	}
+	out := make([]byte, end-off)
+	copy(out, seg.data[off:end])
+	return out, nil
+}
+
+// SegmentWrite writes data at offset off in the segment named by ce,
+// extending the segment if necessary (subject to its quota).
+func (tc *ThreadCall) SegmentWrite(ce CEnt, off int, data []byte) error {
+	tc.k.mu.Lock()
+	defer tc.k.mu.Unlock()
+	t, err := tc.self()
+	if err != nil {
+		return err
+	}
+	tc.k.count("segment_write", t)
+	seg, err := tc.segmentForWrite(t, ce)
+	if err != nil {
+		return err
+	}
+	if off < 0 {
+		return ErrInvalid
+	}
+	end := off + len(data)
+	if end > len(seg.data) {
+		if uint64(end)+128 > seg.quota {
+			return ErrQuota
+		}
+		grown := make([]byte, end)
+		copy(grown, seg.data)
+		seg.data = grown
+	}
+	copy(seg.data[off:], data)
+	seg.usage = seg.footprint()
+	seg.bump()
+	return nil
+}
+
+// SegmentResize sets the segment's length to n bytes.  A file's length is
+// defined to be its segment's length (Section 5.1).
+func (tc *ThreadCall) SegmentResize(ce CEnt, n int) error {
+	tc.k.mu.Lock()
+	defer tc.k.mu.Unlock()
+	t, err := tc.self()
+	if err != nil {
+		return err
+	}
+	tc.k.count("segment_resize", t)
+	seg, err := tc.segmentForWrite(t, ce)
+	if err != nil {
+		return err
+	}
+	if n < 0 {
+		return ErrInvalid
+	}
+	if uint64(n)+128 > seg.quota {
+		return ErrQuota
+	}
+	if n <= len(seg.data) {
+		seg.data = seg.data[:n]
+	} else {
+		grown := make([]byte, n)
+		copy(grown, seg.data)
+		seg.data = grown
+	}
+	seg.usage = seg.footprint()
+	seg.bump()
+	return nil
+}
+
+// SegmentCompareSwap atomically replaces the 8-byte word at offset off with
+// next if it currently equals old, reporting whether the swap happened.  It
+// models a user-level compare-exchange instruction executed on a mapped
+// segment, so it requires the same permissions as a write; the user-level
+// library builds its directory and pipe mutexes on it together with the
+// futex.
+func (tc *ThreadCall) SegmentCompareSwap(ce CEnt, off uint64, old, next uint64) (bool, error) {
+	tc.k.mu.Lock()
+	defer tc.k.mu.Unlock()
+	t, err := tc.self()
+	if err != nil {
+		return false, err
+	}
+	tc.k.count("segment_cas", t)
+	seg, err := tc.segmentForWrite(t, ce)
+	if err != nil {
+		return false, err
+	}
+	if off+8 > uint64(len(seg.data)) {
+		return false, ErrInvalid
+	}
+	cur := littleEndianU64(seg.data[off:])
+	if cur != old {
+		return false, nil
+	}
+	putLittleEndianU64(seg.data[off:], next)
+	seg.bump()
+	return true, nil
+}
+
+func littleEndianU64(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func putLittleEndianU64(b []byte, v uint64) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
+}
+
+// SegmentLen returns the length of the segment named by ce.
+func (tc *ThreadCall) SegmentLen(ce CEnt) (int, error) {
+	tc.k.mu.Lock()
+	defer tc.k.mu.Unlock()
+	t, err := tc.self()
+	if err != nil {
+		return 0, err
+	}
+	tc.k.count("segment_len", t)
+	seg, err := tc.segmentForRead(t, ce)
+	if err != nil {
+		return 0, err
+	}
+	return len(seg.data), nil
+}

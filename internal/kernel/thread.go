@@ -1,0 +1,424 @@
+package kernel
+
+import (
+	"histar/internal/label"
+)
+
+// CategoryCreate allocates a fresh category (cat_t create_category).  The
+// invoking thread becomes the only owner: its label gains c ⋆ and its
+// clearance gains c 3.  Labels are egalitarian — any thread may allocate
+// arbitrarily many categories.
+func (tc *ThreadCall) CategoryCreate() (label.Category, error) {
+	tc.k.mu.Lock()
+	defer tc.k.mu.Unlock()
+	t, err := tc.self()
+	if err != nil {
+		return 0, err
+	}
+	tc.k.count("category_create", t)
+	c := tc.k.cats.Alloc()
+	t.lbl = t.lbl.With(c, label.Star)
+	t.clearance = t.clearance.With(c, label.L3)
+	t.bump()
+	return c, nil
+}
+
+// CategoryCreateNamed is CategoryCreate plus a human-readable display name
+// for the new category (diagnostics only; confers nothing).
+func (tc *ThreadCall) CategoryCreateNamed(name string) (label.Category, error) {
+	c, err := tc.CategoryCreate()
+	if err != nil {
+		return 0, err
+	}
+	tc.k.cats.SetName(c, name)
+	return c, nil
+}
+
+// SelfLabel returns the invoking thread's current label.
+func (tc *ThreadCall) SelfLabel() (label.Label, error) {
+	tc.k.mu.Lock()
+	defer tc.k.mu.Unlock()
+	t, err := tc.self()
+	if err != nil {
+		return label.Label{}, err
+	}
+	tc.k.count("self_get_label", t)
+	return t.lbl, nil
+}
+
+// SelfClearance returns the invoking thread's current clearance.
+func (tc *ThreadCall) SelfClearance() (label.Label, error) {
+	tc.k.mu.Lock()
+	defer tc.k.mu.Unlock()
+	t, err := tc.self()
+	if err != nil {
+		return label.Label{}, err
+	}
+	tc.k.count("self_get_clearance", t)
+	return t.clearance, nil
+}
+
+// SelfSetLabel changes the invoking thread's label to l, permitted only when
+// LT ⊑ l ⊑ CT (int self_set_label).  A thread can therefore taint itself to
+// read more tainted objects, but can never shed taint it does not own.
+func (tc *ThreadCall) SelfSetLabel(l label.Label) error {
+	tc.k.mu.Lock()
+	defer tc.k.mu.Unlock()
+	t, err := tc.self()
+	if err != nil {
+		return err
+	}
+	tc.k.count("self_set_label", t)
+	if !label.ValidThreadLabel(l) {
+		return ErrInvalid
+	}
+	if !tc.k.leq(t.lbl, l) || !tc.k.leq(l, t.clearance) {
+		return ErrLabel
+	}
+	t.lbl = l
+	// The thread-local segment follows the thread's taint so the thread can
+	// always write its own scratch space.
+	t.localSegment.lbl = l.LowerStar()
+	t.bump()
+	return nil
+}
+
+// SelfSetClearance changes the invoking thread's clearance to c, permitted
+// only when LT ⊑ c ⊑ (CT ⊔ LTᴶ) (int self_set_clearance).  A thread may
+// lower its clearance in any category (not below its label) and may raise
+// clearance only in categories it owns.
+func (tc *ThreadCall) SelfSetClearance(c label.Label) error {
+	tc.k.mu.Lock()
+	defer tc.k.mu.Unlock()
+	t, err := tc.self()
+	if err != nil {
+		return err
+	}
+	tc.k.count("self_set_clearance", t)
+	if !label.ValidClearance(c) {
+		return ErrInvalid
+	}
+	if !tc.k.leq(t.lbl, c) || !tc.k.leq(c, t.clearance.Join(t.lbl.RaiseJ())) {
+		return ErrLabel
+	}
+	t.clearance = c
+	t.bump()
+	return nil
+}
+
+// SelfAddressSpace returns the container entry of the invoking thread's
+// current address space.
+func (tc *ThreadCall) SelfAddressSpace() (CEnt, error) {
+	tc.k.mu.Lock()
+	defer tc.k.mu.Unlock()
+	t, err := tc.self()
+	if err != nil {
+		return CEnt{}, err
+	}
+	tc.k.count("self_get_as", t)
+	return t.addressSpace, nil
+}
+
+// SelfSetAddressSpace switches the invoking thread to a different address
+// space (self_set_as).  The thread must be able to observe the address
+// space: LA ⊑ LTᴶ.
+func (tc *ThreadCall) SelfSetAddressSpace(as CEnt) error {
+	tc.k.mu.Lock()
+	defer tc.k.mu.Unlock()
+	t, err := tc.self()
+	if err != nil {
+		return err
+	}
+	tc.k.count("self_set_as", t)
+	o, err := tc.k.resolve(t.lbl, as)
+	if err != nil {
+		return err
+	}
+	a, ok := o.(*addressSpace)
+	if !ok {
+		return ErrWrongType
+	}
+	if !tc.k.canObserve(t.lbl, a.lbl) {
+		return ErrLabel
+	}
+	t.addressSpace = as
+	t.bump()
+	return nil
+}
+
+// ThreadSpec describes a thread to be created.
+type ThreadSpec struct {
+	// Label and Clearance for the new thread; must satisfy
+	// LT ⊑ Label ⊑ Clearance ⊑ CT for the creating thread.
+	Label     label.Label
+	Clearance label.Label
+	// AddressSpace the new thread starts with (may be the zero CEnt when the
+	// creator will set it later through its own ThreadCall).
+	AddressSpace CEnt
+	// Descrip is the 32-byte descriptive string.
+	Descrip string
+	// Quota is the storage charged to the containing container (0 picks a
+	// small default).
+	Quota uint64
+}
+
+// ThreadCreate creates a new thread in container d.  The creating thread
+// must be able to write d, and the new thread's label and clearance must
+// satisfy LT ⊑ LT′ ⊑ CT′ ⊑ CT.  The new thread does not run by itself in
+// this simulation; the caller obtains its syscall context from
+// Kernel.ThreadCall and drives it (typically from a new goroutine).
+func (tc *ThreadCall) ThreadCreate(d ID, spec ThreadSpec) (ID, error) {
+	tc.k.mu.Lock()
+	defer tc.k.mu.Unlock()
+	t, err := tc.self()
+	if err != nil {
+		return NilID, err
+	}
+	tc.k.count("thread_create", t)
+	if !label.ValidThreadLabel(spec.Label) || !label.ValidClearance(spec.Clearance) {
+		return NilID, ErrInvalid
+	}
+	cont, err := tc.k.lookupContainer(d)
+	if err != nil {
+		return NilID, err
+	}
+	if cont.immutable {
+		return NilID, ErrImmutable
+	}
+	if cont.avoidTypes.Has(ObjThread) {
+		return NilID, ErrAvoidType
+	}
+	if !tc.k.canModify(t.lbl, cont.lbl) {
+		return NilID, ErrLabel
+	}
+	// LT ⊑ LT' ⊑ CT' ⊑ CT.
+	if !tc.k.leq(t.lbl, spec.Label) || !tc.k.leq(spec.Label, spec.Clearance) || !tc.k.leq(spec.Clearance, t.clearance) {
+		return NilID, ErrLabel
+	}
+	quota := spec.Quota
+	if quota == 0 {
+		quota = 1 << 20
+	}
+	if err := tc.k.chargeLocked(cont, quota); err != nil {
+		return NilID, err
+	}
+	nt := &thread{
+		header: header{
+			id:      tc.k.newID(),
+			objType: ObjThread,
+			lbl:     spec.Label,
+			quota:   quota,
+			descrip: truncDescrip(spec.Descrip),
+		},
+		clearance:    spec.Clearance,
+		addressSpace: spec.AddressSpace,
+		alertCh:      make(chan struct{}, 1),
+	}
+	nt.localSegment = &segment{
+		header: header{
+			id:      tc.k.newID(),
+			objType: ObjSegment,
+			lbl:     spec.Label.LowerStar(),
+			quota:   localSegmentSize,
+			descrip: "thread-local segment",
+		},
+		data:             make([]byte, localSegmentSize),
+		threadLocalOwner: nt.id,
+	}
+	nt.usage = nt.footprint()
+	tc.k.objects[nt.id] = nt
+	cont.link(nt.id)
+	nt.refs = 1
+	return nt.id, nil
+}
+
+// ThreadHalt halts the invoking thread.  Further system calls through its
+// context return ErrHalted.
+func (tc *ThreadCall) ThreadHalt() error {
+	tc.k.mu.Lock()
+	defer tc.k.mu.Unlock()
+	t, err := tc.self()
+	if err != nil {
+		return err
+	}
+	tc.k.count("thread_halt", t)
+	t.halted = true
+	t.bump()
+	return nil
+}
+
+// Halted reports whether the thread has been halted (or deallocated).
+func (tc *ThreadCall) Halted() bool {
+	tc.k.mu.Lock()
+	defer tc.k.mu.Unlock()
+	_, err := tc.self()
+	return err != nil
+}
+
+// ThreadAlert sends an alert (HiStar's low-level signal) to the thread named
+// by target.  The invoking thread must be able to write the target thread's
+// address space (LT ⊑ LA ⊑ LTᴶ) and to observe the target (Ltarget ⊑ LTᴶ).
+// The alert code is queued and the target's alert handler (or AlertWait)
+// consumes it.
+func (tc *ThreadCall) ThreadAlert(target CEnt, code uint64) error {
+	tc.k.mu.Lock()
+	t, err := tc.self()
+	if err != nil {
+		tc.k.mu.Unlock()
+		return err
+	}
+	tc.k.count("thread_alert", t)
+	o, err := tc.k.resolve(t.lbl, target)
+	if err != nil {
+		tc.k.mu.Unlock()
+		return err
+	}
+	victim, ok := o.(*thread)
+	if !ok {
+		tc.k.mu.Unlock()
+		return ErrWrongType
+	}
+	// Observe the target thread.
+	if !tc.k.canObserve(t.lbl, victim.lbl) {
+		tc.k.mu.Unlock()
+		return ErrLabel
+	}
+	// Write the target's address space.
+	if victim.addressSpace.Object != NilID {
+		aso, err := tc.k.lookup(victim.addressSpace.Object)
+		if err != nil {
+			tc.k.mu.Unlock()
+			return err
+		}
+		as, ok := aso.(*addressSpace)
+		if !ok {
+			tc.k.mu.Unlock()
+			return ErrWrongType
+		}
+		if !tc.k.canModify(t.lbl, as.lbl) {
+			tc.k.mu.Unlock()
+			return ErrLabel
+		}
+	} else {
+		// No address space: fall back to requiring write permission on the
+		// thread object itself.
+		if !tc.k.canModify(t.lbl, victim.lbl) {
+			tc.k.mu.Unlock()
+			return ErrLabel
+		}
+	}
+	victim.alertQueue = append(victim.alertQueue, code)
+	ch := victim.alertCh
+	tc.k.mu.Unlock()
+	// Non-blocking notify.
+	select {
+	case ch <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+// AlertPoll removes and returns a pending alert, if any.
+func (tc *ThreadCall) AlertPoll() (uint64, bool, error) {
+	tc.k.mu.Lock()
+	defer tc.k.mu.Unlock()
+	t, err := tc.self()
+	if err != nil {
+		return 0, false, err
+	}
+	tc.k.count("alert_poll", t)
+	if len(t.alertQueue) == 0 {
+		return 0, false, nil
+	}
+	code := t.alertQueue[0]
+	t.alertQueue = t.alertQueue[1:]
+	return code, true, nil
+}
+
+// AlertWait blocks until an alert is delivered to the invoking thread, then
+// returns its code.
+func (tc *ThreadCall) AlertWait() (uint64, error) {
+	for {
+		tc.k.mu.Lock()
+		t, err := tc.self()
+		if err != nil {
+			tc.k.mu.Unlock()
+			return 0, err
+		}
+		if len(t.alertQueue) > 0 {
+			code := t.alertQueue[0]
+			t.alertQueue = t.alertQueue[1:]
+			tc.k.mu.Unlock()
+			return code, nil
+		}
+		ch := t.alertCh
+		tc.k.mu.Unlock()
+		<-ch
+	}
+}
+
+// LocalSegmentWrite writes into the invoking thread's one-page thread-local
+// segment, which is always writable by the current thread regardless of its
+// label.
+func (tc *ThreadCall) LocalSegmentWrite(off int, data []byte) error {
+	tc.k.mu.Lock()
+	defer tc.k.mu.Unlock()
+	t, err := tc.self()
+	if err != nil {
+		return err
+	}
+	tc.k.count("local_segment_write", t)
+	if off < 0 || off+len(data) > len(t.localSegment.data) {
+		return ErrInvalid
+	}
+	copy(t.localSegment.data[off:], data)
+	return nil
+}
+
+// LocalSegmentRead reads from the invoking thread's thread-local segment.
+func (tc *ThreadCall) LocalSegmentRead(off, n int) ([]byte, error) {
+	tc.k.mu.Lock()
+	defer tc.k.mu.Unlock()
+	t, err := tc.self()
+	if err != nil {
+		return nil, err
+	}
+	tc.k.count("local_segment_read", t)
+	if off < 0 || n < 0 || off+n > len(t.localSegment.data) {
+		return nil, ErrInvalid
+	}
+	out := make([]byte, n)
+	copy(out, t.localSegment.data[off:off+n])
+	return out, nil
+}
+
+// GrantOwnership is a convenience used by trusted bootstrap and test code to
+// hand ownership of a category to a thread directly.  In the real system
+// ownership transfers only through gates or thread creation; the user-level
+// library uses those mechanisms, but tests need a way to set up initial
+// conditions (for instance, a user's login shell owning ur and uw).
+// The invoking thread must itself own the category.
+func (tc *ThreadCall) GrantOwnership(target ID, c label.Category) error {
+	tc.k.mu.Lock()
+	defer tc.k.mu.Unlock()
+	t, err := tc.self()
+	if err != nil {
+		return err
+	}
+	tc.k.count("grant_ownership", t)
+	if !t.lbl.Owns(c) {
+		return ErrLabel
+	}
+	o, err := tc.k.lookup(target)
+	if err != nil {
+		return err
+	}
+	vt, ok := o.(*thread)
+	if !ok {
+		return ErrWrongType
+	}
+	vt.lbl = vt.lbl.With(c, label.Star)
+	vt.clearance = vt.clearance.With(c, label.L3)
+	vt.bump()
+	return nil
+}

@@ -1,0 +1,67 @@
+package label
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCacheCorrectnessAndStats(t *testing.T) {
+	c := NewCache(0)
+	a := New(L1, P(Category(1), L3))
+	b := New(L2)
+	if got, want := c.Leq(a, b), a.Leq(b); got != want {
+		t.Errorf("cached Leq = %v, direct = %v", got, want)
+	}
+	// Second query should hit.
+	c.Leq(a, b)
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("stats = %d hits, %d misses; want 1,1", hits, misses)
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d", c.Len())
+	}
+	c.Reset()
+	if c.Len() != 0 {
+		t.Error("Reset should empty the cache")
+	}
+	hits, misses = c.Stats()
+	if hits != 0 || misses != 0 {
+		t.Error("Reset should clear stats")
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	c := NewCache(4)
+	for i := 0; i < 20; i++ {
+		a := New(L1, P(Category(uint64(i+1)), L3))
+		c.Leq(a, New(L2))
+	}
+	if c.Len() > 4 {
+		t.Errorf("cache exceeded bound: %d entries", c.Len())
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	c := NewCache(0)
+	labels := make([]Label, 16)
+	for i := range labels {
+		labels[i] = New(L1, P(Category(uint64(i+1)), Level(1+i%4)))
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				a := labels[(i+w)%len(labels)]
+				b := labels[i%len(labels)]
+				if c.Leq(a, b) != a.Leq(b) {
+					t.Errorf("cache disagreement for %v ⊑ %v", a, b)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,496 @@
+// Package label implements the Asbestos-style information flow labels used
+// by the HiStar kernel (Zeldovich et al., OSDI 2006, Section 2).
+//
+// A label is a function from categories to taint levels.  All but a small
+// number of categories map to a default level (usually 1); the label stores
+// only the exceptions.  Levels are ordered
+//
+//	⋆ < 0 < 1 < 2 < 3 < J
+//
+// where ⋆ ("Star") denotes ownership/untainting privilege and J ("HiStar")
+// is the same ownership level treated as high during reads.  J never appears
+// in stored labels; it exists only transiently during access checks.
+//
+// The package provides the ⊑ partial order (Leq), the lattice join ⊔ (Join)
+// and meet ⊓ (Meet), the superscript-J and superscript-⋆ operators that
+// shift ownership between its low and high readings, and the derived access
+// checks used throughout the kernel (CanObserve, CanModify, CanAllocate,
+// CanRaiseLabelTo, CanSetClearanceTo).
+package label
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Level is a taint level in a label.
+type Level uint8
+
+// Taint levels, in increasing order.  Star compares below every numeric
+// level and HiStar above every numeric level, implementing the paper's
+// ⋆ < 0 < 1 < 2 < 3 < J ordering.
+const (
+	Star   Level = iota // ⋆: ownership / untainting privilege (low reading)
+	L0                  // 0: cannot be written/modified by default
+	L1                  // 1: default level, no restriction
+	L2                  // 2: cannot be untainted/exported by default
+	L3                  // 3: cannot be read/observed by default
+	HiStar              // J: ownership treated as high; never stored in labels
+)
+
+// DefaultLevel is the conventional background taint level for objects.
+const DefaultLevel = L1
+
+// DefaultClearanceLevel is the conventional default clearance level for
+// threads ({2} in the paper).
+const DefaultClearanceLevel = L2
+
+// String renders a level the way the paper writes it.
+func (l Level) String() string {
+	switch l {
+	case Star:
+		return "*"
+	case HiStar:
+		return "J"
+	case L0, L1, L2, L3:
+		return fmt.Sprintf("%d", int(l)-1)
+	default:
+		return fmt.Sprintf("Level(%d)", uint8(l))
+	}
+}
+
+// Valid reports whether l is one of the six defined levels.
+func (l Level) Valid() bool { return l <= HiStar }
+
+// Numeric reports whether l is one of the four numeric levels 0..3.
+func (l Level) Numeric() bool { return l >= L0 && l <= L3 }
+
+// LevelFromInt converts the paper's numeric levels 0..3 into a Level.
+func LevelFromInt(n int) (Level, error) {
+	if n < 0 || n > 3 {
+		return 0, fmt.Errorf("label: numeric level %d out of range [0,3]", n)
+	}
+	return Level(n + 1), nil
+}
+
+// Int returns the paper-facing integer for a numeric level, or -1 for Star
+// and 4 for HiStar (their positions in the total order).
+func (l Level) Int() int {
+	switch l {
+	case Star:
+		return -1
+	case HiStar:
+		return 4
+	default:
+		return int(l) - 1
+	}
+}
+
+// Label is an immutable mapping from categories to levels with a default
+// level for all unlisted categories.  The zero value is not meaningful; use
+// New or Parse.  Labels are value types: operations return new labels and
+// never mutate their receivers, so a Label may be shared freely between
+// goroutines.
+type Label struct {
+	def  Level
+	cats map[Category]Level
+}
+
+// New returns a label with the given default level and explicit
+// category/level pairs.  Pairs whose level equals the default are elided so
+// that equal labels have identical representations.
+func New(def Level, pairs ...Pair) Label {
+	if !def.Valid() || def == HiStar {
+		panic(fmt.Sprintf("label: invalid default level %v", def))
+	}
+	l := Label{def: def}
+	for _, p := range pairs {
+		if !p.Level.Valid() {
+			panic(fmt.Sprintf("label: invalid level %v for category %v", p.Level, p.Category))
+		}
+		if p.Level == l.def {
+			continue
+		}
+		if l.cats == nil {
+			l.cats = make(map[Category]Level, len(pairs))
+		}
+		l.cats[p.Category] = p.Level
+	}
+	return l
+}
+
+// Pair is an explicit category/level entry used when constructing labels.
+type Pair struct {
+	Category Category
+	Level    Level
+}
+
+// P is shorthand for constructing a Pair.
+func P(c Category, l Level) Pair { return Pair{Category: c, Level: l} }
+
+// Default returns the label's default level.
+func (l Label) Default() Level { return l.def }
+
+// Get returns the level of category c.
+func (l Label) Get(c Category) Level {
+	if lv, ok := l.cats[c]; ok {
+		return lv
+	}
+	return l.def
+}
+
+// Explicit returns the categories whose level differs from the default, in
+// ascending category order.
+func (l Label) Explicit() []Category {
+	out := make([]Category, 0, len(l.cats))
+	for c := range l.cats {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// NumExplicit returns the number of categories mapped away from the default.
+func (l Label) NumExplicit() int { return len(l.cats) }
+
+// With returns a copy of l with category c set to level lv.
+func (l Label) With(c Category, lv Level) Label {
+	if !lv.Valid() {
+		panic(fmt.Sprintf("label: invalid level %v", lv))
+	}
+	out := l.clone()
+	if lv == out.def {
+		delete(out.cats, c)
+	} else {
+		if out.cats == nil {
+			out.cats = make(map[Category]Level, 1)
+		}
+		out.cats[c] = lv
+	}
+	return out
+}
+
+// Without returns a copy of l with category c reset to the default level.
+func (l Label) Without(c Category) Label {
+	out := l.clone()
+	delete(out.cats, c)
+	return out
+}
+
+// WithDefault returns a copy of l whose default level is def.  Categories
+// previously at the old default remain at the old default (they become
+// explicit entries), so the label denotes the same function except for
+// categories never mentioned.
+func (l Label) WithDefault(def Level) Label {
+	if !def.Valid() || def == HiStar {
+		panic(fmt.Sprintf("label: invalid default level %v", def))
+	}
+	out := Label{def: def}
+	if len(l.cats) > 0 || l.def != def {
+		out.cats = make(map[Category]Level, len(l.cats))
+		for c, lv := range l.cats {
+			if lv != def {
+				out.cats[c] = lv
+			}
+		}
+	}
+	return out
+}
+
+func (l Label) clone() Label {
+	out := Label{def: l.def}
+	if len(l.cats) > 0 {
+		out.cats = make(map[Category]Level, len(l.cats))
+		for c, lv := range l.cats {
+			out.cats[c] = lv
+		}
+	}
+	return out
+}
+
+// Equal reports whether two labels denote the same function.
+func (l Label) Equal(m Label) bool {
+	if l.def != m.def || len(l.cats) != len(m.cats) {
+		return false
+	}
+	for c, lv := range l.cats {
+		if m.Get(c) != lv {
+			return false
+		}
+	}
+	return true
+}
+
+// HasStar reports whether the label maps any category to ⋆ (ownership).
+// Only thread and gate labels may contain ⋆; the kernel enforces this.
+func (l Label) HasStar() bool {
+	if l.def == Star {
+		return true
+	}
+	for _, lv := range l.cats {
+		if lv == Star {
+			return true
+		}
+	}
+	return false
+}
+
+// Owns reports whether the label maps category c to ⋆.
+func (l Label) Owns(c Category) bool { return l.Get(c) == Star }
+
+// Owned returns the categories the label owns (maps to ⋆), sorted.
+func (l Label) Owned() []Category {
+	var out []Category
+	for c, lv := range l.cats {
+		if lv == Star {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// RaiseJ returns the superscript-J form Lᴶ: every ⋆ becomes J.  Used when
+// the owning thread is reading, so ownership is treated as high.
+func (l Label) RaiseJ() Label {
+	return l.mapLevels(func(lv Level) Level {
+		if lv == Star {
+			return HiStar
+		}
+		return lv
+	})
+}
+
+// LowerStar returns the superscript-⋆ form L⋆: every J becomes ⋆.  Used to
+// translate a join result back into a storable label.
+func (l Label) LowerStar() Label {
+	return l.mapLevels(func(lv Level) Level {
+		if lv == HiStar {
+			return Star
+		}
+		return lv
+	})
+}
+
+func (l Label) mapLevels(f func(Level) Level) Label {
+	out := Label{def: f(l.def)}
+	if len(l.cats) > 0 {
+		out.cats = make(map[Category]Level, len(l.cats))
+		for c, lv := range l.cats {
+			nl := f(lv)
+			if nl != out.def {
+				out.cats[c] = nl
+			}
+		}
+	}
+	return out
+}
+
+// Leq reports the ⊑ relation: l ⊑ m iff for every category c,
+// l(c) ≤ m(c) in the order ⋆ < 0 < 1 < 2 < 3 < J.
+func (l Label) Leq(m Label) bool {
+	if l.def > m.def {
+		return false
+	}
+	for c, lv := range l.cats {
+		if lv > m.Get(c) {
+			return false
+		}
+	}
+	// Categories explicit only in m: compare l's default against them.
+	for c, mv := range m.cats {
+		if _, ok := l.cats[c]; ok {
+			continue
+		}
+		if l.def > mv {
+			return false
+		}
+	}
+	return true
+}
+
+// Join returns the least upper bound l ⊔ m: pointwise maximum of levels.
+func (l Label) Join(m Label) Label {
+	def := maxLevel(l.def, m.def)
+	out := Label{def: def}
+	set := func(c Category, lv Level) {
+		if lv == out.def {
+			return
+		}
+		if out.cats == nil {
+			out.cats = make(map[Category]Level)
+		}
+		out.cats[c] = lv
+	}
+	for c, lv := range l.cats {
+		set(c, maxLevel(lv, m.Get(c)))
+	}
+	for c, mv := range m.cats {
+		if _, ok := l.cats[c]; ok {
+			continue
+		}
+		set(c, maxLevel(mv, l.def))
+	}
+	return out
+}
+
+// Meet returns the greatest lower bound l ⊓ m: pointwise minimum of levels.
+func (l Label) Meet(m Label) Label {
+	def := minLevel(l.def, m.def)
+	out := Label{def: def}
+	set := func(c Category, lv Level) {
+		if lv == out.def {
+			return
+		}
+		if out.cats == nil {
+			out.cats = make(map[Category]Level)
+		}
+		out.cats[c] = lv
+	}
+	for c, lv := range l.cats {
+		set(c, minLevel(lv, m.Get(c)))
+	}
+	for c, mv := range m.cats {
+		if _, ok := l.cats[c]; ok {
+			continue
+		}
+		set(c, minLevel(mv, l.def))
+	}
+	return out
+}
+
+func maxLevel(a, b Level) Level {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minLevel(a, b Level) Level {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// String renders the label in the paper's notation, e.g. {br*, v3, 1}.
+// Categories are printed as cN where N is the category identifier, unless a
+// name has been registered with the category allocator that produced them;
+// use Format with a Namer for symbolic output.
+func (l Label) String() string { return l.Format(nil) }
+
+// Namer maps categories to human-readable names for display.
+type Namer interface {
+	CategoryName(Category) (string, bool)
+}
+
+// Format renders the label using names from the (optional) Namer.
+func (l Label) Format(n Namer) string {
+	var b strings.Builder
+	b.WriteByte('{')
+	cats := l.Explicit()
+	for _, c := range cats {
+		name := fmt.Sprintf("c%d", uint64(c))
+		if n != nil {
+			if s, ok := n.CategoryName(c); ok {
+				name = s
+			}
+		}
+		fmt.Fprintf(&b, "%s%s, ", name, l.Get(c).String())
+	}
+	b.WriteString(l.def.String())
+	b.WriteByte('}')
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Derived access checks (Section 2.2 and Section 3 of the paper).
+// ---------------------------------------------------------------------------
+
+// CanObserve reports whether a thread labeled thread may observe (read) an
+// object labeled obj: obj ⊑ threadᴶ ("no read up").
+func CanObserve(thread, obj Label) bool {
+	return obj.Leq(thread.RaiseJ())
+}
+
+// CanModify reports whether a thread labeled thread may modify an object
+// labeled obj, which in HiStar implies observing it:
+// thread ⊑ obj ⊑ threadᴶ ("no write down").
+func CanModify(thread, obj Label) bool {
+	return thread.Leq(obj) && obj.Leq(thread.RaiseJ())
+}
+
+// CanAllocate reports whether a thread with label thread and clearance clr
+// may create an object with label obj: thread ⊑ obj ⊑ clr.
+func CanAllocate(thread, clr, obj Label) bool {
+	return thread.Leq(obj) && obj.Leq(clr)
+}
+
+// CanRaiseLabelTo reports whether a thread with label cur and clearance clr
+// may change its own label to next: cur ⊑ next ⊑ clr (self_set_label).
+func CanRaiseLabelTo(cur, clr, next Label) bool {
+	return cur.Leq(next) && next.Leq(clr)
+}
+
+// CanSetClearanceTo reports whether a thread with label cur and clearance
+// clr may change its clearance to next: cur ⊑ next ⊑ (clr ⊔ curᴶ)
+// (self_set_clearance).
+func CanSetClearanceTo(cur, clr, next Label) bool {
+	return cur.Leq(next) && next.Leq(clr.Join(cur.RaiseJ()))
+}
+
+// MinObserveLabel returns the lowest label a thread labeled cur must raise
+// itself to in order to observe an object labeled obj: (curᴶ ⊔ obj)⋆.
+func MinObserveLabel(cur, obj Label) Label {
+	return cur.RaiseJ().Join(obj).LowerStar()
+}
+
+// ValidObjectLabel reports whether l is acceptable as the label of a
+// non-thread, non-gate kernel object: no ⋆ or J entries anywhere.
+func ValidObjectLabel(l Label) bool {
+	if l.def == Star || l.def == HiStar {
+		return false
+	}
+	for _, lv := range l.cats {
+		if lv == Star || lv == HiStar {
+			return false
+		}
+	}
+	return true
+}
+
+// ValidThreadLabel reports whether l is acceptable as a thread or gate
+// label: ⋆ entries are allowed, J entries are not.
+func ValidThreadLabel(l Label) bool {
+	if l.def == HiStar || l.def == Star {
+		// A default of ⋆ would mean owning every category ever allocated,
+		// which the kernel never permits.
+		return false
+	}
+	for _, lv := range l.cats {
+		if lv == HiStar {
+			return false
+		}
+	}
+	return true
+}
+
+// ValidClearance reports whether c is acceptable as a clearance: numeric
+// levels only (a clearance bounds taint; ownership lives in the label).
+func ValidClearance(c Label) bool {
+	if !c.def.Numeric() {
+		return false
+	}
+	for _, lv := range c.cats {
+		if !lv.Numeric() && lv != Star {
+			return false
+		}
+		// Clearance entries of ⋆ never arise in the paper; treat them as 3
+		// when comparing, but reject them here to keep invariants simple.
+		if lv == Star {
+			return false
+		}
+	}
+	return true
+}

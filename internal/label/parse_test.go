@@ -1,0 +1,94 @@
+package label
+
+import "testing"
+
+func TestParseBasic(t *testing.T) {
+	l, err := Parse("{c5 3, c9 0, 1}", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := New(L1, P(Category(5), L3), P(Category(9), L0))
+	if !l.Equal(want) {
+		t.Errorf("got %v, want %v", l, want)
+	}
+}
+
+func TestParseColonSeparator(t *testing.T) {
+	l, err := Parse("{c5:3, 2}", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Get(Category(5)) != L3 || l.Default() != L2 {
+		t.Errorf("got %v", l)
+	}
+}
+
+func TestParseCompactPaperStyle(t *testing.T) {
+	// "br3" style with a resolver for symbolic names.
+	alloc := NewAllocator(1)
+	br := alloc.AllocNamed("br")
+	resolver := func(name string) (Category, bool) {
+		if name == "br" {
+			return br, true
+		}
+		return 0, false
+	}
+	l, err := Parse("{br3, 1}", resolver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Get(br) != L3 {
+		t.Errorf("br level = %v", l.Get(br))
+	}
+}
+
+func TestParseStar(t *testing.T) {
+	l, err := Parse("{c7 *, 1}", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l.Owns(Category(7)) {
+		t.Error("expected ownership of c7")
+	}
+}
+
+func TestParseDefaultOnly(t *testing.T) {
+	for _, s := range []string{"{1}", "{0}", "{2}", "{3}"} {
+		l, err := Parse(s, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if l.NumExplicit() != 0 {
+			t.Errorf("%s should have no explicit entries", s)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",           // empty
+		"{",          // unterminated
+		"{}",         // no default
+		"{*}",        // star default
+		"{J}",        // J default
+		"{c1 5, 1}",  // bad level
+		"{foo 3, 1}", // unknown symbolic name, no resolver
+		"c1 3, 1",    // missing braces
+		"{c1 3,, 1}", // empty entry
+		"{cX 3, 1}",  // non-numeric category
+	}
+	for _, s := range bad {
+		if _, err := Parse(s, nil); err == nil {
+			t.Errorf("Parse(%q) should fail", s)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse should panic on invalid input")
+		}
+	}()
+	MustParse("{not a label", nil)
+}

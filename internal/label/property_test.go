@@ -1,0 +1,242 @@
+package label
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// genLabel builds a random label over a small shared pool of categories so
+// that the lattice operations routinely interact on common categories.
+func genLabel(r *rand.Rand, allowStar bool) Label {
+	defaults := []Level{L0, L1, L2, L3}
+	def := defaults[r.Intn(len(defaults))]
+	n := r.Intn(5)
+	pairs := make([]Pair, 0, n)
+	for i := 0; i < n; i++ {
+		c := Category(r.Intn(8) + 1)
+		levels := []Level{L0, L1, L2, L3}
+		if allowStar {
+			levels = append(levels, Star)
+		}
+		pairs = append(pairs, P(c, levels[r.Intn(len(levels))]))
+	}
+	return New(def, pairs...)
+}
+
+// quickLabel wraps Label for testing/quick generation.
+type quickLabel struct{ L Label }
+
+// Generate implements quick.Generator.
+func (quickLabel) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(quickLabel{L: genLabel(r, false)})
+}
+
+// quickThreadLabel generates labels that may contain ⋆.
+type quickThreadLabel struct{ L Label }
+
+func (quickThreadLabel) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(quickThreadLabel{L: genLabel(r, true)})
+}
+
+var quickCfg = &quick.Config{MaxCount: 2000}
+
+func TestPropLeqReflexive(t *testing.T) {
+	f := func(a quickLabel) bool { return a.L.Leq(a.L) }
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropLeqAntisymmetric(t *testing.T) {
+	f := func(a, b quickLabel) bool {
+		if a.L.Leq(b.L) && b.L.Leq(a.L) {
+			return a.L.Equal(b.L)
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropLeqTransitive(t *testing.T) {
+	f := func(a, b, c quickLabel) bool {
+		if a.L.Leq(b.L) && b.L.Leq(c.L) {
+			return a.L.Leq(c.L)
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropJoinIsUpperBound(t *testing.T) {
+	f := func(a, b quickLabel) bool {
+		j := a.L.Join(b.L)
+		return a.L.Leq(j) && b.L.Leq(j)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropJoinIsLeast(t *testing.T) {
+	f := func(a, b, c quickLabel) bool {
+		// Any common upper bound c dominates the join.
+		if a.L.Leq(c.L) && b.L.Leq(c.L) {
+			return a.L.Join(b.L).Leq(c.L)
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropMeetIsLowerBound(t *testing.T) {
+	f := func(a, b quickLabel) bool {
+		m := a.L.Meet(b.L)
+		return m.Leq(a.L) && m.Leq(b.L)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropMeetIsGreatest(t *testing.T) {
+	f := func(a, b, c quickLabel) bool {
+		if c.L.Leq(a.L) && c.L.Leq(b.L) {
+			return c.L.Leq(a.L.Meet(b.L))
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropJoinCommutativeAssociativeIdempotent(t *testing.T) {
+	comm := func(a, b quickLabel) bool {
+		return a.L.Join(b.L).Equal(b.L.Join(a.L))
+	}
+	assoc := func(a, b, c quickLabel) bool {
+		return a.L.Join(b.L).Join(c.L).Equal(a.L.Join(b.L.Join(c.L)))
+	}
+	idem := func(a quickLabel) bool { return a.L.Join(a.L).Equal(a.L) }
+	for name, f := range map[string]interface{}{"comm": comm, "assoc": assoc, "idem": idem} {
+		if err := quick.Check(f, quickCfg); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestPropMeetCommutativeAssociativeIdempotent(t *testing.T) {
+	comm := func(a, b quickLabel) bool {
+		return a.L.Meet(b.L).Equal(b.L.Meet(a.L))
+	}
+	assoc := func(a, b, c quickLabel) bool {
+		return a.L.Meet(b.L).Meet(c.L).Equal(a.L.Meet(b.L.Meet(c.L)))
+	}
+	idem := func(a quickLabel) bool { return a.L.Meet(a.L).Equal(a.L) }
+	for name, f := range map[string]interface{}{"comm": comm, "assoc": assoc, "idem": idem} {
+		if err := quick.Check(f, quickCfg); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestPropAbsorption(t *testing.T) {
+	f := func(a, b quickLabel) bool {
+		return a.L.Join(a.L.Meet(b.L)).Equal(a.L) && a.L.Meet(a.L.Join(b.L)).Equal(a.L)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropLeqIffJoinEqualsRHS(t *testing.T) {
+	f := func(a, b quickLabel) bool {
+		return a.L.Leq(b.L) == a.L.Join(b.L).Equal(b.L)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropRaiseJLowerStarRoundTrip(t *testing.T) {
+	f := func(a quickThreadLabel) bool {
+		return a.L.RaiseJ().LowerStar().Equal(a.L)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropMinObserveLabelIsSufficientAndMinimal(t *testing.T) {
+	f := func(ta quickThreadLabel, ob quickLabel) bool {
+		min := MinObserveLabel(ta.L, ob.L)
+		if !ta.L.Leq(min) {
+			return false
+		}
+		return CanObserve(min, ob.L)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropModifyImpliesObserve(t *testing.T) {
+	f := func(ta quickThreadLabel, ob quickLabel) bool {
+		if CanModify(ta.L, ob.L) {
+			return CanObserve(ta.L, ob.L)
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropCacheMatchesDirect(t *testing.T) {
+	cache := NewCache(0)
+	f := func(a, b quickThreadLabel) bool {
+		return cache.Leq(a.L, b.L) == a.L.Leq(b.L) &&
+			cache.CanObserve(a.L, b.L) == CanObserve(a.L, b.L) &&
+			cache.CanModify(a.L, b.L) == CanModify(a.L, b.L)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropFingerprintEqualLabelsAgree(t *testing.T) {
+	f := func(a quickThreadLabel) bool {
+		// Rebuilding the same label from explicit pairs must fingerprint
+		// identically.
+		pairs := make([]Pair, 0, a.L.NumExplicit())
+		for _, c := range a.L.Explicit() {
+			pairs = append(pairs, P(c, a.L.Get(c)))
+		}
+		rebuilt := New(a.L.Default(), pairs...)
+		return rebuilt.Fingerprint() == a.L.Fingerprint()
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropParseRoundTrip(t *testing.T) {
+	f := func(a quickThreadLabel) bool {
+		parsed, err := Parse(a.L.String(), nil)
+		if err != nil {
+			return false
+		}
+		return parsed.Equal(a.L)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}

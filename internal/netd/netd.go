@@ -1,0 +1,556 @@
+// Package netd is the user-level network stack daemon (Section 5.7): the
+// protocol stack runs in an ordinary process that owns the network device's
+// nr/nw categories and is tainted i2 by everything it reads from the wire.
+// It exposes a single service gate through which client processes perform
+// socket operations; because the gate carries the i2 taint, every client
+// that talks to the network becomes tainted i2, and because transmitting
+// requires writing the device object, a thread tainted in any other secrecy
+// category (for instance ClamAV's v) simply cannot send.
+//
+// A compromised netd can therefore mount only the equivalent of an
+// eavesdropping or packet-tampering attack; it cannot leak data protected by
+// categories it does not own.
+package netd
+
+import (
+	"encoding/binary"
+	"errors"
+	"sync"
+
+	"histar/internal/kernel"
+	"histar/internal/label"
+	"histar/internal/netsim"
+	"histar/internal/unixlib"
+)
+
+// Errors.
+var (
+	ErrNoRoute  = errors.New("netd: no such remote host")
+	ErrClosed   = errors.New("netd: connection closed")
+	ErrBadReply = errors.New("netd: malformed daemon reply")
+)
+
+// RemoteHandler is the code running on a simulated remote host: it receives
+// the client's request bytes and returns the response body.
+type RemoteHandler func(request []byte) []byte
+
+// Frame types on the simulated wire.
+const (
+	frOpen = iota
+	frData
+	frPush // end of request; remote runs its handler
+	frRespData
+	frRespEnd
+)
+
+// Options configure a network daemon instance.
+type Options struct {
+	// TaintName is the display name of the receive-taint category ("i" for
+	// the Internet stack, "v" for the VPN stack in Section 6.3).
+	TaintName string
+	// Link connects the device to the remote world; if nil a standalone
+	// link with PaperEthernet parameters and no clock is created.
+	Link *netsim.Link
+	// MountPath is where the daemon's control directory is mounted by
+	// convention (informational; clients hold a *Daemon handle directly).
+	MountPath string
+}
+
+// Daemon is one running network stack.
+type Daemon struct {
+	sys  *unixlib.System
+	proc *unixlib.Process
+	dev  kernel.CEnt
+	link *netsim.Link
+
+	// Nr and Nw protect the device; Taint is the category that taints
+	// everything received ("i" or "v").
+	Nr, Nw, Taint label.Category
+
+	// Gate is the socket service gate.
+	Gate kernel.CEnt
+	// Scratch is a container labeled {taint2, 1} hosted by the daemon, in
+	// which already-tainted clients can allocate shared-memory segments for
+	// the fast path (a tainted thread cannot write its own untainted process
+	// container).
+	Scratch kernel.ID
+
+	mu      sync.Mutex
+	remotes map[string]RemoteHandler
+	conns   map[uint32]*conn
+	nextID  uint32
+
+	stats Stats
+}
+
+// Stats counts daemon activity.
+type Stats struct {
+	Dials, Sends, Recvs  uint64
+	BytesSent, BytesRecv uint64
+	GateCalls            uint64
+	FastpathReads        uint64
+}
+
+type conn struct {
+	id     uint32
+	addr   string
+	rxBuf  []byte
+	closed bool
+	eof    bool
+	cond   *sync.Cond
+	// fastSeg, when non-nil, is a shared-memory segment the daemon copies
+	// received data into so the client can read it without a gate call (the
+	// Section 5.7 optimization).
+	fastSeg *kernel.CEnt
+}
+
+// New starts a network daemon on sys.  The daemon allocates the nr/nw/taint
+// categories, creates the (simulated) network device labeled
+// {nr3, nw0, taint2, 1}, creates the socket service gate, and starts the
+// receive loop.
+func New(sys *unixlib.System, opts Options) (*Daemon, error) {
+	if opts.TaintName == "" {
+		opts.TaintName = "i"
+	}
+	proc, err := sys.NewInitProcess("")
+	if err != nil {
+		return nil, err
+	}
+	d := &Daemon{
+		sys:     sys,
+		proc:    proc,
+		link:    opts.Link,
+		remotes: make(map[string]RemoteHandler),
+		conns:   make(map[uint32]*conn),
+	}
+	if d.link == nil {
+		d.link = netsim.NewLink(netsim.PaperEthernet(), nil)
+	}
+	tc := proc.TC
+	if d.Nr, err = tc.CategoryCreateNamed("nr"); err != nil {
+		return nil, err
+	}
+	if d.Nw, err = tc.CategoryCreateNamed("nw"); err != nil {
+		return nil, err
+	}
+	// The receive-taint category is owned by the machine's bootstrap (the
+	// administrator decides who may untaint network-derived data, e.g. after
+	// a virus scan) — not by netd, which deliberately cannot bypass it.
+	if d.Taint, err = sys.InitThread().CategoryCreateNamed(opts.TaintName); err != nil {
+		return nil, err
+	}
+	// The network device: {nr3, nw0, taint2, 1}.
+	devLbl := label.New(label.L1,
+		label.P(d.Nr, label.L3), label.P(d.Nw, label.L0), label.P(d.Taint, label.L2))
+	devID, err := sys.Kern.DeviceCreate(sys.Kern.RootContainer(), devLbl, [6]byte{0x52, 0x54, 0, 0x12, 0x34, 0x56}, "eepro100")
+	if err != nil {
+		return nil, err
+	}
+	d.dev = kernel.CEnt{Container: sys.Kern.RootContainer(), Object: devID}
+	// Wire the device to the link: transmit goes A→B, the remote world
+	// injects B→A back into the device.
+	sys.Kern.SetDeviceTransmitHook(devID, func(pkt []byte) { d.link.SendAtoB(pkt) })
+	d.link.Attach(
+		netsim.EndpointFunc(func(frame []byte) { _ = sys.Kern.DeviceInject(devID, frame) }),
+		netsim.EndpointFunc(d.remoteDeliver),
+	)
+
+	// The socket service gate: label {nr⋆, nw⋆, taint2, 1}, so every caller
+	// acquires the stack's taint along with the (temporary) device
+	// privileges — talking to the network at all marks a process as carrying
+	// network-derived information, exactly as in Figure 11.  The gate (and
+	// the scratch container below) are created before the daemon taints
+	// itself: once tainted, the daemon could no longer write its own
+	// untainted process container.
+	gateLbl := label.New(label.L1,
+		label.P(d.Nr, label.Star), label.P(d.Nw, label.Star), label.P(d.Taint, label.L2))
+	gid, err := tc.GateCreate(proc.ProcCt, kernel.GateSpec{
+		Label:     gateLbl,
+		Clearance: label.New(label.L2),
+		Descrip:   "netd socket gate",
+		Entry:     d.socketGateEntry,
+	})
+	if err != nil {
+		return nil, err
+	}
+	d.Gate = kernel.CEnt{Container: proc.ProcCt, Object: gid}
+
+	// Scratch container for client-allocated shared segments.
+	scratch, err := tc.ContainerCreate(proc.ProcCt,
+		label.New(label.L1, label.P(d.Taint, label.L2)), "netd scratch", 0, kernel.QuotaInfinite)
+	if err != nil {
+		return nil, err
+	}
+	d.Scratch = scratch
+
+	// Taint the daemon's thread with {taint2} — it handles wire data — while
+	// keeping ownership of nr and nw.
+	lbl, _ := tc.SelfLabel()
+	if err := tc.SelfSetLabel(lbl.With(d.Taint, label.L2)); err != nil {
+		return nil, err
+	}
+
+	// Receive loop: drain the device and demultiplex into connections.
+	go d.rxLoop()
+	return d, nil
+}
+
+// Process returns the daemon's process (its container hosts the socket gate
+// and is what gets mounted at /netd).
+func (d *Daemon) Process() *unixlib.Process { return d.proc }
+
+// Stats returns a snapshot of daemon statistics.
+func (d *Daemon) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// RegisterRemote installs a simulated remote host reachable at addr.
+func (d *Daemon) RegisterRemote(addr string, handler RemoteHandler) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.remotes[addr] = handler
+}
+
+// ---------------------------------------------------------------------------
+// The remote world (endpoint B of the link).
+// ---------------------------------------------------------------------------
+
+type remoteConnState struct {
+	addr string
+	req  []byte
+}
+
+var remoteStates = struct {
+	sync.Mutex
+	m map[*Daemon]map[uint32]*remoteConnState
+}{m: make(map[*Daemon]map[uint32]*remoteConnState)}
+
+// remoteDeliver handles frames arriving at the remote side of the link.
+func (d *Daemon) remoteDeliver(frame []byte) {
+	if len(frame) < 5 {
+		return
+	}
+	id := binary.LittleEndian.Uint32(frame[:4])
+	typ := frame[4]
+	payload := frame[5:]
+
+	remoteStates.Lock()
+	states := remoteStates.m[d]
+	if states == nil {
+		states = make(map[uint32]*remoteConnState)
+		remoteStates.m[d] = states
+	}
+	st := states[id]
+	switch typ {
+	case frOpen:
+		states[id] = &remoteConnState{addr: string(payload)}
+		remoteStates.Unlock()
+		return
+	case frData:
+		if st != nil {
+			st.req = append(st.req, payload...)
+		}
+		remoteStates.Unlock()
+		return
+	case frPush:
+		if st == nil {
+			remoteStates.Unlock()
+			return
+		}
+		delete(states, id)
+		remoteStates.Unlock()
+		d.mu.Lock()
+		handler := d.remotes[st.addr]
+		d.mu.Unlock()
+		var resp []byte
+		if handler != nil {
+			resp = handler(st.req)
+		}
+		d.sendResponse(id, resp)
+		return
+	default:
+		remoteStates.Unlock()
+	}
+}
+
+// sendResponse streams a response back over the link in MTU-sized frames.
+func (d *Daemon) sendResponse(id uint32, resp []byte) {
+	mtu := d.link.MTU() - 5
+	for off := 0; off < len(resp); off += mtu {
+		end := off + mtu
+		if end > len(resp) {
+			end = len(resp)
+		}
+		d.link.SendBtoA(encodeFrame(id, frRespData, resp[off:end]))
+	}
+	d.link.SendBtoA(encodeFrame(id, frRespEnd, nil))
+}
+
+func encodeFrame(id uint32, typ byte, payload []byte) []byte {
+	frame := make([]byte, 5+len(payload))
+	binary.LittleEndian.PutUint32(frame[:4], id)
+	frame[4] = typ
+	copy(frame[5:], payload)
+	return frame
+}
+
+// ---------------------------------------------------------------------------
+// The daemon side: receive loop and socket gate.
+// ---------------------------------------------------------------------------
+
+// rxLoop runs on the daemon's own thread, draining the device receive queue
+// and demultiplexing frames into connection buffers.
+func (d *Daemon) rxLoop() {
+	tc := d.proc.TC
+	for {
+		if err := tc.DeviceWait(d.dev); err != nil {
+			return
+		}
+		for {
+			frame, ok, err := tc.DeviceReceive(d.dev)
+			if err != nil {
+				return
+			}
+			if !ok {
+				break
+			}
+			d.handleInbound(frame)
+		}
+	}
+}
+
+func (d *Daemon) handleInbound(frame []byte) {
+	if len(frame) < 5 {
+		return
+	}
+	id := binary.LittleEndian.Uint32(frame[:4])
+	typ := frame[4]
+	payload := frame[5:]
+	d.mu.Lock()
+	c := d.conns[id]
+	d.mu.Unlock()
+	if c == nil {
+		return
+	}
+	c.cond.L.Lock()
+	switch typ {
+	case frRespData:
+		c.rxBuf = append(c.rxBuf, payload...)
+		d.mu.Lock()
+		d.stats.BytesRecv += uint64(len(payload))
+		d.mu.Unlock()
+	case frRespEnd:
+		c.eof = true
+	}
+	c.cond.Broadcast()
+	c.cond.L.Unlock()
+	// Fast path: mirror received bytes into the shared segment, if any.
+	d.fillFastSegment(c)
+}
+
+// socket gate operations, encoded in the first byte of Args.
+const (
+	opDial = iota
+	opSend
+	opRecv
+	opClose
+	opAttachFast
+)
+
+// socketGateEntry runs on the calling thread, with the gate's nr/nw
+// ownership and taint.  The reply's first byte is 0 for success.
+func (d *Daemon) socketGateEntry(call *kernel.GateCallCtx) []byte {
+	d.mu.Lock()
+	d.stats.GateCalls++
+	d.mu.Unlock()
+	args := call.Args
+	if len(args) < 1 {
+		return []byte{1}
+	}
+	op := args[0]
+	switch op {
+	case opDial:
+		addr := string(args[1:])
+		d.mu.Lock()
+		if _, ok := d.remotes[addr]; !ok {
+			d.mu.Unlock()
+			return []byte{1}
+		}
+		d.nextID++
+		id := d.nextID
+		c := &conn{id: id, addr: addr}
+		c.cond = sync.NewCond(&sync.Mutex{})
+		d.conns[id] = c
+		d.stats.Dials++
+		d.mu.Unlock()
+		// Transmit the open frame through the device: this is where the
+		// kernel's label check blocks tainted callers.
+		if err := call.TC.DeviceTransmit(d.dev, encodeFrame(id, frOpen, []byte(addr))); err != nil {
+			d.mu.Lock()
+			delete(d.conns, id)
+			d.mu.Unlock()
+			return []byte{1}
+		}
+		var out [5]byte
+		binary.LittleEndian.PutUint32(out[1:], id)
+		return out[:]
+	case opSend:
+		if len(args) < 5 {
+			return []byte{1}
+		}
+		id := binary.LittleEndian.Uint32(args[1:5])
+		data := args[5:]
+		mtu := d.link.MTU() - 5
+		for off := 0; off < len(data); off += mtu {
+			end := off + mtu
+			if end > len(data) {
+				end = len(data)
+			}
+			if err := call.TC.DeviceTransmit(d.dev, encodeFrame(id, frData, data[off:end])); err != nil {
+				return []byte{1}
+			}
+		}
+		if err := call.TC.DeviceTransmit(d.dev, encodeFrame(id, frPush, nil)); err != nil {
+			return []byte{1}
+		}
+		d.mu.Lock()
+		d.stats.Sends++
+		d.stats.BytesSent += uint64(len(data))
+		d.mu.Unlock()
+		return []byte{0}
+	case opRecv:
+		if len(args) < 13 {
+			return []byte{1}
+		}
+		id := binary.LittleEndian.Uint32(args[1:5])
+		want := int(binary.LittleEndian.Uint64(args[5:13]))
+		d.mu.Lock()
+		c := d.conns[id]
+		d.stats.Recvs++
+		d.mu.Unlock()
+		if c == nil {
+			return []byte{1}
+		}
+		c.cond.L.Lock()
+		for len(c.rxBuf) == 0 && !c.eof && !c.closed {
+			c.cond.Wait()
+		}
+		n := len(c.rxBuf)
+		if n > want {
+			n = want
+		}
+		out := make([]byte, 1+n)
+		copy(out[1:], c.rxBuf[:n])
+		c.rxBuf = c.rxBuf[n:]
+		c.cond.L.Unlock()
+		return out
+	case opClose:
+		if len(args) < 5 {
+			return []byte{1}
+		}
+		id := binary.LittleEndian.Uint32(args[1:5])
+		d.mu.Lock()
+		if c := d.conns[id]; c != nil {
+			c.cond.L.Lock()
+			c.closed = true
+			c.cond.Broadcast()
+			c.cond.L.Unlock()
+			delete(d.conns, id)
+		}
+		d.mu.Unlock()
+		return []byte{0}
+	case opAttachFast:
+		// args: connID u32.  The entry code — running with the gate's nw
+		// ownership and taint — allocates the shared segment in the daemon's
+		// scratch container and returns its container entry to the caller.
+		if len(args) < 5 {
+			return []byte{1}
+		}
+		id := binary.LittleEndian.Uint32(args[1:5])
+		d.mu.Lock()
+		c := d.conns[id]
+		d.mu.Unlock()
+		if c == nil {
+			return []byte{1}
+		}
+		// Both netd (refilling) and the client (consuming, clearing the
+		// count word) write the segment, so it carries only the taint.
+		segLbl := label.New(label.L1, label.P(d.Taint, label.L2))
+		segID, err := call.TC.SegmentCreate(d.Scratch, segLbl, "netd fastpath", fastDataOff+fastDataMax)
+		if err != nil {
+			return []byte{1}
+		}
+		ce := kernel.CEnt{Container: d.Scratch, Object: segID}
+		c.cond.L.Lock()
+		c.fastSeg = &ce
+		c.cond.L.Unlock()
+		out := make([]byte, 17)
+		binary.LittleEndian.PutUint64(out[1:9], uint64(ce.Container))
+		binary.LittleEndian.PutUint64(out[9:17], uint64(ce.Object))
+		return out
+	default:
+		return []byte{1}
+	}
+}
+
+// fastSegment layout: word 0 = available byte count (futex word), word 1 =
+// EOF flag, data from offset 16.  The daemon refills it whenever it is empty
+// and data is pending.
+const (
+	fastCountOff = 0
+	fastEOFOff   = 8
+	fastDataOff  = 16
+	fastDataMax  = 256 * 1024
+)
+
+// fillFastSegment copies pending receive data into the connection's shared
+// segment using the daemon's own thread (which owns nw and carries the
+// taint), then wakes the client's futex wait.
+func (d *Daemon) fillFastSegment(c *conn) {
+	c.cond.L.Lock()
+	seg := c.fastSeg
+	if seg == nil {
+		c.cond.L.Unlock()
+		return
+	}
+	tc := d.proc.TC
+	countBuf, err := tc.SegmentRead(*seg, fastCountOff, 8)
+	if err != nil || binary.LittleEndian.Uint64(countBuf) != 0 {
+		c.cond.L.Unlock()
+		return
+	}
+	n := len(c.rxBuf)
+	if n > fastDataMax {
+		n = fastDataMax
+	}
+	if n > 0 {
+		if err := tc.SegmentWrite(*seg, fastDataOff, c.rxBuf[:n]); err != nil {
+			c.cond.L.Unlock()
+			return
+		}
+		c.rxBuf = c.rxBuf[n:]
+	}
+	if c.eof && len(c.rxBuf) == 0 {
+		var one [8]byte
+		binary.LittleEndian.PutUint64(one[:], 1)
+		_ = tc.SegmentWrite(*seg, fastEOFOff, one[:])
+	}
+	var cnt [8]byte
+	binary.LittleEndian.PutUint64(cnt[:], uint64(n))
+	_ = tc.SegmentWrite(*seg, fastCountOff, cnt[:])
+	c.cond.L.Unlock()
+	_, _ = tc.FutexWake(*seg, fastCountOff, 4)
+}
+
+// drainToFast is called by the client (via Socket.RecvFast) when the shared
+// segment is empty but connection data is pending.
+func (d *Daemon) drainToFast(id uint32) {
+	d.mu.Lock()
+	c := d.conns[id]
+	d.mu.Unlock()
+	if c != nil {
+		d.fillFastSegment(c)
+	}
+}

@@ -1,0 +1,216 @@
+package netd
+
+import (
+	"encoding/binary"
+
+	"histar/internal/kernel"
+	"histar/internal/label"
+	"histar/internal/unixlib"
+)
+
+// The client side of the socket interface: the Unix library translates
+// operations on socket file descriptors into gate calls to the netd process.
+// Every call requests the gate's nr/nw ownership (needed to touch the
+// device) plus the stack's taint, and drops the ownership again before
+// returning — but keeps the taint, because data read from the network really
+// does taint the caller.
+
+// Socket is a client handle on one connection through a Daemon.
+type Socket struct {
+	d    *Daemon
+	id   uint32
+	proc *unixlib.Process
+
+	// fast is the shared receive segment when the fast path is attached.
+	fast *kernel.CEnt
+}
+
+// gateCall enters the daemon's socket gate with the conventional labels and
+// restores the caller's ownership set afterwards.
+func gateCall(d *Daemon, p *unixlib.Process, args []byte) ([]byte, error) {
+	tc := p.TC
+	lbl, err := tc.SelfLabel()
+	if err != nil {
+		return nil, err
+	}
+	clr, err := tc.SelfClearance()
+	if err != nil {
+		return nil, err
+	}
+	taintLevel := maxTaint(lbl.Get(d.Taint), label.L2)
+	if lbl.Owns(d.Taint) {
+		// A category owner (e.g. the VPN client, for i) is never forced to
+		// taint itself: ownership means the kernel ignores the category.
+		taintLevel = label.Star
+	}
+	req := kernel.GateRequest{
+		Label: lbl.With(d.Nr, label.Star).With(d.Nw, label.Star).
+			With(d.Taint, taintLevel),
+		Clearance: clr,
+		Verify:    lbl,
+		Args:      args,
+	}
+	out, gerr := tc.GateEnter(d.Gate, req)
+	// Drop the acquired nr/nw ownership; keep the taint.
+	after, err := tc.SelfLabel()
+	if err == nil {
+		_ = tc.SelfSetLabel(after.With(d.Nr, label.L1).With(d.Nw, label.L1))
+	}
+	if gerr != nil {
+		return nil, gerr
+	}
+	if len(out) < 1 || out[0] != 0 {
+		return nil, ErrNoRoute
+	}
+	return out[1:], nil
+}
+
+func maxTaint(a, b label.Level) label.Level {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ensureTaint raises the calling process's label to the stack's taint level
+// before it observes received data; the kernel has no way to check reads of
+// netd's internal buffers, so the client library applies the taint exactly
+// where the real system's mapped-segment reads would force it.
+func ensureTaint(d *Daemon, p *unixlib.Process) error {
+	tc := p.TC
+	lbl, err := tc.SelfLabel()
+	if err != nil {
+		return err
+	}
+	if lbl.Get(d.Taint) >= label.L2 || lbl.Owns(d.Taint) {
+		return nil
+	}
+	return tc.SelfSetLabel(lbl.With(d.Taint, label.L2))
+}
+
+// Dial opens a connection to a registered remote address.
+func Dial(d *Daemon, p *unixlib.Process, addr string) (*Socket, error) {
+	out, err := gateCall(d, p, append([]byte{opDial}, addr...))
+	if err != nil {
+		return nil, err
+	}
+	if len(out) < 4 {
+		return nil, ErrBadReply
+	}
+	return &Socket{d: d, id: binary.LittleEndian.Uint32(out[:4]), proc: p}, nil
+}
+
+// Send transmits request bytes and marks the end of the request (the remote
+// handler runs once the push frame arrives).
+func (s *Socket) Send(data []byte) error {
+	args := make([]byte, 5+len(data))
+	args[0] = opSend
+	binary.LittleEndian.PutUint32(args[1:5], s.id)
+	copy(args[5:], data)
+	_, err := gateCall(s.d, s.proc, args)
+	return err
+}
+
+// Recv returns up to n bytes of response data via a gate call, blocking
+// until data arrives; it returns an empty slice at end of stream.  Receiving
+// network data taints the caller with the stack's taint category.
+func (s *Socket) Recv(n int) ([]byte, error) {
+	if err := ensureTaint(s.d, s.proc); err != nil {
+		return nil, err
+	}
+	args := make([]byte, 13)
+	args[0] = opRecv
+	binary.LittleEndian.PutUint32(args[1:5], s.id)
+	binary.LittleEndian.PutUint64(args[5:13], uint64(n))
+	return gateCall(s.d, s.proc, args)
+}
+
+// Close tears down the connection.
+func (s *Socket) Close() error {
+	args := make([]byte, 5)
+	args[0] = opClose
+	binary.LittleEndian.PutUint32(args[1:5], s.id)
+	_, err := gateCall(s.d, s.proc, args)
+	return err
+}
+
+// AttachFastPath sets up a shared-memory receive segment between the client
+// and netd (the Section 5.7 optimization): subsequent RecvFast calls read
+// directly from the segment and synchronize with futexes, avoiding the
+// overhead of a gate call per read.  The segment is allocated by the gate
+// entry (which holds the nw ownership needed to label it {nw0, taint2, 1})
+// in the daemon's scratch container.
+func (s *Socket) AttachFastPath() error {
+	args := make([]byte, 5)
+	args[0] = opAttachFast
+	binary.LittleEndian.PutUint32(args[1:5], s.id)
+	out, err := gateCall(s.d, s.proc, args)
+	if err != nil {
+		return err
+	}
+	if len(out) < 16 {
+		return ErrBadReply
+	}
+	ce := kernel.CEnt{
+		Container: kernel.ID(binary.LittleEndian.Uint64(out[:8])),
+		Object:    kernel.ID(binary.LittleEndian.Uint64(out[8:16])),
+	}
+	s.fast = &ce
+	return nil
+}
+
+// RecvFast reads response data through the shared segment.  The caller must
+// have attached the fast path and must be able to read the segment (it is
+// tainted with the stack's taint category, so reading taints the caller just
+// as a gate-call receive would).
+func (s *Socket) RecvFast() ([]byte, error) {
+	if s.fast == nil {
+		return nil, ErrBadReply
+	}
+	tc := s.proc.TC
+	// Reading the shared segment requires (and applies) the stack's taint;
+	// the kernel would refuse the read otherwise.
+	if err := ensureTaint(s.d, s.proc); err != nil {
+		return nil, err
+	}
+	for {
+		cntBuf, err := tc.SegmentRead(*s.fast, fastCountOff, 16)
+		if err != nil {
+			return nil, err
+		}
+		cnt := binary.LittleEndian.Uint64(cntBuf[:8])
+		eof := binary.LittleEndian.Uint64(cntBuf[8:16])
+		if cnt > 0 {
+			data, err := tc.SegmentRead(*s.fast, fastDataOff, int(cnt))
+			if err != nil {
+				return nil, err
+			}
+			var zero [8]byte
+			if err := tc.SegmentWrite(*s.fast, fastCountOff, zero[:]); err != nil {
+				return nil, err
+			}
+			s.d.mu.Lock()
+			s.d.stats.FastpathReads++
+			s.d.mu.Unlock()
+			// Ask the daemon to refill if more data is pending.
+			s.d.drainToFast(s.id)
+			return data, nil
+		}
+		if eof != 0 {
+			return nil, nil
+		}
+		// Nothing available: ask the daemon to refill, then sleep on the
+		// count word.
+		s.d.drainToFast(s.id)
+		cntBuf, err = tc.SegmentRead(*s.fast, fastCountOff, 8)
+		if err != nil {
+			return nil, err
+		}
+		if binary.LittleEndian.Uint64(cntBuf) != 0 {
+			continue
+		}
+		if err := tc.FutexWait(*s.fast, fastCountOff, 0); err != nil {
+			return nil, err
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"histar/internal/vclock"
+)
+
+func TestLinkDeliversAndChargesTime(t *testing.T) {
+	clk := &vclock.Clock{}
+	l := NewLink(LinkParams{BandwidthBitsPerSec: 8e6, MTU: 1500}, clk) // 1 MB/s
+	var atA, atB [][]byte
+	l.Attach(
+		EndpointFunc(func(f []byte) { atA = append(atA, f) }),
+		EndpointFunc(func(f []byte) { atB = append(atB, f) }),
+	)
+	l.SendAtoB(make([]byte, 1000))
+	l.SendBtoA([]byte("reply"))
+	if len(atB) != 1 || len(atA) != 1 {
+		t.Fatalf("delivery counts: a=%d b=%d", len(atA), len(atB))
+	}
+	// 1000 bytes at 1 MB/s ≈ 1 ms of simulated time.
+	if clk.Now() < 900*time.Microsecond {
+		t.Errorf("simulated time %v too small", clk.Now())
+	}
+	ab, ba, fab, fba := l.Stats()
+	if ab != 1000 || ba != 5 || fab != 1 || fba != 1 {
+		t.Errorf("stats = %d %d %d %d", ab, ba, fab, fba)
+	}
+}
+
+func TestPaperEthernetSaturationTime(t *testing.T) {
+	clk := &vclock.Clock{}
+	l := NewLink(PaperEthernet(), clk)
+	l.Attach(nil, EndpointFunc(func([]byte) {}))
+	// 100 MB at 100 Mbps should take ≈ 8.4 simulated seconds.
+	const total = 100 << 20
+	frame := make([]byte, l.MTU())
+	for sent := 0; sent < total; sent += len(frame) {
+		l.SendAtoB(frame)
+	}
+	got := clk.Now().Seconds()
+	if got < 8.0 || got > 9.5 {
+		t.Errorf("100MB transfer simulated time = %.2fs, want ≈8.4s", got)
+	}
+}

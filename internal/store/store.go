@@ -1,0 +1,614 @@
+// Package store implements the HiStar single-level store (Sections 3 and 4):
+// on bootup the entire system state is restored from the most recent on-disk
+// snapshot, and all kernel objects are periodically checkpointed to disk.
+// The layout follows the paper's description, inspired by XFS: a B+-tree
+// maps object IDs to their location on disk, and two more B+-trees maintain
+// the free-extent list (indexed by size, for allocation, and by location,
+// for coalescing).  Write-ahead logging provides atomicity and crash
+// consistency, and disk space allocation is delayed until an object is
+// written to disk, making it easier to allocate contiguous extents.
+//
+// Three durability modes mirror the evaluation's LFS variants:
+//
+//   - asynchronous: Put buffers in memory; nothing reaches disk until a
+//     checkpoint.
+//   - per-object sync: SyncObject appends the object to the write-ahead log
+//     and commits — a sequential write plus flush per operation.
+//   - group sync: Checkpoint writes every dirty object to its home extent,
+//     persists the metadata trees, and updates the superblock once.
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"histar/internal/btree"
+	"histar/internal/disk"
+	"histar/internal/wal"
+)
+
+// Layout constants.
+const (
+	superblockOffset = 0
+	superblockSize   = 4096
+	logOffset        = superblockSize
+	defaultLogSize   = 32 << 20 // 32 MB log region
+
+	// metaAreaSize is the size of each of the two alternating metadata
+	// areas; checkpoints write the serialized object map and free list into
+	// the area not referenced by the current superblock, then flip the
+	// superblock, so a crash mid-checkpoint always leaves one intact copy.
+	metaAreaSize = 16 << 20
+
+	superMagic = 0x48495354 // "HIST"
+
+	// extentAlign is the allocation granularity.  HiStar's allocator does
+	// not cluster small objects the way ext3's block groups do, which is the
+	// effect behind the uncached small-file read gap in Figure 12; aligning
+	// extents reproduces that dispersion.
+	extentAlign = 8192
+)
+
+// Errors.
+var (
+	ErrNoSuchObject = errors.New("store: no such object")
+	ErrNoSpace      = errors.New("store: out of disk space")
+	ErrClosed       = errors.New("store: store is closed")
+)
+
+// Stats describes cumulative store activity.
+type Stats struct {
+	Puts            uint64
+	Gets            uint64
+	Deletes         uint64
+	ObjectSyncs     uint64
+	Checkpoints     uint64
+	LogApplications uint64
+	BytesLogged     uint64
+	BytesHome       uint64
+	DirtyObjects    int
+	LiveObjects     int
+}
+
+type extent struct {
+	off  int64
+	size int64
+}
+
+// Store is a single-level store on a simulated disk.  It is safe for
+// concurrent use.
+type Store struct {
+	mu sync.Mutex
+	d  *disk.Disk
+	l  *wal.Log
+
+	logSize int64
+
+	objMap     *btree.Tree // object ID → extent offset
+	objSizes   map[uint64]int64
+	freeBySize *btree.Tree // (size, offset) → 0
+	freeByOff  *btree.Tree // (offset, 0) → size
+
+	cache map[uint64][]byte // in-memory object contents (the "page cache")
+	dirty map[uint64]bool   // objects modified since last checkpoint/apply
+	dead  map[uint64]bool   // objects deleted since last checkpoint
+
+	metaWhich int // which metadata area (0 or 1) the superblock references
+
+	stats  Stats
+	closed bool
+}
+
+// Options configure Format and Open.
+type Options struct {
+	// LogSize is the size of the write-ahead log region (default 32 MB).
+	LogSize int64
+}
+
+// Format initializes an empty single-level store on d, erasing any previous
+// contents, and returns it ready for use.
+func Format(d *disk.Disk, opts Options) (*Store, error) {
+	if opts.LogSize == 0 {
+		opts.LogSize = defaultLogSize
+	}
+	s := &Store{
+		d:          d,
+		logSize:    opts.LogSize,
+		objMap:     &btree.Tree{},
+		objSizes:   make(map[uint64]int64),
+		freeBySize: &btree.Tree{},
+		freeByOff:  &btree.Tree{},
+		cache:      make(map[uint64][]byte),
+		dirty:      make(map[uint64]bool),
+		dead:       make(map[uint64]bool),
+	}
+	l, err := wal.New(d, logOffset, opts.LogSize)
+	if err != nil {
+		return nil, err
+	}
+	s.l = l
+	dataStart := logOffset + opts.LogSize + 2*metaAreaSize
+	s.addFree(extent{off: dataStart, size: d.Size() - dataStart})
+	if err := s.writeSuperblock(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Open mounts an existing store from d, replaying the write-ahead log if the
+// system crashed before the log was applied.  This is the "bootup restores
+// the entire system state from the most recent on-disk snapshot" path.
+func Open(d *disk.Disk, opts Options) (*Store, error) {
+	if opts.LogSize == 0 {
+		opts.LogSize = defaultLogSize
+	}
+	s := &Store{
+		d:          d,
+		logSize:    opts.LogSize,
+		objMap:     &btree.Tree{},
+		objSizes:   make(map[uint64]int64),
+		freeBySize: &btree.Tree{},
+		freeByOff:  &btree.Tree{},
+		cache:      make(map[uint64][]byte),
+		dirty:      make(map[uint64]bool),
+		dead:       make(map[uint64]bool),
+	}
+	if err := s.readSuperblock(); err != nil {
+		return nil, err
+	}
+	s.l = wal.Open(d, logOffset, opts.LogSize)
+	recs, err := s.l.Recover()
+	if err != nil && !errors.Is(err, wal.ErrCorrupt) {
+		return nil, err
+	}
+	// Re-apply committed log records on top of the checkpointed state.
+	for _, r := range recs {
+		if r.Delete {
+			s.deleteLocked(r.ObjectID)
+			continue
+		}
+		s.cache[r.ObjectID] = append([]byte(nil), r.Data...)
+		s.dirty[r.ObjectID] = true
+	}
+	return s, nil
+}
+
+// Disk returns the underlying simulated disk.
+func (s *Store) Disk() *disk.Disk { return s.d }
+
+// Stats returns a snapshot of store statistics.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.DirtyObjects = len(s.dirty)
+	st.LiveObjects = s.objMap.Len() + len(s.dirtyOnlyLocked())
+	return st
+}
+
+func (s *Store) dirtyOnlyLocked() []uint64 {
+	var out []uint64
+	for id := range s.dirty {
+		if _, ok := s.objMap.Get(btree.K1(id)); !ok {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Put stores (or replaces) the contents of an object in memory.  Nothing is
+// written to disk until SyncObject or a checkpoint, mirroring HiStar's
+// delayed allocation.
+func (s *Store) Put(id uint64, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	s.cache[id] = append([]byte(nil), data...)
+	s.dirty[id] = true
+	delete(s.dead, id)
+	s.stats.Puts++
+	return nil
+}
+
+// Get returns the contents of an object, reading it from disk if it is not
+// cached.
+func (s *Store) Get(id uint64) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	s.stats.Gets++
+	if data, ok := s.cache[id]; ok {
+		return append([]byte(nil), data...), nil
+	}
+	if s.dead[id] {
+		return nil, ErrNoSuchObject
+	}
+	off, ok := s.objMap.Get(btree.K1(id))
+	if !ok {
+		return nil, ErrNoSuchObject
+	}
+	size := s.objSizes[id]
+	buf := make([]byte, size)
+	if size > 0 {
+		if _, err := s.d.ReadAt(buf, int64(off)); err != nil {
+			return nil, err
+		}
+	}
+	s.cache[id] = append([]byte(nil), buf...)
+	return buf, nil
+}
+
+// Cached reports whether the object's contents are resident in memory.
+func (s *Store) Cached(id uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.cache[id]
+	return ok
+}
+
+// EvictCache drops all clean objects from the in-memory cache, forcing
+// subsequent Gets to hit the disk (used by the uncached read benchmarks).
+func (s *Store) EvictCache() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for id := range s.cache {
+		if !s.dirty[id] {
+			delete(s.cache, id)
+		}
+	}
+}
+
+// Delete removes an object.
+func (s *Store) Delete(id uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	s.stats.Deletes++
+	s.deleteLocked(id)
+	return nil
+}
+
+func (s *Store) deleteLocked(id uint64) {
+	delete(s.cache, id)
+	delete(s.dirty, id)
+	s.dead[id] = true
+}
+
+// SyncObject durably records the current contents of one object by appending
+// it to the write-ahead log and committing — the fast path for fsync of a
+// single file's segment.  Directory-level fsync in the Unix library uses
+// Checkpoint instead, which is why the paper's synchronous unlink phase is
+// so much slower on HiStar than Linux.
+func (s *Store) SyncObject(id uint64) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	data, inCache := s.cache[id]
+	isDead := s.dead[id]
+	s.stats.ObjectSyncs++
+	s.mu.Unlock()
+
+	var rec wal.Record
+	switch {
+	case isDead:
+		rec = wal.Record{ObjectID: id, Delete: true}
+	case inCache:
+		rec = wal.Record{ObjectID: id, Data: data}
+	default:
+		// Nothing in memory and not deleted: the on-disk copy is current.
+		return nil
+	}
+	s.l.Append(rec)
+	err := s.l.Commit()
+	if errors.Is(err, wal.ErrFull) {
+		// Apply the log to home locations and retry once.
+		if cerr := s.Checkpoint(); cerr != nil {
+			return cerr
+		}
+		s.l.Append(rec)
+		err = s.l.Commit()
+	}
+	if err == nil {
+		s.mu.Lock()
+		s.stats.BytesLogged += uint64(len(rec.Data))
+		s.mu.Unlock()
+	}
+	return err
+}
+
+// Checkpoint writes every dirty object to its home extent, persists the
+// metadata trees and superblock, and truncates the log: the whole-system
+// snapshot behind HiStar's group sync consistency choice.  The application
+// either runs to completion or appears never to have started.
+func (s *Store) Checkpoint() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	s.stats.Checkpoints++
+	// Free extents of deleted objects.
+	for id := range s.dead {
+		if off, ok := s.objMap.Get(btree.K1(id)); ok {
+			size := s.objSizes[id]
+			s.objMap.Delete(btree.K1(id))
+			delete(s.objSizes, id)
+			s.addFree(extent{off: int64(off), size: alignUp(size)})
+		}
+	}
+	s.dead = make(map[uint64]bool)
+	// Write dirty objects to (new) home extents.  Delayed allocation: space
+	// is chosen only now, so consecutive dirty objects land contiguously.
+	for id := range s.dirty {
+		data := s.cache[id]
+		if oldOff, ok := s.objMap.Get(btree.K1(id)); ok {
+			oldSize := s.objSizes[id]
+			if alignUp(oldSize) >= int64(len(data)) {
+				// Rewrite in place (the paper's in-place segment flush path).
+				if len(data) > 0 {
+					if _, err := s.d.WriteAt(data, int64(oldOff)); err != nil {
+						return err
+					}
+				}
+				s.objSizes[id] = int64(len(data))
+				s.stats.BytesHome += uint64(len(data))
+				continue
+			}
+			// Relocate: free the old extent.
+			s.objMap.Delete(btree.K1(id))
+			s.addFree(extent{off: int64(oldOff), size: alignUp(oldSize)})
+		}
+		ext, err := s.allocate(int64(len(data)))
+		if err != nil {
+			return err
+		}
+		if len(data) > 0 {
+			if _, err := s.d.WriteAt(data, ext.off); err != nil {
+				return err
+			}
+		}
+		s.objMap.Put(btree.K1(id), uint64(ext.off))
+		s.objSizes[id] = int64(len(data))
+		s.stats.BytesHome += uint64(len(data))
+	}
+	s.dirty = make(map[uint64]bool)
+	if err := s.writeSuperblock(); err != nil {
+		return err
+	}
+	if err := s.d.Flush(); err != nil {
+		return err
+	}
+	if err := s.l.Truncate(); err != nil {
+		return err
+	}
+	s.stats.LogApplications++
+	return nil
+}
+
+// Close checkpoints and marks the store closed.
+func (s *Store) Close() error {
+	if err := s.Checkpoint(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Extent allocation.
+// ---------------------------------------------------------------------------
+
+func alignUp(n int64) int64 {
+	if n <= 0 {
+		return extentAlign
+	}
+	return (n + extentAlign - 1) / extentAlign * extentAlign
+}
+
+// allocate finds a free extent of at least size bytes using the
+// free-by-size tree, splitting the extent when it is larger than needed.
+func (s *Store) allocate(size int64) (extent, error) {
+	need := alignUp(size)
+	k, _, ok := s.freeBySize.Ceiling(btree.K2(uint64(need), 0))
+	if !ok {
+		return extent{}, ErrNoSpace
+	}
+	ext := extent{off: int64(k[1]), size: int64(k[0])}
+	s.removeFree(ext)
+	if ext.size > need {
+		s.addFree(extent{off: ext.off + need, size: ext.size - need})
+		ext.size = need
+	}
+	return ext, nil
+}
+
+// addFree inserts an extent into both free trees, coalescing with adjacent
+// extents (the purpose of the offset-indexed tree).
+func (s *Store) addFree(e extent) {
+	if e.size <= 0 {
+		return
+	}
+	// Coalesce with the preceding extent.
+	if k, v, ok := s.freeByOff.Floor(btree.K1(uint64(e.off))); ok {
+		prev := extent{off: int64(k[0]), size: int64(v)}
+		if prev.off+prev.size == e.off {
+			s.removeFree(prev)
+			e.off = prev.off
+			e.size += prev.size
+		}
+	}
+	// Coalesce with the following extent.
+	if k, v, ok := s.freeByOff.Ceiling(btree.K1(uint64(e.off + e.size))); ok {
+		next := extent{off: int64(k[0]), size: int64(v)}
+		if e.off+e.size == next.off {
+			s.removeFree(next)
+			e.size += next.size
+		}
+	}
+	s.freeBySize.Put(btree.K2(uint64(e.size), uint64(e.off)), 0)
+	s.freeByOff.Put(btree.K1(uint64(e.off)), uint64(e.size))
+}
+
+func (s *Store) removeFree(e extent) {
+	s.freeBySize.Delete(btree.K2(uint64(e.size), uint64(e.off)))
+	s.freeByOff.Delete(btree.K1(uint64(e.off)))
+}
+
+// FreeBytes returns the total free space in the data region.
+func (s *Store) FreeBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var total int64
+	s.freeByOff.Scan(func(_ btree.Key, v uint64) bool {
+		total += int64(v)
+		return true
+	})
+	return total
+}
+
+// ---------------------------------------------------------------------------
+// Superblock and metadata persistence.
+// ---------------------------------------------------------------------------
+
+// The superblock stores the location and length of the serialized metadata
+// (object map, object sizes, free list).  Metadata is written to a freshly
+// allocated extent on every checkpoint and the superblock is updated last,
+// so a crash during checkpoint leaves the previous snapshot intact.
+
+func (s *Store) writeSuperblock() error {
+	meta := s.encodeMetadata()
+	if int64(len(meta)) > metaAreaSize {
+		return fmt.Errorf("store: metadata (%d bytes) exceeds the metadata area", len(meta))
+	}
+	next := 1 - s.metaWhich
+	metaOff := logOffset + s.logSize + int64(next)*metaAreaSize
+	if len(meta) > 0 {
+		if _, err := s.d.WriteAt(meta, metaOff); err != nil {
+			return err
+		}
+	}
+	var sb [superblockSize]byte
+	binary.LittleEndian.PutUint64(sb[0:], superMagic)
+	binary.LittleEndian.PutUint64(sb[8:], uint64(next))
+	binary.LittleEndian.PutUint64(sb[16:], uint64(len(meta)))
+	binary.LittleEndian.PutUint64(sb[24:], uint64(s.logSize))
+	if _, err := s.d.WriteAt(sb[:], superblockOffset); err != nil {
+		return err
+	}
+	if err := s.d.Flush(); err != nil {
+		return err
+	}
+	s.metaWhich = next
+	return nil
+}
+
+func (s *Store) readSuperblock() error {
+	var sb [superblockSize]byte
+	if _, err := s.d.ReadAt(sb[:], superblockOffset); err != nil {
+		return err
+	}
+	if binary.LittleEndian.Uint64(sb[0:]) != superMagic {
+		return fmt.Errorf("store: bad superblock magic")
+	}
+	which := int(binary.LittleEndian.Uint64(sb[8:]))
+	metaLen := int64(binary.LittleEndian.Uint64(sb[16:]))
+	s.logSize = int64(binary.LittleEndian.Uint64(sb[24:]))
+	s.metaWhich = which
+	if metaLen == 0 {
+		dataStart := logOffset + s.logSize + 2*metaAreaSize
+		s.addFree(extent{off: dataStart, size: s.d.Size() - dataStart})
+		return nil
+	}
+	metaOff := logOffset + s.logSize + int64(which)*metaAreaSize
+	meta := make([]byte, metaLen)
+	if _, err := s.d.ReadAt(meta, metaOff); err != nil {
+		return err
+	}
+	return s.decodeMetadata(meta)
+}
+
+// encodeMetadata serializes the object map, object sizes and free list.
+func (s *Store) encodeMetadata() []byte {
+	var buf []byte
+	appendU64 := func(v uint64) { var b [8]byte; binary.LittleEndian.PutUint64(b[:], v); buf = append(buf, b[:]...) }
+
+	appendU64(uint64(s.objMap.Len()))
+	s.objMap.Scan(func(k btree.Key, v uint64) bool {
+		appendU64(k[0])
+		appendU64(v)
+		appendU64(uint64(s.objSizes[k[0]]))
+		return true
+	})
+	// Free list by offset.
+	var frees [][2]uint64
+	s.freeByOff.Scan(func(k btree.Key, v uint64) bool {
+		frees = append(frees, [2]uint64{k[0], v})
+		return true
+	})
+	appendU64(uint64(len(frees)))
+	for _, f := range frees {
+		appendU64(f[0])
+		appendU64(f[1])
+	}
+	return buf
+}
+
+func (s *Store) decodeMetadata(buf []byte) error {
+	readU64 := func() (uint64, error) {
+		if len(buf) < 8 {
+			return 0, fmt.Errorf("store: truncated metadata")
+		}
+		v := binary.LittleEndian.Uint64(buf)
+		buf = buf[8:]
+		return v, nil
+	}
+	n, err := readU64()
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < n; i++ {
+		id, err := readU64()
+		if err != nil {
+			return err
+		}
+		off, err := readU64()
+		if err != nil {
+			return err
+		}
+		size, err := readU64()
+		if err != nil {
+			return err
+		}
+		s.objMap.Put(btree.K1(id), off)
+		s.objSizes[id] = int64(size)
+	}
+	nf, err := readU64()
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < nf; i++ {
+		off, err := readU64()
+		if err != nil {
+			return err
+		}
+		size, err := readU64()
+		if err != nil {
+			return err
+		}
+		s.freeBySize.Put(btree.K2(size, off), 0)
+		s.freeByOff.Put(btree.K1(off), size)
+	}
+	return nil
+}

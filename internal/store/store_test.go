@@ -1,0 +1,297 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"histar/internal/disk"
+	"histar/internal/vclock"
+)
+
+func testStore(t *testing.T) (*Store, *disk.Disk) {
+	t.Helper()
+	d := disk.New(disk.Params{Sectors: 1 << 18, WriteCache: true}, &vclock.Clock{}) // 128 MB
+	s, err := Format(d, Options{LogSize: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, d
+}
+
+func TestPutGetDelete(t *testing.T) {
+	s, _ := testStore(t)
+	if err := s.Put(1, []byte("object one")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get(1)
+	if err != nil || string(got) != "object one" {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+	if err := s.Delete(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(1); !errors.Is(err, ErrNoSuchObject) {
+		t.Errorf("Get after delete: %v", err)
+	}
+	if _, err := s.Get(999); !errors.Is(err, ErrNoSuchObject) {
+		t.Errorf("Get of never-created object: %v", err)
+	}
+}
+
+func TestCheckpointPersistsAcrossRemount(t *testing.T) {
+	s, d := testStore(t)
+	for i := uint64(0); i < 100; i++ {
+		s.Put(i, []byte(fmt.Sprintf("object-%d-contents", i)))
+	}
+	s.Delete(50)
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Remount as after a reboot.
+	s2, err := Open(d, Options{LogSize: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 100; i++ {
+		got, err := s2.Get(i)
+		if i == 50 {
+			if !errors.Is(err, ErrNoSuchObject) {
+				t.Errorf("deleted object survived remount: %v", err)
+			}
+			continue
+		}
+		if err != nil || string(got) != fmt.Sprintf("object-%d-contents", i) {
+			t.Fatalf("object %d after remount: %q, %v", i, got, err)
+		}
+	}
+}
+
+func TestAsyncWritesLostOnCrashSyncedSurvive(t *testing.T) {
+	s, d := testStore(t)
+	s.Put(1, []byte("synced data"))
+	s.Put(2, []byte("async data"))
+	if err := s.SyncObject(1); err != nil {
+		t.Fatal(err)
+	}
+	// Crash: lose the disk write cache and remount without checkpointing.
+	d.Crash()
+	s2, err := Open(d, Options{LogSize: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s2.Get(1)
+	if err != nil || string(got) != "synced data" {
+		t.Errorf("synced object after crash: %q, %v", got, err)
+	}
+	if _, err := s2.Get(2); !errors.Is(err, ErrNoSuchObject) {
+		t.Errorf("async object should be lost after crash, got err=%v", err)
+	}
+}
+
+func TestSyncedDeleteSurvivesCrash(t *testing.T) {
+	s, d := testStore(t)
+	s.Put(1, []byte("to be removed"))
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	s.Delete(1)
+	if err := s.SyncObject(1); err != nil {
+		t.Fatal(err)
+	}
+	d.Crash()
+	s2, err := Open(d, Options{LogSize: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Get(1); !errors.Is(err, ErrNoSuchObject) {
+		t.Errorf("synced delete should survive crash: %v", err)
+	}
+}
+
+func TestGroupSyncCheaperThanPerObjectSync(t *testing.T) {
+	// The single-level store's group sync should beat per-object sync by a
+	// large factor on many-small-object workloads (the paper reports up to
+	// ~200x for the LFS small-file benchmark).
+	mk := func() (*Store, *vclock.Clock) {
+		clk := &vclock.Clock{}
+		d := disk.New(disk.Params{
+			Sectors:              1 << 18,
+			SeekTime:             8500000,
+			RotationalLatency:    4150000,
+			BandwidthBytesPerSec: 58e6,
+			WriteCache:           true,
+		}, clk)
+		s, err := Format(d, Options{LogSize: 8 << 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		clk.Reset()
+		return s, clk
+	}
+	data := bytes.Repeat([]byte("x"), 1024)
+
+	perObj, clk1 := mk()
+	for i := uint64(0); i < 200; i++ {
+		perObj.Put(i, data)
+		if err := perObj.SyncObject(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	perObjTime := clk1.Now()
+
+	group, clk2 := mk()
+	for i := uint64(0); i < 200; i++ {
+		group.Put(i, data)
+	}
+	if err := group.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	groupTime := clk2.Now()
+
+	if groupTime*10 > perObjTime {
+		t.Errorf("group sync (%v) should be at least 10x cheaper than per-object sync (%v)", groupTime, perObjTime)
+	}
+}
+
+func TestEvictCacheForcesDiskReads(t *testing.T) {
+	s, d := testStore(t)
+	payload := bytes.Repeat([]byte("y"), 4096)
+	for i := uint64(0); i < 20; i++ {
+		s.Put(i, payload)
+	}
+	s.Checkpoint()
+	s.EvictCache()
+	if s.Cached(3) {
+		t.Error("object should have been evicted")
+	}
+	readsBefore := d.Stats().Reads
+	got, err := s.Get(3)
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("Get after evict: %v", err)
+	}
+	if d.Stats().Reads == readsBefore {
+		t.Error("uncached Get should have hit the disk")
+	}
+	if !s.Cached(3) {
+		t.Error("Get should repopulate the cache")
+	}
+}
+
+func TestLogFullTriggersCheckpointAndRetry(t *testing.T) {
+	// A tiny log forces SyncObject to checkpoint and retry when it fills.
+	d := disk.New(disk.Params{Sectors: 1 << 18, WriteCache: true}, &vclock.Clock{})
+	s, err := Format(d, Options{LogSize: 64 * 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("z"), 8*1024)
+	for i := uint64(0); i < 20; i++ {
+		s.Put(i, payload)
+		if err := s.SyncObject(i); err != nil {
+			t.Fatalf("sync %d: %v", i, err)
+		}
+	}
+	if s.Stats().Checkpoints == 0 {
+		t.Error("expected at least one checkpoint forced by a full log")
+	}
+	// Everything is still readable.
+	for i := uint64(0); i < 20; i++ {
+		if got, err := s.Get(i); err != nil || !bytes.Equal(got, payload) {
+			t.Fatalf("object %d: %v", i, err)
+		}
+	}
+}
+
+func TestObjectGrowthRelocatesExtent(t *testing.T) {
+	s, _ := testStore(t)
+	s.Put(7, []byte("small"))
+	s.Checkpoint()
+	big := bytes.Repeat([]byte("B"), 64*1024)
+	s.Put(7, big)
+	s.Checkpoint()
+	got, err := s.Get(7)
+	if err != nil || !bytes.Equal(got, big) {
+		t.Fatalf("after growth: %v (len %d)", err, len(got))
+	}
+	s.EvictCache()
+	got, err = s.Get(7)
+	if err != nil || !bytes.Equal(got, big) {
+		t.Fatalf("after growth, uncached: %v (len %d)", err, len(got))
+	}
+}
+
+func TestInPlaceRewriteForSameSizeObject(t *testing.T) {
+	s, _ := testStore(t)
+	payload := bytes.Repeat([]byte("a"), 8192)
+	s.Put(3, payload)
+	s.Checkpoint()
+	update := bytes.Repeat([]byte("b"), 8192)
+	s.Put(3, update)
+	s.Checkpoint()
+	s.EvictCache()
+	got, err := s.Get(3)
+	if err != nil || !bytes.Equal(got, update) {
+		t.Fatalf("in-place rewrite: %v", err)
+	}
+}
+
+func TestFreeSpaceReclaimedOnDelete(t *testing.T) {
+	s, _ := testStore(t)
+	before := s.FreeBytes()
+	payload := bytes.Repeat([]byte("c"), 1<<20)
+	for i := uint64(0); i < 10; i++ {
+		s.Put(i, payload)
+	}
+	s.Checkpoint()
+	mid := s.FreeBytes()
+	if mid >= before {
+		t.Fatalf("allocations did not consume space: %d -> %d", before, mid)
+	}
+	for i := uint64(0); i < 10; i++ {
+		s.Delete(i)
+	}
+	s.Checkpoint()
+	after := s.FreeBytes()
+	if after <= mid {
+		t.Errorf("deletes did not reclaim space: %d -> %d", mid, after)
+	}
+}
+
+func TestCloseRejectsFurtherUse(t *testing.T) {
+	s, _ := testStore(t)
+	s.Put(1, []byte("x"))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(2, []byte("y")); !errors.Is(err, ErrClosed) {
+		t.Errorf("Put after close: %v", err)
+	}
+	if _, err := s.Get(1); !errors.Is(err, ErrClosed) {
+		t.Errorf("Get after close: %v", err)
+	}
+}
+
+func TestOpenRejectsUnformattedDisk(t *testing.T) {
+	d := disk.New(disk.Params{Sectors: 1 << 16}, &vclock.Clock{})
+	if _, err := Open(d, Options{}); err == nil {
+		t.Error("opening an unformatted disk should fail")
+	}
+}
+
+func TestStatsTracking(t *testing.T) {
+	s, _ := testStore(t)
+	s.Put(1, []byte("a"))
+	s.Get(1)
+	s.SyncObject(1)
+	s.Checkpoint()
+	st := s.Stats()
+	if st.Puts != 1 || st.Gets != 1 || st.ObjectSyncs != 1 || st.Checkpoints != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.LiveObjects != 1 {
+		t.Errorf("live objects = %d", st.LiveObjects)
+	}
+}

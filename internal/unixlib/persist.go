@@ -1,0 +1,99 @@
+package unixlib
+
+import (
+	"histar/internal/kernel"
+)
+
+// Persistence bridge to the single-level store.  When a store is attached,
+// file and directory segments are mirrored into it keyed by their kernel
+// object ID, so the durability semantics of the paper apply: asynchronous
+// writes reach disk only at the next checkpoint, per-file fsync commits one
+// object through the write-ahead log, and directory fsync (or an explicit
+// group sync) checkpoints the entire system state.
+//
+// On a real HiStar machine the kernel itself writes every object to disk at
+// each snapshot; mirroring at the library layer preserves the same on-disk
+// traffic for the objects the benchmarks exercise without entangling the
+// kernel simulation with the disk model.
+
+// persistFileAsync records a file's current contents in the store's
+// in-memory dirty set (no disk I/O yet).
+func (sys *System) persistFileAsync(tc *kernel.ThreadCall, file kernel.CEnt) {
+	if sys.Persist == nil {
+		return
+	}
+	n, err := tc.SegmentLen(file)
+	if err != nil {
+		return
+	}
+	data, err := tc.SegmentRead(file, 0, n)
+	if err != nil {
+		return
+	}
+	_ = sys.Persist.Put(uint64(file.Object), data)
+}
+
+// persistFileSync is persistFileAsync followed by a write-ahead-log commit
+// for that object (fsync of a file).
+func (sys *System) persistFileSync(tc *kernel.ThreadCall, file kernel.CEnt) error {
+	if sys.Persist == nil {
+		return nil
+	}
+	sys.persistFileAsync(tc, file)
+	return sys.Persist.SyncObject(uint64(file.Object))
+}
+
+// persistDirectory mirrors a directory's segment into the store (async).
+func (sys *System) persistDirectory(tc *kernel.ThreadCall, dir kernel.ID) {
+	if sys.Persist == nil {
+		return
+	}
+	seg, err := sys.dirSegCE(tc, dir)
+	if err != nil {
+		return
+	}
+	sys.persistFileAsync(tc, seg)
+}
+
+// persistDelete records an object's deletion.
+func (sys *System) persistDelete(id kernel.ID) {
+	if sys.Persist == nil {
+		return
+	}
+	_ = sys.Persist.Delete(uint64(id))
+}
+
+// pageInFile models HiStar's whole-segment paging: the prototype "does not
+// support paging in of partial segments, so the entire file segment is paged
+// in when the file is first accessed" (Section 7.1).  Reading any byte of an
+// uncached file costs a full-object read from the store.
+func (sys *System) pageInFile(file kernel.CEnt) {
+	if sys.Persist == nil {
+		return
+	}
+	if sys.Persist.Cached(uint64(file.Object)) {
+		return
+	}
+	// A miss pulls the whole object from disk; the contents authoritative
+	// for the simulation live in the kernel segment, so the bytes read here
+	// only drive the latency model.
+	_, _ = sys.Persist.Get(uint64(file.Object))
+}
+
+// SyncWholeSystem checkpoints the single-level store: every dirty object is
+// written to its home location and the metadata trees and superblock are
+// updated once.
+func (sys *System) SyncWholeSystem() error {
+	if sys.Persist == nil {
+		return nil
+	}
+	return sys.Persist.Checkpoint()
+}
+
+// EvictFileCache drops clean objects from the store's cache so subsequent
+// reads hit the simulated disk (benchmark plumbing for the uncached phases).
+func (sys *System) EvictFileCache() {
+	if sys.Persist != nil {
+		sys.Persist.EvictCache()
+	}
+}

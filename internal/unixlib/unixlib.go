@@ -1,0 +1,210 @@
+// Package unixlib is the HiStar user-level Unix emulation library
+// (Section 5).  Everything here — the file system, processes, file
+// descriptors, fork/exec/spawn, signals, pipes, users, and mount tables — is
+// built purely on the kernel interface of package kernel, with no special
+// privilege: it corresponds to the ~10,000-line library the paper layers
+// under uClibc.  A vulnerability in this code compromises only the threads
+// that trigger it, never the kernel's information-flow guarantees.
+package unixlib
+
+import (
+	"fmt"
+	"sync"
+
+	"histar/internal/kernel"
+	"histar/internal/label"
+	"histar/internal/store"
+)
+
+// Program is a registered "executable": the Go function run when a process
+// execs the corresponding file.  It returns the process's exit status.
+type Program func(p *Process, args []string) int
+
+// User is a Unix user account: a pair of unique categories defining the
+// user's read and write privileges (Section 5.4).  Root is just another
+// user.
+type User struct {
+	Name string
+	Ur   label.Category // read privilege
+	Uw   label.Category // write privilege
+}
+
+// System is one booted HiStar machine with its Unix environment: the kernel,
+// the optional single-level-store persistence bridge, the root directory,
+// registered programs, and user accounts.
+type System struct {
+	Kern    *kernel.Kernel
+	Persist *store.Store
+
+	// RootDir is the container serving as the file system root "/".
+	RootDir kernel.ID
+
+	mu       sync.Mutex
+	programs map[string]Program
+	users    map[string]*User
+	nextPID  int
+
+	// initTC is the bootstrap thread that owns all users' categories; the
+	// authentication service (package auth) takes over this role in the full
+	// login flow.
+	initTC *kernel.ThreadCall
+}
+
+// BootOptions configure Boot.
+type BootOptions struct {
+	// Persist attaches a single-level store; file and directory segments are
+	// mirrored into it so fsync and checkpoint have their paper semantics.
+	Persist *store.Store
+	// KernelConfig is passed through to kernel.New.
+	KernelConfig kernel.Config
+}
+
+// Boot creates a kernel, the root directory hierarchy (/, /tmp, /bin, /etc,
+// /home), and the init process, and returns the running system.
+func Boot(opts BootOptions) (*System, error) {
+	k := kernel.New(opts.KernelConfig)
+	sys := &System{
+		Kern:     k,
+		Persist:  opts.Persist,
+		programs: make(map[string]Program),
+		users:    make(map[string]*User),
+		nextPID:  1,
+	}
+	tc, err := k.BootThread(label.New(label.L1), label.New(label.L2), "unixlib init")
+	if err != nil {
+		return nil, err
+	}
+	sys.initTC = tc
+
+	// "/" is a container directly under the kernel root container.
+	rootDir, err := sys.mkDirContainer(tc, k.RootContainer(), "/", label.New(label.L1))
+	if err != nil {
+		return nil, fmt.Errorf("creating /: %w", err)
+	}
+	sys.RootDir = rootDir
+	for _, d := range []string{"tmp", "bin", "etc", "home", "dev"} {
+		if _, err := sys.mkdirIn(tc, rootDir, d, label.New(label.L1)); err != nil {
+			return nil, fmt.Errorf("creating /%s: %w", d, err)
+		}
+	}
+	return sys, nil
+}
+
+// InitThread returns the bootstrap thread's syscall context.  It is used by
+// the trusted setup code in examples and tests (the role the machine
+// administrator's console plays on a real system).
+func (sys *System) InitThread() *kernel.ThreadCall { return sys.initTC }
+
+// RegisterProgram makes a program available under the given path, creating
+// the corresponding file in the file system (its contents are the program
+// name, standing in for the executable's bytes).
+func (sys *System) RegisterProgram(path string, prog Program) error {
+	sys.mu.Lock()
+	sys.programs[path] = prog
+	sys.mu.Unlock()
+	// Materialize the "binary" so exec can stat it and so the file system
+	// behaves like a real /bin.
+	p, err := sys.NewInitProcess("root")
+	if err != nil {
+		return err
+	}
+	defer p.ExitQuietly()
+	fd, err := p.Create(path, label.New(label.L1))
+	if err != nil {
+		if err == ErrExist {
+			return nil
+		}
+		return err
+	}
+	if _, err := p.Write(fd, []byte(path)); err != nil {
+		return err
+	}
+	return p.Close(fd)
+}
+
+// LookupProgram resolves a registered program by path.
+func (sys *System) LookupProgram(path string) (Program, bool) {
+	sys.mu.Lock()
+	defer sys.mu.Unlock()
+	prog, ok := sys.programs[path]
+	return prog, ok
+}
+
+// AddUser creates a user account: a fresh ur/uw category pair and a home
+// directory /home/<name> labeled {ur3, uw0, 1}.
+func (sys *System) AddUser(name string) (*User, error) {
+	sys.mu.Lock()
+	if _, exists := sys.users[name]; exists {
+		sys.mu.Unlock()
+		return nil, ErrExist
+	}
+	sys.mu.Unlock()
+
+	ur, err := sys.initTC.CategoryCreateNamed(name + "r")
+	if err != nil {
+		return nil, err
+	}
+	uw, err := sys.initTC.CategoryCreateNamed(name + "w")
+	if err != nil {
+		return nil, err
+	}
+	u := &User{Name: name, Ur: ur, Uw: uw}
+
+	// Home directory readable/writable only by the user.
+	homeLabel := label.New(label.L1, label.P(ur, label.L3), label.P(uw, label.L0))
+	home, err := sys.lookupDir(sys.initTC, "/home")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := sys.mkdirIn(sys.initTC, home, name, homeLabel); err != nil && err != ErrExist {
+		return nil, err
+	}
+
+	sys.mu.Lock()
+	sys.users[name] = u
+	sys.mu.Unlock()
+	return u, nil
+}
+
+// LookupUser returns the account record for name.
+func (sys *System) LookupUser(name string) (*User, bool) {
+	sys.mu.Lock()
+	defer sys.mu.Unlock()
+	u, ok := sys.users[name]
+	return u, ok
+}
+
+// Users returns the registered user names.
+func (sys *System) Users() []string {
+	sys.mu.Lock()
+	defer sys.mu.Unlock()
+	out := make([]string, 0, len(sys.users))
+	for n := range sys.users {
+		out = append(out, n)
+	}
+	return out
+}
+
+func (sys *System) allocPID() int {
+	sys.mu.Lock()
+	defer sys.mu.Unlock()
+	pid := sys.nextPID
+	sys.nextPID++
+	return pid
+}
+
+// lookupDir resolves an absolute path to a directory container using the
+// init thread (bootstrap-only plumbing; processes use their own resolution).
+func (sys *System) lookupDir(tc *kernel.ThreadCall, path string) (kernel.ID, error) {
+	_, _, entry, err := sys.resolve(tc, sys.RootDir, path, nil)
+	if err != nil {
+		return kernel.NilID, err
+	}
+	if entry == nil {
+		return kernel.NilID, ErrNotExist
+	}
+	if entry.Type != kernel.ObjContainer {
+		return kernel.NilID, ErrNotDir
+	}
+	return entry.ID, nil
+}

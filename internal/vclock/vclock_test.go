@@ -1,0 +1,46 @@
+package vclock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAdvanceAccumulates(t *testing.T) {
+	var c Clock
+	if c.Now() != 0 {
+		t.Fatal("zero clock should start at 0")
+	}
+	c.Advance(5 * time.Millisecond)
+	c.Advance(3 * time.Millisecond)
+	if got := c.Now(); got != 8*time.Millisecond {
+		t.Errorf("Now = %v, want 8ms", got)
+	}
+	c.Advance(-time.Second)
+	if got := c.Now(); got != 8*time.Millisecond {
+		t.Errorf("negative advance must be ignored, got %v", got)
+	}
+	c.Reset()
+	if c.Now() != 0 {
+		t.Error("Reset should zero the clock")
+	}
+}
+
+func TestConcurrentAdvance(t *testing.T) {
+	var c Clock
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				c.Advance(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Now(); got != workers*per*time.Microsecond {
+		t.Errorf("Now = %v, want %v", got, workers*per*time.Microsecond)
+	}
+}

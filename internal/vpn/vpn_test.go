@@ -1,0 +1,90 @@
+package vpn
+
+import (
+	"bytes"
+	"testing"
+
+	"histar/internal/kernel"
+	"histar/internal/netd"
+	"histar/internal/unixlib"
+)
+
+func bootVPN(t *testing.T) (*unixlib.System, *netd.Daemon, *netd.Daemon, *Client) {
+	t.Helper()
+	sys, err := unixlib.Boot(unixlib.BootOptions{KernelConfig: kernel.Config{Seed: 13}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inet, err := netd.New(sys, netd.Options{TaintName: "i"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vpnStack, err := netd.New(sys, netd.Options{TaintName: "v"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The VPN concentrator on the Internet side decrypts with the same PSK
+	// and answers.
+	clientProc, err := sys.NewInitProcess("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := GrantTaintOwnership(sys, inet, vpnStack, clientProc); err != nil {
+		t.Fatal(err)
+	}
+	client, err := NewClient(clientProc, inet, vpnStack, "vpn-peer:1194", "shared-secret")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inet.RegisterRemote("vpn-peer:1194", func(req []byte) []byte {
+		plain, err := client.Decrypt(req)
+		if err != nil {
+			return client.Encrypt([]byte("DECRYPT-ERROR"))
+		}
+		return client.Encrypt(append([]byte("peer saw: "), plain...))
+	})
+	return sys, inet, vpnStack, client
+}
+
+func TestTunnelRoundTripIsEncrypted(t *testing.T) {
+	sys, inet, _, client := bootVPN(t)
+	corpProc, _ := sys.NewInitProcess("employee")
+	resp, err := client.SendOverTunnel(corpProc, []byte("GET /intranet"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp) != "peer saw: GET /intranet" {
+		t.Errorf("tunnel response = %q", resp)
+	}
+	// The bytes on the Internet link were ciphertext, not the plaintext.
+	st := inet.Stats()
+	if st.BytesSent == 0 {
+		t.Fatal("nothing crossed the Internet link")
+	}
+	if bytes.Contains(client.Encrypt([]byte("GET /intranet")), []byte("GET /intranet")) {
+		t.Error("encryption is a no-op")
+	}
+}
+
+func TestClientRequiresOwnershipOfBothTaints(t *testing.T) {
+	sys, inet, vpnStack, _ := bootVPN(t)
+	plain, _ := sys.NewInitProcess("")
+	if _, err := NewClient(plain, inet, vpnStack, "vpn-peer:1194", "k"); err != ErrNotOwner {
+		t.Errorf("expected ErrNotOwner, got %v", err)
+	}
+}
+
+func TestInternetTaintedProcessCannotUseTunnel(t *testing.T) {
+	sys, inet, _, client := bootVPN(t)
+	inet.RegisterRemote("www:80", func([]byte) []byte { return []byte("public page") })
+	browser, _ := sys.NewInitProcess("")
+	sock, err := netd.Dial(inet, browser, "www:80")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sock.Send(nil)
+	sock.Recv(64) // taints the browser i2
+	if _, err := client.SendOverTunnel(browser, []byte("exfiltrate")); err == nil {
+		t.Error("the tunnel must refuse data from an i-tainted process")
+	}
+}

@@ -1,0 +1,233 @@
+// Package wal implements the write-ahead log the HiStar single-level store
+// uses for crash consistency (Section 4): synchronous updates are queued in
+// a sequential on-disk log and applied to their home locations in batches.
+// Records are logical — an object ID plus its new contents (or a tombstone)
+// — so recovery does not depend on the physical layout chosen later by the
+// extent allocator.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sync"
+
+	"histar/internal/disk"
+)
+
+// Record is one logged update: the full new contents of an object, or its
+// deletion.
+type Record struct {
+	ObjectID uint64
+	Data     []byte
+	Delete   bool
+}
+
+// Errors returned by the log.
+var (
+	// ErrFull is returned when a commit would overflow the log region; the
+	// caller must apply (checkpoint) and truncate first.
+	ErrFull = errors.New("wal: log region full")
+	// ErrCorrupt is returned when recovery encounters a damaged record; all
+	// records before the damage are still returned.
+	ErrCorrupt = errors.New("wal: corrupt record")
+)
+
+const (
+	recHeaderSize = 8 + 4 + 1 + 4 // id, length, delete flag, crc
+	commitMagic   = 0x434f4d54    // "COMT"
+	logHeaderSize = 16            // magic + committed length
+	logMagic      = 0x48574c4f    // "HWLO"
+)
+
+// Log is a redo log occupying a fixed region of the disk.  It is safe for
+// concurrent use.
+type Log struct {
+	mu    sync.Mutex
+	d     *disk.Disk
+	start int64
+	size  int64
+
+	pending  []Record // appended but not yet committed
+	tail     int64    // next write offset within the region (after header)
+	commits  uint64
+	applies  uint64
+	appended uint64
+}
+
+// New creates a log over the region [start, start+size) of d and writes a
+// fresh header.  Any previous log contents are discarded.
+func New(d *disk.Disk, start, size int64) (*Log, error) {
+	l := &Log{d: d, start: start, size: size, tail: logHeaderSize}
+	if err := l.writeHeader(0); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// Open attaches to an existing log region without erasing it; use Recover to
+// read back committed records after a crash.
+func Open(d *disk.Disk, start, size int64) *Log {
+	return &Log{d: d, start: start, size: size, tail: logHeaderSize}
+}
+
+func (l *Log) writeHeader(committedBytes int64) error {
+	var hdr [logHeaderSize]byte
+	binary.LittleEndian.PutUint64(hdr[0:], logMagic)
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(committedBytes))
+	if _, err := l.d.WriteAt(hdr[:], l.start); err != nil {
+		return err
+	}
+	return l.d.Flush()
+}
+
+// Append buffers a record for the next Commit.
+func (l *Log) Append(r Record) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	r.Data = append([]byte(nil), r.Data...)
+	l.pending = append(l.pending, r)
+	l.appended++
+}
+
+// PendingBytes returns the encoded size of buffered (uncommitted) records.
+func (l *Log) PendingBytes() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var n int64
+	for _, r := range l.pending {
+		n += recHeaderSize + int64(len(r.Data))
+	}
+	return n
+}
+
+// CommittedBytes returns how much of the log region holds committed records.
+func (l *Log) CommittedBytes() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.tail - logHeaderSize
+}
+
+// Commit durably appends all buffered records to the log: a sequential write
+// into the log region followed by a header update and flush.  After Commit
+// returns, the records will survive a crash and be returned by Recover.
+func (l *Log) Commit() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.pending) == 0 {
+		return nil
+	}
+	buf := encodeRecords(l.pending)
+	if l.tail+int64(len(buf)) > l.size {
+		return ErrFull
+	}
+	if _, err := l.d.WriteAt(buf, l.start+l.tail); err != nil {
+		return err
+	}
+	newTail := l.tail + int64(len(buf))
+	// Header update makes the newly appended records part of the committed
+	// prefix; the flush inside writeHeader orders both.
+	if err := l.writeHeader(newTail - logHeaderSize); err != nil {
+		return err
+	}
+	l.tail = newTail
+	l.pending = l.pending[:0]
+	l.commits++
+	return nil
+}
+
+// Truncate discards the committed log contents, typically after the caller
+// has applied them to their home locations and checkpointed its metadata.
+func (l *Log) Truncate() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.writeHeader(0); err != nil {
+		return err
+	}
+	l.tail = logHeaderSize
+	l.applies++
+	return nil
+}
+
+// Recover reads the committed records back from the log region (after a
+// crash or restart).  Records damaged mid-write are detected by checksum and
+// everything before the damage is returned along with ErrCorrupt.
+func (l *Log) Recover() ([]Record, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var hdr [logHeaderSize]byte
+	if _, err := l.d.ReadAt(hdr[:], l.start); err != nil {
+		return nil, err
+	}
+	if binary.LittleEndian.Uint64(hdr[0:]) != logMagic {
+		// Fresh region: nothing logged.
+		l.tail = logHeaderSize
+		return nil, nil
+	}
+	committed := int64(binary.LittleEndian.Uint64(hdr[8:]))
+	if committed < 0 || committed > l.size-logHeaderSize {
+		return nil, fmt.Errorf("%w: committed length %d out of range", ErrCorrupt, committed)
+	}
+	body := make([]byte, committed)
+	if committed > 0 {
+		if _, err := l.d.ReadAt(body, l.start+logHeaderSize); err != nil {
+			return nil, err
+		}
+	}
+	recs, err := decodeRecords(body)
+	l.tail = logHeaderSize + committed
+	return recs, err
+}
+
+// Stats returns cumulative commit, apply (truncate) and append counts.
+func (l *Log) Stats() (commits, applies, appended uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.commits, l.applies, l.appended
+}
+
+func encodeRecords(recs []Record) []byte {
+	var total int
+	for _, r := range recs {
+		total += recHeaderSize + len(r.Data)
+	}
+	buf := make([]byte, 0, total)
+	for _, r := range recs {
+		var hdr [recHeaderSize]byte
+		binary.LittleEndian.PutUint64(hdr[0:], r.ObjectID)
+		binary.LittleEndian.PutUint32(hdr[8:], uint32(len(r.Data)))
+		if r.Delete {
+			hdr[12] = 1
+		}
+		crc := crc32.ChecksumIEEE(append(hdr[:13:13], r.Data...))
+		binary.LittleEndian.PutUint32(hdr[13:], crc)
+		buf = append(buf, hdr[:]...)
+		buf = append(buf, r.Data...)
+	}
+	return buf
+}
+
+func decodeRecords(buf []byte) ([]Record, error) {
+	var out []Record
+	for len(buf) > 0 {
+		if len(buf) < recHeaderSize {
+			return out, ErrCorrupt
+		}
+		id := binary.LittleEndian.Uint64(buf[0:])
+		n := int(binary.LittleEndian.Uint32(buf[8:]))
+		del := buf[12] == 1
+		wantCRC := binary.LittleEndian.Uint32(buf[13:])
+		if len(buf) < recHeaderSize+n {
+			return out, ErrCorrupt
+		}
+		data := buf[recHeaderSize : recHeaderSize+n]
+		crc := crc32.ChecksumIEEE(append(append([]byte(nil), buf[:13]...), data...))
+		if crc != wantCRC {
+			return out, ErrCorrupt
+		}
+		out = append(out, Record{ObjectID: id, Data: append([]byte(nil), data...), Delete: del})
+		buf = buf[recHeaderSize+n:]
+	}
+	return out, nil
+}

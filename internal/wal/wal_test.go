@@ -1,0 +1,148 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"histar/internal/disk"
+	"histar/internal/vclock"
+)
+
+func testLog(t *testing.T, size int64) (*Log, *disk.Disk) {
+	t.Helper()
+	d := disk.New(disk.Params{Sectors: 1 << 15}, &vclock.Clock{})
+	l, err := New(d, 0, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, d
+}
+
+func TestCommitAndRecover(t *testing.T) {
+	l, d := testLog(t, 1<<20)
+	l.Append(Record{ObjectID: 1, Data: []byte("object one")})
+	l.Append(Record{ObjectID: 2, Data: []byte("object two")})
+	if err := l.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	l.Append(Record{ObjectID: 3, Delete: true})
+	if err := l.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reattach (as after a reboot) and recover.
+	l2 := Open(d, 0, 1<<20)
+	recs, err := l2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("recovered %d records", len(recs))
+	}
+	if recs[0].ObjectID != 1 || !bytes.Equal(recs[0].Data, []byte("object one")) {
+		t.Errorf("record 0 = %+v", recs[0])
+	}
+	if !recs[2].Delete || recs[2].ObjectID != 3 {
+		t.Errorf("record 2 = %+v", recs[2])
+	}
+}
+
+func TestUncommittedRecordsAreNotRecovered(t *testing.T) {
+	l, d := testLog(t, 1<<20)
+	l.Append(Record{ObjectID: 1, Data: []byte("committed")})
+	if err := l.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	l.Append(Record{ObjectID: 2, Data: []byte("lost")})
+	// No commit: a crash discards it.
+	recs, err := Open(d, 0, 1<<20).Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].ObjectID != 1 {
+		t.Errorf("recovered %+v", recs)
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	l, d := testLog(t, 1<<20)
+	l.Append(Record{ObjectID: 1, Data: make([]byte, 100)})
+	l.Commit()
+	if l.CommittedBytes() == 0 {
+		t.Fatal("expected committed bytes")
+	}
+	if err := l.Truncate(); err != nil {
+		t.Fatal(err)
+	}
+	if l.CommittedBytes() != 0 {
+		t.Error("truncate should reset committed bytes")
+	}
+	recs, err := Open(d, 0, 1<<20).Recover()
+	if err != nil || len(recs) != 0 {
+		t.Errorf("recover after truncate: %d records, %v", len(recs), err)
+	}
+}
+
+func TestLogFull(t *testing.T) {
+	l, _ := testLog(t, 4096)
+	l.Append(Record{ObjectID: 1, Data: make([]byte, 8192)})
+	if err := l.Commit(); !errors.Is(err, ErrFull) {
+		t.Errorf("commit into tiny log: err=%v", err)
+	}
+}
+
+func TestEmptyCommitIsNoop(t *testing.T) {
+	l, _ := testLog(t, 1<<20)
+	if err := l.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	commits, _, _ := l.Stats()
+	if commits != 0 {
+		t.Errorf("empty commit counted: %d", commits)
+	}
+}
+
+func TestCorruptRecordDetected(t *testing.T) {
+	l, d := testLog(t, 1<<20)
+	l.Append(Record{ObjectID: 7, Data: []byte("good record")})
+	l.Append(Record{ObjectID: 8, Data: []byte("to be damaged")})
+	if err := l.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte inside the second record's data area.
+	evil := []byte{0xff}
+	if _, err := d.WriteAt(evil, 16+17+11+17+4); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := Open(d, 0, 1<<20).Recover()
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("expected ErrCorrupt, got %v (recs=%d)", err, len(recs))
+	}
+	if len(recs) != 1 || recs[0].ObjectID != 7 {
+		t.Errorf("records before damage should survive: %+v", recs)
+	}
+}
+
+func TestRecoverFreshRegion(t *testing.T) {
+	d := disk.New(disk.Params{Sectors: 1 << 12}, &vclock.Clock{})
+	l := Open(d, 0, 1<<16)
+	recs, err := l.Recover()
+	if err != nil || len(recs) != 0 {
+		t.Errorf("fresh region: %d recs, %v", len(recs), err)
+	}
+}
+
+func TestGroupCommitBatchesManyRecords(t *testing.T) {
+	l, _ := testLog(t, 1<<22)
+	for i := 0; i < 1000; i++ {
+		l.Append(Record{ObjectID: uint64(i), Data: make([]byte, 64)})
+	}
+	if err := l.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	commits, _, appended := l.Stats()
+	if commits != 1 || appended != 1000 {
+		t.Errorf("commits=%d appended=%d", commits, appended)
+	}
+}

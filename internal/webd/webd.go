@@ -1,0 +1,101 @@
+// Package webd is the Asbestos-style web service of Section 6.4: a
+// connection demultiplexer hands each request to a per-user worker whose
+// label carries that user's categories, so buggy or malicious web
+// application code cannot mix one user's data into another user's response.
+// Authentication uses the Section 6.2 service (package auth).
+package webd
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"histar/internal/auth"
+	"histar/internal/label"
+	"histar/internal/unixlib"
+)
+
+// Handler is the (untrusted) web application code, run in a per-user worker
+// process with only that user's privileges.
+type Handler func(worker *unixlib.Process, user, path string) (string, error)
+
+// Server is the web service: demultiplexer + per-user workers.
+type Server struct {
+	sys  *unixlib.System
+	auth *auth.Service
+	app  Handler
+}
+
+// ErrUnauthorized is returned for bad credentials.
+var ErrUnauthorized = errors.New("webd: unauthorized")
+
+// New builds a server around an authentication service and an application
+// handler.
+func New(sys *unixlib.System, authSvc *auth.Service, app Handler) *Server {
+	return &Server{sys: sys, auth: authSvc, app: app}
+}
+
+// Request is one HTTP-ish request.
+type Request struct {
+	User     string
+	Password string
+	Path     string
+}
+
+// Serve authenticates the request, spins up a worker process holding only
+// that user's privileges, runs the application handler in it, and returns
+// the response.  The demultiplexer itself never holds more than one user's
+// categories at a time per worker, and the worker cannot read any other
+// user's files — the kernel enforces that, not this code.
+func (s *Server) Serve(req Request) (string, error) {
+	// The worker starts with no user privileges; login grants exactly one
+	// user's categories.
+	worker, err := s.sys.NewInitProcess("")
+	if err != nil {
+		return "", err
+	}
+	defer worker.ExitQuietly()
+	if err := s.auth.Login(worker, req.User, req.Password); err != nil {
+		return "", fmt.Errorf("%w: %v", ErrUnauthorized, err)
+	}
+	body, err := s.app(worker, req.User, req.Path)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("HTTP/1.0 200 OK\r\n\r\n%s", body), nil
+}
+
+// ProfileApp is a tiny demo application: it stores and retrieves per-user
+// profile data under /home/<user>/profile, labeled with the user's
+// categories, so the only way it could ever serve one user's profile to
+// another is if the kernel's label checks failed.
+func ProfileApp(worker *unixlib.Process, user, path string) (string, error) {
+	profile := "/home/" + user + "/profile"
+	switch {
+	case strings.HasPrefix(path, "/profile/set/"):
+		value := strings.TrimPrefix(path, "/profile/set/")
+		if err := worker.WriteFile(profile, []byte(value), label.Label{}); err != nil {
+			if err == unixlib.ErrExist {
+				fd, oerr := worker.Open(profile, unixlib.OWrite)
+				if oerr != nil {
+					return "", oerr
+				}
+				defer worker.Close(fd)
+				if _, werr := worker.Write(fd, []byte(value)); werr != nil {
+					return "", werr
+				}
+				return "updated", nil
+			}
+			return "", err
+		}
+		return "stored", nil
+	case path == "/profile":
+		data, err := worker.ReadFile(profile)
+		if err != nil {
+			return "", err
+		}
+		return string(data), nil
+	default:
+		return "", fmt.Errorf("webd: no route for %q", path)
+	}
+}
