@@ -60,6 +60,32 @@ func main() {
 	spawn := sys.Kern.SyscallTotal()
 	fmt.Printf("E13 syscall counts: fork/exec=%d, spawn=%d (paper: 317 vs 127; Linux 9)\n", forkExec, spawn)
 
+	// Label comparison-cache behaviour over the run above (Section 4's
+	// immutable-label memoization).  Eviction counts are per shard: a full
+	// shard discards only its own entries, never the whole working set.
+	cs := sys.Kern.LabelCacheStats()
+	used, maxEntries := 0, 0
+	var maxEvict uint64
+	for _, sh := range cs.Shards {
+		if sh.Entries > 0 || sh.Hits+sh.Misses > 0 {
+			used++
+		}
+		if sh.Entries > maxEntries {
+			maxEntries = sh.Entries
+		}
+		if sh.Evictions > maxEvict {
+			maxEvict = sh.Evictions
+		}
+	}
+	hitRate := 0.0
+	if cs.Hits+cs.Misses > 0 {
+		hitRate = 100 * float64(cs.Hits) / float64(cs.Hits+cs.Misses)
+	}
+	fmt.Printf("Label cache: %d hits / %d misses (%.1f%% hit rate), %d entries evicted\n",
+		cs.Hits, cs.Misses, hitRate, cs.Evictions)
+	fmt.Printf("Label cache shards: %d/%d active, largest shard %d entries, worst per-shard evictions %d\n",
+		used, len(cs.Shards), maxEntries, maxEvict)
+
 	// E4/E6 quick shape check: group sync vs per-file sync on 200 files.
 	ratio := groupVsPerFileSync()
 	fmt.Printf("E4 durability shapes: per-file sync is %.0fx slower than group sync for small-file creates (paper: up to ~200x)\n", ratio)

@@ -6,6 +6,16 @@
 // services), together with a benchmark harness that regenerates the shape of
 // the paper's Figure 12 and Figure 13 on simulated hardware.
 //
+// The label algebra (internal/label) keeps every label in an immutable
+// canonical form — a slice of category/level pairs sorted by category, with
+// the 64-bit fingerprint (and the fingerprint of the raised superscript-J
+// form) computed once at construction — so the ⊑/⊔/⊓ operations are
+// allocation-free linear merges, access-check caching is a pair of stored
+// field reads, and hot labels are interned down to one shared
+// pointer-comparable instance.  The kernel's comparison cache is sharded by
+// fingerprint bits with per-shard eviction, and the single-level store
+// persists labels in the same canonical serialized form.
+//
 // The root package holds only the benchmark harness (bench_test.go); the
 // implementation lives under internal/ and the runnable entry points under
 // cmd/ and examples/.

@@ -1,0 +1,3 @@
+module histar
+
+go 1.22

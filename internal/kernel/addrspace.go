@@ -54,7 +54,7 @@ func (tc *ThreadCall) AddressSpaceCreate(d ID, l label.Label, descrip string) (I
 		header: header{
 			id:      tc.k.newID(),
 			objType: ObjAddressSpace,
-			lbl:     l,
+			lbl:     label.Intern(l),
 			quota:   quota,
 			descrip: truncDescrip(descrip),
 		},

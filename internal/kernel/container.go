@@ -51,7 +51,7 @@ func (tc *ThreadCall) ContainerCreate(d ID, l label.Label, descrip string, avoid
 		header: header{
 			id:      tc.k.newID(),
 			objType: ObjContainer,
-			lbl:     l,
+			lbl:     label.Intern(l),
 			quota:   quota,
 			descrip: truncDescrip(descrip),
 		},
@@ -326,7 +326,7 @@ func (tc *ThreadCall) ObjectStat(ce CEnt) (Stat, error) {
 	if th, ok := obj.(*thread); ok {
 		// Thread labels are not immutable; expose them only when
 		// LT'ᴶ ⊑ LTᴶ.
-		if tc.k.leq(th.lbl.RaiseJ(), t.lbl.RaiseJ()) {
+		if tc.k.leqRaised(th.lbl, t.lbl) {
 			st.Label = th.lbl
 		} else {
 			return Stat{}, ErrLabel

@@ -29,7 +29,7 @@ func (k *Kernel) DeviceCreate(d ID, lbl label.Label, mac [6]byte, descrip string
 		header: header{
 			id:      k.newID(),
 			objType: ObjDevice,
-			lbl:     lbl,
+			lbl:     label.Intern(lbl),
 			quota:   64 * 1024,
 			descrip: truncDescrip(descrip),
 		},

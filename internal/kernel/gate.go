@@ -77,12 +77,12 @@ func (tc *ThreadCall) GateCreate(d ID, spec GateSpec) (ID, error) {
 			// The externally visible object label strips ownership so that
 			// possession of the gate's container entry does not reveal what
 			// the gate can untaint.
-			lbl:     spec.Label.LowerStar(),
+			lbl:     label.Intern(spec.Label.LowerStar()),
 			quota:   quota,
 			descrip: truncDescrip(spec.Descrip),
 		},
-		gateLabel:    spec.Label,
-		clearance:    spec.Clearance,
+		gateLabel:    label.Intern(spec.Label),
+		clearance:    label.Intern(spec.Clearance),
 		addressSpace: spec.AddressSpace,
 		entry:        spec.Entry,
 		closureArgs:  append([]byte(nil), spec.Closure...),
@@ -164,12 +164,12 @@ func (tc *ThreadCall) GateEnter(ce CEnt, req GateRequest) ([]byte, error) {
 	}
 	// Perform the transfer: the thread now runs with LR/CR in the gate's
 	// address space.
-	t.lbl = req.Label
-	t.clearance = req.Clearance
+	t.lbl = label.Intern(req.Label)
+	t.clearance = label.Intern(req.Clearance)
 	if g.addressSpace.Object != NilID {
 		t.addressSpace = g.addressSpace
 	}
-	t.localSegment.lbl = req.Label.LowerStar()
+	t.localSegment.lbl = label.Intern(req.Label.LowerStar())
 	t.bump()
 	entry := g.entry
 	closure := append([]byte(nil), g.closureArgs...)

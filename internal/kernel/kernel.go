@@ -139,9 +139,9 @@ func (k *Kernel) ResetSyscallCounts() {
 	k.totalCalls.Store(0)
 }
 
-// LabelCacheStats returns hit/miss counts of the immutable-label comparison
-// cache.
-func (k *Kernel) LabelCacheStats() (hits, misses uint64) { return k.labelCache.Stats() }
+// LabelCacheStats returns hit/miss/eviction counts of the immutable-label
+// comparison cache, totalled and per shard.
+func (k *Kernel) LabelCacheStats() label.CacheStats { return k.labelCache.Stats() }
 
 // leq applies the ⊑ check, through the comparison cache when enabled.
 func (k *Kernel) leq(a, b label.Label) bool {
@@ -151,12 +151,27 @@ func (k *Kernel) leq(a, b label.Label) bool {
 	return a.Leq(b)
 }
 
+// leqRaised applies aᴶ ⊑ bᴶ; the cached path keys on the precomputed raised
+// fingerprints so neither superscript-J form is materialized on a hit.
+func (k *Kernel) leqRaised(a, b label.Label) bool {
+	if k.useLabelCache {
+		return k.labelCache.LeqRaised(a, b)
+	}
+	return a.RaiseJ().Leq(b.RaiseJ())
+}
+
 func (k *Kernel) canObserve(thr, obj label.Label) bool {
-	return k.leq(obj, thr.RaiseJ())
+	if k.useLabelCache {
+		return k.labelCache.CanObserve(thr, obj)
+	}
+	return label.CanObserve(thr, obj)
 }
 
 func (k *Kernel) canModify(thr, obj label.Label) bool {
-	return k.leq(thr, obj) && k.leq(obj, thr.RaiseJ())
+	if k.useLabelCache {
+		return k.labelCache.CanModify(thr, obj)
+	}
+	return label.CanModify(thr, obj)
 }
 
 // lookup returns the live object with the given ID.
@@ -283,18 +298,18 @@ func (k *Kernel) BootThread(lbl, clearance label.Label, descrip string) (*Thread
 		header: header{
 			id:      k.newID(),
 			objType: ObjThread,
-			lbl:     lbl,
+			lbl:     label.Intern(lbl),
 			quota:   1 << 20,
 			descrip: truncDescrip(descrip),
 		},
-		clearance: clearance,
+		clearance: label.Intern(clearance),
 		alertCh:   make(chan struct{}, 1),
 	}
 	t.localSegment = &segment{
 		header: header{
 			id:      k.newID(),
 			objType: ObjSegment,
-			lbl:     lbl.LowerStar(),
+			lbl:     label.Intern(lbl.LowerStar()),
 			quota:   localSegmentSize,
 			descrip: "thread-local segment",
 		},

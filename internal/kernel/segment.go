@@ -48,7 +48,7 @@ func (tc *ThreadCall) SegmentCreate(d ID, l label.Label, descrip string, nbytes 
 		header: header{
 			id:      tc.k.newID(),
 			objType: ObjSegment,
-			lbl:     l,
+			lbl:     label.Intern(l),
 			quota:   quota,
 			descrip: truncDescrip(descrip),
 		},
@@ -113,7 +113,7 @@ func (tc *ThreadCall) SegmentCopy(src CEnt, d ID, l label.Label, descrip string)
 		header: header{
 			id:      tc.k.newID(),
 			objType: ObjSegment,
-			lbl:     l,
+			lbl:     label.Intern(l),
 			quota:   quota,
 			descrip: truncDescrip(descrip),
 		},

@@ -17,8 +17,8 @@ func (tc *ThreadCall) CategoryCreate() (label.Category, error) {
 	}
 	tc.k.count("category_create", t)
 	c := tc.k.cats.Alloc()
-	t.lbl = t.lbl.With(c, label.Star)
-	t.clearance = t.clearance.With(c, label.L3)
+	t.lbl = label.Intern(t.lbl.With(c, label.Star))
+	t.clearance = label.Intern(t.clearance.With(c, label.L3))
 	t.bump()
 	return c, nil
 }
@@ -75,10 +75,10 @@ func (tc *ThreadCall) SelfSetLabel(l label.Label) error {
 	if !tc.k.leq(t.lbl, l) || !tc.k.leq(l, t.clearance) {
 		return ErrLabel
 	}
-	t.lbl = l
+	t.lbl = label.Intern(l)
 	// The thread-local segment follows the thread's taint so the thread can
 	// always write its own scratch space.
-	t.localSegment.lbl = l.LowerStar()
+	t.localSegment.lbl = label.Intern(l.LowerStar())
 	t.bump()
 	return nil
 }
@@ -101,7 +101,7 @@ func (tc *ThreadCall) SelfSetClearance(c label.Label) error {
 	if !tc.k.leq(t.lbl, c) || !tc.k.leq(c, t.clearance.Join(t.lbl.RaiseJ())) {
 		return ErrLabel
 	}
-	t.clearance = c
+	t.clearance = label.Intern(c)
 	t.bump()
 	return nil
 }
@@ -206,11 +206,11 @@ func (tc *ThreadCall) ThreadCreate(d ID, spec ThreadSpec) (ID, error) {
 		header: header{
 			id:      tc.k.newID(),
 			objType: ObjThread,
-			lbl:     spec.Label,
+			lbl:     label.Intern(spec.Label),
 			quota:   quota,
 			descrip: truncDescrip(spec.Descrip),
 		},
-		clearance:    spec.Clearance,
+		clearance:    label.Intern(spec.Clearance),
 		addressSpace: spec.AddressSpace,
 		alertCh:      make(chan struct{}, 1),
 	}
@@ -218,7 +218,7 @@ func (tc *ThreadCall) ThreadCreate(d ID, spec ThreadSpec) (ID, error) {
 		header: header{
 			id:      tc.k.newID(),
 			objType: ObjSegment,
-			lbl:     spec.Label.LowerStar(),
+			lbl:     label.Intern(spec.Label.LowerStar()),
 			quota:   localSegmentSize,
 			descrip: "thread-local segment",
 		},
@@ -417,8 +417,8 @@ func (tc *ThreadCall) GrantOwnership(target ID, c label.Category) error {
 	if !ok {
 		return ErrWrongType
 	}
-	vt.lbl = vt.lbl.With(c, label.Star)
-	vt.clearance = vt.clearance.With(c, label.L3)
+	vt.lbl = label.Intern(vt.lbl.With(c, label.Star))
+	vt.clearance = label.Intern(vt.clearance.With(c, label.L3))
 	vt.bump()
 	return nil
 }

@@ -1,106 +1,178 @@
 package label
 
-import (
-	"encoding/binary"
-	"hash/fnv"
-	"sync"
-	"sync/atomic"
-)
-
-// Fingerprint is a compact identity for an immutable label, used as a cache
-// key.  Labels with the same fingerprint are Equal with overwhelming
-// probability; the kernel only caches comparisons between labels of
-// immutable objects, exactly as Section 4 describes.
-type Fingerprint uint64
-
-// Fingerprint computes a 64-bit FNV-based digest of the label's canonical
-// form (sorted category/level pairs plus the default level).
-func (l Label) Fingerprint() Fingerprint {
-	h := fnv.New64a()
-	var buf [9]byte
-	buf[0] = byte(l.def)
-	h.Write(buf[:1])
-	for _, c := range l.Explicit() {
-		binary.LittleEndian.PutUint64(buf[:8], uint64(c))
-		buf[8] = byte(l.Get(c))
-		h.Write(buf[:])
-	}
-	return Fingerprint(h.Sum64())
-}
+import "sync"
 
 // Cache memoizes the results of Leq comparisons between immutable labels.
 // The HiStar kernel "caches the result of comparisons between immutable
 // labels" (Section 4); this is the equivalent structure, and the ablation
 // benchmarks measure its effect.
 //
+// The cache is sharded: a comparison is keyed by the two labels' stored
+// fingerprints, the shard is chosen from the mixed fingerprint bits, and
+// each shard has its own mutex, map, and statistics.  A full shard evicts
+// only itself, so one hot shard can no longer discard the entire working
+// set, and disjoint comparisons proceed on different shards without
+// contending.  Lookups read the precomputed fingerprints (including the
+// raised Lᴶ fingerprint for CanObserve/CanModify), so a cache hit performs
+// no label-content hashing, sorting, or allocation.
+//
 // A Cache is safe for concurrent use.
 type Cache struct {
-	mu   sync.RWMutex
-	leq  map[[2]Fingerprint]bool
-	hits atomic.Uint64
-	miss atomic.Uint64
-	max  int
+	shards      []cacheShard
+	shardMask   uint64
+	maxPerShard int
 }
 
+type cacheKey struct{ a, b Fingerprint }
+
+type cacheShard struct {
+	mu        sync.Mutex
+	m         map[cacheKey]bool
+	hits      uint64
+	misses    uint64
+	evictions uint64
+	_         [88]byte // pad to its own cache lines; shards are hot and adjacent
+}
+
+// maxCacheShards bounds the shard count; 64 shards keep contention
+// negligible at any realistic GOMAXPROCS while staying cheap to aggregate.
+const maxCacheShards = 64
+
 // NewCache returns a comparison cache bounded to roughly maxEntries entries
-// (0 means a default of 65536).  When the bound is exceeded the cache is
-// cleared; label working sets are small so this is simpler than LRU and
-// matches the kernel's throwaway cache.
+// (0 means a default of 65536).  The bound is split evenly across the
+// shards; when one shard fills up, only that shard is evicted.
 func NewCache(maxEntries int) *Cache {
 	if maxEntries <= 0 {
 		maxEntries = 65536
 	}
-	return &Cache{leq: make(map[[2]Fingerprint]bool), max: maxEntries}
+	shards := 1
+	for shards*2 <= maxCacheShards && shards*2 <= maxEntries {
+		shards *= 2
+	}
+	c := &Cache{
+		shards:      make([]cacheShard, shards),
+		shardMask:   uint64(shards - 1),
+		maxPerShard: maxEntries / shards,
+	}
+	for i := range c.shards {
+		c.shards[i].m = make(map[cacheKey]bool)
+	}
+	return c
+}
+
+// shard picks the shard for a key by mixing the two fingerprints.
+func (c *Cache) shard(k cacheKey) *cacheShard {
+	h := (uint64(k.a) ^ uint64(k.b)<<1) * 0x9e3779b97f4a7c15
+	return &c.shards[(h>>32)&c.shardMask]
+}
+
+// lookup memoizes compute() under the key (a, b).
+func (c *Cache) lookup(a, b Fingerprint, compute func() bool) bool {
+	k := cacheKey{a, b}
+	s := c.shard(k)
+	s.mu.Lock()
+	if v, ok := s.m[k]; ok {
+		s.hits++
+		s.mu.Unlock()
+		return v
+	}
+	s.misses++
+	s.mu.Unlock()
+
+	v := compute() // outside the lock: comparisons must not serialize
+	s.mu.Lock()
+	if _, ok := s.m[k]; !ok {
+		if len(s.m) >= c.maxPerShard {
+			s.evictions += uint64(len(s.m))
+			clear(s.m)
+		}
+		s.m[k] = v
+	}
+	s.mu.Unlock()
+	return v
 }
 
 // Leq returns l ⊑ m, consulting and updating the cache.
 func (c *Cache) Leq(l, m Label) bool {
-	key := [2]Fingerprint{l.Fingerprint(), m.Fingerprint()}
-	c.mu.RLock()
-	v, ok := c.leq[key]
-	c.mu.RUnlock()
-	if ok {
-		c.hits.Add(1)
-		return v
-	}
-	c.miss.Add(1)
-	v = l.Leq(m)
-	c.mu.Lock()
-	if len(c.leq) >= c.max {
-		c.leq = make(map[[2]Fingerprint]bool)
-	}
-	c.leq[key] = v
-	c.mu.Unlock()
-	return v
+	return c.lookup(l.Fingerprint(), m.Fingerprint(), func() bool { return l.Leq(m) })
 }
 
-// CanObserve is the cached form of the package-level CanObserve.
+// LeqRaised returns lᴶ ⊑ mᴶ, keying on the precomputed raised fingerprints
+// so neither superscript-J form is materialized on a hit.  The kernel uses
+// this for thread-to-thread observation checks.
+func (c *Cache) LeqRaised(l, m Label) bool {
+	return c.lookup(l.RaisedFingerprint(), m.RaisedFingerprint(), func() bool {
+		return l.RaiseJ().Leq(m.RaiseJ())
+	})
+}
+
+// CanObserve is the cached form of the package-level CanObserve.  The key
+// pairs the object's fingerprint with the thread's precomputed raised
+// fingerprint; threadᴶ is materialized only on a miss.
 func (c *Cache) CanObserve(thread, obj Label) bool {
-	return c.Leq(obj, thread.RaiseJ())
+	return c.lookup(obj.Fingerprint(), thread.RaisedFingerprint(), func() bool {
+		return obj.Leq(thread.RaiseJ())
+	})
 }
 
 // CanModify is the cached form of the package-level CanModify.
 func (c *Cache) CanModify(thread, obj Label) bool {
-	return c.Leq(thread, obj) && c.Leq(obj, thread.RaiseJ())
+	return c.lookup(thread.Fingerprint(), obj.Fingerprint(), func() bool { return thread.Leq(obj) }) &&
+		c.CanObserve(thread, obj)
 }
 
-// Stats returns cumulative hit and miss counts.
-func (c *Cache) Stats() (hits, misses uint64) {
-	return c.hits.Load(), c.miss.Load()
+// ShardStats describes one cache shard.
+type ShardStats struct {
+	Entries   int
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
 }
 
-// Len returns the number of memoized comparisons.
+// CacheStats aggregates cache statistics, keeping the per-shard breakdown so
+// eviction churn is attributable instead of vanishing into a global clear.
+type CacheStats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64 // total entries discarded by per-shard eviction
+	Shards    []ShardStats
+}
+
+// Stats returns cumulative hit/miss/eviction counts, totalled and per shard.
+func (c *Cache) Stats() CacheStats {
+	st := CacheStats{Shards: make([]ShardStats, len(c.shards))}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		ss := ShardStats{Entries: len(s.m), Hits: s.hits, Misses: s.misses, Evictions: s.evictions}
+		s.mu.Unlock()
+		st.Shards[i] = ss
+		st.Hits += ss.Hits
+		st.Misses += ss.Misses
+		st.Evictions += ss.Evictions
+	}
+	return st
+}
+
+// Len returns the number of memoized comparisons across all shards.
 func (c *Cache) Len() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return len(c.leq)
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.m)
+		s.mu.Unlock()
+	}
+	return n
 }
 
 // Reset discards all memoized comparisons and statistics.
 func (c *Cache) Reset() {
-	c.mu.Lock()
-	c.leq = make(map[[2]Fingerprint]bool)
-	c.mu.Unlock()
-	c.hits.Store(0)
-	c.miss.Store(0)
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.m = make(map[cacheKey]bool)
+		s.hits, s.misses, s.evictions = 0, 0, 0
+		s.mu.Unlock()
+	}
 }

@@ -14,9 +14,9 @@ func TestCacheCorrectnessAndStats(t *testing.T) {
 	}
 	// Second query should hit.
 	c.Leq(a, b)
-	hits, misses := c.Stats()
-	if hits != 1 || misses != 1 {
-		t.Errorf("stats = %d hits, %d misses; want 1,1", hits, misses)
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("stats = %d hits, %d misses; want 1,1", st.Hits, st.Misses)
 	}
 	if c.Len() != 1 {
 		t.Errorf("Len = %d", c.Len())
@@ -25,8 +25,8 @@ func TestCacheCorrectnessAndStats(t *testing.T) {
 	if c.Len() != 0 {
 		t.Error("Reset should empty the cache")
 	}
-	hits, misses = c.Stats()
-	if hits != 0 || misses != 0 {
+	st = c.Stats()
+	if st.Hits != 0 || st.Misses != 0 {
 		t.Error("Reset should clear stats")
 	}
 }
@@ -64,4 +64,106 @@ func TestCacheConcurrent(t *testing.T) {
 		}(w)
 	}
 	wg.Wait()
+}
+
+// TestShardedEvictionBoundsMissStorms pins down the motivation for the
+// shard refactor.  The old single-lock design cleared the whole cache when
+// full, so a cold insert stream periodically discarded the entire hot
+// working set at one instant: whole rounds where every hot comparison
+// missed at once, silently distorting any statistics or benchmark running
+// at that moment.  Per-shard eviction decorrelates the discards — each
+// round loses at most the slices of the few shards that happened to fill —
+// so some of the hot set survives every round.
+func TestShardedEvictionBoundsMissStorms(t *testing.T) {
+	const bound = 1024
+	hot := make([]Label, 64)
+	for i := range hot {
+		hot[i] = New(L1, P(Category(uint64(i+1)), L3))
+	}
+	clearance := New(L2)
+
+	// minRoundHits runs rounds of (cold burst, then hot sweep) and returns
+	// the worst round's hot-sweep hit count, skipping the cold first round.
+	minRoundHits := func(leq func(a, b Label) bool, stats func() uint64) uint64 {
+		cold := 0
+		min := uint64(len(hot)) + 1
+		for round := 0; round < 40; round++ {
+			for i := 0; i < bound/2; i++ {
+				cold++
+				a := New(L1, P(Category(uint64(1_000_000+cold)), L3))
+				leq(a, clearance)
+			}
+			before := stats()
+			for _, h := range hot {
+				if got, want := leq(h, clearance), h.Leq(clearance); got != want {
+					t.Fatalf("cache disagreement for %v", h)
+				}
+			}
+			if hits := stats() - before; round > 0 && hits < min {
+				min = hits
+			}
+		}
+		return min
+	}
+
+	sharded := NewCache(bound)
+	shardedMin := minRoundHits(sharded.Leq, func() uint64 { return sharded.Stats().Hits })
+
+	single := newSingleLockStatsCache(bound)
+	singleMin := minRoundHits(single.Leq, func() uint64 { return single.hits })
+
+	t.Logf("worst-round hot hits out of %d: sharded=%d, single-lock=%d", len(hot), shardedMin, singleMin)
+	if singleMin != 0 {
+		t.Errorf("expected the global clear to produce a round with zero hot hits, got %d", singleMin)
+	}
+	if shardedMin < uint64(len(hot))/8 {
+		t.Errorf("per-shard eviction should never discard the whole hot set in one round: worst round had %d/%d hits", shardedMin, len(hot))
+	}
+}
+
+// singleLockStatsCache replicates the pre-shard design (one RWMutex, global
+// clear when full) with a hit counter, for the working-set retention test.
+type singleLockStatsCache struct {
+	mu   sync.RWMutex
+	m    map[cacheKey]bool
+	max  int
+	hits uint64
+}
+
+func newSingleLockStatsCache(max int) *singleLockStatsCache {
+	return &singleLockStatsCache{m: make(map[cacheKey]bool), max: max}
+}
+
+func (c *singleLockStatsCache) Leq(l, m Label) bool {
+	k := cacheKey{l.Fingerprint(), m.Fingerprint()}
+	c.mu.RLock()
+	v, ok := c.m[k]
+	c.mu.RUnlock()
+	if ok {
+		c.hits++
+		return v
+	}
+	v = l.Leq(m)
+	c.mu.Lock()
+	if len(c.m) >= c.max {
+		c.m = make(map[cacheKey]bool)
+	}
+	c.m[k] = v
+	c.mu.Unlock()
+	return v
+}
+
+func TestInternTableBounded(t *testing.T) {
+	// Churn far more unique labels than the bound; the advisory table must
+	// clear itself rather than grow without limit, and interning must keep
+	// returning Equal labels across clears.
+	for i := 0; i < maxInternedLabels+1024; i++ {
+		l := New(L1, P(Category(uint64(i+1)), Star))
+		if got := Intern(l); !got.Equal(l) {
+			t.Fatalf("Intern changed the label at i=%d", i)
+		}
+	}
+	if n := InternedCount(); n > maxInternedLabels {
+		t.Errorf("intern table exceeded bound: %d > %d", n, maxInternedLabels)
+	}
 }

@@ -1,0 +1,66 @@
+package label
+
+// Fingerprint is a compact identity for an immutable label, used as a cache
+// key.  Labels with the same fingerprint are Equal with overwhelming
+// probability; the kernel only caches comparisons between labels of
+// immutable objects, exactly as Section 4 describes.
+//
+// A fingerprint is the FNV-1a digest of the label's canonical form (the
+// default level followed by the sorted category/level pairs).  Because the
+// representation is canonical, the digest is computed exactly once, at
+// construction, and stored in the Label; Fingerprint is a field read.
+type Fingerprint uint64
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnvByte(h uint64, b byte) uint64 {
+	return (h ^ uint64(b)) * fnvPrime64
+}
+
+func fnvU64(h uint64, v uint64) uint64 {
+	// Little-endian byte order, matching encoding/binary.LittleEndian.
+	for i := 0; i < 8; i++ {
+		h = fnvByte(h, byte(v>>(8*i)))
+	}
+	return h
+}
+
+// fingerprintCanonical digests a canonical pair slice under the level
+// mapping f.  Entries whose mapped level equals the mapped default are
+// elided so the digest equals the fingerprint of the mapped label's
+// canonical form; with the identity mapping no elision ever occurs.
+func fingerprintCanonical(def Level, pairs []Pair, f func(Level) Level) Fingerprint {
+	mdef := f(def)
+	h := fnvByte(fnvOffset64, byte(mdef))
+	for _, p := range pairs {
+		lv := f(p.Level)
+		if lv == mdef {
+			continue
+		}
+		h = fnvU64(h, uint64(p.Category))
+		h = fnvByte(h, byte(lv))
+	}
+	return Fingerprint(h)
+}
+
+// Fingerprint returns the label's stored fingerprint.  For the zero Label
+// (which never went through a constructor) it is computed on the fly.
+func (l Label) Fingerprint() Fingerprint {
+	if l.fp != 0 {
+		return l.fp
+	}
+	return fingerprintCanonical(l.def, l.pairs, levelIdentity)
+}
+
+// RaisedFingerprint returns the fingerprint of the superscript-J form Lᴶ,
+// precomputed at construction.  The cached access checks key on it directly,
+// so a CanObserve cache hit never materializes Lᴶ.
+func (l Label) RaisedFingerprint() Fingerprint {
+	if l.fpJ != 0 {
+		return l.fpJ
+	}
+	return fingerprintCanonical(l.def, l.pairs, levelRaiseJ)
+}

@@ -1,0 +1,85 @@
+package label
+
+import "sync"
+
+// Interning gives hot labels (thread labels, the default {1} object label,
+// the {2} default clearance) one shared canonical backing array, so that
+// equal interned labels satisfy Same and Equal short-circuits to a pointer
+// comparison.  Interning is a cold-path operation performed when a label is
+// created or installed (thread creation, self_set_label, gate entry);
+// the hot-path comparisons then run on the shared representation.
+
+// emptyLabels holds the canonical instances of the four pair-free labels
+// {0}, {1}, {2}, {3}; New with no pairs always returns one of these.
+var emptyLabels = [HiStar]Label{
+	L0: newCanonical(L0, nil),
+	L1: newCanonical(L1, nil),
+	L2: newCanonical(L2, nil),
+	L3: newCanonical(L3, nil),
+}
+
+func emptyLabel(def Level) Label { return emptyLabels[def] }
+
+// maxInternedLabels bounds the interning table.  Interning is advisory — it
+// only provides the Same fast path — so when label churn (e.g. a workload
+// looping category_create, whose fresh categories make every new thread
+// label unique) fills the table, it is simply cleared: labels interned
+// before the clear stay valid, they just stop being pointer-equal to labels
+// interned after it.
+const maxInternedLabels = 1 << 16
+
+// internTable is the global label interning table, keyed by fingerprint with
+// exact verification, so a (vanishingly unlikely) fingerprint collision can
+// never alias two distinct labels.
+var internTable = struct {
+	mu    sync.RWMutex
+	m     map[Fingerprint][]Label
+	count int
+}{m: make(map[Fingerprint][]Label)}
+
+// Intern returns the canonical shared instance of l: the first time a label
+// value is interned its representation becomes the canonical one, and every
+// later Intern of an equal label returns that same backing array.  Interned
+// equal labels satisfy Same, making Equal a pointer comparison.  The zero
+// Label and pair-free labels are already canonical and pass through without
+// touching the table.
+func Intern(l Label) Label {
+	if len(l.pairs) == 0 {
+		if l.IsZero() {
+			return l
+		}
+		return emptyLabel(l.def)
+	}
+	fp := l.Fingerprint()
+	internTable.mu.RLock()
+	for _, cand := range internTable.m[fp] {
+		if cand.Equal(l) {
+			internTable.mu.RUnlock()
+			return cand
+		}
+	}
+	internTable.mu.RUnlock()
+
+	internTable.mu.Lock()
+	defer internTable.mu.Unlock()
+	for _, cand := range internTable.m[fp] {
+		if cand.Equal(l) {
+			return cand
+		}
+	}
+	if internTable.count >= maxInternedLabels {
+		internTable.m = make(map[Fingerprint][]Label)
+		internTable.count = 0
+	}
+	internTable.m[fp] = append(internTable.m[fp], l)
+	internTable.count++
+	return l
+}
+
+// InternedCount returns the number of distinct labels in the interning
+// table (statistics and tests).
+func InternedCount() int {
+	internTable.mu.RLock()
+	defer internTable.mu.RUnlock()
+	return internTable.count
+}

@@ -11,11 +11,28 @@
 // is the same ownership level treated as high during reads.  J never appears
 // in stored labels; it exists only transiently during access checks.
 //
+// # Canonical representation
+//
+// A Label is immutable and canonical: the explicit category/level pairs are
+// kept in a slice sorted by ascending category, with no duplicate categories
+// and no entry whose level equals the default.  Two labels denoting the same
+// function therefore have byte-identical canonical forms, and the 64-bit
+// Fingerprint of that form is computed exactly once, at construction, and
+// stored in the label.  The raised fingerprint (the fingerprint of the
+// superscript-J form Lᴶ) is precomputed alongside it, so the cached access
+// checks never hash, sort, or even materialize Lᴶ on a cache hit.
+//
+// Because the representation is canonical, Leq, Join and Meet are
+// linear-time merges over the two sorted slices: Leq allocates nothing, and
+// Join/Meet allocate only the single output slice.
+//
 // The package provides the ⊑ partial order (Leq), the lattice join ⊔ (Join)
 // and meet ⊓ (Meet), the superscript-J and superscript-⋆ operators that
 // shift ownership between its low and high readings, and the derived access
 // checks used throughout the kernel (CanObserve, CanModify, CanAllocate,
-// CanRaiseLabelTo, CanSetClearanceTo).
+// CanRaiseLabelTo, CanSetClearanceTo).  Hot labels can additionally be
+// interned (Intern) so that equal labels share one canonical backing array
+// and compare by pointer; see intern.go.
 package label
 
 import (
@@ -88,36 +105,19 @@ func (l Level) Int() int {
 }
 
 // Label is an immutable mapping from categories to levels with a default
-// level for all unlisted categories.  The zero value is not meaningful; use
-// New or Parse.  Labels are value types: operations return new labels and
-// never mutate their receivers, so a Label may be shared freely between
-// goroutines.
+// level for all unlisted categories.  The explicit pairs are stored in
+// canonical form (sorted by category, levels differing from the default) and
+// the fingerprints of the label and of its superscript-J form are computed
+// once at construction.  The zero value denotes the empty ⋆-default label
+// and is used by callers as a "use the default label" sentinel; use New or
+// Parse to build meaningful labels.  Labels are value types: operations
+// return new labels and never mutate their receivers, so a Label may be
+// shared freely between goroutines.
 type Label struct {
-	def  Level
-	cats map[Category]Level
-}
-
-// New returns a label with the given default level and explicit
-// category/level pairs.  Pairs whose level equals the default are elided so
-// that equal labels have identical representations.
-func New(def Level, pairs ...Pair) Label {
-	if !def.Valid() || def == HiStar {
-		panic(fmt.Sprintf("label: invalid default level %v", def))
-	}
-	l := Label{def: def}
-	for _, p := range pairs {
-		if !p.Level.Valid() {
-			panic(fmt.Sprintf("label: invalid level %v for category %v", p.Level, p.Category))
-		}
-		if p.Level == l.def {
-			continue
-		}
-		if l.cats == nil {
-			l.cats = make(map[Category]Level, len(pairs))
-		}
-		l.cats[p.Category] = p.Level
-	}
-	return l
+	def   Level
+	pairs []Pair // canonical: ascending category, no level == def
+	fp    Fingerprint
+	fpJ   Fingerprint // fingerprint of RaiseJ() form
 }
 
 // Pair is an explicit category/level entry used when constructing labels.
@@ -129,53 +129,148 @@ type Pair struct {
 // P is shorthand for constructing a Pair.
 func P(c Category, l Level) Pair { return Pair{Category: c, Level: l} }
 
+// newCanonical wraps an already-canonical pair slice (sorted by ascending
+// category, unique categories, no level equal to def) into a Label,
+// computing both fingerprints.  The slice is owned by the new label and must
+// not be mutated afterwards.
+func newCanonical(def Level, pairs []Pair) Label {
+	if len(pairs) == 0 {
+		pairs = nil
+	}
+	return Label{
+		def:   def,
+		pairs: pairs,
+		fp:    fingerprintCanonical(def, pairs, levelIdentity),
+		fpJ:   fingerprintCanonical(def, pairs, levelRaiseJ),
+	}
+}
+
+// New returns a label with the given default level and explicit
+// category/level pairs.  Pairs whose level equals the default are elided and
+// duplicate categories keep the last occurrence, so that equal labels have
+// identical canonical representations.  Labels with no explicit pairs are
+// interned: New(L1) always returns the same backing representation.
+func New(def Level, pairs ...Pair) Label {
+	if !def.Valid() || def == HiStar {
+		panic(fmt.Sprintf("label: invalid default level %v", def))
+	}
+	for _, p := range pairs {
+		if !p.Level.Valid() {
+			panic(fmt.Sprintf("label: invalid level %v for category %v", p.Level, p.Category))
+		}
+	}
+	if len(pairs) == 0 {
+		return emptyLabel(def)
+	}
+	buf := make([]Pair, len(pairs))
+	copy(buf, pairs)
+	sort.SliceStable(buf, func(i, j int) bool { return buf[i].Category < buf[j].Category })
+	// Collapse duplicate categories (last occurrence wins, matching the old
+	// map semantics) and elide default-level entries.
+	out := buf[:0]
+	for i := 0; i < len(buf); i++ {
+		if i+1 < len(buf) && buf[i+1].Category == buf[i].Category {
+			continue // a later entry for the same category supersedes this one
+		}
+		if buf[i].Level != def {
+			out = append(out, buf[i])
+		}
+	}
+	if len(out) == 0 {
+		return emptyLabel(def)
+	}
+	return newCanonical(def, out)
+}
+
 // Default returns the label's default level.
 func (l Label) Default() Level { return l.def }
 
 // Get returns the level of category c.
 func (l Label) Get(c Category) Level {
-	if lv, ok := l.cats[c]; ok {
-		return lv
+	if i, ok := l.find(c); ok {
+		return l.pairs[i].Level
 	}
 	return l.def
+}
+
+// find binary-searches the canonical pairs for category c.
+func (l Label) find(c Category) (int, bool) {
+	lo, hi := 0, len(l.pairs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if l.pairs[mid].Category < c {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(l.pairs) && l.pairs[lo].Category == c
 }
 
 // Explicit returns the categories whose level differs from the default, in
 // ascending category order.
 func (l Label) Explicit() []Category {
-	out := make([]Category, 0, len(l.cats))
-	for c := range l.cats {
-		out = append(out, c)
+	out := make([]Category, len(l.pairs))
+	for i, p := range l.pairs {
+		out[i] = p.Category
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
+// Pairs returns a copy of the canonical explicit entries, in ascending
+// category order.
+func (l Label) Pairs() []Pair {
+	return append([]Pair(nil), l.pairs...)
+}
+
 // NumExplicit returns the number of categories mapped away from the default.
-func (l Label) NumExplicit() int { return len(l.cats) }
+func (l Label) NumExplicit() int { return len(l.pairs) }
+
+// IsZero reports whether l is the zero Label (the "use the default label"
+// sentinel accepted by the Unix library file calls).
+func (l Label) IsZero() bool { return l.def == Star && len(l.pairs) == 0 }
 
 // With returns a copy of l with category c set to level lv.
 func (l Label) With(c Category, lv Level) Label {
 	if !lv.Valid() {
 		panic(fmt.Sprintf("label: invalid level %v", lv))
 	}
-	out := l.clone()
-	if lv == out.def {
-		delete(out.cats, c)
-	} else {
-		if out.cats == nil {
-			out.cats = make(map[Category]Level, 1)
+	i, ok := l.find(c)
+	switch {
+	case ok && lv == l.def:
+		// Remove the explicit entry.
+		out := make([]Pair, 0, len(l.pairs)-1)
+		out = append(out, l.pairs[:i]...)
+		out = append(out, l.pairs[i+1:]...)
+		return newCanonical(l.def, out)
+	case ok:
+		if l.pairs[i].Level == lv {
+			return l
 		}
-		out.cats[c] = lv
+		out := append([]Pair(nil), l.pairs...)
+		out[i].Level = lv
+		return newCanonical(l.def, out)
+	case lv == l.def:
+		return l
+	default:
+		out := make([]Pair, 0, len(l.pairs)+1)
+		out = append(out, l.pairs[:i]...)
+		out = append(out, P(c, lv))
+		out = append(out, l.pairs[i:]...)
+		return newCanonical(l.def, out)
 	}
-	return out
 }
 
 // Without returns a copy of l with category c reset to the default level.
 func (l Label) Without(c Category) Label {
-	out := l.clone()
-	delete(out.cats, c)
-	return out
+	i, ok := l.find(c)
+	if !ok {
+		return l
+	}
+	out := make([]Pair, 0, len(l.pairs)-1)
+	out = append(out, l.pairs[:i]...)
+	out = append(out, l.pairs[i+1:]...)
+	return newCanonical(l.def, out)
 }
 
 // WithDefault returns a copy of l whose default level is def.  Categories
@@ -186,40 +281,44 @@ func (l Label) WithDefault(def Level) Label {
 	if !def.Valid() || def == HiStar {
 		panic(fmt.Sprintf("label: invalid default level %v", def))
 	}
-	out := Label{def: def}
-	if len(l.cats) > 0 || l.def != def {
-		out.cats = make(map[Category]Level, len(l.cats))
-		for c, lv := range l.cats {
-			if lv != def {
-				out.cats[c] = lv
-			}
+	if def == l.def {
+		return l
+	}
+	out := make([]Pair, 0, len(l.pairs))
+	for _, p := range l.pairs {
+		if p.Level != def {
+			out = append(out, p)
 		}
 	}
-	return out
+	return newCanonical(def, out)
 }
 
-func (l Label) clone() Label {
-	out := Label{def: l.def}
-	if len(l.cats) > 0 {
-		out.cats = make(map[Category]Level, len(l.cats))
-		for c, lv := range l.cats {
-			out.cats[c] = lv
-		}
-	}
-	return out
-}
-
-// Equal reports whether two labels denote the same function.
+// Equal reports whether two labels denote the same function.  Because the
+// representation is canonical, this is a default-level comparison plus a
+// pairwise slice comparison; interned labels short-circuit via Same.
 func (l Label) Equal(m Label) bool {
-	if l.def != m.def || len(l.cats) != len(m.cats) {
+	if Same(l, m) {
+		return true
+	}
+	if l.def != m.def || len(l.pairs) != len(m.pairs) {
 		return false
 	}
-	for c, lv := range l.cats {
-		if m.Get(c) != lv {
+	for i, p := range l.pairs {
+		if m.pairs[i] != p {
 			return false
 		}
 	}
 	return true
+}
+
+// Same reports whether l and m share the identical canonical backing (the
+// pointer-comparable fast path for interned labels).  Same(l, m) implies
+// Equal(l, m); the converse holds only for interned labels.
+func Same(l, m Label) bool {
+	if l.def != m.def || len(l.pairs) != len(m.pairs) {
+		return false
+	}
+	return len(l.pairs) == 0 || &l.pairs[0] == &m.pairs[0]
 }
 
 // HasStar reports whether the label maps any category to ⋆ (ownership).
@@ -228,8 +327,18 @@ func (l Label) HasStar() bool {
 	if l.def == Star {
 		return true
 	}
-	for _, lv := range l.cats {
-		if lv == Star {
+	for _, p := range l.pairs {
+		if p.Level == Star {
+			return true
+		}
+	}
+	return false
+}
+
+// hasLevel reports whether any explicit entry carries level lv.
+func (l Label) hasLevel(lv Level) bool {
+	for _, p := range l.pairs {
+		if p.Level == lv {
 			return true
 		}
 	}
@@ -242,68 +351,100 @@ func (l Label) Owns(c Category) bool { return l.Get(c) == Star }
 // Owned returns the categories the label owns (maps to ⋆), sorted.
 func (l Label) Owned() []Category {
 	var out []Category
-	for c, lv := range l.cats {
-		if lv == Star {
-			out = append(out, c)
+	for _, p := range l.pairs {
+		if p.Level == Star {
+			out = append(out, p.Category)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
 // RaiseJ returns the superscript-J form Lᴶ: every ⋆ becomes J.  Used when
-// the owning thread is reading, so ownership is treated as high.
+// the owning thread is reading, so ownership is treated as high.  Labels
+// with no ownership are returned unchanged without allocating.
 func (l Label) RaiseJ() Label {
-	return l.mapLevels(func(lv Level) Level {
-		if lv == Star {
-			return HiStar
-		}
-		return lv
-	})
+	if l.def != Star && !l.hasLevel(Star) {
+		return l
+	}
+	return l.mapLevels(levelRaiseJ)
 }
 
 // LowerStar returns the superscript-⋆ form L⋆: every J becomes ⋆.  Used to
-// translate a join result back into a storable label.
+// translate a join result back into a storable label.  Labels with no J
+// entries are returned unchanged without allocating.
 func (l Label) LowerStar() Label {
-	return l.mapLevels(func(lv Level) Level {
-		if lv == HiStar {
-			return Star
-		}
-		return lv
-	})
+	if l.def != HiStar && !l.hasLevel(HiStar) {
+		return l
+	}
+	return l.mapLevels(levelLowerStar)
 }
 
+func levelIdentity(lv Level) Level { return lv }
+
+func levelRaiseJ(lv Level) Level {
+	if lv == Star {
+		return HiStar
+	}
+	return lv
+}
+
+func levelLowerStar(lv Level) Level {
+	if lv == HiStar {
+		return Star
+	}
+	return lv
+}
+
+// mapLevels applies f pointwise.  Mapping never reorders categories, so the
+// result stays sorted; entries whose mapped level equals the mapped default
+// are elided to restore canonical form.
 func (l Label) mapLevels(f func(Level) Level) Label {
-	out := Label{def: f(l.def)}
-	if len(l.cats) > 0 {
-		out.cats = make(map[Category]Level, len(l.cats))
-		for c, lv := range l.cats {
-			nl := f(lv)
-			if nl != out.def {
-				out.cats[c] = nl
-			}
+	def := f(l.def)
+	out := make([]Pair, 0, len(l.pairs))
+	for _, p := range l.pairs {
+		if lv := f(p.Level); lv != def {
+			out = append(out, P(p.Category, lv))
 		}
 	}
-	return out
+	return newCanonical(def, out)
 }
 
 // Leq reports the ⊑ relation: l ⊑ m iff for every category c,
-// l(c) ≤ m(c) in the order ⋆ < 0 < 1 < 2 < 3 < J.
+// l(c) ≤ m(c) in the order ⋆ < 0 < 1 < 2 < 3 < J.  It is a single linear
+// merge over the two canonical slices and allocates nothing.
 func (l Label) Leq(m Label) bool {
 	if l.def > m.def {
 		return false
 	}
-	for c, lv := range l.cats {
-		if lv > m.Get(c) {
+	lp, mp := l.pairs, m.pairs
+	i, j := 0, 0
+	for i < len(lp) && j < len(mp) {
+		switch {
+		case lp[i].Category < mp[j].Category:
+			if lp[i].Level > m.def {
+				return false
+			}
+			i++
+		case lp[i].Category > mp[j].Category:
+			if l.def > mp[j].Level {
+				return false
+			}
+			j++
+		default:
+			if lp[i].Level > mp[j].Level {
+				return false
+			}
+			i++
+			j++
+		}
+	}
+	for ; i < len(lp); i++ {
+		if lp[i].Level > m.def {
 			return false
 		}
 	}
-	// Categories explicit only in m: compare l's default against them.
-	for c, mv := range m.cats {
-		if _, ok := l.cats[c]; ok {
-			continue
-		}
-		if l.def > mv {
+	for ; j < len(mp); j++ {
+		if l.def > mp[j].Level {
 			return false
 		}
 	}
@@ -311,53 +452,46 @@ func (l Label) Leq(m Label) bool {
 }
 
 // Join returns the least upper bound l ⊔ m: pointwise maximum of levels.
-func (l Label) Join(m Label) Label {
-	def := maxLevel(l.def, m.def)
-	out := Label{def: def}
-	set := func(c Category, lv Level) {
-		if lv == out.def {
-			return
-		}
-		if out.cats == nil {
-			out.cats = make(map[Category]Level)
-		}
-		out.cats[c] = lv
-	}
-	for c, lv := range l.cats {
-		set(c, maxLevel(lv, m.Get(c)))
-	}
-	for c, mv := range m.cats {
-		if _, ok := l.cats[c]; ok {
-			continue
-		}
-		set(c, maxLevel(mv, l.def))
-	}
-	return out
-}
+// It is a linear merge allocating only the output slice.
+func (l Label) Join(m Label) Label { return l.merge(m, maxLevel) }
 
 // Meet returns the greatest lower bound l ⊓ m: pointwise minimum of levels.
-func (l Label) Meet(m Label) Label {
-	def := minLevel(l.def, m.def)
-	out := Label{def: def}
-	set := func(c Category, lv Level) {
-		if lv == out.def {
-			return
+// It is a linear merge allocating only the output slice.
+func (l Label) Meet(m Label) Label { return l.merge(m, minLevel) }
+
+// merge computes the pointwise combination of l and m under op (max for
+// join, min for meet) as one pass over the two sorted slices.
+func (l Label) merge(m Label, op func(Level, Level) Level) Label {
+	def := op(l.def, m.def)
+	lp, mp := l.pairs, m.pairs
+	out := make([]Pair, 0, len(lp)+len(mp))
+	emit := func(c Category, lv Level) {
+		if lv != def {
+			out = append(out, P(c, lv))
 		}
-		if out.cats == nil {
-			out.cats = make(map[Category]Level)
+	}
+	i, j := 0, 0
+	for i < len(lp) && j < len(mp) {
+		switch {
+		case lp[i].Category < mp[j].Category:
+			emit(lp[i].Category, op(lp[i].Level, m.def))
+			i++
+		case lp[i].Category > mp[j].Category:
+			emit(mp[j].Category, op(l.def, mp[j].Level))
+			j++
+		default:
+			emit(lp[i].Category, op(lp[i].Level, mp[j].Level))
+			i++
+			j++
 		}
-		out.cats[c] = lv
 	}
-	for c, lv := range l.cats {
-		set(c, minLevel(lv, m.Get(c)))
+	for ; i < len(lp); i++ {
+		emit(lp[i].Category, op(lp[i].Level, m.def))
 	}
-	for c, mv := range m.cats {
-		if _, ok := l.cats[c]; ok {
-			continue
-		}
-		set(c, minLevel(mv, l.def))
+	for ; j < len(mp); j++ {
+		emit(mp[j].Category, op(l.def, mp[j].Level))
 	}
-	return out
+	return newCanonical(def, out)
 }
 
 func maxLevel(a, b Level) Level {
@@ -389,15 +523,14 @@ type Namer interface {
 func (l Label) Format(n Namer) string {
 	var b strings.Builder
 	b.WriteByte('{')
-	cats := l.Explicit()
-	for _, c := range cats {
-		name := fmt.Sprintf("c%d", uint64(c))
+	for _, p := range l.pairs {
+		name := fmt.Sprintf("c%d", uint64(p.Category))
 		if n != nil {
-			if s, ok := n.CategoryName(c); ok {
+			if s, ok := n.CategoryName(p.Category); ok {
 				name = s
 			}
 		}
-		fmt.Fprintf(&b, "%s%s, ", name, l.Get(c).String())
+		fmt.Fprintf(&b, "%s%s, ", name, p.Level.String())
 	}
 	b.WriteString(l.def.String())
 	b.WriteByte('}')
@@ -452,12 +585,7 @@ func ValidObjectLabel(l Label) bool {
 	if l.def == Star || l.def == HiStar {
 		return false
 	}
-	for _, lv := range l.cats {
-		if lv == Star || lv == HiStar {
-			return false
-		}
-	}
-	return true
+	return !l.hasLevel(Star) && !l.hasLevel(HiStar)
 }
 
 // ValidThreadLabel reports whether l is acceptable as a thread or gate
@@ -468,12 +596,7 @@ func ValidThreadLabel(l Label) bool {
 		// which the kernel never permits.
 		return false
 	}
-	for _, lv := range l.cats {
-		if lv == HiStar {
-			return false
-		}
-	}
-	return true
+	return !l.hasLevel(HiStar)
 }
 
 // ValidClearance reports whether c is acceptable as a clearance: numeric
@@ -482,13 +605,10 @@ func ValidClearance(c Label) bool {
 	if !c.def.Numeric() {
 		return false
 	}
-	for _, lv := range c.cats {
-		if !lv.Numeric() && lv != Star {
-			return false
-		}
-		// Clearance entries of ⋆ never arise in the paper; treat them as 3
-		// when comparing, but reject them here to keep invariants simple.
-		if lv == Star {
+	for _, p := range c.pairs {
+		// Clearance entries of ⋆ never arise in the paper; reject them to
+		// keep invariants simple.
+		if !p.Level.Numeric() {
 			return false
 		}
 	}

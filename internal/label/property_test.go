@@ -3,6 +3,7 @@ package label
 import (
 	"math/rand"
 	"reflect"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -239,4 +240,276 @@ func TestPropParseRoundTrip(t *testing.T) {
 	if err := quick.Check(f, quickCfg); err != nil {
 		t.Error(err)
 	}
+}
+
+// ---------------------------------------------------------------------------
+// Reference-model equivalence: the canonical slice-backed implementation must
+// agree with a naive map-based model on randomized labels.
+// ---------------------------------------------------------------------------
+
+// refLabel is the simple map-from-category-to-level reference model the
+// original implementation used; it is deliberately naive.
+type refLabel struct {
+	def Level
+	m   map[Category]Level
+}
+
+func refFrom(l Label) refLabel {
+	r := refLabel{def: l.Default(), m: make(map[Category]Level)}
+	for _, c := range l.Explicit() {
+		r.m[c] = l.Get(c)
+	}
+	return r
+}
+
+func (r refLabel) get(c Category) Level {
+	if lv, ok := r.m[c]; ok {
+		return lv
+	}
+	return r.def
+}
+
+func (r refLabel) cats(other refLabel) map[Category]bool {
+	out := make(map[Category]bool)
+	for c := range r.m {
+		out[c] = true
+	}
+	for c := range other.m {
+		out[c] = true
+	}
+	return out
+}
+
+func refLeq(a, b refLabel) bool {
+	if a.def > b.def {
+		return false
+	}
+	for c := range a.cats(b) {
+		if a.get(c) > b.get(c) {
+			return false
+		}
+	}
+	return true
+}
+
+func refCombine(a, b refLabel, op func(Level, Level) Level) refLabel {
+	out := refLabel{def: op(a.def, b.def), m: make(map[Category]Level)}
+	for c := range a.cats(b) {
+		if lv := op(a.get(c), b.get(c)); lv != out.def {
+			out.m[c] = lv
+		}
+	}
+	return out
+}
+
+func (r refLabel) toLabel() Label {
+	pairs := make([]Pair, 0, len(r.m))
+	for c, lv := range r.m {
+		pairs = append(pairs, P(c, lv))
+	}
+	return New(r.def, pairs...)
+}
+
+func TestRefModelLeqAgrees(t *testing.T) {
+	f := func(a, b quickThreadLabel) bool {
+		return a.L.Leq(b.L) == refLeq(refFrom(a.L), refFrom(b.L))
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRefModelJoinMeetAgree(t *testing.T) {
+	f := func(a, b quickThreadLabel) bool {
+		join := refCombine(refFrom(a.L), refFrom(b.L), maxLevel).toLabel()
+		meet := refCombine(refFrom(a.L), refFrom(b.L), minLevel).toLabel()
+		return a.L.Join(b.L).Equal(join) && a.L.Meet(b.L).Equal(meet)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRefModelGetAgrees(t *testing.T) {
+	f := func(a quickThreadLabel) bool {
+		r := refFrom(a.L)
+		for c := Category(0); c < 12; c++ {
+			if a.L.Get(c) != r.get(c) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRefModelParseRoundTrip(t *testing.T) {
+	f := func(a quickThreadLabel) bool {
+		// The reference model rebuilt via New and the parse of the rendered
+		// form must both equal the original.
+		parsed, err := Parse(a.L.String(), nil)
+		if err != nil {
+			return false
+		}
+		return parsed.Equal(a.L) && refFrom(a.L).toLabel().Equal(a.L)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Canonical-representation invariants.
+// ---------------------------------------------------------------------------
+
+func TestPropCanonicalSortedNoDefault(t *testing.T) {
+	f := func(a, b quickThreadLabel) bool {
+		for _, l := range []Label{a.L.Join(b.L), a.L.Meet(b.L), a.L.RaiseJ(), a.L.LowerStar()} {
+			pairs := l.Pairs()
+			for i, p := range pairs {
+				if p.Level == l.Default() {
+					return false
+				}
+				if i > 0 && pairs[i-1].Category >= p.Category {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropStoredFingerprintMatchesRecomputed(t *testing.T) {
+	f := func(a, b quickThreadLabel) bool {
+		for _, l := range []Label{a.L, a.L.Join(b.L), a.L.Meet(b.L), a.L.With(Category(3), L3)} {
+			if l.Fingerprint() != fingerprintCanonical(l.Default(), l.Pairs(), levelIdentity) {
+				return false
+			}
+			if l.RaisedFingerprint() != l.RaiseJ().Fingerprint() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropCodecRoundTrip(t *testing.T) {
+	f := func(a quickThreadLabel) bool {
+		enc, err := a.L.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		var dec Label
+		if err := dec.UnmarshalBinary(enc); err != nil {
+			return false
+		}
+		return dec.Equal(a.L) &&
+			dec.Fingerprint() == a.L.Fingerprint() &&
+			dec.RaisedFingerprint() == a.L.RaisedFingerprint()
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropInternSame(t *testing.T) {
+	f := func(a quickThreadLabel) bool {
+		i1 := Intern(a.L)
+		rebuilt := New(a.L.Default(), a.L.Pairs()...)
+		i2 := Intern(rebuilt)
+		return Same(i1, i2) && i1.Equal(a.L)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency: hammer the sharded cache and the interning table from many
+// goroutines (meaningful under -race).
+// ---------------------------------------------------------------------------
+
+func TestCacheShardedConcurrent(t *testing.T) {
+	// A small bound forces constant per-shard eviction while goroutines race
+	// on lookups; every cached answer must still agree with the direct one.
+	cache := NewCache(256)
+	r := rand.New(rand.NewSource(7))
+	labels := make([]Label, 64)
+	for i := range labels {
+		labels[i] = genLabel(r, true)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < 4000; i++ {
+				a := labels[r.Intn(len(labels))]
+				b := labels[r.Intn(len(labels))]
+				if cache.Leq(a, b) != a.Leq(b) {
+					t.Errorf("cached Leq disagreement for %v ⊑ %v", a, b)
+					return
+				}
+				if cache.CanObserve(a, b) != CanObserve(a, b) {
+					t.Errorf("cached CanObserve disagreement for %v / %v", a, b)
+					return
+				}
+				if cache.CanModify(a, b) != CanModify(a, b) {
+					t.Errorf("cached CanModify disagreement for %v / %v", a, b)
+					return
+				}
+				if cache.LeqRaised(a, b) != a.RaiseJ().Leq(b.RaiseJ()) {
+					t.Errorf("cached LeqRaised disagreement for %v / %v", a, b)
+					return
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	st := cache.Stats()
+	if st.Hits == 0 || st.Misses == 0 {
+		t.Errorf("expected both hits and misses, got %+v", st)
+	}
+	if cache.Len() > 256 {
+		t.Errorf("cache exceeded bound: %d entries", cache.Len())
+	}
+	if st.Evictions == 0 {
+		t.Error("small cache under churn should have evicted per shard")
+	}
+}
+
+func TestInternConcurrent(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	labels := make([]Label, 32)
+	for i := range labels {
+		labels[i] = genLabel(r, true)
+	}
+	canon := make([]Label, len(labels))
+	for i, l := range labels {
+		canon[i] = Intern(l)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i, l := range labels {
+				rebuilt := New(l.Default(), l.Pairs()...)
+				if got := Intern(rebuilt); !Same(got, canon[i]) {
+					t.Errorf("Intern returned a non-canonical instance for %v", l)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }

@@ -26,6 +26,7 @@ import (
 
 	"histar/internal/btree"
 	"histar/internal/disk"
+	"histar/internal/label"
 	"histar/internal/wal"
 )
 
@@ -91,9 +92,10 @@ type Store struct {
 	freeBySize *btree.Tree // (size, offset) → 0
 	freeByOff  *btree.Tree // (offset, 0) → size
 
-	cache map[uint64][]byte // in-memory object contents (the "page cache")
-	dirty map[uint64]bool   // objects modified since last checkpoint/apply
-	dead  map[uint64]bool   // objects deleted since last checkpoint
+	cache  map[uint64][]byte      // in-memory object contents (the "page cache")
+	dirty  map[uint64]bool        // objects modified since last checkpoint/apply
+	dead   map[uint64]bool        // objects deleted since last checkpoint
+	labels map[uint64]label.Label // object labels, persisted in canonical form
 
 	metaWhich int // which metadata area (0 or 1) the superblock references
 
@@ -123,6 +125,7 @@ func Format(d *disk.Disk, opts Options) (*Store, error) {
 		cache:      make(map[uint64][]byte),
 		dirty:      make(map[uint64]bool),
 		dead:       make(map[uint64]bool),
+		labels:     make(map[uint64]label.Label),
 	}
 	l, err := wal.New(d, logOffset, opts.LogSize)
 	if err != nil {
@@ -154,6 +157,7 @@ func Open(d *disk.Disk, opts Options) (*Store, error) {
 		cache:      make(map[uint64][]byte),
 		dirty:      make(map[uint64]bool),
 		dead:       make(map[uint64]bool),
+		labels:     make(map[uint64]label.Label),
 	}
 	if err := s.readSuperblock(); err != nil {
 		return nil, err
@@ -207,11 +211,15 @@ func (s *Store) Put(id uint64, data []byte) error {
 	if s.closed {
 		return ErrClosed
 	}
+	s.putLocked(id, data)
+	return nil
+}
+
+func (s *Store) putLocked(id uint64, data []byte) {
 	s.cache[id] = append([]byte(nil), data...)
 	s.dirty[id] = true
 	delete(s.dead, id)
 	s.stats.Puts++
-	return nil
 }
 
 // Get returns the contents of an object, reading it from disk if it is not
@@ -242,6 +250,48 @@ func (s *Store) Get(id uint64) ([]byte, error) {
 	}
 	s.cache[id] = append([]byte(nil), buf...)
 	return buf, nil
+}
+
+// PutLabeled is Put plus recording the object's information-flow label.
+// Labels are serialized in their canonical sorted form at the next
+// checkpoint and their fingerprints are recomputed exactly once on load, so
+// a restored system resumes with warm comparison-cache keys.
+func (s *Store) PutLabeled(id uint64, lbl label.Label, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	s.putLocked(id, data)
+	s.labels[id] = lbl
+	return nil
+}
+
+// SetLabel records (or replaces) the label of an object without touching its
+// contents.
+func (s *Store) SetLabel(id uint64, lbl label.Label) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	s.labels[id] = lbl
+	return nil
+}
+
+// Label returns the stored label of an object, if one was recorded.
+func (s *Store) Label(id uint64) (label.Label, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l, ok := s.labels[id]
+	return l, ok
+}
+
+// LabelCount returns how many objects have a recorded label.
+func (s *Store) LabelCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.labels)
 }
 
 // Cached reports whether the object's contents are resident in memory.
@@ -279,6 +329,7 @@ func (s *Store) Delete(id uint64) error {
 func (s *Store) deleteLocked(id uint64) {
 	delete(s.cache, id)
 	delete(s.dirty, id)
+	delete(s.labels, id)
 	s.dead[id] = true
 }
 
@@ -562,6 +613,13 @@ func (s *Store) encodeMetadata() []byte {
 		appendU64(f[0])
 		appendU64(f[1])
 	}
+	// Object labels, in canonical serialized form.  Older metadata images
+	// simply end here; decodeMetadata treats the section as optional.
+	appendU64(uint64(len(s.labels)))
+	for id, lbl := range s.labels {
+		appendU64(id)
+		buf = lbl.AppendBinary(buf)
+	}
 	return buf
 }
 
@@ -609,6 +667,26 @@ func (s *Store) decodeMetadata(buf []byte) error {
 		}
 		s.freeBySize.Put(btree.K2(size, off), 0)
 		s.freeByOff.Put(btree.K1(off), size)
+	}
+	// Optional label section (absent in pre-label metadata images).
+	if len(buf) == 0 {
+		return nil
+	}
+	nl, err := readU64()
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < nl; i++ {
+		id, err := readU64()
+		if err != nil {
+			return err
+		}
+		lbl, rest, err := label.DecodeBinary(buf)
+		if err != nil {
+			return err
+		}
+		buf = rest
+		s.labels[id] = lbl
 	}
 	return nil
 }

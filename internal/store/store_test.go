@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"histar/internal/disk"
+	"histar/internal/label"
 	"histar/internal/vclock"
 )
 
@@ -293,5 +294,74 @@ func TestStatsTracking(t *testing.T) {
 	}
 	if st.LiveObjects != 1 {
 		t.Errorf("live objects = %d", st.LiveObjects)
+	}
+}
+
+func TestLabelPersistence(t *testing.T) {
+	s, d := testStore(t)
+	taint := label.New(label.L1, label.P(label.Category(17), label.L3))
+	plain := label.New(label.L1)
+	user := label.New(label.L1,
+		label.P(label.Category(3), label.L3), label.P(label.Category(9), label.L0))
+	if err := s.PutLabeled(1, taint, []byte("tainted file")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutLabeled(2, plain, []byte("public file")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(3, []byte("unlabeled")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetLabel(3, user); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.Label(1); !ok || !got.Equal(taint) {
+		t.Fatalf("Label(1) = %v, %v", got, ok)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: labels must be restored from the checkpointed metadata in
+	// canonical form, with fingerprints recomputed on load.
+	r, err := Open(d, Options{LogSize: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LabelCount() != 3 {
+		t.Fatalf("LabelCount = %d, want 3", r.LabelCount())
+	}
+	for id, want := range map[uint64]label.Label{1: taint, 2: plain, 3: user} {
+		got, ok := r.Label(id)
+		if !ok || !got.Equal(want) {
+			t.Errorf("Label(%d) = %v, %v; want %v", id, got, ok, want)
+			continue
+		}
+		if got.Fingerprint() != want.Fingerprint() {
+			t.Errorf("Label(%d) fingerprint = %x, want %x", id, got.Fingerprint(), want.Fingerprint())
+		}
+		if got.RaisedFingerprint() != want.RaisedFingerprint() {
+			t.Errorf("Label(%d) raised fingerprint mismatch", id)
+		}
+	}
+	data, err := r.Get(1)
+	if err != nil || string(data) != "tainted file" {
+		t.Fatalf("Get(1) = %q, %v", data, err)
+	}
+}
+
+func TestLabelDroppedWithDelete(t *testing.T) {
+	s, _ := testStore(t)
+	if err := s.PutLabeled(7, label.New(label.L2), []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(7); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Label(7); ok {
+		t.Error("label should be dropped with the object")
+	}
+	if s.LabelCount() != 0 {
+		t.Errorf("LabelCount = %d, want 0", s.LabelCount())
 	}
 }

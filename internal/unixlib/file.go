@@ -20,7 +20,9 @@ func (p *Process) DefaultFileLabel() label.Label {
 	if p.User != nil {
 		l = l.With(p.User.Ur, label.L3).With(p.User.Uw, label.L0)
 	}
-	return p.withThreadTaint(l)
+	// Interning makes every file of the same user/taint share one canonical
+	// label, so kernel access checks hit the pointer-comparison fast path.
+	return label.Intern(p.withThreadTaint(l))
 }
 
 // withThreadTaint raises l to cover every category in which the calling
@@ -41,7 +43,7 @@ func (p *Process) withThreadTaint(l label.Label) label.Label {
 // Create creates a file with the given label and opens it for reading and
 // writing.  Pass the zero label to use the process default.
 func (p *Process) Create(path string, lbl label.Label) (int, error) {
-	if lbl.Equal(label.Label{}) {
+	if lbl.IsZero() {
 		lbl = p.DefaultFileLabel()
 	}
 	abs := p.abs(path)
@@ -309,7 +311,7 @@ func (p *Process) touchMtime(ce kernel.CEnt) {
 // Mkdir creates a directory with the given label (zero label = process
 // default).
 func (p *Process) Mkdir(path string, lbl label.Label) error {
-	if lbl.Equal(label.Label{}) {
+	if lbl.IsZero() {
 		lbl = p.DefaultFileLabel()
 	}
 	abs := p.abs(path)

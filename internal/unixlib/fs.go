@@ -30,6 +30,7 @@ func (sys *System) mkDirContainer(tc *kernel.ThreadCall, parent kernel.ID, name 
 	if err != nil {
 		return kernel.NilID, mapKernelErr(err)
 	}
+	sys.persistLabel(seg, lbl)
 	var md [kernel.MetadataSize]byte
 	binary.LittleEndian.PutUint64(md[:8], uint64(seg))
 	if err := tc.ObjectSetMetadata(kernel.Self(dir), md); err != nil {
@@ -94,6 +95,7 @@ func (sys *System) createFileIn(tc *kernel.ThreadCall, dir kernel.ID, name strin
 	if err != nil {
 		return kernel.NilID, mapKernelErr(err)
 	}
+	sys.persistLabel(file, lbl)
 	entries = append(entries, DirEntry{Name: name, ID: file, Type: kernel.ObjSegment})
 	if err := sys.writeDirEntries(tc, seg, entries); err != nil {
 		return kernel.NilID, err

@@ -2,6 +2,7 @@ package unixlib
 
 import (
 	"histar/internal/kernel"
+	"histar/internal/label"
 )
 
 // Persistence bridge to the single-level store.  When a store is attached,
@@ -16,8 +17,22 @@ import (
 // traffic for the objects the benchmarks exercise without entangling the
 // kernel simulation with the disk model.
 
+// persistLabel records an object's information-flow label in the store.  It
+// is called once, where the object is created and its label is already in
+// hand, so the per-write persist paths below stay free of extra kernel
+// calls.  The label travels with the object so a restored system can
+// rebuild its canonical form (and fingerprint) without consulting the
+// kernel.
+func (sys *System) persistLabel(id kernel.ID, lbl label.Label) {
+	if sys.Persist == nil {
+		return
+	}
+	_ = sys.Persist.SetLabel(uint64(id), lbl)
+}
+
 // persistFileAsync records a file's current contents in the store's
-// in-memory dirty set (no disk I/O yet).
+// in-memory dirty set (no disk I/O yet).  The object's label was recorded
+// by persistLabel when the file was created.
 func (sys *System) persistFileAsync(tc *kernel.ThreadCall, file kernel.CEnt) {
 	if sys.Persist == nil {
 		return
