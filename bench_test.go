@@ -11,6 +11,8 @@ package histar
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -699,6 +701,148 @@ func virusScanBench(b *testing.B, withWrap bool) {
 
 func BenchmarkFig13_VirusScan_NoWrap_HiStar(b *testing.B)   { virusScanBench(b, false) }
 func BenchmarkFig13_VirusScan_WithWrap_HiStar(b *testing.B) { virusScanBench(b, true) }
+
+// ---------------------------------------------------------------------------
+// Kernel scaling: parallel syscall throughput over the sharded object table.
+// The kernel runs syscalls with no global lock — the object table is sharded
+// and objects carry their own RW locks — so a mixed read-heavy workload
+// issued from 8 concurrent threads should scale with GOMAXPROCS instead of
+// flatlining.  The _SingleShard variant forces the whole table through one
+// shard lock (the pre-sharding shape) for comparison.
+// ---------------------------------------------------------------------------
+
+func benchSyscallParallel(b *testing.B, shards int) {
+	k := kernel.New(kernel.Config{Seed: 7, ObjectTableShards: shards})
+	boot, err := k.BootThread(label.New(label.L1), label.New(label.L2), "bench boot")
+	if err != nil {
+		b.Fatal(err)
+	}
+	root := k.RootContainer()
+	shared, err := boot.ContainerCreate(root, label.New(label.L1), "shared", 0, 256<<20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hot, err := boot.SegmentCreate(shared, label.New(label.L1), "hot", 256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hotCE := kernel.CEnt{Container: shared, Object: hot}
+	// Exactly 8 worker goroutines regardless of GOMAXPROCS, sharing b.N ops
+	// through one counter, so the sharded-vs-single-shard ratio is measured
+	// at the same concurrency level on every host.
+	const nWorkers = 8
+	var (
+		ops sync.WaitGroup
+		n   atomic.Int64
+	)
+	b.ResetTimer()
+	for w := 0; w < nWorkers; w++ {
+		ops.Add(1)
+		go func(w int) {
+			defer ops.Done()
+			tid, err := boot.ThreadCreate(root, kernel.ThreadSpec{
+				Label:     label.New(label.L1),
+				Clearance: label.New(label.L2),
+				Descrip:   fmt.Sprintf("bench worker %d", w),
+			})
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			tc, err := k.ThreadCall(tid)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			priv, err := tc.ContainerCreate(root, label.New(label.L1), "priv", 0, 64<<20)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			own, err := tc.SegmentCreate(priv, label.New(label.L1), "own", 256)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			ownCE := kernel.CEnt{Container: priv, Object: own}
+			for i := n.Add(1); i <= int64(b.N); i = n.Add(1) {
+				// Read-heavy mix: 7 read syscalls, 2 writes, 1 create/unref
+				// pair per 10 iterations.
+				var err error
+				switch i % 10 {
+				case 0, 1, 2:
+					_, err = tc.SegmentRead(hotCE, 0, 64)
+				case 3, 4:
+					_, err = tc.SegmentRead(ownCE, 0, 64)
+				case 5:
+					_, err = tc.SegmentLen(hotCE)
+				case 6:
+					_, err = tc.ObjectStat(hotCE)
+				case 7:
+					err = tc.SegmentWrite(ownCE, 0, []byte("scratchdata"))
+				case 8:
+					_, err = tc.SegmentCompareSwap(ownCE, 8, 0, 0)
+				case 9:
+					var seg kernel.ID
+					seg, err = tc.SegmentCreate(priv, label.New(label.L1), "tmp", 32)
+					if err == nil {
+						err = tc.Unref(priv, seg)
+					}
+				}
+				if err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	ops.Wait()
+	b.StopTimer()
+	l1 := k.LabelL1Stats()
+	if l1.Hits+l1.Misses > 0 {
+		b.ReportMetric(100*float64(l1.Hits)/float64(l1.Hits+l1.Misses), "L1-hit-%")
+	}
+}
+
+func BenchmarkSyscallParallel(b *testing.B)             { benchSyscallParallel(b, 0) }
+func BenchmarkSyscallParallel_SingleShard(b *testing.B) { benchSyscallParallel(b, 1) }
+
+// BenchmarkSyscallSerial is the same mixed workload from a single thread,
+// for the per-op baseline.
+func BenchmarkSyscallSerial(b *testing.B) {
+	k := kernel.New(kernel.Config{Seed: 7})
+	boot, err := k.BootThread(label.New(label.L1), label.New(label.L2), "bench boot")
+	if err != nil {
+		b.Fatal(err)
+	}
+	root := k.RootContainer()
+	seg, err := boot.SegmentCreate(root, label.New(label.L1), "hot", 256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ce := kernel.CEnt{Container: root, Object: seg}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		switch i % 10 {
+		case 7:
+			if err := boot.SegmentWrite(ce, 0, []byte("scratchdata")); err != nil {
+				b.Fatal(err)
+			}
+		case 9:
+			s2, err := boot.SegmentCreate(root, label.New(label.L1), "tmp", 32)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := boot.Unref(root, s2); err != nil {
+				b.Fatal(err)
+			}
+		default:
+			if _, err := boot.SegmentRead(ce, 0, 64); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
 
 // ---------------------------------------------------------------------------
 // Ablations (DESIGN.md Section 5).

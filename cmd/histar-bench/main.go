@@ -86,6 +86,24 @@ func main() {
 	fmt.Printf("Label cache shards: %d/%d active, largest shard %d entries, worst per-shard evictions %d\n",
 		used, len(cs.Shards), maxEntries, maxEvict)
 
+	// Per-thread L1 in front of the sharded cache: the hottest canObserve
+	// checks are answered from a lock-free per-thread array; the shard
+	// mutexes above are only touched on L1 misses.
+	l1 := sys.Kern.LabelL1Stats()
+	l1Rate := 0.0
+	if l1.Hits+l1.Misses > 0 {
+		l1Rate = 100 * float64(l1.Hits) / float64(l1.Hits+l1.Misses)
+	}
+	fmt.Printf("Per-thread L1: %d hits / %d misses (%.1f%% hit rate), %d live threads\n",
+		l1.Hits, l1.Misses, l1Rate, len(l1.Threads))
+	for _, ts := range l1.Threads {
+		if ts.Hits+ts.Misses == 0 {
+			continue
+		}
+		fmt.Printf("  thread %-24q %6.1f%% L1 hit rate (%d lookups)\n",
+			ts.Descrip, 100*float64(ts.Hits)/float64(ts.Hits+ts.Misses), ts.Hits+ts.Misses)
+	}
+
 	// E4/E6 quick shape check: group sync vs per-file sync on 200 files.
 	ratio := groupVsPerFileSync()
 	fmt.Printf("E4 durability shapes: per-file sync is %.0fx slower than group sync for small-file creates (paper: up to ~200x)\n", ratio)

@@ -16,6 +16,16 @@
 // fingerprint bits with per-shard eviction, and the single-level store
 // persists labels in the same canonical serialized form.
 //
+// The kernel (internal/kernel) runs system calls with no global lock: the
+// object table is sharded by object-ID bits with a per-shard RWMutex, every
+// object carries its own RW lock, and multi-object syscalls acquire object
+// locks in ascending object-ID order (see the internal/kernel package
+// comment for the full discipline).  Read-mostly syscalls take only read
+// locks; each thread additionally fronts the shared comparison cache with a
+// small lock-free L1 keyed by both labels' fingerprints, so the hottest
+// canObserve checks touch no mutex.  Syscall statistics are striped atomic
+// counters indexed by a fixed syscall enum, merged on read.
+//
 // The root package holds only the benchmark harness (bench_test.go); the
 // implementation lives under internal/ and the runnable entry points under
 // cmd/ and examples/.

@@ -20,13 +20,10 @@ type Mapping struct {
 // AddressSpaceCreate creates an address space object with label l in
 // container d.
 func (tc *ThreadCall) AddressSpaceCreate(d ID, l label.Label, descrip string) (ID, error) {
-	tc.k.mu.Lock()
-	defer tc.k.mu.Unlock()
-	t, err := tc.self()
+	ctx, err := tc.enter(scASCreate)
 	if err != nil {
 		return NilID, err
 	}
-	tc.k.count("as_create", t)
 	if !label.ValidObjectLabel(l) {
 		return NilID, ErrInvalid
 	}
@@ -34,22 +31,16 @@ func (tc *ThreadCall) AddressSpaceCreate(d ID, l label.Label, descrip string) (I
 	if err != nil {
 		return NilID, err
 	}
-	if cont.immutable {
-		return NilID, ErrImmutable
-	}
 	if cont.avoidTypes.Has(ObjAddressSpace) {
 		return NilID, ErrAvoidType
 	}
-	if !tc.k.canModify(t.lbl, cont.lbl) {
+	if !tc.k.canModifyT(ctx.t, ctx.lbl, cont.lbl) {
 		return NilID, ErrLabel
 	}
-	if !label.CanAllocate(t.lbl, t.clearance, l) {
+	if !label.CanAllocate(ctx.lbl, ctx.clearance, l) {
 		return NilID, ErrLabel
 	}
 	const quota = 64 * 1024
-	if err := tc.k.chargeLocked(cont, quota); err != nil {
-		return NilID, err
-	}
 	a := &addressSpace{
 		header: header{
 			id:      tc.k.newID(),
@@ -57,29 +48,62 @@ func (tc *ThreadCall) AddressSpaceCreate(d ID, l label.Label, descrip string) (I
 			lbl:     label.Intern(l),
 			quota:   quota,
 			descrip: truncDescrip(descrip),
+			refs:    1,
 		},
 	}
 	a.usage = a.footprint()
-	tc.k.objects[a.id] = a
+	cont.mu.Lock()
+	defer cont.mu.Unlock()
+	if !liveLocked(cont) {
+		return NilID, ErrNoSuchObject
+	}
+	if cont.immutable {
+		return NilID, ErrImmutable
+	}
+	if err := tc.k.charge(cont, quota); err != nil {
+		return NilID, err
+	}
+	tc.k.insert(a)
 	cont.link(a.id)
-	a.refs = 1
 	return a.id, nil
+}
+
+// resolveAS resolves ce to its container and address space with no locks
+// held.
+func (tc *ThreadCall) resolveAS(ctx tctx, ce CEnt) (*container, *addressSpace, error) {
+	cont, obj, err := tc.k.peek(ctx, ce)
+	if err != nil {
+		return nil, nil, err
+	}
+	a, ok := obj.(*addressSpace)
+	if !ok {
+		return nil, nil, ErrWrongType
+	}
+	return cont, a, nil
 }
 
 // AddressSpaceSet replaces the mappings of the address space named by ce.
 // The invoking thread must be able to modify the address space
 // (LT ⊑ LA ⊑ LTᴶ).
 func (tc *ThreadCall) AddressSpaceSet(ce CEnt, maps []Mapping) error {
-	tc.k.mu.Lock()
-	defer tc.k.mu.Unlock()
-	t, err := tc.self()
+	ctx, err := tc.enter(scASSet)
 	if err != nil {
 		return err
 	}
-	tc.k.count("as_set", t)
-	a, err := tc.asForWrite(t, ce)
+	cont, a, err := tc.resolveAS(ctx, ce)
 	if err != nil {
 		return err
+	}
+	if !tc.k.canModifyT(ctx.t, ctx.lbl, a.lbl) {
+		return ErrLabel
+	}
+	ls := lockOrdered(objLock{cont, false}, objLock{a, true})
+	defer ls.unlock()
+	if err := verifyEntryLive(cont, a); err != nil {
+		return err
+	}
+	if a.immutable {
+		return ErrImmutable
 	}
 	a.mappings = a.mappings[:0]
 	for _, m := range maps {
@@ -97,15 +121,20 @@ func (tc *ThreadCall) AddressSpaceSet(ce CEnt, maps []Mapping) error {
 // AddressSpaceGet returns the current mappings of the address space named by
 // ce.  The invoking thread must be able to observe it (LA ⊑ LTᴶ).
 func (tc *ThreadCall) AddressSpaceGet(ce CEnt) ([]Mapping, error) {
-	tc.k.mu.Lock()
-	defer tc.k.mu.Unlock()
-	t, err := tc.self()
+	ctx, err := tc.enter(scASGet)
 	if err != nil {
 		return nil, err
 	}
-	tc.k.count("as_get", t)
-	a, err := tc.asForRead(t, ce)
+	cont, a, err := tc.resolveAS(ctx, ce)
 	if err != nil {
+		return nil, err
+	}
+	if !tc.k.canObserveT(ctx.t, ctx.lbl, a.lbl) {
+		return nil, ErrLabel
+	}
+	ls := lockOrdered(objLock{cont, false}, objLock{a, false})
+	defer ls.unlock()
+	if err := verifyEntryLive(cont, a); err != nil {
 		return nil, err
 	}
 	out := make([]Mapping, 0, len(a.mappings))
@@ -117,19 +146,27 @@ func (tc *ThreadCall) AddressSpaceGet(ce CEnt) ([]Mapping, error) {
 
 // AddressSpaceAddMapping appends one mapping without replacing the rest.
 func (tc *ThreadCall) AddressSpaceAddMapping(ce CEnt, m Mapping) error {
-	tc.k.mu.Lock()
-	defer tc.k.mu.Unlock()
-	t, err := tc.self()
+	ctx, err := tc.enter(scASAddMapping)
 	if err != nil {
 		return err
 	}
-	tc.k.count("as_add_mapping", t)
-	a, err := tc.asForWrite(t, ce)
+	cont, a, err := tc.resolveAS(ctx, ce)
 	if err != nil {
 		return err
+	}
+	if !tc.k.canModifyT(ctx.t, ctx.lbl, a.lbl) {
+		return ErrLabel
 	}
 	if m.VA%PageSize != 0 {
 		return ErrInvalid
+	}
+	ls := lockOrdered(objLock{cont, false}, objLock{a, true})
+	defer ls.unlock()
+	if err := verifyEntryLive(cont, a); err != nil {
+		return err
+	}
+	if a.immutable {
+		return ErrImmutable
 	}
 	a.mappings = append(a.mappings, mapping{VA: m.VA, Seg: m.Seg, Offset: m.Offset, NPages: m.NPages, Flags: m.Flags})
 	a.bump()
@@ -138,16 +175,24 @@ func (tc *ThreadCall) AddressSpaceAddMapping(ce CEnt, m Mapping) error {
 
 // AddressSpaceRemoveMapping removes the mapping that starts at va.
 func (tc *ThreadCall) AddressSpaceRemoveMapping(ce CEnt, va uint64) error {
-	tc.k.mu.Lock()
-	defer tc.k.mu.Unlock()
-	t, err := tc.self()
+	ctx, err := tc.enter(scASRemoveMapping)
 	if err != nil {
 		return err
 	}
-	tc.k.count("as_remove_mapping", t)
-	a, err := tc.asForWrite(t, ce)
+	cont, a, err := tc.resolveAS(ctx, ce)
 	if err != nil {
 		return err
+	}
+	if !tc.k.canModifyT(ctx.t, ctx.lbl, a.lbl) {
+		return ErrLabel
+	}
+	ls := lockOrdered(objLock{cont, false}, objLock{a, true})
+	defer ls.unlock()
+	if err := verifyEntryLive(cont, a); err != nil {
+		return err
+	}
+	if a.immutable {
+		return ErrImmutable
 	}
 	for i, m := range a.mappings {
 		if m.VA == va {
@@ -163,52 +208,27 @@ func (tc *ThreadCall) AddressSpaceRemoveMapping(ce CEnt, va uint64) error {
 // space, invoked when a memory access fails its checks.  By default a fault
 // kills the process (the user-level library's choice).
 func (tc *ThreadCall) SetFaultHandler(ce CEnt, h func(va uint64, write bool, err error)) error {
-	tc.k.mu.Lock()
-	defer tc.k.mu.Unlock()
-	t, err := tc.self()
+	ctx, err := tc.enter(scASSetFaultHandler)
 	if err != nil {
 		return err
 	}
-	tc.k.count("as_set_fault_handler", t)
-	a, err := tc.asForWrite(t, ce)
+	cont, a, err := tc.resolveAS(ctx, ce)
 	if err != nil {
 		return err
+	}
+	if !tc.k.canModifyT(ctx.t, ctx.lbl, a.lbl) {
+		return ErrLabel
+	}
+	ls := lockOrdered(objLock{cont, false}, objLock{a, true})
+	defer ls.unlock()
+	if err := verifyEntryLive(cont, a); err != nil {
+		return err
+	}
+	if a.immutable {
+		return ErrImmutable
 	}
 	a.faultHandler = h
 	return nil
-}
-
-func (tc *ThreadCall) asForRead(t *thread, ce CEnt) (*addressSpace, error) {
-	obj, err := tc.k.resolve(t.lbl, ce)
-	if err != nil {
-		return nil, err
-	}
-	a, ok := obj.(*addressSpace)
-	if !ok {
-		return nil, ErrWrongType
-	}
-	if !tc.k.canObserve(t.lbl, a.lbl) {
-		return nil, ErrLabel
-	}
-	return a, nil
-}
-
-func (tc *ThreadCall) asForWrite(t *thread, ce CEnt) (*addressSpace, error) {
-	obj, err := tc.k.resolve(t.lbl, ce)
-	if err != nil {
-		return nil, err
-	}
-	a, ok := obj.(*addressSpace)
-	if !ok {
-		return nil, ErrWrongType
-	}
-	if a.immutable {
-		return nil, ErrImmutable
-	}
-	if !tc.k.canModify(t.lbl, a.lbl) {
-		return nil, ErrLabel
-	}
-	return a, nil
 }
 
 // MemRead simulates a load through the invoking thread's address space.
@@ -216,23 +236,32 @@ func (tc *ThreadCall) asForWrite(t *thread, ce CEnt) (*addressSpace, error) {
 // performs the page-fault label checks: the thread must be able to read the
 // mapping's container and segment (LD ⊑ LTᴶ and LO ⊑ LTᴶ).
 func (tc *ThreadCall) MemRead(va uint64, n int) ([]byte, error) {
-	tc.k.mu.Lock()
-	defer tc.k.mu.Unlock()
-	t, err := tc.self()
+	ctx, err := tc.enter(scMemRead)
 	if err != nil {
 		return nil, err
 	}
-	tc.k.count("mem_read", t)
-	seg, off, err := tc.pageFault(t, va, n, false)
+	if n < 0 {
+		return nil, ErrInvalid
+	}
+	seg, off, err := tc.pageFault(ctx, va, n, false)
 	if err != nil {
 		return nil, err
 	}
-	end := off + n
-	if end > len(seg.data) {
-		end = len(seg.data)
+	seg.mu.RLock()
+	defer seg.mu.RUnlock()
+	if !liveLocked(seg) {
+		return nil, ErrNoSuchObject
 	}
+	if off < 0 { // int overflow from a huge mapping offset
+		return nil, ErrInvalid
+	}
+	// Clamp without computing off+n, which could overflow int.
 	if off > len(seg.data) {
 		off = len(seg.data)
+	}
+	end := len(seg.data)
+	if n < end-off {
+		end = off + n
 	}
 	out := make([]byte, end-off)
 	copy(out, seg.data[off:end])
@@ -243,18 +272,28 @@ func (tc *ThreadCall) MemRead(va uint64, n int) ([]byte, error) {
 // the mapping must include write permission and the thread must additionally
 // be able to modify the segment (LT ⊑ LO).
 func (tc *ThreadCall) MemWrite(va uint64, data []byte) error {
-	tc.k.mu.Lock()
-	defer tc.k.mu.Unlock()
-	t, err := tc.self()
+	ctx, err := tc.enter(scMemWrite)
 	if err != nil {
 		return err
 	}
-	tc.k.count("mem_write", t)
-	seg, off, err := tc.pageFault(t, va, len(data), true)
+	seg, off, err := tc.pageFault(ctx, va, len(data), true)
 	if err != nil {
 		return err
+	}
+	seg.mu.Lock()
+	defer seg.mu.Unlock()
+	if !liveLocked(seg) {
+		return ErrNoSuchObject
+	}
+	if seg.immutable {
+		// Rechecked under the write lock; the fault handler (if any) was
+		// already notified by pageFault when the flag was set earlier.
+		return ErrImmutable
 	}
 	end := off + len(data)
+	if end < off || off < 0 { // int overflow from a huge mapping offset
+		return ErrQuota
+	}
 	if end > len(seg.data) {
 		if uint64(end)+128 > seg.quota {
 			return ErrQuota
@@ -271,21 +310,22 @@ func (tc *ThreadCall) MemWrite(va uint64, data []byte) error {
 
 // pageFault resolves a virtual address through the thread's address space,
 // applying the label checks of Section 3.4.  It returns the backing segment
-// and the byte offset within it.  On failure the address space's user-mode
-// fault handler, if any, is notified (outside the error return so callers
-// still see the error).
-func (tc *ThreadCall) pageFault(t *thread, va uint64, n int, write bool) (*segment, int, error) {
-	seg, off, err := tc.pageFaultInner(t, va, n, write)
+// and the byte offset within it; the caller locks the segment to touch its
+// data.  On failure the address space's user-mode fault handler, if any, is
+// notified (outside the error return so callers still see the error); the
+// handler runs with no kernel locks held, so it may issue system calls.
+func (tc *ThreadCall) pageFault(ctx tctx, va uint64, n int, write bool) (*segment, int, error) {
+	seg, off, err := tc.pageFaultInner(ctx, va, n, write)
 	if err != nil {
-		if t.addressSpace.Object != NilID {
-			if aso, lerr := tc.k.lookup(t.addressSpace.Object); lerr == nil {
-				if as, ok := aso.(*addressSpace); ok && as.faultHandler != nil {
+		if ctx.as.Object != NilID {
+			if aso, lerr := tc.k.lookup(ctx.as.Object); lerr == nil {
+				if as, ok := aso.(*addressSpace); ok {
+					as.mu.RLock()
 					h := as.faultHandler
-					// Invoke without the kernel lock to let the handler issue
-					// system calls; re-acquire before returning.
-					tc.k.mu.Unlock()
-					h(va, write, err)
-					tc.k.mu.Lock()
+					as.mu.RUnlock()
+					if h != nil {
+						h(va, write, err)
+					}
 				}
 			}
 		}
@@ -293,11 +333,11 @@ func (tc *ThreadCall) pageFault(t *thread, va uint64, n int, write bool) (*segme
 	return seg, off, err
 }
 
-func (tc *ThreadCall) pageFaultInner(t *thread, va uint64, n int, write bool) (*segment, int, error) {
-	if t.addressSpace.Object == NilID {
+func (tc *ThreadCall) pageFaultInner(ctx tctx, va uint64, n int, write bool) (*segment, int, error) {
+	if ctx.as.Object == NilID {
 		return nil, 0, ErrNoMapping
 	}
-	aso, err := tc.k.lookup(t.addressSpace.Object)
+	aso, err := tc.k.lookup(ctx.as.Object)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -306,57 +346,68 @@ func (tc *ThreadCall) pageFaultInner(t *thread, va uint64, n int, write bool) (*
 		return nil, 0, ErrWrongType
 	}
 	// The thread must be able to use its address space at all.
-	if !tc.k.canObserve(t.lbl, as.lbl) {
+	if !tc.k.canObserveT(ctx.t, ctx.lbl, as.lbl) {
 		return nil, 0, ErrLabel
 	}
-	for _, m := range as.mappings {
-		lo := m.VA
-		hi := m.VA + m.NPages*PageSize
-		if va < lo || va >= hi {
-			continue
+	// Find the covering mapping and copy it out; the syscall linearizes at
+	// this point, so a concurrent remapping simply lands before or after it.
+	var m mapping
+	found := false
+	as.mu.RLock()
+	for _, cand := range as.mappings {
+		if va >= cand.VA && va < cand.VA+cand.NPages*PageSize {
+			m = cand
+			found = true
+			break
 		}
-		if write && m.Flags&MapWrite == 0 {
-			return nil, 0, ErrAccess
-		}
-		if !write && m.Flags&MapRead == 0 {
-			return nil, 0, ErrAccess
-		}
-		// Thread-local segment mapping: always accessible to its owner.
-		if m.Flags&MapThreadLocal != 0 {
-			return t.localSegment, int(va - lo), nil
-		}
-		// Page-fault label checks: read container and segment, plus modify
-		// for writes.
-		cont, err := tc.k.lookupContainer(m.Seg.Container)
-		if err != nil {
-			return nil, 0, err
-		}
-		if !tc.k.canObserve(t.lbl, cont.lbl) {
-			return nil, 0, ErrLabel
-		}
-		if m.Seg.Object != m.Seg.Container && !cont.entries[m.Seg.Object] {
-			return nil, 0, ErrNoSuchObject
-		}
-		so, err := tc.k.lookup(m.Seg.Object)
-		if err != nil {
-			return nil, 0, err
-		}
-		seg, ok := so.(*segment)
-		if !ok {
-			return nil, 0, ErrWrongType
-		}
-		if !tc.k.canObserve(t.lbl, seg.lbl) {
-			return nil, 0, ErrLabel
-		}
-		if write {
-			if seg.immutable {
-				return nil, 0, ErrImmutable
-			}
-			if !tc.k.leq(t.lbl, seg.lbl) {
-				return nil, 0, ErrLabel
-			}
-		}
-		return seg, int(uint64(va-lo) + m.Offset), nil
 	}
-	return nil, 0, ErrNoMapping
+	as.mu.RUnlock()
+	if !found {
+		return nil, 0, ErrNoMapping
+	}
+	if write && m.Flags&MapWrite == 0 {
+		return nil, 0, ErrAccess
+	}
+	if !write && m.Flags&MapRead == 0 {
+		return nil, 0, ErrAccess
+	}
+	// Thread-local segment mapping: always accessible to its owner.
+	if m.Flags&MapThreadLocal != 0 {
+		return ctx.t.localSegment, int(va - m.VA), nil
+	}
+	// Page-fault label checks: read container and segment, plus modify
+	// for writes.  Container and segment labels are immutable.
+	cont, err := tc.k.lookupContainer(m.Seg.Container)
+	if err != nil {
+		return nil, 0, err
+	}
+	if !tc.k.canObserveT(ctx.t, ctx.lbl, cont.lbl) {
+		return nil, 0, ErrLabel
+	}
+	if err := verifyLinkedBrief(cont, m.Seg.Object); err != nil {
+		return nil, 0, err
+	}
+	so, err := tc.k.lookup(m.Seg.Object)
+	if err != nil {
+		return nil, 0, err
+	}
+	seg, ok := so.(*segment)
+	if !ok {
+		return nil, 0, ErrWrongType
+	}
+	if !tc.k.canObserveT(ctx.t, ctx.lbl, seg.lbl) {
+		return nil, 0, ErrLabel
+	}
+	if write {
+		seg.mu.RLock()
+		immutable := seg.immutable
+		seg.mu.RUnlock()
+		if immutable {
+			return nil, 0, ErrImmutable
+		}
+		if !tc.k.leq(ctx.lbl, seg.lbl) {
+			return nil, 0, ErrLabel
+		}
+	}
+	return seg, int(uint64(va-m.VA) + m.Offset), nil
 }

@@ -11,13 +11,10 @@ import (
 // container or any of its descendants; quota bounds the storage usage
 // charged to d.
 func (tc *ThreadCall) ContainerCreate(d ID, l label.Label, descrip string, avoidTypes TypeMask, quota uint64) (ID, error) {
-	tc.k.mu.Lock()
-	defer tc.k.mu.Unlock()
-	t, err := tc.self()
+	ctx, err := tc.enter(scContainerCreate)
 	if err != nil {
 		return NilID, err
 	}
-	tc.k.count("container_create", t)
 	if !label.ValidObjectLabel(l) {
 		return NilID, ErrInvalid
 	}
@@ -25,16 +22,13 @@ func (tc *ThreadCall) ContainerCreate(d ID, l label.Label, descrip string, avoid
 	if err != nil {
 		return NilID, err
 	}
-	if parent.immutable {
-		return NilID, ErrImmutable
-	}
 	if parent.avoidTypes.Has(ObjContainer) {
 		return NilID, ErrAvoidType
 	}
-	if !tc.k.canModify(t.lbl, parent.lbl) {
+	if !tc.k.canModifyT(ctx.t, ctx.lbl, parent.lbl) {
 		return NilID, ErrLabel
 	}
-	if !label.CanAllocate(t.lbl, t.clearance, l) {
+	if !label.CanAllocate(ctx.lbl, ctx.clearance, l) {
 		return NilID, ErrLabel
 	}
 	// A container less tainted than its parent pre-authorizes a small
@@ -44,9 +38,6 @@ func (tc *ThreadCall) ContainerCreate(d ID, l label.Label, descrip string, avoid
 	if quota == 0 {
 		quota = 1 << 20
 	}
-	if err := tc.k.chargeLocked(parent, quota); err != nil {
-		return NilID, err
-	}
 	nc := &container{
 		header: header{
 			id:      tc.k.newID(),
@@ -54,36 +45,45 @@ func (tc *ThreadCall) ContainerCreate(d ID, l label.Label, descrip string, avoid
 			lbl:     label.Intern(l),
 			quota:   quota,
 			descrip: truncDescrip(descrip),
+			refs:    1,
 		},
 		parent:     d,
 		entries:    make(map[ID]bool),
 		avoidTypes: parent.avoidTypes | avoidTypes,
 	}
 	nc.usage = nc.footprint()
-	tc.k.objects[nc.id] = nc
+	parent.mu.Lock()
+	defer parent.mu.Unlock()
+	if !liveLocked(parent) {
+		return NilID, ErrNoSuchObject
+	}
+	if parent.immutable {
+		return NilID, ErrImmutable
+	}
+	if err := tc.k.charge(parent, quota); err != nil {
+		return NilID, err
+	}
+	tc.k.insert(nc)
 	parent.link(nc.id)
-	nc.refs = 1
 	return nc.id, nil
 }
 
 // ContainerGetParent returns the parent container of the container named by
 // ce (container_get_parent).  The root container has no parent.
 func (tc *ThreadCall) ContainerGetParent(ce CEnt) (ID, error) {
-	tc.k.mu.Lock()
-	defer tc.k.mu.Unlock()
-	t, err := tc.self()
+	ctx, err := tc.enter(scContainerGetParent)
 	if err != nil {
 		return NilID, err
 	}
-	tc.k.count("container_get_parent", t)
-	o, err := tc.k.resolve(t.lbl, ce)
+	_, obj, err := tc.k.peek(ctx, ce)
 	if err != nil {
 		return NilID, err
 	}
-	c, ok := o.(*container)
+	c, ok := obj.(*container)
 	if !ok {
 		return NilID, ErrNotContainer
 	}
+	// parent is immutable after creation; no lock on c needed.
 	if c.parent == NilID {
 		return NilID, ErrNotFound
 	}
@@ -93,23 +93,25 @@ func (tc *ThreadCall) ContainerGetParent(ce CEnt) (ID, error) {
 // ContainerList returns the object IDs hard-linked into the container named
 // by ce.  The invoking thread must be able to observe the container.
 func (tc *ThreadCall) ContainerList(ce CEnt) ([]ID, error) {
-	tc.k.mu.Lock()
-	defer tc.k.mu.Unlock()
-	t, err := tc.self()
+	ctx, err := tc.enter(scContainerList)
 	if err != nil {
 		return nil, err
 	}
-	tc.k.count("container_list", t)
-	o, err := tc.k.resolve(t.lbl, ce)
+	cont, obj, err := tc.k.peek(ctx, ce)
 	if err != nil {
 		return nil, err
 	}
-	c, ok := o.(*container)
+	c, ok := obj.(*container)
 	if !ok {
 		return nil, ErrNotContainer
 	}
-	if !tc.k.canObserve(t.lbl, c.lbl) {
+	if !tc.k.canObserveT(ctx.t, ctx.lbl, c.lbl) {
 		return nil, ErrLabel
+	}
+	ls := lockOrdered(objLock{cont, false}, objLock{c, false})
+	defer ls.unlock()
+	if err := verifyEntryLive(cont, c); err != nil {
+		return nil, err
 	}
 	return c.list(), nil
 }
@@ -120,24 +122,18 @@ func (tc *ThreadCall) ContainerList(ce CEnt) ([]ID, error) {
 // object's quota must be fixed, since an object whose quota may change
 // cannot be multiply linked (Section 3.3).
 func (tc *ThreadCall) Link(d ID, src CEnt) error {
-	tc.k.mu.Lock()
-	defer tc.k.mu.Unlock()
-	t, err := tc.self()
+	ctx, err := tc.enter(scContainerLink)
 	if err != nil {
 		return err
 	}
-	tc.k.count("container_link", t)
 	dest, err := tc.k.lookupContainer(d)
 	if err != nil {
 		return err
 	}
-	if dest.immutable {
-		return ErrImmutable
-	}
-	if !tc.k.canModify(t.lbl, dest.lbl) {
+	if !tc.k.canModifyT(ctx.t, ctx.lbl, dest.lbl) {
 		return ErrLabel
 	}
-	obj, err := tc.k.resolve(t.lbl, src)
+	srcCont, obj, err := tc.k.peek(ctx, src)
 	if err != nil {
 		return err
 	}
@@ -149,7 +145,23 @@ func (tc *ThreadCall) Link(d ID, src CEnt) error {
 	if dest.avoidTypes.Has(h.objType) {
 		return ErrAvoidType
 	}
-	if !tc.k.leq(h.lbl, t.clearance) {
+	ls := lockOrdered(objLock{srcCont, false}, objLock{dest, true}, objLock{obj, true})
+	defer ls.unlock()
+	if !liveLocked(dest) {
+		return ErrNoSuchObject
+	}
+	if dest.immutable {
+		return ErrImmutable
+	}
+	if err := srcCont.verifyLinked(h.id); err != nil {
+		return err
+	}
+	if !liveLocked(obj) {
+		return ErrNoSuchObject
+	}
+	// Non-thread labels are immutable, but thread labels are not; read under
+	// the object's lock either way.
+	if !tc.k.leq(h.lbl, ctx.clearance) {
 		return ErrClearance
 	}
 	if !h.fixedQuota {
@@ -160,7 +172,7 @@ func (tc *ThreadCall) Link(d ID, src CEnt) error {
 	}
 	// Conservatively double-charge: the full quota is charged to every
 	// container holding a link.
-	if err := tc.k.chargeLocked(dest, h.quota); err != nil {
+	if err := tc.k.charge(dest, h.quota); err != nil {
 		return err
 	}
 	dest.link(h.id)
@@ -173,69 +185,58 @@ func (tc *ThreadCall) Link(d ID, src CEnt) error {
 // removed the object is deallocated; unreferencing a container recursively
 // deallocates the subtree rooted at it.
 func (tc *ThreadCall) Unref(d ID, o ID) error {
-	tc.k.mu.Lock()
-	defer tc.k.mu.Unlock()
-	t, err := tc.self()
+	ctx, err := tc.enter(scContainerUnref)
 	if err != nil {
 		return err
 	}
-	tc.k.count("container_unref", t)
 	cont, err := tc.k.lookupContainer(d)
 	if err != nil {
 		return err
 	}
-	if !tc.k.canModify(t.lbl, cont.lbl) {
+	if !tc.k.canModifyT(ctx.t, ctx.lbl, cont.lbl) {
 		return ErrLabel
 	}
 	if o == tc.k.rootID {
 		return ErrRootContainer
 	}
-	if !cont.entries[o] {
-		return ErrNoSuchObject
-	}
-	obj, err := tc.k.lookup(o)
-	if err != nil {
-		// Already gone; just clear the link.
+	obj, lookupErr := tc.k.lookup(o)
+	if lookupErr != nil {
+		// The target is already gone; just clear the stale link, if any.
+		cont.mu.Lock()
+		defer cont.mu.Unlock()
+		if !liveLocked(cont) {
+			return ErrNoSuchObject
+		}
+		if !cont.entries[o] {
+			return ErrNoSuchObject
+		}
 		cont.unlink(o)
 		return nil
 	}
+	var orphans []ID
+	ls := lockOrdered(objLock{cont, true}, objLock{obj, true})
+	if !liveLocked(cont) {
+		ls.unlock()
+		return ErrNoSuchObject
+	}
+	if !cont.entries[o] {
+		ls.unlock()
+		return ErrNoSuchObject
+	}
 	cont.unlink(o)
-	tc.k.refundLocked(cont, obj.hdr().quota)
-	obj.hdr().refs--
-	if obj.hdr().refs <= 0 {
-		tc.k.deallocLocked(obj)
-	}
-	return nil
-}
-
-// deallocLocked removes an object from the object table, recursively
-// unreferencing container contents and halting threads.
-func (k *Kernel) deallocLocked(o object) {
-	h := o.hdr()
-	if h.dead {
-		return
-	}
-	h.dead = true
-	switch v := o.(type) {
-	case *container:
-		for _, child := range v.list() {
-			co, err := k.lookup(child)
-			if err != nil {
-				continue
-			}
-			co.hdr().refs--
-			if co.hdr().refs <= 0 {
-				k.deallocLocked(co)
-			}
+	if liveLocked(obj) {
+		h := obj.hdr()
+		tc.k.refund(cont, h.quota)
+		h.refs--
+		if h.refs <= 0 {
+			orphans = tc.k.deallocLocked(obj)
 		}
-		v.entries = nil
-		v.order = nil
-	case *thread:
-		v.halted = true
-	case *device:
-		// nothing extra
 	}
-	delete(k.objects, h.id)
+	ls.unlock()
+	// Tear the subtree down with no locks held; releaseRefs locks one
+	// object at a time.
+	tc.k.releaseRefs(orphans)
+	return nil
 }
 
 // QuotaMove moves n bytes of quota from container d to object o contained in
@@ -245,36 +246,38 @@ func (k *Kernel) deallocLocked(o object) {
 // |n| spare bytes, which conveys information about o, so the thread must
 // additionally be able to observe o (LO ⊑ LTᴶ).
 func (tc *ThreadCall) QuotaMove(d ID, o ID, n int64) error {
-	tc.k.mu.Lock()
-	defer tc.k.mu.Unlock()
-	t, err := tc.self()
+	ctx, err := tc.enter(scQuotaMove)
 	if err != nil {
 		return err
 	}
-	tc.k.count("quota_move", t)
 	cont, err := tc.k.lookupContainer(d)
 	if err != nil {
 		return err
-	}
-	if !cont.entries[o] {
-		return ErrNoSuchObject
 	}
 	obj, err := tc.k.lookup(o)
 	if err != nil {
 		return err
 	}
-	h := obj.hdr()
-	if !tc.k.canModify(t.lbl, cont.lbl) {
+	if !tc.k.canModifyT(ctx.t, ctx.lbl, cont.lbl) {
 		return ErrLabel
 	}
-	if !tc.k.leq(t.lbl, h.lbl) || !tc.k.leq(h.lbl, t.clearance) {
+	ls := lockOrdered(objLock{cont, true}, objLock{obj, true})
+	defer ls.unlock()
+	if !liveLocked(cont) || !liveLocked(obj) {
+		return ErrNoSuchObject
+	}
+	if !cont.entries[o] {
+		return ErrNoSuchObject
+	}
+	h := obj.hdr()
+	if !tc.k.leq(ctx.lbl, h.lbl) || !tc.k.leq(h.lbl, ctx.clearance) {
 		return ErrLabel
 	}
 	if h.fixedQuota {
 		return ErrFixedQuota
 	}
 	if n >= 0 {
-		if err := tc.k.chargeLocked(cont, uint64(n)); err != nil {
+		if err := tc.k.charge(cont, uint64(n)); err != nil {
 			return err
 		}
 		h.quota += uint64(n)
@@ -282,7 +285,7 @@ func (tc *ThreadCall) QuotaMove(d ID, o ID, n int64) error {
 	}
 	// Shrinking: returns an error when o has fewer than |n| spare bytes,
 	// thereby conveying information about o to the caller.
-	if !tc.k.canObserve(t.lbl, h.lbl) {
+	if !tc.k.canObserveT(ctx.t, ctx.lbl, h.lbl) {
 		return ErrLabel
 	}
 	take := uint64(-n)
@@ -291,7 +294,7 @@ func (tc *ThreadCall) QuotaMove(d ID, o ID, n int64) error {
 		return ErrQuota
 	}
 	h.quota -= take
-	tc.k.refundLocked(cont, take)
+	tc.k.refund(cont, take)
 	return nil
 }
 
@@ -301,15 +304,17 @@ func (tc *ThreadCall) QuotaMove(d ID, o ID, n int64) error {
 // a thread, its label.  Thread labels are mutable, so reading another
 // thread's label additionally requires LT′ᴶ ⊑ LTᴶ.
 func (tc *ThreadCall) ObjectStat(ce CEnt) (Stat, error) {
-	tc.k.mu.Lock()
-	defer tc.k.mu.Unlock()
-	t, err := tc.self()
+	ctx, err := tc.enter(scObjectStat)
 	if err != nil {
 		return Stat{}, err
 	}
-	tc.k.count("object_stat", t)
-	obj, err := tc.k.resolve(t.lbl, ce)
+	cont, obj, err := tc.k.peek(ctx, ce)
 	if err != nil {
+		return Stat{}, err
+	}
+	ls := lockOrdered(objLock{cont, false}, objLock{obj, false})
+	defer ls.unlock()
+	if err := verifyEntryLive(cont, obj); err != nil {
 		return Stat{}, err
 	}
 	h := obj.hdr()
@@ -326,7 +331,7 @@ func (tc *ThreadCall) ObjectStat(ce CEnt) (Stat, error) {
 	if th, ok := obj.(*thread); ok {
 		// Thread labels are not immutable; expose them only when
 		// LT'ᴶ ⊑ LTᴶ.
-		if tc.k.leqRaised(th.lbl, t.lbl) {
+		if tc.k.leqRaised(th.lbl, ctx.lbl) {
 			st.Label = th.lbl
 		} else {
 			return Stat{}, ErrLabel
@@ -340,22 +345,24 @@ func (tc *ThreadCall) ObjectStat(ce CEnt) (Stat, error) {
 // ObjectSetMetadata overwrites the 64 bytes of user-defined metadata on an
 // object the thread can modify.
 func (tc *ThreadCall) ObjectSetMetadata(ce CEnt, md [MetadataSize]byte) error {
-	tc.k.mu.Lock()
-	defer tc.k.mu.Unlock()
-	t, err := tc.self()
+	ctx, err := tc.enter(scObjectSetMetadata)
 	if err != nil {
 		return err
 	}
-	tc.k.count("object_set_metadata", t)
-	obj, err := tc.k.resolve(t.lbl, ce)
+	cont, obj, err := tc.k.peek(ctx, ce)
 	if err != nil {
+		return err
+	}
+	ls := lockOrdered(objLock{cont, false}, objLock{obj, true})
+	defer ls.unlock()
+	if err := verifyEntryLive(cont, obj); err != nil {
 		return err
 	}
 	h := obj.hdr()
 	if h.immutable {
 		return ErrImmutable
 	}
-	if !tc.k.canModify(t.lbl, effectiveLabel(obj)) {
+	if !tc.k.canModifyT(ctx.t, ctx.lbl, effectiveLabel(obj)) {
 		return ErrLabel
 	}
 	h.metadata = md
@@ -365,18 +372,20 @@ func (tc *ThreadCall) ObjectSetMetadata(ce CEnt, md [MetadataSize]byte) error {
 
 // ObjectSetImmutable irrevocably marks the object read-only.
 func (tc *ThreadCall) ObjectSetImmutable(ce CEnt) error {
-	tc.k.mu.Lock()
-	defer tc.k.mu.Unlock()
-	t, err := tc.self()
+	ctx, err := tc.enter(scObjectSetImmutable)
 	if err != nil {
 		return err
 	}
-	tc.k.count("object_set_immutable", t)
-	obj, err := tc.k.resolve(t.lbl, ce)
+	cont, obj, err := tc.k.peek(ctx, ce)
 	if err != nil {
 		return err
 	}
-	if !tc.k.canModify(t.lbl, effectiveLabel(obj)) {
+	ls := lockOrdered(objLock{cont, false}, objLock{obj, true})
+	defer ls.unlock()
+	if err := verifyEntryLive(cont, obj); err != nil {
+		return err
+	}
+	if !tc.k.canModifyT(ctx.t, ctx.lbl, effectiveLabel(obj)) {
 		return ErrLabel
 	}
 	obj.hdr().immutable = true
@@ -388,18 +397,20 @@ func (tc *ThreadCall) ObjectSetImmutable(ce CEnt) error {
 // set before the object can be hard linked into additional containers and
 // can never be cleared.
 func (tc *ThreadCall) ObjectSetFixedQuota(ce CEnt) error {
-	tc.k.mu.Lock()
-	defer tc.k.mu.Unlock()
-	t, err := tc.self()
+	ctx, err := tc.enter(scObjectSetFixedQuota)
 	if err != nil {
 		return err
 	}
-	tc.k.count("object_set_fixed_quota", t)
-	obj, err := tc.k.resolve(t.lbl, ce)
+	cont, obj, err := tc.k.peek(ctx, ce)
 	if err != nil {
 		return err
 	}
-	if !tc.k.canModify(t.lbl, effectiveLabel(obj)) {
+	ls := lockOrdered(objLock{cont, false}, objLock{obj, true})
+	defer ls.unlock()
+	if err := verifyEntryLive(cont, obj); err != nil {
+		return err
+	}
+	if !tc.k.canModifyT(ctx.t, ctx.lbl, effectiveLabel(obj)) {
 		return ErrLabel
 	}
 	obj.hdr().fixedQuota = true
@@ -409,7 +420,8 @@ func (tc *ThreadCall) ObjectSetFixedQuota(ce CEnt) error {
 
 // effectiveLabel is the label used for modify checks: gates use their gate
 // label with ownership stripped to its storable form, threads their own
-// label, everything else the object label.
+// label, everything else the object label.  The caller holds the object's
+// lock when the object may be a thread.
 func effectiveLabel(o object) label.Label {
 	switch v := o.(type) {
 	case *gate:

@@ -16,8 +16,6 @@ import (
 // bootstrap operation: the real kernel discovers devices at boot and the
 // administrator's startup code labels them (typically {nr3, nw0, i2, 1}).
 func (k *Kernel) DeviceCreate(d ID, lbl label.Label, mac [6]byte, descrip string) (ID, error) {
-	k.mu.Lock()
-	defer k.mu.Unlock()
 	cont, err := k.lookupContainer(d)
 	if err != nil {
 		return NilID, err
@@ -32,26 +30,33 @@ func (k *Kernel) DeviceCreate(d ID, lbl label.Label, mac [6]byte, descrip string
 			lbl:     label.Intern(lbl),
 			quota:   64 * 1024,
 			descrip: truncDescrip(descrip),
+			refs:    1,
 		},
 		mac:    mac,
 		waitCh: make(chan struct{}, 1),
 	}
 	dev.usage = dev.footprint()
-	if err := k.chargeLocked(cont, dev.quota); err != nil {
+	cont.mu.Lock()
+	if !liveLocked(cont) {
+		cont.mu.Unlock()
+		return NilID, ErrNoSuchObject
+	}
+	if err := k.charge(cont, dev.quota); err != nil {
+		cont.mu.Unlock()
 		return NilID, err
 	}
-	k.objects[dev.id] = dev
+	k.insert(dev)
 	cont.link(dev.id)
-	dev.refs = 1
+	cont.mu.Unlock()
+	k.netMu.Lock()
 	k.netDevices = append(k.netDevices, dev.id)
+	k.netMu.Unlock()
 	return dev.id, nil
 }
 
 // SetDeviceTransmitHook wires the device's transmit path to the simulated
 // network; pkt slices passed to the hook are owned by the callee.
 func (k *Kernel) SetDeviceTransmitHook(dev ID, hook func(pkt []byte)) error {
-	k.mu.Lock()
-	defer k.mu.Unlock()
 	o, err := k.lookup(dev)
 	if err != nil {
 		return err
@@ -60,27 +65,31 @@ func (k *Kernel) SetDeviceTransmitHook(dev ID, hook func(pkt []byte)) error {
 	if !ok {
 		return ErrWrongType
 	}
+	d.mu.Lock()
 	d.txNotify = hook
+	d.mu.Unlock()
 	return nil
 }
 
 // DeviceInject delivers an inbound frame to the device, as if it arrived
 // from the wire.  Called by the network simulation.
 func (k *Kernel) DeviceInject(dev ID, pkt []byte) error {
-	k.mu.Lock()
 	o, err := k.lookup(dev)
 	if err != nil {
-		k.mu.Unlock()
 		return err
 	}
 	d, ok := o.(*device)
 	if !ok {
-		k.mu.Unlock()
 		return ErrWrongType
+	}
+	d.mu.Lock()
+	if !liveLocked(d) {
+		d.mu.Unlock()
+		return ErrNoSuchObject
 	}
 	d.rxQueue = append(d.rxQueue, append([]byte(nil), pkt...))
 	ch := d.waitCh
-	k.mu.Unlock()
+	d.mu.Unlock()
 	select {
 	case ch <- struct{}{}:
 	default:
@@ -90,8 +99,8 @@ func (k *Kernel) DeviceInject(dev ID, pkt []byte) error {
 
 // Devices returns the IDs of all network devices (bootstrap plumbing).
 func (k *Kernel) Devices() []ID {
-	k.mu.Lock()
-	defer k.mu.Unlock()
+	k.netMu.Lock()
+	defer k.netMu.Unlock()
 	out := make([]ID, len(k.netDevices))
 	copy(out, k.netDevices)
 	return out
@@ -100,14 +109,11 @@ func (k *Kernel) Devices() []ID {
 // DeviceMAC returns the device's MAC address.  The invoking thread must be
 // able to observe the device object.
 func (tc *ThreadCall) DeviceMAC(ce CEnt) ([6]byte, error) {
-	tc.k.mu.Lock()
-	defer tc.k.mu.Unlock()
-	t, err := tc.self()
+	ctx, err := tc.enter(scNetMACAddr)
 	if err != nil {
 		return [6]byte{}, err
 	}
-	tc.k.count("net_macaddr", t)
-	d, err := tc.deviceForRead(t, ce)
+	_, d, err := tc.deviceForRead(ctx, ce)
 	if err != nil {
 		return [6]byte{}, err
 	}
@@ -120,21 +126,25 @@ func (tc *ThreadCall) DeviceMAC(ce CEnt) ([6]byte, error) {
 // and not tainted beyond i2 can transmit, which is exactly what keeps
 // tainted data off the network.
 func (tc *ThreadCall) DeviceTransmit(ce CEnt, pkt []byte) error {
-	tc.k.mu.Lock()
-	t, err := tc.self()
+	ctx, err := tc.enter(scNetTx)
 	if err != nil {
-		tc.k.mu.Unlock()
 		return err
 	}
-	tc.k.count("net_tx", t)
-	d, err := tc.deviceForWrite(t, ce)
+	cont, d, err := tc.deviceForWrite(ctx, ce)
 	if err != nil {
-		tc.k.mu.Unlock()
 		return err
+	}
+	ls := lockOrdered(objLock{cont, false}, objLock{d, false})
+	verr := cont.verifyLinked(d.id)
+	if verr == nil && !liveLocked(d) {
+		verr = ErrNoSuchObject
 	}
 	hook := d.txNotify
+	ls.unlock()
+	if verr != nil {
+		return verr
+	}
 	frame := append([]byte(nil), pkt...)
-	tc.k.mu.Unlock()
 	if hook != nil {
 		hook(frame)
 	}
@@ -145,15 +155,17 @@ func (tc *ThreadCall) DeviceTransmit(ce CEnt, pkt []byte) error {
 // when none is pending.  The invoking thread must be able to observe the
 // device; the frame it receives is, by the device's label, tainted i2.
 func (tc *ThreadCall) DeviceReceive(ce CEnt) ([]byte, bool, error) {
-	tc.k.mu.Lock()
-	defer tc.k.mu.Unlock()
-	t, err := tc.self()
+	ctx, err := tc.enter(scNetRx)
 	if err != nil {
 		return nil, false, err
 	}
-	tc.k.count("net_rx", t)
-	d, err := tc.deviceForRead(t, ce)
+	cont, d, err := tc.deviceForRead(ctx, ce)
 	if err != nil {
+		return nil, false, err
+	}
+	ls := lockOrdered(objLock{cont, false}, objLock{d, true})
+	defer ls.unlock()
+	if err := verifyEntryLive(cont, d); err != nil {
 		return nil, false, err
 	}
 	if len(d.rxQueue) == 0 {
@@ -169,54 +181,57 @@ func (tc *ThreadCall) DeviceReceive(ce CEnt) ([]byte, bool, error) {
 // queue is non-empty.
 func (tc *ThreadCall) DeviceWait(ce CEnt) error {
 	for {
-		tc.k.mu.Lock()
-		t, err := tc.self()
+		ctx, err := tc.enter(scNetWait)
 		if err != nil {
-			tc.k.mu.Unlock()
 			return err
 		}
-		tc.k.count("net_wait", t)
-		d, err := tc.deviceForRead(t, ce)
+		_, d, err := tc.deviceForRead(ctx, ce)
 		if err != nil {
-			tc.k.mu.Unlock()
 			return err
+		}
+		d.mu.RLock()
+		if !liveLocked(d) {
+			d.mu.RUnlock()
+			return ErrNoSuchObject
 		}
 		if len(d.rxQueue) > 0 {
-			tc.k.mu.Unlock()
+			d.mu.RUnlock()
 			return nil
 		}
 		ch := d.waitCh
-		tc.k.mu.Unlock()
+		d.mu.RUnlock()
 		<-ch
 	}
 }
 
-func (tc *ThreadCall) deviceForRead(t *thread, ce CEnt) (*device, error) {
-	obj, err := tc.k.resolve(t.lbl, ce)
+// deviceForRead resolves ce to a device the invoking thread may observe;
+// device labels are immutable, so no locks are held.
+func (tc *ThreadCall) deviceForRead(ctx tctx, ce CEnt) (*container, *device, error) {
+	cont, obj, err := tc.k.peek(ctx, ce)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	d, ok := obj.(*device)
 	if !ok {
-		return nil, ErrWrongType
+		return nil, nil, ErrWrongType
 	}
-	if !tc.k.canObserve(t.lbl, d.lbl) {
-		return nil, ErrLabel
+	if !tc.k.canObserveT(ctx.t, ctx.lbl, d.lbl) {
+		return nil, nil, ErrLabel
 	}
-	return d, nil
+	return cont, d, nil
 }
 
-func (tc *ThreadCall) deviceForWrite(t *thread, ce CEnt) (*device, error) {
-	obj, err := tc.k.resolve(t.lbl, ce)
+func (tc *ThreadCall) deviceForWrite(ctx tctx, ce CEnt) (*container, *device, error) {
+	cont, obj, err := tc.k.peek(ctx, ce)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	d, ok := obj.(*device)
 	if !ok {
-		return nil, ErrWrongType
+		return nil, nil, ErrWrongType
 	}
-	if !tc.k.canModify(t.lbl, d.lbl) {
-		return nil, ErrLabel
+	if !tc.k.canModifyT(ctx.t, ctx.lbl, d.lbl) {
+		return nil, nil, ErrLabel
 	}
-	return d, nil
+	return cont, d, nil
 }

@@ -2,12 +2,19 @@ package kernel
 
 import (
 	"encoding/binary"
+	"sync"
 )
 
 // IPC support in the HiStar kernel, aside from shared memory and gates, is
 // limited to a memory-based futex synchronization primitive (Section 4.1).
 // The user-level library builds mutexes, condition variables, and pipes on
 // top of it.
+//
+// The wait-queue table is sharded by 〈segment, offset〉 like the object
+// table.  Futex shard locks are leaves that nest inside object locks: a
+// waiter holds the segment's read lock while it re-checks the word and
+// enqueues itself, so a wake that follows a word update (made under the
+// segment's write lock) can never miss the waiter.
 
 type futexKey struct {
 	seg    ID
@@ -18,41 +25,70 @@ type futexQueue struct {
 	waiters []chan struct{}
 }
 
+// futexShardCount shards the futex table; futex traffic is far lighter than
+// object-table traffic, so a small power of two suffices.
+const futexShardCount = 16
+
+type futexShard struct {
+	mu sync.Mutex
+	m  map[futexKey]*futexQueue
+	_  [112]byte // round the struct to 128 bytes so adjacent shards never share a cache line
+}
+
+func (k *Kernel) futexShardFor(key futexKey) *futexShard {
+	h := (uint64(key.seg) ^ key.offset*0x9e3779b97f4a7c15) * 0x9e3779b97f4a7c15
+	return &k.futexes[(h>>32)&(futexShardCount-1)]
+}
+
 // FutexWait blocks the invoking thread until FutexWake is called on the same
 // 〈segment, offset〉 address, provided the 8-byte word at that offset still
 // equals expected; otherwise it returns immediately.  The thread must be
 // able to observe the segment.
 func (tc *ThreadCall) FutexWait(seg CEnt, offset uint64, expected uint64) error {
-	tc.k.mu.Lock()
-	t, err := tc.self()
+	ctx, err := tc.enter(scFutexWait)
 	if err != nil {
-		tc.k.mu.Unlock()
 		return err
 	}
-	tc.k.count("futex_wait", t)
-	s, err := tc.segmentForRead(t, seg)
+	cont, s, err := tc.resolveSegment(ctx, seg)
 	if err != nil {
-		tc.k.mu.Unlock()
 		return err
 	}
-	if offset+8 > uint64(len(s.data)) {
-		tc.k.mu.Unlock()
+	if err := tc.checkSegmentRead(ctx, s); err != nil {
+		return err
+	}
+	ls := lockOrdered(objLock{cont, false}, objLock{s, false})
+	if err := cont.verifyLinked(s.id); err != nil {
+		ls.unlock()
+		return err
+	}
+	if !liveLocked(s) {
+		ls.unlock()
+		return ErrNoSuchObject
+	}
+	if uint64(len(s.data)) < 8 || offset > uint64(len(s.data))-8 {
+		ls.unlock()
 		return ErrInvalid
 	}
 	cur := binary.LittleEndian.Uint64(s.data[offset:])
 	if cur != expected {
-		tc.k.mu.Unlock()
+		ls.unlock()
 		return nil
 	}
+	// Enqueue while still holding the segment's read lock: any writer that
+	// changes the word needs the write lock, so its subsequent FutexWake is
+	// guaranteed to see this waiter.
 	key := futexKey{seg: s.id, offset: offset}
-	q := tc.k.futexes[key]
+	fs := tc.k.futexShardFor(key)
+	ch := make(chan struct{}, 1)
+	fs.mu.Lock()
+	q := fs.m[key]
 	if q == nil {
 		q = &futexQueue{}
-		tc.k.futexes[key] = q
+		fs.m[key] = q
 	}
-	ch := make(chan struct{}, 1)
 	q.waiters = append(q.waiters, ch)
-	tc.k.mu.Unlock()
+	fs.mu.Unlock()
+	ls.unlock()
 	<-ch
 	return nil
 }
@@ -62,33 +98,45 @@ func (tc *ThreadCall) FutexWait(seg CEnt, offset uint64, expected uint64) error 
 // thread conveys information to it, so the invoking thread must be able to
 // modify the segment.
 func (tc *ThreadCall) FutexWake(seg CEnt, offset uint64, n int) (int, error) {
-	tc.k.mu.Lock()
-	t, err := tc.self()
+	ctx, err := tc.enter(scFutexWake)
 	if err != nil {
-		tc.k.mu.Unlock()
 		return 0, err
 	}
-	tc.k.count("futex_wake", t)
-	s, err := tc.segmentForWrite(t, seg)
+	cont, s, err := tc.resolveSegment(ctx, seg)
 	if err != nil {
-		tc.k.mu.Unlock()
+		return 0, err
+	}
+	if err := tc.checkSegmentWrite(ctx, s); err != nil {
+		return 0, err
+	}
+	ls := lockOrdered(objLock{cont, false}, objLock{s, false})
+	err = cont.verifyLinked(s.id)
+	if err == nil && !liveLocked(s) {
+		err = ErrNoSuchObject
+	}
+	if err == nil && s.immutable {
+		err = ErrImmutable
+	}
+	ls.unlock()
+	if err != nil {
 		return 0, err
 	}
 	key := futexKey{seg: s.id, offset: offset}
-	q := tc.k.futexes[key]
+	fs := tc.k.futexShardFor(key)
 	woken := 0
 	var toWake []chan struct{}
-	if q != nil {
+	fs.mu.Lock()
+	if q := fs.m[key]; q != nil {
 		for woken < n && len(q.waiters) > 0 {
 			toWake = append(toWake, q.waiters[0])
 			q.waiters = q.waiters[1:]
 			woken++
 		}
 		if len(q.waiters) == 0 {
-			delete(tc.k.futexes, key)
+			delete(fs.m, key)
 		}
 	}
-	tc.k.mu.Unlock()
+	fs.mu.Unlock()
 	for _, ch := range toWake {
 		ch <- struct{}{}
 	}

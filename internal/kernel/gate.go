@@ -27,13 +27,10 @@ type GateSpec struct {
 // only allocate a gate G whose label and clearance satisfy
 // LT′ ⊑ LG ⊑ CG ⊑ CT′.
 func (tc *ThreadCall) GateCreate(d ID, spec GateSpec) (ID, error) {
-	tc.k.mu.Lock()
-	defer tc.k.mu.Unlock()
-	t, err := tc.self()
+	ctx, err := tc.enter(scGateCreate)
 	if err != nil {
 		return NilID, err
 	}
-	tc.k.count("gate_create", t)
 	if spec.Entry == nil {
 		return NilID, ErrInvalid
 	}
@@ -44,13 +41,10 @@ func (tc *ThreadCall) GateCreate(d ID, spec GateSpec) (ID, error) {
 	if err != nil {
 		return NilID, err
 	}
-	if cont.immutable {
-		return NilID, ErrImmutable
-	}
 	if cont.avoidTypes.Has(ObjGate) {
 		return NilID, ErrAvoidType
 	}
-	if !tc.k.canModify(t.lbl, cont.lbl) {
+	if !tc.k.canModifyT(ctx.t, ctx.lbl, cont.lbl) {
 		return NilID, ErrLabel
 	}
 	// The creator cannot mint privilege it does not have (LT′ ⊑ LG) and the
@@ -61,15 +55,12 @@ func (tc *ThreadCall) GateCreate(d ID, spec GateSpec) (ID, error) {
 	// LG ⊑ CG conjunct cannot be meant literally; gate clearances are purely
 	// a bound on callers (LT ⊑ CG at invocation), which the remaining
 	// conjuncts preserve.
-	if !tc.k.leq(t.lbl, spec.Label) ||
-		!tc.k.leq(spec.Label.LowerStar(), t.clearance) ||
-		!tc.k.leq(spec.Clearance, t.clearance) {
+	if !tc.k.leq(ctx.lbl, spec.Label) ||
+		!tc.k.leq(spec.Label.LowerStar(), ctx.clearance) ||
+		!tc.k.leq(spec.Clearance, ctx.clearance) {
 		return NilID, ErrLabel
 	}
 	const quota = 8 * 1024
-	if err := tc.k.chargeLocked(cont, quota); err != nil {
-		return NilID, err
-	}
 	g := &gate{
 		header: header{
 			id:      tc.k.newID(),
@@ -80,6 +71,7 @@ func (tc *ThreadCall) GateCreate(d ID, spec GateSpec) (ID, error) {
 			lbl:     label.Intern(spec.Label.LowerStar()),
 			quota:   quota,
 			descrip: truncDescrip(spec.Descrip),
+			refs:    1,
 		},
 		gateLabel:    label.Intern(spec.Label),
 		clearance:    label.Intern(spec.Clearance),
@@ -88,9 +80,19 @@ func (tc *ThreadCall) GateCreate(d ID, spec GateSpec) (ID, error) {
 		closureArgs:  append([]byte(nil), spec.Closure...),
 	}
 	g.usage = g.footprint()
-	tc.k.objects[g.id] = g
+	cont.mu.Lock()
+	defer cont.mu.Unlock()
+	if !liveLocked(cont) {
+		return NilID, ErrNoSuchObject
+	}
+	if cont.immutable {
+		return NilID, ErrImmutable
+	}
+	if err := tc.k.charge(cont, quota); err != nil {
+		return NilID, err
+	}
+	tc.k.insert(g)
 	cont.link(g.id)
-	g.refs = 1
 	return g.id, nil
 }
 
@@ -119,63 +121,72 @@ type GateRequest struct {
 // the user-level library's gate-call convention does).  The entry point's
 // result bytes are returned to the invoker for convenience.
 func (tc *ThreadCall) GateEnter(ce CEnt, req GateRequest) ([]byte, error) {
-	tc.k.mu.Lock()
-	t, err := tc.self()
+	ctx, err := tc.enter(scGateEnter)
 	if err != nil {
-		tc.k.mu.Unlock()
 		return nil, err
 	}
-	tc.k.count("gate_enter", t)
-	obj, err := tc.k.resolve(t.lbl, ce)
+	_, obj, err := tc.k.peek(ctx, ce)
 	if err != nil {
-		tc.k.mu.Unlock()
 		return nil, err
 	}
 	g, ok := obj.(*gate)
 	if !ok {
-		tc.k.mu.Unlock()
 		return nil, ErrWrongType
 	}
 	if !label.ValidThreadLabel(req.Label) || !label.ValidClearance(req.Clearance) {
-		tc.k.mu.Unlock()
 		return nil, ErrInvalid
 	}
-	// LT ⊑ CG: the gate's clearance bounds who may call it.
-	if !tc.k.leq(t.lbl, g.clearance) {
-		tc.k.mu.Unlock()
-		return nil, ErrClearance
+	// The entry checks compare the thread's label against the (immutable)
+	// gate, so they run under the thread's write lock, against the label as
+	// it is now: a concurrent self_set_label or ownership grant must either
+	// land before the checks or after the transfer, never be overwritten by
+	// it.  The label cache is a leaf and may be consulted under the lock.
+	t := ctx.t
+	ls := lockOrdered(objLock{t, true}, objLock{t.localSegment, true})
+	gerr := func() error {
+		if t.halted {
+			return ErrHalted
+		}
+		// LT ⊑ CG: the gate's clearance bounds who may call it.
+		if !tc.k.leq(t.lbl, g.clearance) {
+			return ErrClearance
+		}
+		// LT ⊑ LV: the verify label may only claim ownership the thread
+		// has.
+		if !tc.k.leq(t.lbl, req.Verify) {
+			return ErrLabel
+		}
+		// (LTᴶ ⊔ LGᴶ)⋆ ⊑ LR: the requested label must carry at least the
+		// taint of both the thread and the gate (ownership from either may
+		// appear).
+		minLabel := t.lbl.RaiseJ().Join(g.gateLabel.RaiseJ()).LowerStar()
+		if !tc.k.leq(minLabel, req.Label) {
+			return ErrLabel
+		}
+		// LR ⊑ CR ⊑ (CT ⊔ CG).
+		if !tc.k.leq(req.Label, req.Clearance) || !tc.k.leq(req.Clearance, t.clearance.Join(g.clearance)) {
+			return ErrClearance
+		}
+		// Perform the transfer: the thread now runs with LR/CR in the
+		// gate's address space.
+		t.lbl = label.Intern(req.Label)
+		t.clearance = label.Intern(req.Clearance)
+		if g.addressSpace.Object != NilID {
+			t.addressSpace = g.addressSpace
+		}
+		t.localSegment.lbl = label.Intern(req.Label.LowerStar())
+		t.bump()
+		return nil
+	}()
+	ls.unlock()
+	if gerr != nil {
+		return nil, gerr
 	}
-	// LT ⊑ LV: the verify label may only claim ownership the thread has.
-	if !tc.k.leq(t.lbl, req.Verify) {
-		tc.k.mu.Unlock()
-		return nil, ErrLabel
-	}
-	// (LTᴶ ⊔ LGᴶ)⋆ ⊑ LR: the requested label must carry at least the taint
-	// of both the thread and the gate (ownership from either may appear).
-	minLabel := t.lbl.RaiseJ().Join(g.gateLabel.RaiseJ()).LowerStar()
-	if !tc.k.leq(minLabel, req.Label) {
-		tc.k.mu.Unlock()
-		return nil, ErrLabel
-	}
-	// LR ⊑ CR ⊑ (CT ⊔ CG).
-	if !tc.k.leq(req.Label, req.Clearance) || !tc.k.leq(req.Clearance, t.clearance.Join(g.clearance)) {
-		tc.k.mu.Unlock()
-		return nil, ErrClearance
-	}
-	// Perform the transfer: the thread now runs with LR/CR in the gate's
-	// address space.
-	t.lbl = label.Intern(req.Label)
-	t.clearance = label.Intern(req.Clearance)
-	if g.addressSpace.Object != NilID {
-		t.addressSpace = g.addressSpace
-	}
-	t.localSegment.lbl = label.Intern(req.Label.LowerStar())
-	t.bump()
-	entry := g.entry
 	closure := append([]byte(nil), g.closureArgs...)
-	tc.k.mu.Unlock()
 
-	result := entry(&GateCallCtx{
+	// The entry point runs with no kernel locks held, on the invoking
+	// thread.
+	result := g.entry(&GateCallCtx{
 		TC:      tc,
 		Verify:  req.Verify,
 		Args:    req.Args,
@@ -194,14 +205,11 @@ type GateStat struct {
 
 // GateStat returns the externally visible state of the gate named by ce.
 func (tc *ThreadCall) GateStat(ce CEnt) (GateStat, error) {
-	tc.k.mu.Lock()
-	defer tc.k.mu.Unlock()
-	t, err := tc.self()
+	ctx, err := tc.enter(scGateStat)
 	if err != nil {
 		return GateStat{}, err
 	}
-	tc.k.count("gate_stat", t)
-	obj, err := tc.k.resolve(t.lbl, ce)
+	_, obj, err := tc.k.peek(ctx, ce)
 	if err != nil {
 		return GateStat{}, err
 	}

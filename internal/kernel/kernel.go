@@ -14,12 +14,53 @@
 // Every system call is a method on ThreadCall, the per-thread syscall
 // context, so each call is checked against the invoking thread's label and
 // clearance.
+//
+// # Locking discipline
+//
+// System calls run concurrently; there is no global kernel lock.  The object
+// table is sharded by object-ID bits, each shard holding a map guarded by its
+// own sync.RWMutex, and every object additionally carries a per-object
+// sync.RWMutex in its header guarding the object's mutable state.  The rules,
+// in order of lock acquisition:
+//
+//  1. A syscall first snapshots the invoking thread's state (label,
+//     clearance, address space, liveness) under the thread's read lock and
+//     releases it; all subsequent checks use the snapshot, so a syscall's
+//     label checks are evaluated against the thread's label as of syscall
+//     entry, exactly as in the real kernel.
+//  2. Object resolution (shard map lookups and label checks against
+//     *immutable* object labels) happens with no object locks held.
+//  3. The objects a syscall touches are then locked together in ascending
+//     object-ID order — read locks for observation, write locks for
+//     mutation — and container membership and object liveness are
+//     re-verified under those locks before any mutation.
+//  4. Shard locks are only ever acquired with either no object locks held
+//     (lookup) or nested inside object locks (insert on create, delete on
+//     deallocate); an object lock is never acquired while a shard lock is
+//     held.
+//  5. Futex-table shard locks nest inside object locks and never the other
+//     way around.  The label cache, interning table, and allocators are
+//     self-synchronized leaves.
+//
+// Recursive deallocation (unreferencing a container subtree) never holds two
+// tree levels' locks at once: an object that drops to zero references is
+// marked dead and unlinked from the table under its own write lock, its
+// children are collected into a worklist, and the worklist is drained one
+// object at a time after the triggering syscall has released its locks.
+//
+// Read-mostly syscalls (segment reads, resolution, stat, list) take only
+// read locks, so they proceed in parallel across — and within — shards.
+// Mutating syscalls take write locks only on the objects they mutate.
+// Threads own a small lock-free L1 in front of the sharded label-comparison
+// cache (thread labels are interned and pointer-stable, and the L1 is keyed
+// by both labels' fingerprints, so entries self-invalidate when the thread's
+// label changes); a hot canObserve check touches no mutex at all.
 package kernel
 
 import (
 	"fmt"
+	"math/bits"
 	"sync"
-	"sync/atomic"
 
 	"histar/internal/label"
 )
@@ -35,14 +76,30 @@ type Config struct {
 	DisableLabelCache bool
 	// RootQuota is the quota of the root container; 0 means infinite.
 	RootQuota uint64
+	// ObjectTableShards overrides the number of object-table shards (rounded
+	// down to a power of two).  0 picks the default; 1 forces the whole
+	// table through a single shard lock, used by the scaling ablation
+	// benchmarks.
+	ObjectTableShards int
+}
+
+// defaultObjShards keeps shard-lock collisions negligible at any realistic
+// GOMAXPROCS while staying cheap to iterate for ObjectCount.
+const defaultObjShards = 64
+
+// objShard is one shard of the object table.
+type objShard struct {
+	mu sync.RWMutex
+	m  map[ID]object
+	_  [96]byte // round the struct to 128 bytes so adjacent shards never share a cache line
 }
 
 // Kernel is a single simulated HiStar machine: an object table rooted at the
 // root container plus the generators and caches the kernel maintains.
 type Kernel struct {
-	mu      sync.Mutex
-	objects map[ID]object
-	rootID  ID
+	shards    []objShard
+	shardMask uint64
+	rootID    ID
 
 	ids  *label.Allocator
 	cats *label.Allocator
@@ -50,13 +107,15 @@ type Kernel struct {
 	labelCache    *label.Cache
 	useLabelCache bool
 
-	futexes map[futexKey]*futexQueue
+	futexes [futexShardCount]futexShard
 
-	syscalls   map[string]uint64
-	syscallsMu sync.Mutex
-	totalCalls atomic.Uint64
+	syscalls syscallCounters
 
-	// netDevices lists created device object IDs, for bootstrap plumbing.
+	// retired L1 counters of deallocated threads, folded in at teardown.
+	retired l1Retired
+
+	// netMu guards the bootstrap device list.
+	netMu      sync.Mutex
 	netDevices []ID
 }
 
@@ -64,14 +123,25 @@ type Kernel struct {
 // The root container is labeled {1} and has an infinite quota unless
 // cfg.RootQuota says otherwise.
 func New(cfg Config) *Kernel {
+	nShards := cfg.ObjectTableShards
+	if nShards <= 0 {
+		nShards = defaultObjShards
+	}
+	// Round down to a power of two so shard selection is a mask.
+	nShards = 1 << (bits.Len(uint(nShards)) - 1)
 	k := &Kernel{
-		objects:       make(map[ID]object),
+		shards:        make([]objShard, nShards),
+		shardMask:     uint64(nShards - 1),
 		ids:           label.NewAllocator(cfg.Seed ^ 0x9e3779b97f4a7c15),
 		cats:          label.NewAllocator(cfg.Seed),
 		labelCache:    label.NewCache(0),
 		useLabelCache: !cfg.DisableLabelCache,
-		futexes:       make(map[futexKey]*futexQueue),
-		syscalls:      make(map[string]uint64),
+	}
+	for i := range k.shards {
+		k.shards[i].m = make(map[ID]object)
+	}
+	for i := range k.futexes {
+		k.futexes[i].m = make(map[futexKey]*futexQueue)
 	}
 	rootQuota := cfg.RootQuota
 	if rootQuota == 0 {
@@ -90,7 +160,7 @@ func New(cfg Config) *Kernel {
 		entries: make(map[ID]bool),
 	}
 	root.usage = root.footprint()
-	k.objects[root.id] = root
+	k.insert(root)
 	k.rootID = root.id
 	return k
 }
@@ -105,43 +175,149 @@ func (k *Kernel) CategoryAllocator() *label.Allocator { return k.cats }
 // newID allocates a fresh 61-bit object ID.
 func (k *Kernel) newID() ID { return ID(k.ids.Alloc()) }
 
-// count records a syscall invocation for the statistics the evaluation
-// reports (e.g. 317 syscalls per fork/exec, 127 per spawn).
-func (k *Kernel) count(name string, t *thread) {
-	k.totalCalls.Add(1)
-	if t != nil {
-		t.syscallCount++
+// ---------------------------------------------------------------------------
+// Sharded object table.
+// ---------------------------------------------------------------------------
+
+// shardFor picks the table shard for an object ID.  IDs come from an
+// encrypted counter, so they are already uniformly distributed; the multiply
+// spreads them further in the single-shard-adjacent configurations.
+func (k *Kernel) shardFor(id ID) *objShard {
+	h := uint64(id) * 0x9e3779b97f4a7c15
+	return &k.shards[(h>>48)&k.shardMask]
+}
+
+// insert adds a fully constructed object to the table.  It may be called
+// with object locks held (shard locks nest inside object locks).
+func (k *Kernel) insert(o object) {
+	s := k.shardFor(o.hdr().id)
+	s.mu.Lock()
+	s.m[o.hdr().id] = o
+	s.mu.Unlock()
+}
+
+// remove deletes an object from the table.  Like insert it may run inside
+// object locks.
+func (k *Kernel) remove(id ID) {
+	s := k.shardFor(id)
+	s.mu.Lock()
+	delete(s.m, id)
+	s.mu.Unlock()
+}
+
+// lookup returns the live object with the given ID.  No object locks are
+// taken; liveness is re-checked under the object's lock by mutating callers.
+func (k *Kernel) lookup(id ID) (object, error) {
+	s := k.shardFor(id)
+	s.mu.RLock()
+	o, ok := s.m[id]
+	s.mu.RUnlock()
+	if !ok || o.hdr().dead.Load() {
+		return nil, ErrNoSuchObject
 	}
-	k.syscallsMu.Lock()
-	k.syscalls[name]++
-	k.syscallsMu.Unlock()
+	return o, nil
 }
 
-// SyscallTotal returns the total number of system calls executed since boot.
-func (k *Kernel) SyscallTotal() uint64 { return k.totalCalls.Load() }
-
-// SyscallCounts returns a copy of the per-syscall invocation counts.
-func (k *Kernel) SyscallCounts() map[string]uint64 {
-	k.syscallsMu.Lock()
-	defer k.syscallsMu.Unlock()
-	out := make(map[string]uint64, len(k.syscalls))
-	for n, c := range k.syscalls {
-		out[n] = c
+func (k *Kernel) lookupContainer(id ID) (*container, error) {
+	o, err := k.lookup(id)
+	if err != nil {
+		return nil, err
 	}
-	return out
+	c, ok := o.(*container)
+	if !ok {
+		return nil, ErrNotContainer
+	}
+	return c, nil
 }
 
-// ResetSyscallCounts zeroes the syscall statistics (benchmark plumbing).
-func (k *Kernel) ResetSyscallCounts() {
-	k.syscallsMu.Lock()
-	k.syscalls = make(map[string]uint64)
-	k.syscallsMu.Unlock()
-	k.totalCalls.Store(0)
+// ---------------------------------------------------------------------------
+// Ordered object locking.
+// ---------------------------------------------------------------------------
+
+// objLock pairs an object with the lock mode a syscall needs on it.
+type objLock struct {
+	o     object
+	write bool
 }
 
-// LabelCacheStats returns hit/miss/eviction counts of the immutable-label
-// comparison cache, totalled and per shard.
-func (k *Kernel) LabelCacheStats() label.CacheStats { return k.labelCache.Stats() }
+// lockSet is the fixed-size set of object locks a syscall holds; it lives
+// on the caller's stack so the hot path performs no allocation.
+type lockSet struct {
+	objs [4]objLock
+	n    int
+}
+
+// lockOrdered acquires the given objects' locks in ascending object-ID
+// order, deduplicating repeated objects (a write request wins over a read).
+// Every multi-object syscall goes through it, which is what keeps the
+// kernel deadlock-free; release with unlock.
+func lockOrdered(locks ...objLock) lockSet {
+	// Insertion sort: syscalls lock at most four objects.
+	for i := 1; i < len(locks); i++ {
+		for j := i; j > 0 && locks[j].o.hdr().id < locks[j-1].o.hdr().id; j-- {
+			locks[j], locks[j-1] = locks[j-1], locks[j]
+		}
+	}
+	// Dedup into the fixed array; write mode wins.
+	var ls lockSet
+	for _, l := range locks {
+		if ls.n > 0 && ls.objs[ls.n-1].o == l.o {
+			ls.objs[ls.n-1].write = ls.objs[ls.n-1].write || l.write
+			continue
+		}
+		ls.objs[ls.n] = l
+		ls.n++
+	}
+	for i := 0; i < ls.n; i++ {
+		if ls.objs[i].write {
+			ls.objs[i].o.hdr().mu.Lock()
+		} else {
+			ls.objs[i].o.hdr().mu.RLock()
+		}
+	}
+	return ls
+}
+
+// unlock releases the set's locks in reverse acquisition order.
+func (ls *lockSet) unlock() {
+	for i := ls.n - 1; i >= 0; i-- {
+		if ls.objs[i].write {
+			ls.objs[i].o.hdr().mu.Unlock()
+		} else {
+			ls.objs[i].o.hdr().mu.RUnlock()
+		}
+	}
+}
+
+// liveLocked reports whether o is still live; the caller holds o's lock.
+func liveLocked(o object) bool { return !o.hdr().dead.Load() }
+
+// verifyEntryLive re-verifies, under held locks, that cont still links obj
+// (or is obj) and that obj is live — the standard step-3 check of the
+// locking discipline after the lock-free resolution phase.
+func verifyEntryLive(cont *container, obj object) error {
+	if err := cont.verifyLinked(obj.hdr().id); err != nil {
+		return err
+	}
+	if !liveLocked(obj) {
+		return ErrNoSuchObject
+	}
+	return nil
+}
+
+// verifyLinkedBrief checks membership under a transient read lock on cont,
+// for syscalls that only need the link to have existed at resolution time
+// and take no further locks on the pair.
+func verifyLinkedBrief(cont *container, id ID) error {
+	cont.mu.RLock()
+	err := cont.verifyLinked(id)
+	cont.mu.RUnlock()
+	return err
+}
+
+// ---------------------------------------------------------------------------
+// Label checks (cache + per-thread L1).
+// ---------------------------------------------------------------------------
 
 // leq applies the ⊑ check, through the comparison cache when enabled.
 func (k *Kernel) leq(a, b label.Label) bool {
@@ -174,45 +350,61 @@ func (k *Kernel) canModify(thr, obj label.Label) bool {
 	return label.CanModify(thr, obj)
 }
 
-// lookup returns the live object with the given ID.
-func (k *Kernel) lookup(id ID) (object, error) {
-	o, ok := k.objects[id]
-	if !ok || o.hdr().dead {
-		return nil, ErrNoSuchObject
+// canObserveT is canObserve through the invoking thread's L1: a tiny
+// direct-mapped array of atomics in front of the sharded comparison cache,
+// so the hottest check on the syscall path acquires no mutex at all.  thr is
+// the snapshot of t's label taken at syscall entry.
+func (k *Kernel) canObserveT(t *thread, thr, obj label.Label) bool {
+	if !k.useLabelCache || t == nil {
+		return k.canObserve(thr, obj)
 	}
-	return o, nil
+	mix := l1Mix(thr.RaisedFingerprint(), obj.Fingerprint())
+	idx := (mix >> 40) & l1Mask
+	tag := mix &^ 1
+	if e := t.l1[idx].Load(); e != 0 && e&^1 == tag {
+		t.l1Hits.Add(1)
+		return e&1 != 0
+	}
+	t.l1Misses.Add(1)
+	v := k.labelCache.CanObserve(thr, obj)
+	e := tag
+	if v {
+		e |= 1
+	}
+	t.l1[idx].Store(e)
+	return v
 }
 
-func (k *Kernel) lookupContainer(id ID) (*container, error) {
-	o, err := k.lookup(id)
-	if err != nil {
-		return nil, err
-	}
-	c, ok := o.(*container)
-	if !ok {
-		return nil, ErrNotContainer
-	}
-	return c, nil
+// canModifyT is canModify with the observation half served from the L1.
+func (k *Kernel) canModifyT(t *thread, thr, obj label.Label) bool {
+	return k.leq(thr, obj) && k.canObserveT(t, thr, obj)
 }
 
-// resolve validates a container entry 〈D,O〉 for a thread with label lt:
-// D must contain O (or be O itself, since every container contains itself)
-// and the thread must be able to read D (LD ⊑ LTᴶ).
-func (k *Kernel) resolve(lt label.Label, ce CEnt) (object, error) {
-	cont, err := k.lookupContainer(ce.Container)
-	if err != nil {
-		return nil, err
-	}
-	if !k.canObserve(lt, cont.lbl) {
-		return nil, ErrLabel
-	}
-	if ce.Object == ce.Container {
-		return cont, nil
-	}
-	if !cont.entries[ce.Object] {
-		return nil, ErrNoSuchObject
-	}
-	return k.lookup(ce.Object)
+// l1Mix combines the two fingerprints of a CanObserve check into the L1 key.
+// Keying on both sides means a thread-label change simply stops matching old
+// entries — no flush, no generation counter.  The low bit of the mix is
+// sacrificed to store the result, which adds one bit to the (already
+// accepted) fingerprint-collision odds.
+func l1Mix(thrRaised, obj label.Fingerprint) uint64 {
+	return (uint64(obj) ^ bits.RotateLeft64(uint64(thrRaised), 31)) * 0x9e3779b97f4a7c15
+}
+
+// LabelCacheStats returns hit/miss/eviction counts of the immutable-label
+// comparison cache, totalled and per shard.
+func (k *Kernel) LabelCacheStats() label.CacheStats { return k.labelCache.Stats() }
+
+// ---------------------------------------------------------------------------
+// Syscall entry.
+// ---------------------------------------------------------------------------
+
+// tctx is the snapshot of the invoking thread taken at syscall entry; every
+// label check in the call uses it, so checks see the thread's label as of
+// entry even if another goroutine concurrently retargets the thread.
+type tctx struct {
+	t         *thread
+	lbl       label.Label
+	clearance label.Label
+	as        CEnt
 }
 
 // ThreadCall is the per-thread system-call context.  All system calls are
@@ -228,8 +420,6 @@ type ThreadCall struct {
 // the hardware; in this simulation the caller that created the thread is
 // trusted to hand the context only to that thread's code.
 func (k *Kernel) ThreadCall(tid ID) (*ThreadCall, error) {
-	k.mu.Lock()
-	defer k.mu.Unlock()
 	o, err := k.lookup(tid)
 	if err != nil {
 		return nil, err
@@ -246,31 +436,92 @@ func (tc *ThreadCall) Kernel() *Kernel { return tc.k }
 // ID returns the invoking thread's object ID.
 func (tc *ThreadCall) ID() ID { return tc.tid }
 
-// self returns the thread object; the kernel lock must be held.
-func (tc *ThreadCall) self() (*thread, error) {
+// enter snapshots the invoking thread at syscall entry and records the call
+// in the statistics.  It fails with ErrHalted if the thread is halted or
+// deallocated.
+func (tc *ThreadCall) enter(sc syscallID) (tctx, error) {
 	o, err := tc.k.lookup(tc.tid)
 	if err != nil {
-		return nil, ErrHalted
+		return tctx{}, ErrHalted
 	}
 	t, ok := o.(*thread)
 	if !ok {
-		return nil, ErrWrongType
+		return tctx{}, ErrWrongType
 	}
+	t.mu.RLock()
 	if t.halted {
-		return nil, ErrHalted
+		t.mu.RUnlock()
+		return tctx{}, ErrHalted
 	}
-	return t, nil
+	ctx := tctx{t: t, lbl: t.lbl, clearance: t.clearance, as: t.addressSpace}
+	t.mu.RUnlock()
+	tc.k.count(sc, t)
+	return ctx, nil
 }
 
 // SyscallsIssued returns how many system calls this thread has issued.
 func (tc *ThreadCall) SyscallsIssued() uint64 {
-	tc.k.mu.Lock()
-	defer tc.k.mu.Unlock()
-	t, err := tc.self()
+	o, err := tc.k.lookup(tc.tid)
 	if err != nil {
 		return 0
 	}
-	return t.syscallCount
+	t, ok := o.(*thread)
+	if !ok {
+		return 0
+	}
+	return t.syscallCount.Load()
+}
+
+// ---------------------------------------------------------------------------
+// Resolution.
+// ---------------------------------------------------------------------------
+
+// peek resolves a container entry 〈D,O〉: D must exist, the thread must be
+// able to read D (LD ⊑ LTᴶ; container labels are immutable), and D must
+// contain O (or be O itself, since every container contains itself).  The
+// membership check here — under D's read lock, before the object is so much
+// as looked up — preserves the resolve-order guarantee that naming an object
+// not linked in D always yields ErrNoSuchObject, never a type or label
+// error that would reveal the object's existence.  Membership is mutable,
+// so syscalls re-verify it with verifyLinked once they hold their locks;
+// peek itself returns with no locks held.
+func (k *Kernel) peek(ctx tctx, ce CEnt) (*container, object, error) {
+	cont, err := k.lookupContainer(ce.Container)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !k.canObserveT(ctx.t, ctx.lbl, cont.lbl) {
+		return nil, nil, ErrLabel
+	}
+	if ce.Object == ce.Container {
+		return cont, cont, nil
+	}
+	cont.mu.RLock()
+	linked := cont.entries[ce.Object]
+	cont.mu.RUnlock()
+	if !linked {
+		return nil, nil, ErrNoSuchObject
+	}
+	obj, err := k.lookup(ce.Object)
+	if err != nil {
+		return nil, nil, err
+	}
+	return cont, obj, nil
+}
+
+// verifyLinked checks, under c's lock (any mode), that c is live and still
+// links obj (or is obj itself).
+func (c *container) verifyLinked(id ID) error {
+	if c.dead.Load() {
+		return ErrNoSuchObject
+	}
+	if id == c.id {
+		return nil
+	}
+	if !c.entries[id] {
+		return ErrNoSuchObject
+	}
+	return nil
 }
 
 // ---------------------------------------------------------------------------
@@ -288,8 +539,6 @@ func (k *Kernel) BootThread(lbl, clearance label.Label, descrip string) (*Thread
 	if !lbl.Leq(clearance) {
 		return nil, ErrLabel
 	}
-	k.mu.Lock()
-	defer k.mu.Unlock()
 	root, err := k.lookupContainer(k.rootID)
 	if err != nil {
 		return nil, err
@@ -301,6 +550,7 @@ func (k *Kernel) BootThread(lbl, clearance label.Label, descrip string) (*Thread
 			lbl:     label.Intern(lbl),
 			quota:   1 << 20,
 			descrip: truncDescrip(descrip),
+			refs:    1,
 		},
 		clearance: label.Intern(clearance),
 		alertCh:   make(chan struct{}, 1),
@@ -316,13 +566,17 @@ func (k *Kernel) BootThread(lbl, clearance label.Label, descrip string) (*Thread
 		data:             make([]byte, localSegmentSize),
 		threadLocalOwner: t.id,
 	}
-	if err := k.chargeLocked(root, t.quota); err != nil {
+	t.usage = t.footprint()
+	root.mu.Lock()
+	defer root.mu.Unlock()
+	if !liveLocked(root) {
+		return nil, ErrNoSuchObject
+	}
+	if err := k.charge(root, t.quota); err != nil {
 		return nil, err
 	}
-	t.usage = t.footprint()
-	k.objects[t.id] = t
+	k.insert(t)
 	root.link(t.id)
-	t.refs = 1
 	return &ThreadCall{k: k, tid: t.id}, nil
 }
 
@@ -336,9 +590,9 @@ func truncDescrip(s string) string {
 	return s
 }
 
-// chargeLocked charges q bytes of quota to container c, failing if the
-// container's quota would be exceeded.  The kernel lock must be held.
-func (k *Kernel) chargeLocked(c *container, q uint64) error {
+// charge charges q bytes of quota to container c, failing if the container's
+// quota would be exceeded.  The caller holds c's write lock.
+func (k *Kernel) charge(c *container, q uint64) error {
 	if c.quota == QuotaInfinite {
 		c.usage += q
 		return nil
@@ -353,7 +607,9 @@ func (k *Kernel) chargeLocked(c *container, q uint64) error {
 	return nil
 }
 
-func (k *Kernel) refundLocked(c *container, q uint64) {
+// refund returns q bytes of quota to container c; the caller holds c's write
+// lock.
+func (k *Kernel) refund(c *container, q uint64) {
 	if q == QuotaInfinite {
 		return
 	}
@@ -364,16 +620,82 @@ func (k *Kernel) refundLocked(c *container, q uint64) {
 	}
 }
 
+// ---------------------------------------------------------------------------
+// Deallocation.
+// ---------------------------------------------------------------------------
+
+// deallocLocked marks o dead and removes it from the object table; the
+// caller holds o's write lock and o's reference count has reached zero.  It
+// returns the IDs of o's children (for containers) whose references must be
+// dropped by releaseRefs AFTER the caller has released its locks — the
+// teardown never holds two tree levels' locks at once.
+func (k *Kernel) deallocLocked(o object) []ID {
+	h := o.hdr()
+	if h.dead.Load() {
+		return nil
+	}
+	h.dead.Store(true)
+	var children []ID
+	switch v := o.(type) {
+	case *container:
+		children = v.order
+		v.entries = nil
+		v.order = nil
+	case *thread:
+		v.halted = true
+		k.retired.hits.Add(v.l1Hits.Load())
+		k.retired.misses.Add(v.l1Misses.Load())
+	case *device:
+		// nothing extra
+	}
+	k.remove(h.id)
+	return children
+}
+
+// releaseRefs drops one reference from each object in ids, deallocating any
+// that reach zero and queueing their children in turn.  It locks exactly one
+// object at a time, so it is deadlock-free regardless of tree shape, and
+// must be called with no object locks held.
+func (k *Kernel) releaseRefs(ids []ID) {
+	work := ids
+	for len(work) > 0 {
+		id := work[len(work)-1]
+		work = work[:len(work)-1]
+		o, err := k.lookup(id)
+		if err != nil {
+			continue
+		}
+		h := o.hdr()
+		h.mu.Lock()
+		if h.dead.Load() {
+			h.mu.Unlock()
+			continue
+		}
+		h.refs--
+		if h.refs <= 0 {
+			work = append(work, k.deallocLocked(o)...)
+		}
+		h.mu.Unlock()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Introspection.
+// ---------------------------------------------------------------------------
+
 // ObjectCount returns the number of live kernel objects (for tests and the
 // resource-exhaustion experiments).
 func (k *Kernel) ObjectCount() int {
-	k.mu.Lock()
-	defer k.mu.Unlock()
 	n := 0
-	for _, o := range k.objects {
-		if !o.hdr().dead {
-			n++
+	for i := range k.shards {
+		s := &k.shards[i]
+		s.mu.RLock()
+		for _, o := range s.m {
+			if !o.hdr().dead.Load() {
+				n++
+			}
 		}
+		s.mu.RUnlock()
 	}
 	return n
 }
@@ -382,13 +704,64 @@ func (k *Kernel) ObjectCount() int {
 // checks; intended for tests and the administrative tooling that runs with
 // write permission on the root container.
 func (k *Kernel) Describe(id ID) (string, error) {
-	k.mu.Lock()
-	defer k.mu.Unlock()
 	o, err := k.lookup(id)
 	if err != nil {
 		return "", err
 	}
 	h := o.hdr()
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	if h.dead.Load() {
+		return "", ErrNoSuchObject
+	}
 	return fmt.Sprintf("%s %s %q label=%s quota=%d usage=%d refs=%d",
 		h.id, h.objType, h.descrip, h.lbl.Format(k.cats), h.quota, h.usage, h.refs), nil
+}
+
+// ThreadL1Stat describes one live thread's per-thread label-cache L1.
+type ThreadL1Stat struct {
+	ID      ID
+	Descrip string
+	Hits    uint64
+	Misses  uint64
+}
+
+// L1Stats aggregates the per-thread canObserve L1 counters: totals across
+// live and deallocated threads, plus the live per-thread breakdown.
+type L1Stats struct {
+	Hits    uint64
+	Misses  uint64
+	Threads []ThreadL1Stat
+}
+
+// l1Retired accumulates L1 counters of threads that have been deallocated.
+type l1Retired struct {
+	hits   paddedUint64
+	misses paddedUint64
+}
+
+// LabelL1Stats returns the per-thread L1 hit/miss statistics.
+func (k *Kernel) LabelL1Stats() L1Stats {
+	st := L1Stats{Hits: k.retired.hits.Load(), Misses: k.retired.misses.Load()}
+	for i := range k.shards {
+		s := &k.shards[i]
+		s.mu.RLock()
+		for _, o := range s.m {
+			t, ok := o.(*thread)
+			if !ok || t.dead.Load() {
+				continue
+			}
+			ts := ThreadL1Stat{
+				ID:      t.id,
+				Descrip: t.descrip,
+				Hits:    t.l1Hits.Load(),
+				Misses:  t.l1Misses.Load(),
+			}
+			st.Hits += ts.Hits
+			st.Misses += ts.Misses
+			st.Threads = append(st.Threads, ts)
+		}
+		s.mu.RUnlock()
+	}
+	return st
 }

@@ -508,6 +508,31 @@ func TestQuotaMove(t *testing.T) {
 	}
 }
 
+func TestBoundsOverflowRejected(t *testing.T) {
+	k, tc := boot(t)
+	root := k.RootContainer()
+	seg, err := tc.SegmentCreate(root, label.New(label.L1), "bounds", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ce := CEnt{Container: root, Object: seg}
+	const maxInt = int(^uint(0) >> 1)
+	// Offsets near the top of the range must fail cleanly, not wrap around
+	// the bounds checks and panic.
+	if err := tc.FutexWait(ce, ^uint64(0), 0); !errors.Is(err, ErrInvalid) {
+		t.Errorf("FutexWait(max offset): err=%v, want ErrInvalid", err)
+	}
+	if _, err := tc.SegmentCompareSwap(ce, ^uint64(0), 0, 1); !errors.Is(err, ErrInvalid) {
+		t.Errorf("SegmentCompareSwap(max offset): err=%v, want ErrInvalid", err)
+	}
+	if got, err := tc.SegmentRead(ce, 1, maxInt); err != nil || len(got) != 15 {
+		t.Errorf("SegmentRead(1, maxInt) = %d bytes, %v; want 15, nil", len(got), err)
+	}
+	if err := tc.SegmentWrite(ce, maxInt-4, []byte("overflow")); !errors.Is(err, ErrQuota) {
+		t.Errorf("SegmentWrite(maxInt-4): err=%v, want ErrQuota", err)
+	}
+}
+
 func TestSyscallCounting(t *testing.T) {
 	k, tc := boot(t)
 	k.ResetSyscallCounts()

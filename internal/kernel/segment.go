@@ -11,13 +11,10 @@ const segmentSlack = 16 * 1024
 // SegmentCreate creates a segment of initial size nbytes in container d.
 // The invoking thread must be able to write d and allocate at label l.
 func (tc *ThreadCall) SegmentCreate(d ID, l label.Label, descrip string, nbytes int) (ID, error) {
-	tc.k.mu.Lock()
-	defer tc.k.mu.Unlock()
-	t, err := tc.self()
+	ctx, err := tc.enter(scSegmentCreate)
 	if err != nil {
 		return NilID, err
 	}
-	tc.k.count("segment_create", t)
 	if nbytes < 0 {
 		return NilID, ErrInvalid
 	}
@@ -28,22 +25,16 @@ func (tc *ThreadCall) SegmentCreate(d ID, l label.Label, descrip string, nbytes 
 	if err != nil {
 		return NilID, err
 	}
-	if cont.immutable {
-		return NilID, ErrImmutable
-	}
 	if cont.avoidTypes.Has(ObjSegment) {
 		return NilID, ErrAvoidType
 	}
-	if !tc.k.canModify(t.lbl, cont.lbl) {
+	if !tc.k.canModifyT(ctx.t, ctx.lbl, cont.lbl) {
 		return NilID, ErrLabel
 	}
-	if !label.CanAllocate(t.lbl, t.clearance, l) {
+	if !label.CanAllocate(ctx.lbl, ctx.clearance, l) {
 		return NilID, ErrLabel
 	}
 	quota := uint64(nbytes) + segmentSlack
-	if err := tc.k.chargeLocked(cont, quota); err != nil {
-		return NilID, err
-	}
 	s := &segment{
 		header: header{
 			id:      tc.k.newID(),
@@ -51,13 +42,24 @@ func (tc *ThreadCall) SegmentCreate(d ID, l label.Label, descrip string, nbytes 
 			lbl:     label.Intern(l),
 			quota:   quota,
 			descrip: truncDescrip(descrip),
+			refs:    1,
 		},
 		data: make([]byte, nbytes),
 	}
 	s.usage = s.footprint()
-	tc.k.objects[s.id] = s
+	cont.mu.Lock()
+	defer cont.mu.Unlock()
+	if !liveLocked(cont) {
+		return NilID, ErrNoSuchObject
+	}
+	if cont.immutable {
+		return NilID, ErrImmutable
+	}
+	if err := tc.k.charge(cont, quota); err != nil {
+		return NilID, err
+	}
+	tc.k.insert(s)
 	cont.link(s.id)
-	s.refs = 1
 	return s.id, nil
 }
 
@@ -68,17 +70,14 @@ func (tc *ThreadCall) SegmentCreate(d ID, l label.Label, descrip string, nbytes 
 // invoking thread must be able to observe the source, write d, and allocate
 // at l.
 func (tc *ThreadCall) SegmentCopy(src CEnt, d ID, l label.Label, descrip string) (ID, error) {
-	tc.k.mu.Lock()
-	defer tc.k.mu.Unlock()
-	t, err := tc.self()
+	ctx, err := tc.enter(scSegmentCopy)
 	if err != nil {
 		return NilID, err
 	}
-	tc.k.count("segment_copy", t)
 	if !label.ValidObjectLabel(l) {
 		return NilID, ErrInvalid
 	}
-	obj, err := tc.k.resolve(t.lbl, src)
+	srcCont, obj, err := tc.k.peek(ctx, src)
 	if err != nil {
 		return NilID, err
 	}
@@ -86,27 +85,35 @@ func (tc *ThreadCall) SegmentCopy(src CEnt, d ID, l label.Label, descrip string)
 	if !ok {
 		return NilID, ErrWrongType
 	}
-	if !tc.k.canObserve(t.lbl, seg.lbl) {
+	if !tc.k.canObserveT(ctx.t, ctx.lbl, seg.lbl) {
 		return NilID, ErrLabel
 	}
 	cont, err := tc.k.lookupContainer(d)
 	if err != nil {
 		return NilID, err
 	}
-	if cont.immutable {
-		return NilID, ErrImmutable
-	}
 	if cont.avoidTypes.Has(ObjSegment) {
 		return NilID, ErrAvoidType
 	}
-	if !tc.k.canModify(t.lbl, cont.lbl) {
+	if !tc.k.canModifyT(ctx.t, ctx.lbl, cont.lbl) {
 		return NilID, ErrLabel
 	}
-	if !label.CanAllocate(t.lbl, t.clearance, l) {
+	if !label.CanAllocate(ctx.lbl, ctx.clearance, l) {
 		return NilID, ErrLabel
+	}
+	ls := lockOrdered(objLock{srcCont, false}, objLock{seg, false}, objLock{cont, true})
+	defer ls.unlock()
+	if !liveLocked(cont) {
+		return NilID, ErrNoSuchObject
+	}
+	if cont.immutable {
+		return NilID, ErrImmutable
+	}
+	if err := verifyEntryLive(srcCont, seg); err != nil {
+		return NilID, err
 	}
 	quota := uint64(len(seg.data)) + segmentSlack
-	if err := tc.k.chargeLocked(cont, quota); err != nil {
+	if err := tc.k.charge(cont, quota); err != nil {
 		return NilID, err
 	}
 	ns := &segment{
@@ -116,80 +123,83 @@ func (tc *ThreadCall) SegmentCopy(src CEnt, d ID, l label.Label, descrip string)
 			lbl:     label.Intern(l),
 			quota:   quota,
 			descrip: truncDescrip(descrip),
+			refs:    1,
 		},
 		data: append([]byte(nil), seg.data...),
 	}
 	ns.usage = ns.footprint()
-	tc.k.objects[ns.id] = ns
+	tc.k.insert(ns)
 	cont.link(ns.id)
-	ns.refs = 1
 	return ns.id, nil
 }
 
-// segmentForRead resolves ce to a segment the invoking thread may observe.
-// The kernel lock must be held.
-func (tc *ThreadCall) segmentForRead(t *thread, ce CEnt) (*segment, error) {
-	obj, err := tc.k.resolve(t.lbl, ce)
+// resolveSegment resolves ce to its container and segment with no locks
+// held; membership and liveness still need verification under locks.
+func (tc *ThreadCall) resolveSegment(ctx tctx, ce CEnt) (*container, *segment, error) {
+	cont, obj, err := tc.k.peek(ctx, ce)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	seg, ok := obj.(*segment)
 	if !ok {
-		return nil, ErrWrongType
+		return nil, nil, ErrWrongType
 	}
-	if seg.threadLocalOwner != NilID && seg.threadLocalOwner == t.id {
-		return seg, nil
-	}
-	if !tc.k.canObserve(t.lbl, seg.lbl) {
-		return nil, ErrLabel
-	}
-	return seg, nil
+	return cont, seg, nil
 }
 
-// segmentForWrite resolves ce to a segment the invoking thread may modify.
-func (tc *ThreadCall) segmentForWrite(t *thread, ce CEnt) (*segment, error) {
-	obj, err := tc.k.resolve(t.lbl, ce)
-	if err != nil {
-		return nil, err
+// checkSegmentRead applies the observation rules to a resolved segment: the
+// owning thread may always read its thread-local segment, anyone else needs
+// LO ⊑ LTᴶ.  Segment labels are immutable, so no lock is required.
+func (tc *ThreadCall) checkSegmentRead(ctx tctx, seg *segment) error {
+	if seg.threadLocalOwner != NilID && seg.threadLocalOwner == ctx.t.id {
+		return nil
 	}
-	seg, ok := obj.(*segment)
-	if !ok {
-		return nil, ErrWrongType
+	if !tc.k.canObserveT(ctx.t, ctx.lbl, seg.lbl) {
+		return ErrLabel
 	}
-	if seg.immutable {
-		return nil, ErrImmutable
-	}
+	return nil
+}
+
+// checkSegmentWrite applies the modification rules (immutability is checked
+// separately, under the segment's lock).
+func (tc *ThreadCall) checkSegmentWrite(ctx tctx, seg *segment) error {
 	if seg.threadLocalOwner != NilID {
-		if seg.threadLocalOwner == t.id {
-			return seg, nil
+		if seg.threadLocalOwner == ctx.t.id {
+			return nil
 		}
-		return nil, ErrLabel
+		return ErrLabel
 	}
-	if !tc.k.canModify(t.lbl, seg.lbl) {
-		return nil, ErrLabel
+	if !tc.k.canModifyT(ctx.t, ctx.lbl, seg.lbl) {
+		return ErrLabel
 	}
-	return seg, nil
+	return nil
 }
 
 // SegmentRead reads n bytes at offset off from the segment named by ce.
 func (tc *ThreadCall) SegmentRead(ce CEnt, off, n int) ([]byte, error) {
-	tc.k.mu.Lock()
-	defer tc.k.mu.Unlock()
-	t, err := tc.self()
+	ctx, err := tc.enter(scSegmentRead)
 	if err != nil {
 		return nil, err
 	}
-	tc.k.count("segment_read", t)
-	seg, err := tc.segmentForRead(t, ce)
+	cont, seg, err := tc.resolveSegment(ctx, ce)
 	if err != nil {
+		return nil, err
+	}
+	if err := tc.checkSegmentRead(ctx, seg); err != nil {
+		return nil, err
+	}
+	ls := lockOrdered(objLock{cont, false}, objLock{seg, false})
+	defer ls.unlock()
+	if err := verifyEntryLive(cont, seg); err != nil {
 		return nil, err
 	}
 	if off < 0 || n < 0 || off > len(seg.data) {
 		return nil, ErrInvalid
 	}
-	end := off + n
-	if end > len(seg.data) {
-		end = len(seg.data)
+	// Clamp without computing off+n, which could overflow int.
+	end := len(seg.data)
+	if n < end-off {
+		end = off + n
 	}
 	out := make([]byte, end-off)
 	copy(out, seg.data[off:end])
@@ -199,21 +209,32 @@ func (tc *ThreadCall) SegmentRead(ce CEnt, off, n int) ([]byte, error) {
 // SegmentWrite writes data at offset off in the segment named by ce,
 // extending the segment if necessary (subject to its quota).
 func (tc *ThreadCall) SegmentWrite(ce CEnt, off int, data []byte) error {
-	tc.k.mu.Lock()
-	defer tc.k.mu.Unlock()
-	t, err := tc.self()
+	ctx, err := tc.enter(scSegmentWrite)
 	if err != nil {
 		return err
 	}
-	tc.k.count("segment_write", t)
-	seg, err := tc.segmentForWrite(t, ce)
+	cont, seg, err := tc.resolveSegment(ctx, ce)
 	if err != nil {
 		return err
+	}
+	if err := tc.checkSegmentWrite(ctx, seg); err != nil {
+		return err
+	}
+	ls := lockOrdered(objLock{cont, false}, objLock{seg, true})
+	defer ls.unlock()
+	if err := verifyEntryLive(cont, seg); err != nil {
+		return err
+	}
+	if seg.immutable {
+		return ErrImmutable
 	}
 	if off < 0 {
 		return ErrInvalid
 	}
 	end := off + len(data)
+	if end < off { // int overflow; no quota could ever cover it
+		return ErrQuota
+	}
 	if end > len(seg.data) {
 		if uint64(end)+128 > seg.quota {
 			return ErrQuota
@@ -231,16 +252,24 @@ func (tc *ThreadCall) SegmentWrite(ce CEnt, off int, data []byte) error {
 // SegmentResize sets the segment's length to n bytes.  A file's length is
 // defined to be its segment's length (Section 5.1).
 func (tc *ThreadCall) SegmentResize(ce CEnt, n int) error {
-	tc.k.mu.Lock()
-	defer tc.k.mu.Unlock()
-	t, err := tc.self()
+	ctx, err := tc.enter(scSegmentResize)
 	if err != nil {
 		return err
 	}
-	tc.k.count("segment_resize", t)
-	seg, err := tc.segmentForWrite(t, ce)
+	cont, seg, err := tc.resolveSegment(ctx, ce)
 	if err != nil {
 		return err
+	}
+	if err := tc.checkSegmentWrite(ctx, seg); err != nil {
+		return err
+	}
+	ls := lockOrdered(objLock{cont, false}, objLock{seg, true})
+	defer ls.unlock()
+	if err := verifyEntryLive(cont, seg); err != nil {
+		return err
+	}
+	if seg.immutable {
+		return ErrImmutable
 	}
 	if n < 0 {
 		return ErrInvalid
@@ -267,18 +296,26 @@ func (tc *ThreadCall) SegmentResize(ce CEnt, n int) error {
 // library builds its directory and pipe mutexes on it together with the
 // futex.
 func (tc *ThreadCall) SegmentCompareSwap(ce CEnt, off uint64, old, next uint64) (bool, error) {
-	tc.k.mu.Lock()
-	defer tc.k.mu.Unlock()
-	t, err := tc.self()
+	ctx, err := tc.enter(scSegmentCAS)
 	if err != nil {
 		return false, err
 	}
-	tc.k.count("segment_cas", t)
-	seg, err := tc.segmentForWrite(t, ce)
+	cont, seg, err := tc.resolveSegment(ctx, ce)
 	if err != nil {
 		return false, err
 	}
-	if off+8 > uint64(len(seg.data)) {
+	if err := tc.checkSegmentWrite(ctx, seg); err != nil {
+		return false, err
+	}
+	ls := lockOrdered(objLock{cont, false}, objLock{seg, true})
+	defer ls.unlock()
+	if err := verifyEntryLive(cont, seg); err != nil {
+		return false, err
+	}
+	if seg.immutable {
+		return false, ErrImmutable
+	}
+	if uint64(len(seg.data)) < 8 || off > uint64(len(seg.data))-8 {
 		return false, ErrInvalid
 	}
 	cur := littleEndianU64(seg.data[off:])
@@ -308,15 +345,20 @@ func putLittleEndianU64(b []byte, v uint64) {
 
 // SegmentLen returns the length of the segment named by ce.
 func (tc *ThreadCall) SegmentLen(ce CEnt) (int, error) {
-	tc.k.mu.Lock()
-	defer tc.k.mu.Unlock()
-	t, err := tc.self()
+	ctx, err := tc.enter(scSegmentLen)
 	if err != nil {
 		return 0, err
 	}
-	tc.k.count("segment_len", t)
-	seg, err := tc.segmentForRead(t, ce)
+	cont, seg, err := tc.resolveSegment(ctx, ce)
 	if err != nil {
+		return 0, err
+	}
+	if err := tc.checkSegmentRead(ctx, seg); err != nil {
+		return 0, err
+	}
+	ls := lockOrdered(objLock{cont, false}, objLock{seg, false})
+	defer ls.unlock()
+	if err := verifyEntryLive(cont, seg); err != nil {
 		return 0, err
 	}
 	return len(seg.data), nil

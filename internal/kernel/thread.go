@@ -9,17 +9,17 @@ import (
 // clearance gains c 3.  Labels are egalitarian — any thread may allocate
 // arbitrarily many categories.
 func (tc *ThreadCall) CategoryCreate() (label.Category, error) {
-	tc.k.mu.Lock()
-	defer tc.k.mu.Unlock()
-	t, err := tc.self()
+	ctx, err := tc.enter(scCategoryCreate)
 	if err != nil {
 		return 0, err
 	}
-	tc.k.count("category_create", t)
 	c := tc.k.cats.Alloc()
+	t := ctx.t
+	t.mu.Lock()
 	t.lbl = label.Intern(t.lbl.With(c, label.Star))
 	t.clearance = label.Intern(t.clearance.With(c, label.L3))
 	t.bump()
+	t.mu.Unlock()
 	return c, nil
 }
 
@@ -36,48 +36,43 @@ func (tc *ThreadCall) CategoryCreateNamed(name string) (label.Category, error) {
 
 // SelfLabel returns the invoking thread's current label.
 func (tc *ThreadCall) SelfLabel() (label.Label, error) {
-	tc.k.mu.Lock()
-	defer tc.k.mu.Unlock()
-	t, err := tc.self()
+	ctx, err := tc.enter(scSelfGetLabel)
 	if err != nil {
 		return label.Label{}, err
 	}
-	tc.k.count("self_get_label", t)
-	return t.lbl, nil
+	return ctx.lbl, nil
 }
 
 // SelfClearance returns the invoking thread's current clearance.
 func (tc *ThreadCall) SelfClearance() (label.Label, error) {
-	tc.k.mu.Lock()
-	defer tc.k.mu.Unlock()
-	t, err := tc.self()
+	ctx, err := tc.enter(scSelfGetClearance)
 	if err != nil {
 		return label.Label{}, err
 	}
-	tc.k.count("self_get_clearance", t)
-	return t.clearance, nil
+	return ctx.clearance, nil
 }
 
 // SelfSetLabel changes the invoking thread's label to l, permitted only when
 // LT ⊑ l ⊑ CT (int self_set_label).  A thread can therefore taint itself to
 // read more tainted objects, but can never shed taint it does not own.
 func (tc *ThreadCall) SelfSetLabel(l label.Label) error {
-	tc.k.mu.Lock()
-	defer tc.k.mu.Unlock()
-	t, err := tc.self()
+	ctx, err := tc.enter(scSelfSetLabel)
 	if err != nil {
 		return err
 	}
-	tc.k.count("self_set_label", t)
 	if !label.ValidThreadLabel(l) {
 		return ErrInvalid
 	}
+	t := ctx.t
+	// The thread-local segment follows the thread's taint so the thread can
+	// always write its own scratch space.
+	ls := lockOrdered(objLock{t, true}, objLock{t.localSegment, true})
+	defer ls.unlock()
+	// Validate against the thread's label as it is now, under the lock.
 	if !tc.k.leq(t.lbl, l) || !tc.k.leq(l, t.clearance) {
 		return ErrLabel
 	}
 	t.lbl = label.Intern(l)
-	// The thread-local segment follows the thread's taint so the thread can
-	// always write its own scratch space.
 	t.localSegment.lbl = label.Intern(l.LowerStar())
 	t.bump()
 	return nil
@@ -88,16 +83,16 @@ func (tc *ThreadCall) SelfSetLabel(l label.Label) error {
 // lower its clearance in any category (not below its label) and may raise
 // clearance only in categories it owns.
 func (tc *ThreadCall) SelfSetClearance(c label.Label) error {
-	tc.k.mu.Lock()
-	defer tc.k.mu.Unlock()
-	t, err := tc.self()
+	ctx, err := tc.enter(scSelfSetClearance)
 	if err != nil {
 		return err
 	}
-	tc.k.count("self_set_clearance", t)
 	if !label.ValidClearance(c) {
 		return ErrInvalid
 	}
+	t := ctx.t
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if !tc.k.leq(t.lbl, c) || !tc.k.leq(c, t.clearance.Join(t.lbl.RaiseJ())) {
 		return ErrLabel
 	}
@@ -109,40 +104,37 @@ func (tc *ThreadCall) SelfSetClearance(c label.Label) error {
 // SelfAddressSpace returns the container entry of the invoking thread's
 // current address space.
 func (tc *ThreadCall) SelfAddressSpace() (CEnt, error) {
-	tc.k.mu.Lock()
-	defer tc.k.mu.Unlock()
-	t, err := tc.self()
+	ctx, err := tc.enter(scSelfGetAS)
 	if err != nil {
 		return CEnt{}, err
 	}
-	tc.k.count("self_get_as", t)
-	return t.addressSpace, nil
+	return ctx.as, nil
 }
 
 // SelfSetAddressSpace switches the invoking thread to a different address
 // space (self_set_as).  The thread must be able to observe the address
 // space: LA ⊑ LTᴶ.
 func (tc *ThreadCall) SelfSetAddressSpace(as CEnt) error {
-	tc.k.mu.Lock()
-	defer tc.k.mu.Unlock()
-	t, err := tc.self()
+	ctx, err := tc.enter(scSelfSetAS)
 	if err != nil {
 		return err
 	}
-	tc.k.count("self_set_as", t)
-	o, err := tc.k.resolve(t.lbl, as)
+	_, obj, err := tc.k.peek(ctx, as)
 	if err != nil {
 		return err
 	}
-	a, ok := o.(*addressSpace)
+	a, ok := obj.(*addressSpace)
 	if !ok {
 		return ErrWrongType
 	}
-	if !tc.k.canObserve(t.lbl, a.lbl) {
+	if !tc.k.canObserveT(ctx.t, ctx.lbl, a.lbl) {
 		return ErrLabel
 	}
+	t := ctx.t
+	t.mu.Lock()
 	t.addressSpace = as
 	t.bump()
+	t.mu.Unlock()
 	return nil
 }
 
@@ -168,13 +160,10 @@ type ThreadSpec struct {
 // this simulation; the caller obtains its syscall context from
 // Kernel.ThreadCall and drives it (typically from a new goroutine).
 func (tc *ThreadCall) ThreadCreate(d ID, spec ThreadSpec) (ID, error) {
-	tc.k.mu.Lock()
-	defer tc.k.mu.Unlock()
-	t, err := tc.self()
+	ctx, err := tc.enter(scThreadCreate)
 	if err != nil {
 		return NilID, err
 	}
-	tc.k.count("thread_create", t)
 	if !label.ValidThreadLabel(spec.Label) || !label.ValidClearance(spec.Clearance) {
 		return NilID, ErrInvalid
 	}
@@ -182,25 +171,19 @@ func (tc *ThreadCall) ThreadCreate(d ID, spec ThreadSpec) (ID, error) {
 	if err != nil {
 		return NilID, err
 	}
-	if cont.immutable {
-		return NilID, ErrImmutable
-	}
 	if cont.avoidTypes.Has(ObjThread) {
 		return NilID, ErrAvoidType
 	}
-	if !tc.k.canModify(t.lbl, cont.lbl) {
+	if !tc.k.canModifyT(ctx.t, ctx.lbl, cont.lbl) {
 		return NilID, ErrLabel
 	}
 	// LT ⊑ LT' ⊑ CT' ⊑ CT.
-	if !tc.k.leq(t.lbl, spec.Label) || !tc.k.leq(spec.Label, spec.Clearance) || !tc.k.leq(spec.Clearance, t.clearance) {
+	if !tc.k.leq(ctx.lbl, spec.Label) || !tc.k.leq(spec.Label, spec.Clearance) || !tc.k.leq(spec.Clearance, ctx.clearance) {
 		return NilID, ErrLabel
 	}
 	quota := spec.Quota
 	if quota == 0 {
 		quota = 1 << 20
-	}
-	if err := tc.k.chargeLocked(cont, quota); err != nil {
-		return NilID, err
 	}
 	nt := &thread{
 		header: header{
@@ -209,6 +192,7 @@ func (tc *ThreadCall) ThreadCreate(d ID, spec ThreadSpec) (ID, error) {
 			lbl:     label.Intern(spec.Label),
 			quota:   quota,
 			descrip: truncDescrip(spec.Descrip),
+			refs:    1,
 		},
 		clearance:    label.Intern(spec.Clearance),
 		addressSpace: spec.AddressSpace,
@@ -226,33 +210,50 @@ func (tc *ThreadCall) ThreadCreate(d ID, spec ThreadSpec) (ID, error) {
 		threadLocalOwner: nt.id,
 	}
 	nt.usage = nt.footprint()
-	tc.k.objects[nt.id] = nt
+	cont.mu.Lock()
+	defer cont.mu.Unlock()
+	if !liveLocked(cont) {
+		return NilID, ErrNoSuchObject
+	}
+	if cont.immutable {
+		return NilID, ErrImmutable
+	}
+	if err := tc.k.charge(cont, quota); err != nil {
+		return NilID, err
+	}
+	tc.k.insert(nt)
 	cont.link(nt.id)
-	nt.refs = 1
 	return nt.id, nil
 }
 
 // ThreadHalt halts the invoking thread.  Further system calls through its
 // context return ErrHalted.
 func (tc *ThreadCall) ThreadHalt() error {
-	tc.k.mu.Lock()
-	defer tc.k.mu.Unlock()
-	t, err := tc.self()
+	ctx, err := tc.enter(scThreadHalt)
 	if err != nil {
 		return err
 	}
-	tc.k.count("thread_halt", t)
+	t := ctx.t
+	t.mu.Lock()
 	t.halted = true
 	t.bump()
+	t.mu.Unlock()
 	return nil
 }
 
 // Halted reports whether the thread has been halted (or deallocated).
 func (tc *ThreadCall) Halted() bool {
-	tc.k.mu.Lock()
-	defer tc.k.mu.Unlock()
-	_, err := tc.self()
-	return err != nil
+	o, err := tc.k.lookup(tc.tid)
+	if err != nil {
+		return true
+	}
+	t, ok := o.(*thread)
+	if !ok {
+		return true
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.halted
 }
 
 // ThreadAlert sends an alert (HiStar's low-level signal) to the thread named
@@ -261,55 +262,60 @@ func (tc *ThreadCall) Halted() bool {
 // The alert code is queued and the target's alert handler (or AlertWait)
 // consumes it.
 func (tc *ThreadCall) ThreadAlert(target CEnt, code uint64) error {
-	tc.k.mu.Lock()
-	t, err := tc.self()
+	ctx, err := tc.enter(scThreadAlert)
 	if err != nil {
-		tc.k.mu.Unlock()
 		return err
 	}
-	tc.k.count("thread_alert", t)
-	o, err := tc.k.resolve(t.lbl, target)
+	cont, obj, err := tc.k.peek(ctx, target)
 	if err != nil {
-		tc.k.mu.Unlock()
 		return err
 	}
-	victim, ok := o.(*thread)
+	victim, ok := obj.(*thread)
 	if !ok {
-		tc.k.mu.Unlock()
 		return ErrWrongType
 	}
-	// Observe the target thread.
-	if !tc.k.canObserve(t.lbl, victim.lbl) {
-		tc.k.mu.Unlock()
+	ls := lockOrdered(objLock{cont, false}, objLock{victim, true})
+	if err := cont.verifyLinked(victim.id); err != nil {
+		ls.unlock()
+		return err
+	}
+	if !liveLocked(victim) {
+		ls.unlock()
+		return ErrNoSuchObject
+	}
+	// Observe the target thread (its label is read under its lock).
+	if !tc.k.canObserve(ctx.lbl, victim.lbl) {
+		ls.unlock()
 		return ErrLabel
 	}
 	// Write the target's address space.
 	if victim.addressSpace.Object != NilID {
 		aso, err := tc.k.lookup(victim.addressSpace.Object)
 		if err != nil {
-			tc.k.mu.Unlock()
+			ls.unlock()
 			return err
 		}
 		as, ok := aso.(*addressSpace)
 		if !ok {
-			tc.k.mu.Unlock()
+			ls.unlock()
 			return ErrWrongType
 		}
-		if !tc.k.canModify(t.lbl, as.lbl) {
-			tc.k.mu.Unlock()
+		// Address-space labels are immutable; no lock on it needed.
+		if !tc.k.canModifyT(ctx.t, ctx.lbl, as.lbl) {
+			ls.unlock()
 			return ErrLabel
 		}
 	} else {
 		// No address space: fall back to requiring write permission on the
 		// thread object itself.
-		if !tc.k.canModify(t.lbl, victim.lbl) {
-			tc.k.mu.Unlock()
+		if !tc.k.canModify(ctx.lbl, victim.lbl) {
+			ls.unlock()
 			return ErrLabel
 		}
 	}
 	victim.alertQueue = append(victim.alertQueue, code)
 	ch := victim.alertCh
-	tc.k.mu.Unlock()
+	ls.unlock()
 	// Non-blocking notify.
 	select {
 	case ch <- struct{}{}:
@@ -320,13 +326,13 @@ func (tc *ThreadCall) ThreadAlert(target CEnt, code uint64) error {
 
 // AlertPoll removes and returns a pending alert, if any.
 func (tc *ThreadCall) AlertPoll() (uint64, bool, error) {
-	tc.k.mu.Lock()
-	defer tc.k.mu.Unlock()
-	t, err := tc.self()
+	ctx, err := tc.enter(scAlertPoll)
 	if err != nil {
 		return 0, false, err
 	}
-	tc.k.count("alert_poll", t)
+	t := ctx.t
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if len(t.alertQueue) == 0 {
 		return 0, false, nil
 	}
@@ -339,20 +345,27 @@ func (tc *ThreadCall) AlertPoll() (uint64, bool, error) {
 // returns its code.
 func (tc *ThreadCall) AlertWait() (uint64, error) {
 	for {
-		tc.k.mu.Lock()
-		t, err := tc.self()
+		o, err := tc.k.lookup(tc.tid)
 		if err != nil {
-			tc.k.mu.Unlock()
-			return 0, err
+			return 0, ErrHalted
+		}
+		t, ok := o.(*thread)
+		if !ok {
+			return 0, ErrWrongType
+		}
+		t.mu.Lock()
+		if t.halted {
+			t.mu.Unlock()
+			return 0, ErrHalted
 		}
 		if len(t.alertQueue) > 0 {
 			code := t.alertQueue[0]
 			t.alertQueue = t.alertQueue[1:]
-			tc.k.mu.Unlock()
+			t.mu.Unlock()
 			return code, nil
 		}
 		ch := t.alertCh
-		tc.k.mu.Unlock()
+		t.mu.Unlock()
 		<-ch
 	}
 }
@@ -361,34 +374,34 @@ func (tc *ThreadCall) AlertWait() (uint64, error) {
 // segment, which is always writable by the current thread regardless of its
 // label.
 func (tc *ThreadCall) LocalSegmentWrite(off int, data []byte) error {
-	tc.k.mu.Lock()
-	defer tc.k.mu.Unlock()
-	t, err := tc.self()
+	ctx, err := tc.enter(scLocalSegmentWrite)
 	if err != nil {
 		return err
 	}
-	tc.k.count("local_segment_write", t)
-	if off < 0 || off+len(data) > len(t.localSegment.data) {
+	seg := ctx.t.localSegment
+	seg.mu.Lock()
+	defer seg.mu.Unlock()
+	if off < 0 || off+len(data) > len(seg.data) {
 		return ErrInvalid
 	}
-	copy(t.localSegment.data[off:], data)
+	copy(seg.data[off:], data)
 	return nil
 }
 
 // LocalSegmentRead reads from the invoking thread's thread-local segment.
 func (tc *ThreadCall) LocalSegmentRead(off, n int) ([]byte, error) {
-	tc.k.mu.Lock()
-	defer tc.k.mu.Unlock()
-	t, err := tc.self()
+	ctx, err := tc.enter(scLocalSegmentRead)
 	if err != nil {
 		return nil, err
 	}
-	tc.k.count("local_segment_read", t)
-	if off < 0 || n < 0 || off+n > len(t.localSegment.data) {
+	seg := ctx.t.localSegment
+	seg.mu.RLock()
+	defer seg.mu.RUnlock()
+	if off < 0 || n < 0 || off+n > len(seg.data) {
 		return nil, ErrInvalid
 	}
 	out := make([]byte, n)
-	copy(out, t.localSegment.data[off:off+n])
+	copy(out, seg.data[off:off+n])
 	return out, nil
 }
 
@@ -399,14 +412,11 @@ func (tc *ThreadCall) LocalSegmentRead(off, n int) ([]byte, error) {
 // conditions (for instance, a user's login shell owning ur and uw).
 // The invoking thread must itself own the category.
 func (tc *ThreadCall) GrantOwnership(target ID, c label.Category) error {
-	tc.k.mu.Lock()
-	defer tc.k.mu.Unlock()
-	t, err := tc.self()
+	ctx, err := tc.enter(scGrantOwnership)
 	if err != nil {
 		return err
 	}
-	tc.k.count("grant_ownership", t)
-	if !t.lbl.Owns(c) {
+	if !ctx.lbl.Owns(c) {
 		return ErrLabel
 	}
 	o, err := tc.k.lookup(target)
@@ -416,6 +426,11 @@ func (tc *ThreadCall) GrantOwnership(target ID, c label.Category) error {
 	vt, ok := o.(*thread)
 	if !ok {
 		return ErrWrongType
+	}
+	vt.mu.Lock()
+	defer vt.mu.Unlock()
+	if !liveLocked(vt) {
+		return ErrNoSuchObject
 	}
 	vt.lbl = label.Intern(vt.lbl.With(c, label.Star))
 	vt.clearance = label.Intern(vt.clearance.With(c, label.L3))
