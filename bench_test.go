@@ -45,6 +45,7 @@ func paperDiskParams() disk.Params {
 type histarRig struct {
 	sys *unixlib.System
 	st  *store.Store
+	d   *disk.Disk
 	clk *vclock.Clock
 	p   *unixlib.Process
 }
@@ -59,6 +60,7 @@ func newHiStarRig(b *testing.B, persist bool) *histarRig {
 			b.Fatal(err)
 		}
 		rig.st = st
+		rig.d = d
 	}
 	sys, err := unixlib.Boot(unixlib.BootOptions{Persist: rig.st, KernelConfig: kernel.Config{Seed: 42}})
 	if err != nil {
@@ -297,7 +299,7 @@ func lfsReadHiStar(b *testing.B, mode string) {
 		b.Fatal(err)
 	}
 	if mode == "no-prefetch" {
-		rig.st.Disk().SetReadAhead(0)
+		rig.d.SetReadAhead(0)
 	}
 	rig.clk.Reset()
 	b.ResetTimer()

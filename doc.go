@@ -16,6 +16,18 @@
 // fingerprint bits with per-shard eviction, and the single-level store
 // persists labels in the same canonical serialized form.
 //
+// The single-level store (internal/store) makes labels first-class durable
+// state: every SyncObject log record carries the object's contents and
+// canonical label in one atomic commit (see the internal/wal package
+// comment for the versioned record format), checkpoints are copy-on-write
+// so a torn write can never corrupt the referenced snapshot, and a
+// fingerprint-keyed B+-tree index answers "every object tainted by
+// category c" scans — Store.ObjectsWithLabel, surfaced in the kernel as
+// container_find_labeled — without deserializing a single label.  A
+// crash-injection harness (disk.FaultDisk plus the recovery tests in
+// internal/store) replays every write-boundary crash point of randomized
+// workloads against a reference model to keep those guarantees checkable.
+//
 // The kernel (internal/kernel) runs system calls with no global lock: the
 // object table is sharded by object-ID bits with a per-shard RWMutex, every
 // object carries its own RW lock, and multi-object syscalls acquire object

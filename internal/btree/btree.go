@@ -321,6 +321,35 @@ func (t *Tree) Range(lo, hi Key, fn func(Key, uint64) bool) {
 	}
 }
 
+// ScanPrefix visits, in ascending order, every key whose first component
+// equals a, until fn returns false.  The store's fingerprint-keyed label
+// index uses it to enumerate all objects carrying a given label fingerprint:
+// unlike Range it needs no exclusive upper bound, so a == MaxUint64 (a
+// perfectly good fingerprint) works without overflow.
+func (t *Tree) ScanPrefix(a uint64, fn func(Key, uint64) bool) {
+	if t.root == nil {
+		return
+	}
+	lo := Key{a, 0}
+	n := t.root
+	for !n.leaf {
+		n = n.children[childIndex(n.keys, lo)]
+	}
+	i, _ := leafIndex(n.keys, lo)
+	for n != nil {
+		for ; i < len(n.keys); i++ {
+			if n.keys[i][0] != a {
+				return
+			}
+			if !fn(n.keys[i], n.vals[i]) {
+				return
+			}
+		}
+		n = n.next
+		i = 0
+	}
+}
+
 // depth returns the height of the tree (for tests asserting balance).
 func (t *Tree) depth() int {
 	d := 0

@@ -293,3 +293,42 @@ func TestPropMatchesMapModel(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestScanPrefix(t *testing.T) {
+	tr := &Tree{}
+	// Three prefix groups, interleaved with neighbours, spanning many leaves.
+	for i := uint64(0); i < 200; i++ {
+		tr.Put(K2(10, i), i)
+		tr.Put(K2(11, i), 1000+i)
+		tr.Put(K2(^uint64(0), i), 2000+i)
+	}
+	var got []uint64
+	tr.ScanPrefix(11, func(k Key, v uint64) bool {
+		if k[0] != 11 {
+			t.Fatalf("visited key %v outside prefix", k)
+		}
+		got = append(got, k[1])
+		return true
+	})
+	if len(got) != 200 {
+		t.Fatalf("prefix 11 visited %d keys", len(got))
+	}
+	for i, v := range got {
+		if v != uint64(i) {
+			t.Fatalf("out of order at %d: %d", i, v)
+		}
+	}
+	// The maximal prefix must work without an exclusive upper bound.
+	n := 0
+	tr.ScanPrefix(^uint64(0), func(k Key, v uint64) bool { n++; return true })
+	if n != 200 {
+		t.Errorf("max prefix visited %d keys", n)
+	}
+	// Absent prefix visits nothing; early stop is honoured.
+	tr.ScanPrefix(5, func(Key, uint64) bool { t.Fatal("visited absent prefix"); return true })
+	n = 0
+	tr.ScanPrefix(10, func(Key, uint64) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Errorf("early stop visited %d keys", n)
+	}
+}

@@ -1,0 +1,190 @@
+package disk
+
+import (
+	"errors"
+	"sync"
+)
+
+// Device is the block-device contract the single-level store and the
+// write-ahead log are written against: positioned reads and writes, a
+// durability barrier, and a fixed capacity.  *Disk implements it; FaultDisk
+// wraps any Device to inject crashes, so the store's crash-consistency
+// claims can be checked against every possible power-failure point instead
+// of only the clean Crash() boundary.
+type Device interface {
+	ReadAt(p []byte, off int64) (int, error)
+	WriteAt(p []byte, off int64) (int, error)
+	Flush() error
+	Size() int64
+}
+
+var _ Device = (*Disk)(nil)
+
+// ErrFault is returned by a FaultDisk once its configured crash point has
+// been reached: the simulated machine has lost power, and every subsequent
+// operation fails until the underlying device is reopened.
+var ErrFault = errors.New("disk: injected fault (simulated power failure)")
+
+// FaultMode selects what happens to the write that straddles the crash
+// point.
+type FaultMode int
+
+const (
+	// FaultTorn writes the prefix of the straddling write up to the last
+	// complete sector before the crash point, then fails.  Sectors are
+	// atomic, as real drives guarantee; bytes within a sector are not split.
+	FaultTorn FaultMode = iota
+	// FaultOmit drops the straddling write entirely before failing — the
+	// drive lost power before any of it reached the platter.
+	FaultOmit
+	// FaultFlip writes the same torn prefix as FaultTorn but corrupts one
+	// byte of the final sector it wrote — the sector being written when
+	// power died was garbled in flight.  Log checksums must catch this.
+	FaultFlip
+)
+
+// String implements fmt.Stringer.
+func (m FaultMode) String() string {
+	switch m {
+	case FaultTorn:
+		return "torn"
+	case FaultOmit:
+		return "omit"
+	case FaultFlip:
+		return "flip"
+	default:
+		return "unknown"
+	}
+}
+
+// FaultDisk wraps a Device and kills it after a configurable number of
+// written bytes, modelling a power failure at an arbitrary point in the
+// write stream.  With no fault armed it is a transparent pass-through that
+// records the cumulative byte offset of every write, so a harness can first
+// run a workload once to learn its crash points and then replay it with the
+// fault armed at each of them.  FaultDisk is safe for concurrent use.
+type FaultDisk struct {
+	mu      sync.Mutex
+	d       Device
+	limit   int64 // cumulative written bytes allowed; <0 means no fault armed
+	mode    FaultMode
+	written int64
+	tripped bool
+	bounds  []int64 // cumulative written bytes after each WriteAt
+}
+
+// NewFaultDisk wraps d with no fault armed (counting mode).
+func NewFaultDisk(d Device) *FaultDisk {
+	return &FaultDisk{d: d, limit: -1}
+}
+
+// Arm configures the crash point: the device fails once limit cumulative
+// bytes have been written, handling the straddling write according to mode.
+// Arming resets the written-byte counter and the trip state.
+func (f *FaultDisk) Arm(limit int64, mode FaultMode) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.limit = limit
+	f.mode = mode
+	f.written = 0
+	f.tripped = false
+	f.bounds = nil
+}
+
+// Inner returns the wrapped device (used to reopen the disk image after the
+// simulated power failure).
+func (f *FaultDisk) Inner() Device { return f.d }
+
+// Tripped reports whether the crash point has been reached.
+func (f *FaultDisk) Tripped() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.tripped
+}
+
+// BytesWritten returns the cumulative bytes written since the last Arm (or
+// creation).
+func (f *FaultDisk) BytesWritten() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.written
+}
+
+// WriteBounds returns the cumulative written-byte offset recorded after each
+// completed WriteAt, in order.  A harness derives its crash points from
+// these: faulting at bounds[i] kills the system just before write i+1, and
+// any point strictly inside a write's span tears that write.
+func (f *FaultDisk) WriteBounds() []int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]int64(nil), f.bounds...)
+}
+
+// Size implements Device.
+func (f *FaultDisk) Size() int64 { return f.d.Size() }
+
+// ReadAt implements Device; after the fault has tripped the machine is off
+// and reads fail too.
+func (f *FaultDisk) ReadAt(p []byte, off int64) (int, error) {
+	f.mu.Lock()
+	dead := f.tripped
+	f.mu.Unlock()
+	if dead {
+		return 0, ErrFault
+	}
+	return f.d.ReadAt(p, off)
+}
+
+// WriteAt implements Device.  A write that would cross the armed crash point
+// is truncated to whole sectors (FaultTorn), dropped (FaultOmit), or torn
+// with one corrupted byte in its final written sector (FaultFlip); the fault
+// then trips and the write returns ErrFault.
+func (f *FaultDisk) WriteAt(p []byte, off int64) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.tripped {
+		return 0, ErrFault
+	}
+	n := int64(len(p))
+	if f.limit < 0 || f.written+n <= f.limit {
+		m, err := f.d.WriteAt(p, off)
+		if err == nil {
+			f.written += n
+			f.bounds = append(f.bounds, f.written)
+		}
+		return m, err
+	}
+	// This write straddles the crash point.
+	f.tripped = true
+	keep := f.limit - f.written
+	// Sector atomicity: only whole sectors of the prefix reach the platter.
+	if end := off + keep; end%SectorSize != 0 {
+		keep = end - end%SectorSize - off
+	}
+	if f.mode == FaultOmit {
+		keep = 0
+	}
+	if keep > 0 {
+		prefix := p[:keep]
+		if f.mode == FaultFlip {
+			prefix = append([]byte(nil), prefix...)
+			prefix[keep-1] ^= 0xff // garble the last sector written
+		}
+		if _, err := f.d.WriteAt(prefix, off); err != nil {
+			return 0, err
+		}
+		f.written += keep
+	}
+	return 0, ErrFault
+}
+
+// Flush implements Device; the barrier fails once the fault has tripped.
+func (f *FaultDisk) Flush() error {
+	f.mu.Lock()
+	dead := f.tripped
+	f.mu.Unlock()
+	if dead {
+		return ErrFault
+	}
+	return f.d.Flush()
+}

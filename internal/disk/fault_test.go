@@ -1,0 +1,127 @@
+package disk
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"histar/internal/vclock"
+)
+
+func testFaultDisk(t *testing.T) (*FaultDisk, *Disk) {
+	t.Helper()
+	d := New(Params{Sectors: 1 << 10}, &vclock.Clock{})
+	return NewFaultDisk(d), d
+}
+
+func TestFaultDiskPassThrough(t *testing.T) {
+	f, d := testFaultDisk(t)
+	msg := []byte("pass through intact")
+	if _, err := f.WriteAt(msg, 4096); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := f.ReadAt(got, 4096); err != nil || !bytes.Equal(got, msg) {
+		t.Fatalf("read back %q, %v", got, err)
+	}
+	if f.BytesWritten() != int64(len(msg)) {
+		t.Errorf("BytesWritten = %d", f.BytesWritten())
+	}
+	if bounds := f.WriteBounds(); len(bounds) != 1 || bounds[0] != int64(len(msg)) {
+		t.Errorf("WriteBounds = %v", bounds)
+	}
+	if f.Size() != d.Size() {
+		t.Errorf("Size = %d, want %d", f.Size(), d.Size())
+	}
+}
+
+func TestFaultDiskTornWriteKeepsWholeSectors(t *testing.T) {
+	f, d := testFaultDisk(t)
+	payload := bytes.Repeat([]byte{0xaa}, 4*SectorSize)
+	f.Arm(3*SectorSize+100, FaultTorn) // crash 100 bytes into the 4th sector
+	if _, err := f.WriteAt(payload, 0); !errors.Is(err, ErrFault) {
+		t.Fatalf("straddling write: err=%v", err)
+	}
+	if !f.Tripped() {
+		t.Fatal("fault should have tripped")
+	}
+	got := make([]byte, len(payload))
+	if _, err := d.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	want := append(bytes.Repeat([]byte{0xaa}, 3*SectorSize), make([]byte, SectorSize)...)
+	if !bytes.Equal(got, want) {
+		t.Error("torn write should persist exactly three whole sectors")
+	}
+}
+
+func TestFaultDiskOmitDropsWholeWrite(t *testing.T) {
+	f, d := testFaultDisk(t)
+	payload := bytes.Repeat([]byte{0xbb}, 2*SectorSize)
+	f.Arm(SectorSize, FaultOmit)
+	if _, err := f.WriteAt(payload, 0); !errors.Is(err, ErrFault) {
+		t.Fatalf("err=%v", err)
+	}
+	got := make([]byte, len(payload))
+	if _, err := d.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, make([]byte, len(payload))) {
+		t.Error("omitted write should leave no bytes behind")
+	}
+}
+
+func TestFaultDiskFlipCorruptsFinalSector(t *testing.T) {
+	f, d := testFaultDisk(t)
+	payload := bytes.Repeat([]byte{0xcc}, 2*SectorSize)
+	f.Arm(2*SectorSize-1, FaultFlip) // crash just before the write completes
+	if _, err := f.WriteAt(payload, 0); !errors.Is(err, ErrFault) {
+		t.Fatalf("err=%v", err)
+	}
+	got := make([]byte, 2*SectorSize)
+	if _, err := d.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:SectorSize-1], payload[:SectorSize-1]) {
+		t.Error("intact prefix should persist")
+	}
+	if got[SectorSize-1] != 0xcc^0xff {
+		t.Errorf("final written byte should be flipped, got %#x", got[SectorSize-1])
+	}
+	if !bytes.Equal(got[SectorSize:], make([]byte, SectorSize)) {
+		t.Error("sector past the crash point should be untouched")
+	}
+}
+
+func TestFaultDiskDeadAfterTrip(t *testing.T) {
+	f, _ := testFaultDisk(t)
+	f.Arm(0, FaultOmit)
+	if _, err := f.WriteAt([]byte{1}, 0); !errors.Is(err, ErrFault) {
+		t.Fatalf("err=%v", err)
+	}
+	if _, err := f.WriteAt([]byte{1}, 0); !errors.Is(err, ErrFault) {
+		t.Error("writes after the fault should keep failing")
+	}
+	if _, err := f.ReadAt(make([]byte, 1), 0); !errors.Is(err, ErrFault) {
+		t.Error("reads after the fault should fail")
+	}
+	if err := f.Flush(); !errors.Is(err, ErrFault) {
+		t.Error("flushes after the fault should fail")
+	}
+}
+
+func TestFaultDiskRearmResets(t *testing.T) {
+	f, _ := testFaultDisk(t)
+	f.Arm(0, FaultOmit)
+	f.WriteAt([]byte{1}, 0)
+	f.Arm(-1, FaultTorn) // disarm
+	if _, err := f.WriteAt([]byte{1}, 0); err != nil {
+		t.Fatalf("disarmed write: %v", err)
+	}
+	if f.Tripped() {
+		t.Error("rearm should clear the trip state")
+	}
+}

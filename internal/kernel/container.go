@@ -90,13 +90,10 @@ func (tc *ThreadCall) ContainerGetParent(ce CEnt) (ID, error) {
 	return c.parent, nil
 }
 
-// ContainerList returns the object IDs hard-linked into the container named
-// by ce.  The invoking thread must be able to observe the container.
-func (tc *ThreadCall) ContainerList(ce CEnt) ([]ID, error) {
-	ctx, err := tc.enter(scContainerList)
-	if err != nil {
-		return nil, err
-	}
+// containerEntries resolves ce as an observable container and snapshots its
+// entry list under the standard resolve-lock-verify protocol; shared by
+// ContainerList and ContainerFindLabeled so the protocol lives in one place.
+func (tc *ThreadCall) containerEntries(ctx tctx, ce CEnt) ([]ID, error) {
 	cont, obj, err := tc.k.peek(ctx, ce)
 	if err != nil {
 		return nil, err
@@ -114,6 +111,57 @@ func (tc *ThreadCall) ContainerList(ce CEnt) ([]ID, error) {
 		return nil, err
 	}
 	return c.list(), nil
+}
+
+// ContainerList returns the object IDs hard-linked into the container named
+// by ce.  The invoking thread must be able to observe the container.
+func (tc *ThreadCall) ContainerList(ce CEnt) ([]ID, error) {
+	ctx, err := tc.enter(scContainerList)
+	if err != nil {
+		return nil, err
+	}
+	return tc.containerEntries(ctx, ce)
+}
+
+// ContainerFindLabeled returns the object IDs hard-linked into the container
+// named by ce whose information-flow label has fingerprint fp — the kernel
+// face of the store's fingerprint-keyed label index: "every object tainted
+// exactly like L" without materializing or comparing a single label, since
+// fingerprints are precomputed at label construction.  The invoking thread
+// must be able to observe the container; entries whose labels the thread
+// cannot observe are silently skipped, so the result reveals no more than a
+// ContainerList followed by per-object stats would.
+func (tc *ThreadCall) ContainerFindLabeled(ce CEnt, fp label.Fingerprint) ([]ID, error) {
+	ctx, err := tc.enter(scContainerFindLabeled)
+	if err != nil {
+		return nil, err
+	}
+	ids, err := tc.containerEntries(ctx, ce)
+	if err != nil {
+		return nil, err
+	}
+	var out []ID
+	for _, id := range ids {
+		o, err := tc.k.lookup(id)
+		if err != nil {
+			continue // unlinked or deallocated since the snapshot
+		}
+		// One object at a time, read lock only: thread labels are mutable
+		// (replaced wholesale under the header lock), so the read must be
+		// under the lock; no second object lock is ever held.
+		h := o.hdr()
+		h.mu.RLock()
+		lbl := h.lbl
+		h.mu.RUnlock()
+		if lbl.Fingerprint() != fp {
+			continue
+		}
+		if !tc.k.canObserveT(ctx.t, ctx.lbl, lbl) {
+			continue
+		}
+		out = append(out, id)
+	}
+	return out, nil
 }
 
 // Link adds a hard link to the object named by src into container d.  The

@@ -552,3 +552,78 @@ func TestSyscallCounting(t *testing.T) {
 		t.Errorf("per-thread syscall count = %d", tc.SyscallsIssued())
 	}
 }
+
+func TestContainerFindLabeled(t *testing.T) {
+	k, tc := boot(t)
+	root := k.RootContainer()
+	cat, err := tc.CategoryCreate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	taint := label.New(label.L1, label.P(cat, label.L3))
+	plain := label.New(label.L1)
+
+	var tainted []ID
+	for i := 0; i < 3; i++ {
+		id, err := tc.SegmentCreate(root, taint, "tainted seg", 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tainted = append(tainted, id)
+	}
+	if _, err := tc.SegmentCreate(root, plain, "plain seg", 64); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := tc.ContainerFindLabeled(Self(root), taint.Fingerprint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(tainted) {
+		t.Fatalf("found %d tainted objects, want %d (%v)", len(got), len(tainted), got)
+	}
+	want := make(map[ID]bool)
+	for _, id := range tainted {
+		want[id] = true
+	}
+	for _, id := range got {
+		if !want[id] {
+			t.Errorf("unexpected object %v in tainted scan", id)
+		}
+	}
+
+	// The plain fingerprint matches the root container, boot thread, and the
+	// plain segment, but never the tainted ones.
+	got, err = tc.ContainerFindLabeled(Self(root), plain.Fingerprint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range got {
+		if want[id] {
+			t.Errorf("tainted object %v matched the plain fingerprint", id)
+		}
+	}
+
+	// A thread that cannot observe the taint category must not see the
+	// tainted entries in its scan results.
+	low, err := tc.ThreadCreate(root, ThreadSpec{Label: label.New(label.L1), Clearance: label.New(label.L2), Descrip: "low thread"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ltc, err := k.ThreadCall(low)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = ltc.ContainerFindLabeled(Self(root), taint.Fingerprint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("unprivileged thread saw %d tainted objects", len(got))
+	}
+
+	// Syscall accounting.
+	if n := k.SyscallCounts()["container_find_labeled"]; n == 0 {
+		t.Error("container_find_labeled not counted")
+	}
+}

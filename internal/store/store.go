@@ -2,20 +2,57 @@
 // on bootup the entire system state is restored from the most recent on-disk
 // snapshot, and all kernel objects are periodically checkpointed to disk.
 // The layout follows the paper's description, inspired by XFS: a B+-tree
-// maps object IDs to their location on disk, and two more B+-trees maintain
-// the free-extent list (indexed by size, for allocation, and by location,
-// for coalescing).  Write-ahead logging provides atomicity and crash
+// maps object IDs to their location on disk, two more B+-trees maintain the
+// free-extent list (indexed by size, for allocation, and by location, for
+// coalescing), and a fourth B+-tree keys object IDs by their label's
+// fingerprint so "every object tainted by category c" scans never touch a
+// serialized label.  Write-ahead logging provides atomicity and crash
 // consistency, and disk space allocation is delayed until an object is
 // written to disk, making it easier to allocate contiguous extents.
+//
+// # On-disk layout
+//
+// The disk is divided into four fixed regions followed by the data region:
+//
+//	[0, 4096)                       superblock
+//	[4096, 4096+logSize)            write-ahead log (see package wal)
+//	[.., .. + metaSize)             metadata area 0
+//	[.., .. + metaSize)             metadata area 1
+//	[.., disk size)                 object extents (8 KB aligned)
+//
+// The superblock holds, as little-endian u64s: the magic "HIST", which
+// metadata area the current snapshot lives in, the snapshot's byte length,
+// the log region size, and the metadata area size (absent — zero — in
+// images from before the size was configurable, which read as the old
+// 16 MB default).  Checkpoints serialize the object map, the free list, the
+// object labels (in canonical label.AppendBinary form), and the label
+// index into the area the superblock does NOT reference, then flip the
+// superblock, so a crash mid-checkpoint always leaves one intact snapshot.
+//
+// The metadata image is a sequence of little-endian u64 sections, each a
+// count followed by its entries: object map triples (id, extent offset,
+// size); free extents (offset, size); object labels (id, canonical label
+// bytes); label index pairs (fingerprint, id).  The trailing two sections
+// are optional, so pre-label and pre-index images still load; a missing
+// index section is rebuilt from the decoded labels.
 //
 // Three durability modes mirror the evaluation's LFS variants:
 //
 //   - asynchronous: Put buffers in memory; nothing reaches disk until a
 //     checkpoint.
-//   - per-object sync: SyncObject appends the object to the write-ahead log
-//     and commits — a sequential write plus flush per operation.
+//   - per-object sync: SyncObject appends the object — contents and label
+//     in one record, so a crash can never resurrect an object without its
+//     taint — to the write-ahead log and commits: a sequential write plus
+//     flush per operation.
 //   - group sync: Checkpoint writes every dirty object to its home extent,
 //     persists the metadata trees, and updates the superblock once.
+//
+// Recovery (Open) loads the snapshot the superblock references, replays the
+// committed write-ahead log on top of it — restoring each logged object's
+// label and recomputing its fingerprints exactly once — and rebuilds the
+// fingerprint index entries for replayed labels.  The crash-injection
+// harness in this package's tests replays every write-boundary crash point
+// of randomized workloads to check exactly this path.
 package store
 
 import (
@@ -37,11 +74,11 @@ const (
 	logOffset        = superblockSize
 	defaultLogSize   = 32 << 20 // 32 MB log region
 
-	// metaAreaSize is the size of each of the two alternating metadata
-	// areas; checkpoints write the serialized object map and free list into
-	// the area not referenced by the current superblock, then flip the
+	// defaultMetaAreaSize is the default size of each of the two alternating
+	// metadata areas; checkpoints write the serialized metadata into the
+	// area not referenced by the current superblock, then flip the
 	// superblock, so a crash mid-checkpoint always leaves one intact copy.
-	metaAreaSize = 16 << 20
+	defaultMetaAreaSize = 16 << 20
 
 	superMagic = 0x48495354 // "HIST"
 
@@ -69,8 +106,22 @@ type Stats struct {
 	LogApplications uint64
 	BytesLogged     uint64
 	BytesHome       uint64
-	DirtyObjects    int
-	LiveObjects     int
+	// LabelBytesLogged counts canonical label bytes appended to the
+	// write-ahead log by SyncObject.
+	LabelBytesLogged uint64
+	// LabelDecodes counts label.DecodeBinary calls made by the store (on
+	// snapshot load and log replay).  Index queries must not move it: the
+	// tests assert ObjectsWithLabel answers taint scans from fingerprints
+	// alone.
+	LabelDecodes uint64
+	// IndexQueries counts ObjectsWithLabel calls.
+	IndexQueries uint64
+	DirtyObjects int
+	LiveObjects  int
+	// LabeledObjects and IndexEntries snapshot the label map and the
+	// fingerprint index; they are always equal unless the index is corrupt.
+	LabeledObjects int
+	IndexEntries   int
 }
 
 type extent struct {
@@ -82,20 +133,28 @@ type extent struct {
 // concurrent use.
 type Store struct {
 	mu sync.Mutex
-	d  *disk.Disk
+	d  disk.Device
 	l  *wal.Log
 
-	logSize int64
+	logSize  int64
+	metaSize int64
 
 	objMap     *btree.Tree // object ID → extent offset
 	objSizes   map[uint64]int64
 	freeBySize *btree.Tree // (size, offset) → 0
 	freeByOff  *btree.Tree // (offset, 0) → size
+	labelIndex *btree.Tree // (label fingerprint, object ID) → 0
 
 	cache  map[uint64][]byte      // in-memory object contents (the "page cache")
 	dirty  map[uint64]bool        // objects modified since last checkpoint/apply
 	dead   map[uint64]bool        // objects deleted since last checkpoint
 	labels map[uint64]label.Label // object labels, persisted in canonical form
+
+	// deferredFree holds extents vacated during a checkpoint (relocations
+	// and deletions) until every data write of that checkpoint has issued;
+	// kept on the store, not the stack, so a failed checkpoint retains them
+	// for the next attempt instead of leaking the space.
+	deferredFree []extent
 
 	metaWhich int // which metadata area (0 or 1) the superblock references
 
@@ -107,32 +166,46 @@ type Store struct {
 type Options struct {
 	// LogSize is the size of the write-ahead log region (default 32 MB).
 	LogSize int64
+	// MetaAreaSize is the size of each of the two alternating metadata
+	// areas (default 16 MB).  Format records it in the superblock; Open
+	// reads it back, so the option only matters when formatting.
+	MetaAreaSize int64
 }
 
-// Format initializes an empty single-level store on d, erasing any previous
-// contents, and returns it ready for use.
-func Format(d *disk.Disk, opts Options) (*Store, error) {
-	if opts.LogSize == 0 {
-		opts.LogSize = defaultLogSize
-	}
-	s := &Store{
+// newStore builds the in-memory skeleton shared by Format and Open.
+func newStore(d disk.Device, opts Options) *Store {
+	return &Store{
 		d:          d,
 		logSize:    opts.LogSize,
+		metaSize:   opts.MetaAreaSize,
 		objMap:     &btree.Tree{},
 		objSizes:   make(map[uint64]int64),
 		freeBySize: &btree.Tree{},
 		freeByOff:  &btree.Tree{},
+		labelIndex: &btree.Tree{},
 		cache:      make(map[uint64][]byte),
 		dirty:      make(map[uint64]bool),
 		dead:       make(map[uint64]bool),
 		labels:     make(map[uint64]label.Label),
 	}
+}
+
+// Format initializes an empty single-level store on d, erasing any previous
+// contents, and returns it ready for use.
+func Format(d disk.Device, opts Options) (*Store, error) {
+	if opts.LogSize == 0 {
+		opts.LogSize = defaultLogSize
+	}
+	if opts.MetaAreaSize == 0 {
+		opts.MetaAreaSize = defaultMetaAreaSize
+	}
+	s := newStore(d, opts)
 	l, err := wal.New(d, logOffset, opts.LogSize)
 	if err != nil {
 		return nil, err
 	}
 	s.l = l
-	dataStart := logOffset + opts.LogSize + 2*metaAreaSize
+	dataStart := logOffset + opts.LogSize + 2*s.metaSize
 	s.addFree(extent{off: dataStart, size: d.Size() - dataStart})
 	if err := s.writeSuperblock(); err != nil {
 		return nil, err
@@ -142,32 +215,26 @@ func Format(d *disk.Disk, opts Options) (*Store, error) {
 
 // Open mounts an existing store from d, replaying the write-ahead log if the
 // system crashed before the log was applied.  This is the "bootup restores
-// the entire system state from the most recent on-disk snapshot" path.
-func Open(d *disk.Disk, opts Options) (*Store, error) {
+// the entire system state from the most recent on-disk snapshot" path:
+// snapshot metadata (including object labels and the fingerprint index) is
+// loaded first, then committed log records — each carrying an object's
+// contents and canonical label — are re-applied on top, so a synced object
+// always comes back with the taint it was synced with.
+func Open(d disk.Device, opts Options) (*Store, error) {
 	if opts.LogSize == 0 {
 		opts.LogSize = defaultLogSize
 	}
-	s := &Store{
-		d:          d,
-		logSize:    opts.LogSize,
-		objMap:     &btree.Tree{},
-		objSizes:   make(map[uint64]int64),
-		freeBySize: &btree.Tree{},
-		freeByOff:  &btree.Tree{},
-		cache:      make(map[uint64][]byte),
-		dirty:      make(map[uint64]bool),
-		dead:       make(map[uint64]bool),
-		labels:     make(map[uint64]label.Label),
-	}
+	s := newStore(d, opts)
 	if err := s.readSuperblock(); err != nil {
 		return nil, err
 	}
-	s.l = wal.Open(d, logOffset, opts.LogSize)
+	s.l = wal.Open(d, logOffset, s.logSize)
 	recs, err := s.l.Recover()
 	if err != nil && !errors.Is(err, wal.ErrCorrupt) {
 		return nil, err
 	}
 	// Re-apply committed log records on top of the checkpointed state.
+	legacy := s.l.RecoveredLegacy()
 	for _, r := range recs {
 		if r.Delete {
 			s.deleteLocked(r.ObjectID)
@@ -175,12 +242,32 @@ func Open(d *disk.Disk, opts Options) (*Store, error) {
 		}
 		s.cache[r.ObjectID] = append([]byte(nil), r.Data...)
 		s.dirty[r.ObjectID] = true
+		// A logged re-create after a logged tombstone must clear the dead
+		// flag, or the next SyncObject would log a spurious deletion.
+		delete(s.dead, r.ObjectID)
+		switch {
+		case len(r.Label) > 0:
+			lbl, rest, derr := s.decodeLabel(r.Label)
+			if derr != nil || len(rest) != 0 {
+				return nil, fmt.Errorf("store: replaying label of object %d: %v", r.ObjectID, derr)
+			}
+			// Fingerprints were recomputed once by the decode; the index
+			// entry is rebuilt here so replayed taints are queryable.
+			s.setLabelLocked(r.ObjectID, lbl)
+		case !legacy:
+			// A label-less record asserts the object was unlabeled when it
+			// was synced (it may have been deleted and re-created since a
+			// checkpoint recorded a label, with no tombstone ever logged).
+			// Migrated version-1 records are exempt: they predate labels in
+			// the log, so the snapshot's label is the best information.
+			s.clearLabelLocked(r.ObjectID)
+		}
 	}
 	return s, nil
 }
 
-// Disk returns the underlying simulated disk.
-func (s *Store) Disk() *disk.Disk { return s.d }
+// Disk returns the underlying device.
+func (s *Store) Disk() disk.Device { return s.d }
 
 // Stats returns a snapshot of store statistics.
 func (s *Store) Stats() Stats {
@@ -189,6 +276,8 @@ func (s *Store) Stats() Stats {
 	st := s.stats
 	st.DirtyObjects = len(s.dirty)
 	st.LiveObjects = s.objMap.Len() + len(s.dirtyOnlyLocked())
+	st.LabeledObjects = len(s.labels)
+	st.IndexEntries = s.labelIndex.Len()
 	return st
 }
 
@@ -253,9 +342,10 @@ func (s *Store) Get(id uint64) ([]byte, error) {
 }
 
 // PutLabeled is Put plus recording the object's information-flow label.
-// Labels are serialized in their canonical sorted form at the next
-// checkpoint and their fingerprints are recomputed exactly once on load, so
-// a restored system resumes with warm comparison-cache keys.
+// Labels are serialized in their canonical sorted form (into every SyncObject
+// log record, and into the metadata snapshot at checkpoint) and their
+// fingerprints are recomputed exactly once on load, so a restored system
+// resumes with warm comparison-cache keys.
 func (s *Store) PutLabeled(id uint64, lbl label.Label, data []byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -263,7 +353,7 @@ func (s *Store) PutLabeled(id uint64, lbl label.Label, data []byte) error {
 		return ErrClosed
 	}
 	s.putLocked(id, data)
-	s.labels[id] = lbl
+	s.setLabelLocked(id, lbl)
 	return nil
 }
 
@@ -275,8 +365,32 @@ func (s *Store) SetLabel(id uint64, lbl label.Label) error {
 	if s.closed {
 		return ErrClosed
 	}
-	s.labels[id] = lbl
+	s.setLabelLocked(id, lbl)
 	return nil
+}
+
+// setLabelLocked records a label and keeps the fingerprint index in step.
+func (s *Store) setLabelLocked(id uint64, lbl label.Label) {
+	if old, ok := s.labels[id]; ok {
+		s.labelIndex.Delete(btree.K2(uint64(old.Fingerprint()), id))
+	}
+	s.labels[id] = lbl
+	s.labelIndex.Put(btree.K2(uint64(lbl.Fingerprint()), id), 0)
+}
+
+// clearLabelLocked drops an object's label and its index entry.
+func (s *Store) clearLabelLocked(id uint64) {
+	if old, ok := s.labels[id]; ok {
+		s.labelIndex.Delete(btree.K2(uint64(old.Fingerprint()), id))
+		delete(s.labels, id)
+	}
+}
+
+// decodeLabel is the store's only route to label deserialization; it feeds
+// the LabelDecodes counter the index tests assert against.
+func (s *Store) decodeLabel(src []byte) (label.Label, []byte, error) {
+	s.stats.LabelDecodes++
+	return label.DecodeBinary(src)
 }
 
 // Label returns the stored label of an object, if one was recorded.
@@ -292,6 +406,40 @@ func (s *Store) LabelCount() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.labels)
+}
+
+// ObjectsWithLabel returns, in ascending order, the IDs of every object
+// whose label has the given fingerprint — the "all objects tainted by
+// category c" scan.  It is answered entirely from the fingerprint-keyed
+// label index: no label is deserialized or even compared, which the
+// LabelDecodes stat makes checkable.
+func (s *Store) ObjectsWithLabel(fp label.Fingerprint) []uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.IndexQueries++
+	var out []uint64
+	s.labelIndex.ScanPrefix(uint64(fp), func(k btree.Key, _ uint64) bool {
+		out = append(out, k[1])
+		return true
+	})
+	return out
+}
+
+// VerifyLabelIndex checks that the fingerprint index and the label map
+// mirror each other exactly; the recovery tests run it after every replayed
+// crash.
+func (s *Store) VerifyLabelIndex() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n := s.labelIndex.Len(); n != len(s.labels) {
+		return fmt.Errorf("store: label index has %d entries for %d labels", n, len(s.labels))
+	}
+	for id, lbl := range s.labels {
+		if _, ok := s.labelIndex.Get(btree.K2(uint64(lbl.Fingerprint()), id)); !ok {
+			return fmt.Errorf("store: label index missing object %d (fingerprint %x)", id, uint64(lbl.Fingerprint()))
+		}
+	}
+	return nil
 }
 
 // Cached reports whether the object's contents are resident in memory.
@@ -329,15 +477,18 @@ func (s *Store) Delete(id uint64) error {
 func (s *Store) deleteLocked(id uint64) {
 	delete(s.cache, id)
 	delete(s.dirty, id)
-	delete(s.labels, id)
+	s.clearLabelLocked(id)
 	s.dead[id] = true
 }
 
-// SyncObject durably records the current contents of one object by appending
-// it to the write-ahead log and committing — the fast path for fsync of a
-// single file's segment.  Directory-level fsync in the Unix library uses
-// Checkpoint instead, which is why the paper's synchronous unlink phase is
-// so much slower on HiStar than Linux.
+// SyncObject durably records the current contents of one object — and, in
+// the same log record, its canonical serialized label — by appending it to
+// the write-ahead log and committing: the fast path for fsync of a single
+// file's segment.  Because contents and label commit atomically, a crash
+// after SyncObject can never resurrect the object with a stale or missing
+// label.  Directory-level fsync in the Unix library uses Checkpoint instead,
+// which is why the paper's synchronous unlink phase is so much slower on
+// HiStar than Linux.
 func (s *Store) SyncObject(id uint64) error {
 	s.mu.Lock()
 	if s.closed {
@@ -346,6 +497,10 @@ func (s *Store) SyncObject(id uint64) error {
 	}
 	data, inCache := s.cache[id]
 	isDead := s.dead[id]
+	var lblBytes []byte
+	if lbl, ok := s.labels[id]; ok && !isDead {
+		lblBytes = lbl.AppendBinary(nil)
+	}
 	s.stats.ObjectSyncs++
 	s.mu.Unlock()
 
@@ -354,33 +509,52 @@ func (s *Store) SyncObject(id uint64) error {
 	case isDead:
 		rec = wal.Record{ObjectID: id, Delete: true}
 	case inCache:
-		rec = wal.Record{ObjectID: id, Data: data}
+		rec = wal.Record{ObjectID: id, Data: data, Label: lblBytes}
 	default:
 		// Nothing in memory and not deleted: the on-disk copy is current.
 		return nil
 	}
-	s.l.Append(rec)
+	if aerr := s.l.Append(rec); aerr != nil {
+		if errors.Is(aerr, wal.ErrTooLarge) {
+			// The record can never be logged (it exceeds the log region or
+			// the format's label-length field); a checkpoint provides the
+			// same durability — contents, label, and index — in one sweep.
+			return s.Checkpoint()
+		}
+		return aerr
+	}
 	err := s.l.Commit()
 	if errors.Is(err, wal.ErrFull) {
-		// Apply the log to home locations and retry once.
+		// Apply the log to home locations and retry once.  The record is
+		// still pending in the log; re-appending would duplicate it.
 		if cerr := s.Checkpoint(); cerr != nil {
 			return cerr
 		}
-		s.l.Append(rec)
 		err = s.l.Commit()
 	}
 	if err == nil {
 		s.mu.Lock()
 		s.stats.BytesLogged += uint64(len(rec.Data))
+		s.stats.LabelBytesLogged += uint64(len(rec.Label))
 		s.mu.Unlock()
 	}
 	return err
 }
 
-// Checkpoint writes every dirty object to its home extent, persists the
-// metadata trees and superblock, and truncates the log: the whole-system
-// snapshot behind HiStar's group sync consistency choice.  The application
-// either runs to completion or appears never to have started.
+// Checkpoint writes every dirty object to a freshly allocated home extent,
+// persists the metadata trees and superblock, and truncates the log: the
+// whole-system snapshot behind HiStar's group sync consistency choice.  The
+// application either runs to completion or appears never to have started.
+//
+// Checkpoints are copy-on-write: a dirty object is never rewritten over the
+// extent the current (still-referenced) snapshot points to, because a torn
+// write there would corrupt the only intact copy — exactly the failure the
+// crash-injection harness replays for.  Extents vacated by relocation or
+// deletion are held back from the allocator until every data write of this
+// checkpoint has issued, then returned to the free trees just before the
+// metadata snapshot is serialized: the new snapshot records them free, while
+// the old snapshot's extents were never overwritten, so whichever superblock
+// a crash leaves behind references only intact data.
 func (s *Store) Checkpoint() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -388,36 +562,24 @@ func (s *Store) Checkpoint() error {
 		return ErrClosed
 	}
 	s.stats.Checkpoints++
-	// Free extents of deleted objects.
+	// Vacate extents of deleted objects (deferred: see above).
 	for id := range s.dead {
 		if off, ok := s.objMap.Get(btree.K1(id)); ok {
 			size := s.objSizes[id]
 			s.objMap.Delete(btree.K1(id))
 			delete(s.objSizes, id)
-			s.addFree(extent{off: int64(off), size: alignUp(size)})
+			s.deferredFree = append(s.deferredFree, extent{off: int64(off), size: alignUp(size)})
 		}
 	}
 	s.dead = make(map[uint64]bool)
-	// Write dirty objects to (new) home extents.  Delayed allocation: space
+	// Write dirty objects to new home extents.  Delayed allocation: space
 	// is chosen only now, so consecutive dirty objects land contiguously.
 	for id := range s.dirty {
 		data := s.cache[id]
 		if oldOff, ok := s.objMap.Get(btree.K1(id)); ok {
 			oldSize := s.objSizes[id]
-			if alignUp(oldSize) >= int64(len(data)) {
-				// Rewrite in place (the paper's in-place segment flush path).
-				if len(data) > 0 {
-					if _, err := s.d.WriteAt(data, int64(oldOff)); err != nil {
-						return err
-					}
-				}
-				s.objSizes[id] = int64(len(data))
-				s.stats.BytesHome += uint64(len(data))
-				continue
-			}
-			// Relocate: free the old extent.
 			s.objMap.Delete(btree.K1(id))
-			s.addFree(extent{off: int64(oldOff), size: alignUp(oldSize)})
+			s.deferredFree = append(s.deferredFree, extent{off: int64(oldOff), size: alignUp(oldSize)})
 		}
 		ext, err := s.allocate(int64(len(data)))
 		if err != nil {
@@ -433,6 +595,12 @@ func (s *Store) Checkpoint() error {
 		s.stats.BytesHome += uint64(len(data))
 	}
 	s.dirty = make(map[uint64]bool)
+	// All data writes issued; the vacated extents may now rejoin the free
+	// trees so the metadata snapshot below records them reusable.
+	for _, e := range s.deferredFree {
+		s.addFree(e)
+	}
+	s.deferredFree = nil
 	if err := s.writeSuperblock(); err != nil {
 		return err
 	}
@@ -540,11 +708,11 @@ func (s *Store) FreeBytes() int64 {
 
 func (s *Store) writeSuperblock() error {
 	meta := s.encodeMetadata()
-	if int64(len(meta)) > metaAreaSize {
+	if int64(len(meta)) > s.metaSize {
 		return fmt.Errorf("store: metadata (%d bytes) exceeds the metadata area", len(meta))
 	}
 	next := 1 - s.metaWhich
-	metaOff := logOffset + s.logSize + int64(next)*metaAreaSize
+	metaOff := logOffset + s.logSize + int64(next)*s.metaSize
 	if len(meta) > 0 {
 		if _, err := s.d.WriteAt(meta, metaOff); err != nil {
 			return err
@@ -555,6 +723,7 @@ func (s *Store) writeSuperblock() error {
 	binary.LittleEndian.PutUint64(sb[8:], uint64(next))
 	binary.LittleEndian.PutUint64(sb[16:], uint64(len(meta)))
 	binary.LittleEndian.PutUint64(sb[24:], uint64(s.logSize))
+	binary.LittleEndian.PutUint64(sb[32:], uint64(s.metaSize))
 	if _, err := s.d.WriteAt(sb[:], superblockOffset); err != nil {
 		return err
 	}
@@ -576,13 +745,18 @@ func (s *Store) readSuperblock() error {
 	which := int(binary.LittleEndian.Uint64(sb[8:]))
 	metaLen := int64(binary.LittleEndian.Uint64(sb[16:]))
 	s.logSize = int64(binary.LittleEndian.Uint64(sb[24:]))
+	s.metaSize = int64(binary.LittleEndian.Uint64(sb[32:]))
+	if s.metaSize == 0 {
+		// Images from before the metadata area size was recorded.
+		s.metaSize = defaultMetaAreaSize
+	}
 	s.metaWhich = which
 	if metaLen == 0 {
-		dataStart := logOffset + s.logSize + 2*metaAreaSize
+		dataStart := logOffset + s.logSize + 2*s.metaSize
 		s.addFree(extent{off: dataStart, size: s.d.Size() - dataStart})
 		return nil
 	}
-	metaOff := logOffset + s.logSize + int64(which)*metaAreaSize
+	metaOff := logOffset + s.logSize + int64(which)*s.metaSize
 	meta := make([]byte, metaLen)
 	if _, err := s.d.ReadAt(meta, metaOff); err != nil {
 		return err
@@ -620,6 +794,15 @@ func (s *Store) encodeMetadata() []byte {
 		appendU64(id)
 		buf = lbl.AppendBinary(buf)
 	}
+	// The fingerprint-keyed label index, serialized in tree order.  Also
+	// optional on decode: images written before the index existed rebuild
+	// it from the label section above.
+	appendU64(uint64(s.labelIndex.Len()))
+	s.labelIndex.Scan(func(k btree.Key, _ uint64) bool {
+		appendU64(k[0])
+		appendU64(k[1])
+		return true
+	})
 	return buf
 }
 
@@ -681,12 +864,35 @@ func (s *Store) decodeMetadata(buf []byte) error {
 		if err != nil {
 			return err
 		}
-		lbl, rest, err := label.DecodeBinary(buf)
+		lbl, rest, err := s.decodeLabel(buf)
 		if err != nil {
 			return err
 		}
 		buf = rest
 		s.labels[id] = lbl
+	}
+	// Optional label-index section (absent in pre-index images, which
+	// rebuild it from the labels just decoded).
+	if len(buf) == 0 {
+		for id, lbl := range s.labels {
+			s.labelIndex.Put(btree.K2(uint64(lbl.Fingerprint()), id), 0)
+		}
+		return nil
+	}
+	ni, err := readU64()
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < ni; i++ {
+		fp, err := readU64()
+		if err != nil {
+			return err
+		}
+		id, err := readU64()
+		if err != nil {
+			return err
+		}
+		s.labelIndex.Put(btree.K2(fp, id), 0)
 	}
 	return nil
 }

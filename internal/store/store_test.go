@@ -224,18 +224,25 @@ func TestObjectGrowthRelocatesExtent(t *testing.T) {
 	}
 }
 
-func TestInPlaceRewriteForSameSizeObject(t *testing.T) {
+func TestSameSizeRewriteIsCopyOnWrite(t *testing.T) {
+	// A same-size update must not be rewritten over the snapshot's extent (a
+	// torn write would destroy the only copy); it relocates, and the vacated
+	// extent returns to the free list, so net free space is unchanged.
 	s, _ := testStore(t)
 	payload := bytes.Repeat([]byte("a"), 8192)
 	s.Put(3, payload)
 	s.Checkpoint()
+	free := s.FreeBytes()
 	update := bytes.Repeat([]byte("b"), 8192)
 	s.Put(3, update)
 	s.Checkpoint()
+	if got := s.FreeBytes(); got != free {
+		t.Errorf("same-size rewrite changed free space: %d -> %d", free, got)
+	}
 	s.EvictCache()
 	got, err := s.Get(3)
 	if err != nil || !bytes.Equal(got, update) {
-		t.Fatalf("in-place rewrite: %v", err)
+		t.Fatalf("rewrite: %v", err)
 	}
 }
 
@@ -363,5 +370,305 @@ func TestLabelDroppedWithDelete(t *testing.T) {
 	}
 	if s.LabelCount() != 0 {
 		t.Errorf("LabelCount = %d, want 0", s.LabelCount())
+	}
+}
+
+func TestSyncObjectPersistsLabelAcrossCrash(t *testing.T) {
+	// The motivating bug for the WAL label records: before labels rode in
+	// the log, a crash after SyncObject resurrected the object with no
+	// label at all.
+	s, d := testStore(t)
+	taint := label.New(label.L1, label.P(label.Category(42), label.L3))
+	if err := s.PutLabeled(9, taint, []byte("secret")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SyncObject(9); err != nil {
+		t.Fatal(err)
+	}
+	d.Crash()
+	s2, err := Open(d, Options{LogSize: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s2.Label(9)
+	if !ok || !got.Equal(taint) {
+		t.Fatalf("label after crash = %v, %v; want %v", got, ok, taint)
+	}
+	if got.Fingerprint() != taint.Fingerprint() {
+		t.Error("fingerprint not rebuilt on replay")
+	}
+	if ids := s2.ObjectsWithLabel(taint.Fingerprint()); len(ids) != 1 || ids[0] != 9 {
+		t.Errorf("index after crash = %v", ids)
+	}
+	if err := s2.VerifyLabelIndex(); err != nil {
+		t.Error(err)
+	}
+	data, err := s2.Get(9)
+	if err != nil || string(data) != "secret" {
+		t.Fatalf("contents after crash: %q, %v", data, err)
+	}
+}
+
+func TestObjectsWithLabelUsesIndexOnly(t *testing.T) {
+	s, d := testStore(t)
+	taint := label.New(label.L1, label.P(label.Category(7), label.L3))
+	plain := label.New(label.L1)
+	for i := uint64(0); i < 50; i++ {
+		lbl := plain
+		if i%5 == 0 {
+			lbl = taint
+		}
+		if err := s.PutLabeled(i, lbl, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(d, Options{LogSize: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodesBefore := s2.Stats().LabelDecodes
+	ids := s2.ObjectsWithLabel(taint.Fingerprint())
+	if len(ids) != 10 {
+		t.Fatalf("tainted scan found %d objects, want 10", len(ids))
+	}
+	for i, id := range ids {
+		if id%5 != 0 {
+			t.Errorf("id %d not tainted", id)
+		}
+		if i > 0 && ids[i-1] >= id {
+			t.Error("ids not ascending")
+		}
+	}
+	st := s2.Stats()
+	if st.LabelDecodes != decodesBefore {
+		t.Errorf("taint scan deserialized labels: %d -> %d decodes", decodesBefore, st.LabelDecodes)
+	}
+	if st.IndexQueries == 0 {
+		t.Error("IndexQueries not counted")
+	}
+	if st.IndexEntries != st.LabeledObjects || st.IndexEntries != 50 {
+		t.Errorf("index entries = %d, labeled = %d", st.IndexEntries, st.LabeledObjects)
+	}
+	if err := s2.VerifyLabelIndex(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSetLabelMovesIndexEntry(t *testing.T) {
+	s, _ := testStore(t)
+	a := label.New(label.L1, label.P(label.Category(1), label.L3))
+	b := label.New(label.L1, label.P(label.Category(2), label.L3))
+	if err := s.PutLabeled(3, a, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetLabel(3, b); err != nil {
+		t.Fatal(err)
+	}
+	if ids := s.ObjectsWithLabel(a.Fingerprint()); len(ids) != 0 {
+		t.Errorf("old fingerprint still indexed: %v", ids)
+	}
+	if ids := s.ObjectsWithLabel(b.Fingerprint()); len(ids) != 1 || ids[0] != 3 {
+		t.Errorf("new fingerprint not indexed: %v", ids)
+	}
+	if err := s.Delete(3); err != nil {
+		t.Fatal(err)
+	}
+	if ids := s.ObjectsWithLabel(b.Fingerprint()); len(ids) != 0 {
+		t.Errorf("deleted object still indexed: %v", ids)
+	}
+	if err := s.VerifyLabelIndex(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOpenHonoursSuperblockGeometry(t *testing.T) {
+	// Format with non-default log and metadata sizes; Open with zero
+	// options must read the geometry back from the superblock.
+	d := disk.New(disk.Params{Sectors: 1 << 14, WriteCache: true}, &vclock.Clock{}) // 8 MB
+	s, err := Format(d, Options{LogSize: 128 << 10, MetaAreaSize: 256 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lbl := label.New(label.L1, label.P(label.Category(5), label.L3))
+	if err := s.PutLabeled(1, lbl, []byte("geometry")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SyncObject(1); err != nil {
+		t.Fatal(err)
+	}
+	d.Crash()
+	s2, err := Open(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data, err := s2.Get(1); err != nil || string(data) != "geometry" {
+		t.Fatalf("Get = %q, %v", data, err)
+	}
+	if got, ok := s2.Label(1); !ok || !got.Equal(lbl) {
+		t.Fatalf("label = %v, %v", got, ok)
+	}
+}
+
+func TestSyncObjectLogFullFallbackIsDurable(t *testing.T) {
+	// Fill the log region until SyncObject's commit returns ErrFull and the
+	// automatic Checkpoint-and-retry path runs, then crash: both the
+	// checkpointed objects and the retried record (with its label) must
+	// survive recovery.
+	d := disk.New(disk.Params{Sectors: 1 << 18, WriteCache: true}, &vclock.Clock{})
+	s, err := Format(d, Options{LogSize: 64 * 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	taint := label.New(label.L1, label.P(label.Category(3), label.L3))
+	payload := bytes.Repeat([]byte("z"), 8*1024)
+	for i := uint64(0); i < 20; i++ {
+		if err := s.PutLabeled(i, taint, payload); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.SyncObject(i); err != nil {
+			t.Fatalf("sync %d: %v", i, err)
+		}
+	}
+	if s.Stats().Checkpoints == 0 {
+		t.Fatal("expected the full log to force a checkpoint")
+	}
+	d.Crash()
+	s2, err := Open(d, Options{LogSize: 64 * 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 20; i++ {
+		if got, err := s2.Get(i); err != nil || !bytes.Equal(got, payload) {
+			t.Fatalf("object %d after crash: %v", i, err)
+		}
+		if lbl, ok := s2.Label(i); !ok || !lbl.Equal(taint) {
+			t.Fatalf("label %d after crash: %v, %v", i, lbl, ok)
+		}
+	}
+	if ids := s2.ObjectsWithLabel(taint.Fingerprint()); len(ids) != 20 {
+		t.Errorf("index after crash holds %d objects, want 20", len(ids))
+	}
+	if err := s2.VerifyLabelIndex(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSyncObjectOversizeRecordFallsBackToCheckpoint(t *testing.T) {
+	// A record that cannot fit even in an empty log is dropped from the log
+	// (it could never commit and would wedge every later sync) and made
+	// durable through the fallback checkpoint instead.
+	d := disk.New(disk.Params{Sectors: 1 << 18, WriteCache: true}, &vclock.Clock{})
+	s, err := Format(d, Options{LogSize: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := bytes.Repeat([]byte("x"), 64*1024)
+	taint := label.New(label.L1, label.P(label.Category(8), label.L3))
+	if err := s.PutLabeled(1, taint, big); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SyncObject(1); err != nil {
+		t.Fatalf("oversize sync: %v", err)
+	}
+	if s.Stats().Checkpoints == 0 {
+		t.Fatal("fallback checkpoint should have run")
+	}
+	// The log is not wedged: small syncs still work, exactly once each.
+	if err := s.Put(2, []byte("small")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SyncObject(2); err != nil {
+		t.Fatalf("small sync after oversize: %v", err)
+	}
+	d.Crash()
+	s2, err := Open(d, Options{LogSize: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := s2.Get(1); err != nil || !bytes.Equal(got, big) {
+		t.Fatalf("oversize object after crash: %v (%d bytes)", err, len(got))
+	}
+	if lbl, ok := s2.Label(1); !ok || !lbl.Equal(taint) {
+		t.Fatalf("oversize object's label after crash: %v, %v", lbl, ok)
+	}
+	if got, err := s2.Get(2); err != nil || string(got) != "small" {
+		t.Fatalf("small object after crash: %q, %v", got, err)
+	}
+}
+
+func TestRecreateAfterLoggedTombstoneSurvivesResync(t *testing.T) {
+	// Regression: the log can hold [data, tombstone, data] for one object.
+	// Replay must clear the dead flag on the re-create, or the next
+	// SyncObject logs a spurious deletion and the committed object is lost
+	// on the following crash.
+	s, d := testStore(t)
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(s.Put(5, []byte("first")))
+	must(s.SyncObject(5))
+	must(s.Delete(5))
+	must(s.SyncObject(5))
+	must(s.Put(5, []byte("second")))
+	must(s.SyncObject(5))
+	d.Crash()
+	s2, err := Open(d, Options{LogSize: 1 << 20})
+	must(err)
+	if got, err := s2.Get(5); err != nil || string(got) != "second" {
+		t.Fatalf("after first crash: %q, %v", got, err)
+	}
+	// The latent bug fired only on the next sync + crash.
+	must(s2.SyncObject(5))
+	d.Crash()
+	s3, err := Open(d, Options{LogSize: 1 << 20})
+	must(err)
+	if got, err := s3.Get(5); err != nil || string(got) != "second" {
+		t.Fatalf("re-created object lost after resync + crash: %q, %v", got, err)
+	}
+}
+
+func TestSyncAfterUnlabeledRecreateClearsCheckpointedLabel(t *testing.T) {
+	// An object can lose its label with no tombstone ever logged: delete and
+	// re-create between syncs.  The label-less sync record is authoritative,
+	// so replay must clear the checkpointed label rather than resurrect it.
+	s, d := testStore(t)
+	taint := label.New(label.L1, label.P(label.Category(6), label.L3))
+	if err := s.PutLabeled(5, taint, []byte("labeled")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(5, []byte("reborn, unlabeled")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SyncObject(5); err != nil {
+		t.Fatal(err)
+	}
+	d.Crash()
+	s2, err := Open(d, Options{LogSize: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := s2.Get(5); err != nil || string(got) != "reborn, unlabeled" {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+	if lbl, ok := s2.Label(5); ok {
+		t.Errorf("stale checkpointed label resurrected: %v", lbl)
+	}
+	if ids := s2.ObjectsWithLabel(taint.Fingerprint()); len(ids) != 0 {
+		t.Errorf("stale index entry: %v", ids)
+	}
+	if err := s2.VerifyLabelIndex(); err != nil {
+		t.Error(err)
 	}
 }

@@ -434,7 +434,7 @@ func TestFsyncAndGroupSyncDurability(t *testing.T) {
 	p.WriteFile("/tmp/volatile.txt", []byte("may vanish"), label.New(label.L1))
 
 	// Simulate a crash: lose the disk write cache and reopen the store.
-	d := st.Disk()
+	d := st.Disk().(*disk.Disk)
 	d.Crash()
 	st2, err := store.Open(d, store.Options{LogSize: 4 << 20})
 	if err != nil {

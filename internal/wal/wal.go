@@ -4,6 +4,42 @@
 // Records are logical — an object ID plus its new contents (or a tombstone)
 // — so recovery does not depend on the physical layout chosen later by the
 // extent allocator.
+//
+// # On-disk format
+//
+// The log occupies a fixed region of the disk.  It starts with a 16-byte
+// header:
+//
+//	off  size  field
+//	0    4     magic "HWLO" (0x48574c4f, little endian)
+//	4    1     format version (2; 0 identifies pre-label version-1 logs)
+//	5    3     reserved (zero)
+//	8    8     committed length: bytes of valid records after the header
+//
+// Committed records follow back to back.  A version-2 record is:
+//
+//	off  size  field
+//	0    8     object ID
+//	8    4     data length
+//	12   2     label length (0 when the object carries no label)
+//	14   1     flags: bit 0 = tombstone, bit 1 = label present
+//	15   4     CRC-32 (IEEE) of bytes 0..15 plus the label and data bytes
+//	19   ...   canonical serialized label (label.AppendBinary), then data
+//
+// Version-1 records had no version byte, label length, or label bytes, and
+// packed the delete flag at offset 12 with the CRC at 13; Recover still
+// decodes them and transparently rewrites a version-1 log in version-2
+// format, so labels logged after an upgrade coexist with nothing older.
+//
+// Commit appends the encoded records, then updates the header's committed
+// length and flushes; the header update is what makes the batch durable.
+// Recovery trusts only the committed prefix, verifies every record's CRC,
+// and — per the contract FuzzRecover enforces — never panics on arbitrary
+// log bytes: damage yields ErrCorrupt along with every record before the
+// damage, and the log is resealed to that valid prefix so later commits
+// append after it.  A version byte naming a future format is refused with
+// ErrVersion and the region left untouched; records that could never
+// commit at all are rejected at Append time with ErrTooLarge.
 package wal
 
 import (
@@ -16,36 +52,56 @@ import (
 	"histar/internal/disk"
 )
 
-// Record is one logged update: the full new contents of an object, or its
+// Record is one logged update: the full new contents of an object (plus its
+// canonical serialized information-flow label, when it has one), or its
 // deletion.
 type Record struct {
 	ObjectID uint64
 	Data     []byte
-	Delete   bool
+	// Label is the object's canonical serialized label (label.AppendBinary),
+	// or nil for an unlabeled object.  The log treats it as opaque bytes
+	// covered by the record CRC; the store decodes it on replay.
+	Label  []byte
+	Delete bool
 }
 
 // Errors returned by the log.
 var (
 	// ErrFull is returned when a commit would overflow the log region; the
-	// caller must apply (checkpoint) and truncate first.
+	// buffered records stay pending, so the caller can apply (checkpoint),
+	// truncate, and simply Commit again — re-appending would duplicate them.
 	ErrFull = errors.New("wal: log region full")
+	// ErrTooLarge is returned by Append for a record that could never
+	// commit: it would not fit even in an empty log region, or its label
+	// exceeds the record format's 16-bit label-length field.  The record is
+	// not buffered — no truncation could help — and the caller must fall
+	// back to a checkpoint for its durability.
+	ErrTooLarge = errors.New("wal: record exceeds log capacity")
 	// ErrCorrupt is returned when recovery encounters a damaged record; all
 	// records before the damage are still returned.
 	ErrCorrupt = errors.New("wal: corrupt record")
+	// ErrVersion is returned when recovery meets a log written by an
+	// unknown (newer) format version; the region is left untouched so the
+	// newer code can still mount it.
+	ErrVersion = errors.New("wal: unsupported log format version")
 )
 
 const (
-	recHeaderSize = 8 + 4 + 1 + 4 // id, length, delete flag, crc
-	commitMagic   = 0x434f4d54    // "COMT"
-	logHeaderSize = 16            // magic + committed length
-	logMagic      = 0x48574c4f    // "HWLO"
+	recHeaderV1Size = 8 + 4 + 1 + 4     // id, length, delete flag, crc
+	recHeaderSize   = 8 + 4 + 2 + 1 + 4 // id, data len, label len, flags, crc
+	logHeaderSize   = 16                // magic + version + committed length
+	logMagic        = 0x48574c4f        // "HWLO"
+	logVersion      = 2
+
+	flagDelete   = 1 << 0
+	flagHasLabel = 1 << 1
 )
 
 // Log is a redo log occupying a fixed region of the disk.  It is safe for
 // concurrent use.
 type Log struct {
 	mu    sync.Mutex
-	d     *disk.Disk
+	d     disk.Device
 	start int64
 	size  int64
 
@@ -54,11 +110,16 @@ type Log struct {
 	commits  uint64
 	applies  uint64
 	appended uint64
+
+	// recoveredLegacy records that Recover migrated a version-1 log, whose
+	// records carry no label information (as opposed to a version-2 record
+	// without a label, which asserts the object had none).
+	recoveredLegacy bool
 }
 
 // New creates a log over the region [start, start+size) of d and writes a
 // fresh header.  Any previous log contents are discarded.
-func New(d *disk.Disk, start, size int64) (*Log, error) {
+func New(d disk.Device, start, size int64) (*Log, error) {
 	l := &Log{d: d, start: start, size: size, tail: logHeaderSize}
 	if err := l.writeHeader(0); err != nil {
 		return nil, err
@@ -68,13 +129,14 @@ func New(d *disk.Disk, start, size int64) (*Log, error) {
 
 // Open attaches to an existing log region without erasing it; use Recover to
 // read back committed records after a crash.
-func Open(d *disk.Disk, start, size int64) *Log {
+func Open(d disk.Device, start, size int64) *Log {
 	return &Log{d: d, start: start, size: size, tail: logHeaderSize}
 }
 
 func (l *Log) writeHeader(committedBytes int64) error {
 	var hdr [logHeaderSize]byte
-	binary.LittleEndian.PutUint64(hdr[0:], logMagic)
+	binary.LittleEndian.PutUint32(hdr[0:], logMagic)
+	hdr[4] = logVersion
 	binary.LittleEndian.PutUint64(hdr[8:], uint64(committedBytes))
 	if _, err := l.d.WriteAt(hdr[:], l.start); err != nil {
 		return err
@@ -82,13 +144,26 @@ func (l *Log) writeHeader(committedBytes int64) error {
 	return l.d.Flush()
 }
 
-// Append buffers a record for the next Commit.
-func (l *Log) Append(r Record) {
+// Append buffers a record for the next Commit.  A record that could never
+// commit (see ErrTooLarge) is rejected here, before it enters the shared
+// pending set, so it can neither wedge the log nor be silently lost by a
+// concurrent caller's commit.
+func (l *Log) Append(r Record) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if encodedSize(r) > l.size-logHeaderSize || len(r.Label) > 0xffff {
+		return ErrTooLarge
+	}
 	r.Data = append([]byte(nil), r.Data...)
+	r.Label = append([]byte(nil), r.Label...)
 	l.pending = append(l.pending, r)
 	l.appended++
+	return nil
+}
+
+// encodedSize returns the on-disk size of one record.
+func encodedSize(r Record) int64 {
+	return recHeaderSize + int64(len(r.Label)) + int64(len(r.Data))
 }
 
 // PendingBytes returns the encoded size of buffered (uncommitted) records.
@@ -97,7 +172,7 @@ func (l *Log) PendingBytes() int64 {
 	defer l.mu.Unlock()
 	var n int64
 	for _, r := range l.pending {
-		n += recHeaderSize + int64(len(r.Data))
+		n += encodedSize(r)
 	}
 	return n
 }
@@ -111,7 +186,8 @@ func (l *Log) CommittedBytes() int64 {
 
 // Commit durably appends all buffered records to the log: a sequential write
 // into the log region followed by a header update and flush.  After Commit
-// returns, the records will survive a crash and be returned by Recover.
+// returns nil, the records will survive a crash and be returned by Recover.
+// On ErrFull the records stay pending for a retry after a truncate.
 func (l *Log) Commit() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -151,8 +227,12 @@ func (l *Log) Truncate() error {
 }
 
 // Recover reads the committed records back from the log region (after a
-// crash or restart).  Records damaged mid-write are detected by checksum and
-// everything before the damage is returned along with ErrCorrupt.
+// crash or restart).  Records damaged mid-write are detected by checksum;
+// everything before the damage is returned along with ErrCorrupt, and the
+// log is resealed to that valid prefix so subsequent commits extend it
+// rather than the damaged tail.  A version-1 log (written before records
+// carried labels) is decoded with the legacy layout and rewritten in the
+// current format.
 func (l *Log) Recover() ([]Record, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -160,13 +240,18 @@ func (l *Log) Recover() ([]Record, error) {
 	if _, err := l.d.ReadAt(hdr[:], l.start); err != nil {
 		return nil, err
 	}
-	if binary.LittleEndian.Uint64(hdr[0:]) != logMagic {
+	if binary.LittleEndian.Uint32(hdr[0:]) != logMagic {
 		// Fresh region: nothing logged.
 		l.tail = logHeaderSize
 		return nil, nil
 	}
+	version := hdr[4]
 	committed := int64(binary.LittleEndian.Uint64(hdr[8:]))
 	if committed < 0 || committed > l.size-logHeaderSize {
+		l.tail = logHeaderSize
+		if err := l.writeHeader(0); err != nil {
+			return nil, err
+		}
 		return nil, fmt.Errorf("%w: committed length %d out of range", ErrCorrupt, committed)
 	}
 	body := make([]byte, committed)
@@ -175,9 +260,60 @@ func (l *Log) Recover() ([]Record, error) {
 			return nil, err
 		}
 	}
-	recs, err := decodeRecords(body)
+	var (
+		recs []Record
+		good int64
+		err  error
+	)
+	switch version {
+	case 0:
+		recs, good, err = decodeRecordsV1(body)
+		l.recoveredLegacy = true
+	case logVersion:
+		recs, good, err = decodeRecords(body)
+	default:
+		// A future format: refuse the mount without touching the region, so
+		// the newer code that wrote it can still recover its records.
+		return nil, fmt.Errorf("%w %d", ErrVersion, version)
+	}
+	if version != logVersion || good != committed {
+		// Format migration or damaged tail: rewrite the valid prefix in the
+		// current format and reseal the header to it.
+		if werr := l.rewrite(recs); werr != nil {
+			return recs, werr
+		}
+		return recs, err
+	}
 	l.tail = logHeaderSize + committed
 	return recs, err
+}
+
+// rewrite replaces the committed log contents with recs encoded in the
+// current format; the caller holds l.mu.
+func (l *Log) rewrite(recs []Record) error {
+	buf := encodeRecords(recs)
+	if logHeaderSize+int64(len(buf)) > l.size {
+		return fmt.Errorf("wal: migrated log (%d bytes) exceeds the region", len(buf))
+	}
+	if len(buf) > 0 {
+		if _, err := l.d.WriteAt(buf, l.start+logHeaderSize); err != nil {
+			return err
+		}
+	}
+	if err := l.writeHeader(int64(len(buf))); err != nil {
+		return err
+	}
+	l.tail = logHeaderSize + int64(len(buf))
+	return nil
+}
+
+// RecoveredLegacy reports whether the last Recover migrated a version-1 log.
+// Label-less records from such a log say nothing about the object's label;
+// a label-less version-2 record asserts the object carried none.
+func (l *Log) RecoveredLegacy() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.recoveredLegacy
 }
 
 // Stats returns cumulative commit, apply (truncate) and append counts.
@@ -188,46 +324,106 @@ func (l *Log) Stats() (commits, applies, appended uint64) {
 }
 
 func encodeRecords(recs []Record) []byte {
-	var total int
+	var total int64
 	for _, r := range recs {
-		total += recHeaderSize + len(r.Data)
+		total += encodedSize(r)
 	}
 	buf := make([]byte, 0, total)
 	for _, r := range recs {
 		var hdr [recHeaderSize]byte
 		binary.LittleEndian.PutUint64(hdr[0:], r.ObjectID)
 		binary.LittleEndian.PutUint32(hdr[8:], uint32(len(r.Data)))
+		binary.LittleEndian.PutUint16(hdr[12:], uint16(len(r.Label)))
 		if r.Delete {
-			hdr[12] = 1
+			hdr[14] |= flagDelete
 		}
-		crc := crc32.ChecksumIEEE(append(hdr[:13:13], r.Data...))
-		binary.LittleEndian.PutUint32(hdr[13:], crc)
+		if len(r.Label) > 0 {
+			hdr[14] |= flagHasLabel
+		}
+		crc := crc32.NewIEEE()
+		crc.Write(hdr[:15])
+		crc.Write(r.Label)
+		crc.Write(r.Data)
+		binary.LittleEndian.PutUint32(hdr[15:], crc.Sum32())
 		buf = append(buf, hdr[:]...)
+		buf = append(buf, r.Label...)
 		buf = append(buf, r.Data...)
 	}
 	return buf
 }
 
-func decodeRecords(buf []byte) ([]Record, error) {
+// decodeRecords decodes version-2 records, returning the records decoded,
+// the number of bytes consumed by them, and ErrCorrupt if damage stopped the
+// decode early.
+func decodeRecords(buf []byte) ([]Record, int64, error) {
 	var out []Record
+	var consumed int64
 	for len(buf) > 0 {
 		if len(buf) < recHeaderSize {
-			return out, ErrCorrupt
+			return out, consumed, ErrCorrupt
+		}
+		id := binary.LittleEndian.Uint64(buf[0:])
+		nd := int(binary.LittleEndian.Uint32(buf[8:]))
+		nl := int(binary.LittleEndian.Uint16(buf[12:]))
+		flags := buf[14]
+		wantCRC := binary.LittleEndian.Uint32(buf[15:])
+		if flags&^byte(flagDelete|flagHasLabel) != 0 {
+			return out, consumed, ErrCorrupt
+		}
+		if (flags&flagHasLabel != 0) != (nl > 0) {
+			return out, consumed, ErrCorrupt
+		}
+		if nd < 0 || len(buf) < recHeaderSize+nl+nd {
+			return out, consumed, ErrCorrupt
+		}
+		lbl := buf[recHeaderSize : recHeaderSize+nl]
+		data := buf[recHeaderSize+nl : recHeaderSize+nl+nd]
+		crc := crc32.NewIEEE()
+		crc.Write(buf[:15])
+		crc.Write(lbl)
+		crc.Write(data)
+		if crc.Sum32() != wantCRC {
+			return out, consumed, ErrCorrupt
+		}
+		r := Record{ObjectID: id, Delete: flags&flagDelete != 0}
+		if nd > 0 {
+			r.Data = append([]byte(nil), data...)
+		}
+		if nl > 0 {
+			r.Label = append([]byte(nil), lbl...)
+		}
+		out = append(out, r)
+		buf = buf[recHeaderSize+nl+nd:]
+		consumed += recHeaderSize + int64(nl) + int64(nd)
+	}
+	return out, consumed, nil
+}
+
+// decodeRecordsV1 decodes the legacy label-less record layout.
+func decodeRecordsV1(buf []byte) ([]Record, int64, error) {
+	var out []Record
+	var consumed int64
+	for len(buf) > 0 {
+		if len(buf) < recHeaderV1Size {
+			return out, consumed, ErrCorrupt
 		}
 		id := binary.LittleEndian.Uint64(buf[0:])
 		n := int(binary.LittleEndian.Uint32(buf[8:]))
 		del := buf[12] == 1
 		wantCRC := binary.LittleEndian.Uint32(buf[13:])
-		if len(buf) < recHeaderSize+n {
-			return out, ErrCorrupt
+		if n < 0 || len(buf) < recHeaderV1Size+n {
+			return out, consumed, ErrCorrupt
 		}
-		data := buf[recHeaderSize : recHeaderSize+n]
-		crc := crc32.ChecksumIEEE(append(append([]byte(nil), buf[:13]...), data...))
-		if crc != wantCRC {
-			return out, ErrCorrupt
+		data := buf[recHeaderV1Size : recHeaderV1Size+n]
+		crc := crc32.NewIEEE()
+		crc.Write(buf[:13])
+		crc.Write(data)
+		if crc.Sum32() != wantCRC {
+			return out, consumed, ErrCorrupt
 		}
 		out = append(out, Record{ObjectID: id, Data: append([]byte(nil), data...), Delete: del})
-		buf = buf[recHeaderSize+n:]
+		buf = buf[recHeaderV1Size+n:]
+		consumed += recHeaderV1Size + int64(n)
 	}
-	return out, nil
+	return out, consumed, nil
 }

@@ -2,7 +2,9 @@ package wal
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
+	"hash/crc32"
 	"testing"
 
 	"histar/internal/disk"
@@ -86,9 +88,23 @@ func TestTruncate(t *testing.T) {
 
 func TestLogFull(t *testing.T) {
 	l, _ := testLog(t, 4096)
-	l.Append(Record{ObjectID: 1, Data: make([]byte, 8192)})
+	// A record that would fit an empty region but not the remaining space:
+	// recoverable, so Commit reports ErrFull and keeps it pending.
+	if err := l.Append(Record{ObjectID: 1, Data: make([]byte, 2500)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(Record{ObjectID: 2, Data: make([]byte, 2500)}); err != nil {
+		t.Fatal(err)
+	}
 	if err := l.Commit(); !errors.Is(err, ErrFull) {
-		t.Errorf("commit into tiny log: err=%v", err)
+		t.Errorf("commit into full log: err=%v", err)
+	}
+	// A record that could never fit is rejected at Append instead.
+	if err := l.Append(Record{ObjectID: 3, Data: make([]byte, 8192)}); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("append of oversize record: err=%v", err)
 	}
 }
 
@@ -112,7 +128,7 @@ func TestCorruptRecordDetected(t *testing.T) {
 	}
 	// Flip a byte inside the second record's data area.
 	evil := []byte{0xff}
-	if _, err := d.WriteAt(evil, 16+17+11+17+4); err != nil {
+	if _, err := d.WriteAt(evil, 16+19+11+19+4); err != nil {
 		t.Fatal(err)
 	}
 	recs, err := Open(d, 0, 1<<20).Recover()
@@ -121,6 +137,141 @@ func TestCorruptRecordDetected(t *testing.T) {
 	}
 	if len(recs) != 1 || recs[0].ObjectID != 7 {
 		t.Errorf("records before damage should survive: %+v", recs)
+	}
+}
+
+func TestCorruptRecoverySealsValidPrefix(t *testing.T) {
+	l, d := testLog(t, 1<<20)
+	l.Append(Record{ObjectID: 1, Data: []byte("keep me")})
+	l.Append(Record{ObjectID: 2, Data: []byte("damage me")})
+	if err := l.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.WriteAt([]byte{0xff}, 16+19+7+19+2); err != nil {
+		t.Fatal(err)
+	}
+	l2 := Open(d, 0, 1<<20)
+	if _, err := l2.Recover(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("expected ErrCorrupt, got %v", err)
+	}
+	// The log was resealed to the valid prefix: new commits append after it
+	// and a fresh recovery sees prefix + new records with no error.
+	l2.Append(Record{ObjectID: 3, Data: []byte("after reseal")})
+	if err := l2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := Open(d, 0, 1<<20).Recover()
+	if err != nil {
+		t.Fatalf("recovery after reseal: %v", err)
+	}
+	if len(recs) != 2 || recs[0].ObjectID != 1 || recs[1].ObjectID != 3 {
+		t.Errorf("recovered %+v", recs)
+	}
+}
+
+func TestCorruptCommittedLengthRejected(t *testing.T) {
+	l, d := testLog(t, 1<<16)
+	l.Append(Record{ObjectID: 1, Data: []byte("x")})
+	if err := l.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Scribble an impossible committed length into the header.
+	var evil [8]byte
+	for i := range evil {
+		evil[i] = 0xff
+	}
+	if _, err := d.WriteAt(evil[:], 8); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := Open(d, 0, 1<<16).Recover()
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("expected ErrCorrupt, got %v (%d recs)", err, len(recs))
+	}
+}
+
+func TestLabelRecordsRoundTrip(t *testing.T) {
+	l, d := testLog(t, 1<<20)
+	lblBytes := []byte{2, 1, 17, 0, 0, 0, 0, 0, 0, 0, 3} // canonical {17:3} at default 2
+	l.Append(Record{ObjectID: 5, Data: []byte("tainted contents"), Label: lblBytes})
+	l.Append(Record{ObjectID: 6, Data: []byte("plain contents")})
+	l.Append(Record{ObjectID: 5, Delete: true})
+	if err := l.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := Open(d, 0, 1<<20).Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("recovered %d records", len(recs))
+	}
+	if !bytes.Equal(recs[0].Label, lblBytes) || !bytes.Equal(recs[0].Data, []byte("tainted contents")) {
+		t.Errorf("labeled record = %+v", recs[0])
+	}
+	if recs[1].Label != nil {
+		t.Errorf("unlabeled record grew a label: %+v", recs[1])
+	}
+	if !recs[2].Delete || recs[2].Label != nil {
+		t.Errorf("tombstone = %+v", recs[2])
+	}
+}
+
+// writeV1Log hand-crafts a legacy (version-1, label-less) log image on d.
+func writeV1Log(t *testing.T, d *disk.Disk, recs []Record) {
+	t.Helper()
+	var body []byte
+	for _, r := range recs {
+		hdr := make([]byte, 17)
+		binary.LittleEndian.PutUint64(hdr[0:], r.ObjectID)
+		binary.LittleEndian.PutUint32(hdr[8:], uint32(len(r.Data)))
+		if r.Delete {
+			hdr[12] = 1
+		}
+		crc := crc32.ChecksumIEEE(append(hdr[:13:13], r.Data...))
+		binary.LittleEndian.PutUint32(hdr[13:], crc)
+		body = append(body, hdr...)
+		body = append(body, r.Data...)
+	}
+	var hdr [16]byte
+	binary.LittleEndian.PutUint64(hdr[0:], 0x48574c4f) // v1 wrote the magic as a u64: version byte reads 0
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(len(body)))
+	if _, err := d.WriteAt(hdr[:], 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.WriteAt(body, 16); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestV1LogMigratesToCurrentFormat(t *testing.T) {
+	d := disk.New(disk.Params{Sectors: 1 << 15}, &vclock.Clock{})
+	want := []Record{
+		{ObjectID: 1, Data: []byte("legacy one")},
+		{ObjectID: 2, Delete: true},
+		{ObjectID: 3, Data: []byte("legacy three")},
+	}
+	writeV1Log(t, d, want)
+
+	l := Open(d, 0, 1<<20)
+	recs, err := l.Recover()
+	if err != nil {
+		t.Fatalf("recovering v1 log: %v", err)
+	}
+	if len(recs) != 3 || !bytes.Equal(recs[0].Data, want[0].Data) || !recs[1].Delete {
+		t.Fatalf("recovered %+v", recs)
+	}
+	// The log was rewritten in the current format: appending labeled records
+	// and recovering again decodes everything uniformly as version 2.
+	l.Append(Record{ObjectID: 4, Data: []byte("new"), Label: []byte{2, 1, 9, 0, 0, 0, 0, 0, 0, 0, 3}})
+	if err := l.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err = Open(d, 0, 1<<20).Recover()
+	if err != nil {
+		t.Fatalf("recovery after migration: %v", err)
+	}
+	if len(recs) != 4 || recs[3].ObjectID != 4 || recs[3].Label == nil {
+		t.Errorf("post-migration recovery = %+v", recs)
 	}
 }
 
@@ -144,5 +295,87 @@ func TestGroupCommitBatchesManyRecords(t *testing.T) {
 	commits, _, appended := l.Stats()
 	if commits != 1 || appended != 1000 {
 		t.Errorf("commits=%d appended=%d", commits, appended)
+	}
+}
+
+func TestErrFullKeepsRecordsPendingForRetry(t *testing.T) {
+	l, d := testLog(t, 4096)
+	// Fill most of the region, then overflow it.
+	l.Append(Record{ObjectID: 1, Data: make([]byte, 3000)})
+	if err := l.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	l.Append(Record{ObjectID: 2, Data: make([]byte, 2000)})
+	if err := l.Commit(); !errors.Is(err, ErrFull) {
+		t.Fatalf("overflowing commit: err=%v", err)
+	}
+	// Truncate (as the store's checkpoint fallback does) and retry WITHOUT
+	// re-appending: the pending record commits exactly once.
+	if err := l.Truncate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := Open(d, 0, 4096).Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].ObjectID != 2 {
+		t.Fatalf("after retry: %+v", recs)
+	}
+}
+
+func TestOversizeRecordRejectedAtAppend(t *testing.T) {
+	l, d := testLog(t, 4096)
+	// Never-committable records are refused before they enter the pending
+	// set, so they can neither wedge the log nor be lost by a concurrent
+	// caller's commit.
+	if err := l.Append(Record{ObjectID: 1, Data: make([]byte, 64*1024)}); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversize data: err=%v, want ErrTooLarge", err)
+	}
+	if err := l.Append(Record{ObjectID: 3, Label: make([]byte, 70000)}); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversize label: err=%v, want ErrTooLarge", err)
+	}
+	// The log is unaffected: small records commit cleanly.
+	if err := l.Append(Record{ObjectID: 2, Data: []byte("fits")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := Open(d, 0, 4096).Recover()
+	if err != nil || len(recs) != 1 || recs[0].ObjectID != 2 {
+		t.Fatalf("recover: %+v, %v", recs, err)
+	}
+	_, _, appended := l.Stats()
+	if appended != 1 {
+		t.Errorf("rejected records counted as appended: %d", appended)
+	}
+}
+
+func TestUnsupportedVersionRefusedWithoutErasure(t *testing.T) {
+	l, d := testLog(t, 1<<16)
+	if err := l.Append(Record{ObjectID: 1, Data: []byte("future records")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Pretend a newer format wrote this log.
+	if _, err := d.WriteAt([]byte{9}, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(d, 0, 1<<16).Recover(); !errors.Is(err, ErrVersion) {
+		t.Fatalf("future version: err=%v, want ErrVersion", err)
+	}
+	// The region was left byte-for-byte intact: restoring the version byte
+	// recovers the records.
+	if _, err := d.WriteAt([]byte{2}, 4); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := Open(d, 0, 1<<16).Recover()
+	if err != nil || len(recs) != 1 || string(recs[0].Data) != "future records" {
+		t.Fatalf("after restoring version: %+v, %v", recs, err)
 	}
 }
