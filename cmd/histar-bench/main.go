@@ -10,6 +10,8 @@ package main
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 	"time"
 
 	"histar/internal/disk"
@@ -108,6 +110,13 @@ func main() {
 	ratio := groupVsPerFileSync()
 	fmt.Printf("E4 durability shapes: per-file sync is %.0fx slower than group sync for small-file creates (paper: up to ~200x)\n", ratio)
 
+	// Concurrent store: group-commit batching and shard spread under
+	// parallel SyncObject traffic (the PR 4 store refactor).  Batches larger
+	// than one record require syncers to overlap inside the committer, which
+	// needs GOMAXPROCS > 1 on real cores; the histogram makes the achieved
+	// overlap visible either way.
+	groupCommitReport()
+
 	// Tainted-object scans off the fingerprint-keyed label index: the store
 	// answers "every object tainted by category c" without deserializing a
 	// single label, and the kernel's container_find_labeled does the same
@@ -156,6 +165,71 @@ func taintedObjectScan() {
 	kids, err := tc.ContainerFindLabeled(kernel.Self(root), taint.Fingerprint())
 	must(err)
 	fmt.Printf("Kernel container_find_labeled: %d objects with the taint fingerprint directly in the root container\n", len(kids))
+}
+
+// groupCommitReport runs a parallel Put+SyncObject workload directly against
+// a store and prints the write-ahead log commit savings, the batch-size
+// histogram, and the shard occupancy/operation spread.
+func groupCommitReport() {
+	clk := &vclock.Clock{}
+	params := disk.PaperDisk()
+	params.Sectors = (1 << 30) / disk.SectorSize
+	params.WriteCache = true
+	d := disk.New(params, clk)
+	st, err := store.Format(d, store.Options{LogSize: 32 << 20})
+	must(err)
+
+	const (
+		workers     = 8
+		syncsPerJob = 200
+	)
+	var wg sync.WaitGroup
+	payload := make([]byte, 1024)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := uint64(w) << 32
+			for i := 0; i < syncsPerJob; i++ {
+				id := base + uint64(i%64)
+				must(st.Put(id, payload))
+				must(st.SyncObject(id))
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	stats := st.Stats()
+	fmt.Printf("Store group commit: %d syncs → %d WAL commits (%.2f commits/sync, GOMAXPROCS=%d)\n",
+		stats.ObjectSyncs, stats.WALCommits, float64(stats.WALCommits)/float64(stats.ObjectSyncs), runtime.GOMAXPROCS(0))
+	gs := st.GroupCommitStats()
+	labels := []string{"1", "2", "3-4", "5-8", "9-16", "17-32", "33-64", "65+"}
+	fmt.Printf("  batch-size histogram:")
+	for i, n := range gs.Hist {
+		if n > 0 {
+			fmt.Printf("  [%s]=%d", labels[i], n)
+		}
+	}
+	fmt.Printf("  (max batch %d records)\n", gs.MaxBatch)
+
+	shards := st.ShardStats()
+	used, maxOps, minOps, maxObjs := 0, uint64(0), ^uint64(0), 0
+	for _, sh := range shards {
+		if sh.Ops > 0 {
+			used++
+		}
+		if sh.Ops > maxOps {
+			maxOps = sh.Ops
+		}
+		if sh.Ops < minOps {
+			minOps = sh.Ops
+		}
+		if sh.Objects > maxObjs {
+			maxObjs = sh.Objects
+		}
+	}
+	fmt.Printf("  store shards: %d/%d active, ops spread min %d / max %d per shard, largest shard %d objects\n",
+		used, len(shards), minOps, maxOps, maxObjs)
 }
 
 func groupVsPerFileSync() float64 {

@@ -23,10 +23,22 @@
 // so a torn write can never corrupt the referenced snapshot, and a
 // fingerprint-keyed B+-tree index answers "every object tainted by
 // category c" scans — Store.ObjectsWithLabel, surfaced in the kernel as
-// container_find_labeled — without deserializing a single label.  A
-// crash-injection harness (disk.FaultDisk plus the recovery tests in
-// internal/store) replays every write-boundary crash point of randomized
-// workloads against a reference model to keep those guarantees checkable.
+// container_find_labeled — without deserializing a single label.  The store
+// runs concurrently under the same discipline as the kernel: the object
+// cache, label map, and fingerprint index are sharded by object-ID bits,
+// each cached object carries its own entry lock and dirty state, the
+// allocator and metadata trees sit behind narrow locks of their own, and a
+// store-wide RWMutex serves only as the stop-the-world checkpoint gate.
+// Concurrent SyncObject calls flow through a leader/follower group
+// committer — sealed records batch into one wal.AppendBatch plus a single
+// Commit and flush, with every syncer waiting on a commit ticket — so
+// many fsyncs share one log write (see the internal/store package comment
+// for the locking discipline and the group-commit protocol's
+// crash-consistency invariants).  A crash-injection harness (disk.FaultDisk
+// plus the recovery tests in internal/store) replays every write-boundary
+// crash point of randomized workloads — serial and concurrent, including
+// mid-batch and partial-destage crashes — against a reference model to keep
+// those guarantees checkable.
 //
 // The kernel (internal/kernel) runs system calls with no global lock: the
 // object table is sharded by object-ID bits with a per-shard RWMutex, every
@@ -37,6 +49,14 @@
 // small lock-free L1 keyed by both labels' fingerprints, so the hottest
 // canObserve checks touch no mutex.  Syscall statistics are striped atomic
 // counters indexed by a fixed syscall enum, merged on read.
+//
+// The user-level Unix library (internal/unixlib) carries no big locks
+// either: program and user tables are read-mostly RWMutexes, PIDs are
+// atomic, directory-segment bindings come from a sharded cache, mount
+// tables are self-synchronizing, and each file descriptor owns a seek lock
+// shared across the processes that share the descriptor segment — so
+// multi-process workloads actually exploit the concurrent kernel and store
+// beneath them.
 //
 // The root package holds only the benchmark harness (bench_test.go); the
 // implementation lives under internal/ and the runnable entry points under

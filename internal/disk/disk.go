@@ -81,13 +81,17 @@ type Disk struct {
 	clock  *vclock.Clock
 	data   []byte
 
-	headPos      int64 // byte offset the head is positioned after the last op
-	prefetchLo   int64 // [lo, hi) window considered prefetched
-	prefetchHi   int64
-	dirty        map[int64][]byte // write-cache contents keyed by byte offset
-	dirtyBytes   int64
-	stats        Stats
-	failNextSync error // fault injection for crash-consistency tests
+	headPos    int64 // byte offset the head is positioned after the last op
+	prefetchLo int64 // [lo, hi) window considered prefetched
+	prefetchHi int64
+	dirty      map[int64][]byte // write-cache contents keyed by byte offset
+	dirtyBytes int64
+	stats      Stats
+
+	// Fault injection for crash-consistency tests.
+	failNextSync     error // next Flush fails before destaging anything
+	partialFlushErr  error // next Flush destages only partialFlushLeft bytes
+	partialFlushLeft int64
 }
 
 // ErrOutOfRange is returned for accesses beyond the device capacity.
@@ -261,8 +265,13 @@ func (d *Disk) Flush() error {
 		d.failNextSync = nil
 		return err
 	}
+	partial, budget := error(nil), int64(-1)
+	if d.partialFlushErr != nil {
+		partial, budget = d.partialFlushErr, d.partialFlushLeft
+		d.partialFlushErr, d.partialFlushLeft = nil, 0
+	}
 	if len(d.dirty) == 0 {
-		return nil
+		return partial
 	}
 	// Destage in ascending offset order, as a real drive's cache scheduler
 	// would, so contiguous runs cost transfer time rather than seeks.
@@ -273,6 +282,24 @@ func (d *Disk) Flush() error {
 	sort.Slice(offsets, func(i, j int) bool { return offsets[i] < offsets[j] })
 	for _, off := range offsets {
 		data := d.dirty[off]
+		if budget >= 0 {
+			// Power died mid-destage: only whole sectors within the byte
+			// budget reach the platter; the rest of the cache is lost.
+			if budget < int64(len(data)) {
+				keep := budget
+				if end := off + keep; end%SectorSize != 0 {
+					keep = end - end%SectorSize - off
+				}
+				if keep > 0 {
+					d.position(off, keep, false)
+					copy(d.data[off:], data[:keep])
+					d.headPos = off + keep
+					d.stats.CacheFlushBytes += uint64(keep)
+				}
+				break
+			}
+			budget -= int64(len(data))
+		}
 		d.position(off, int64(len(data)), false)
 		copy(d.data[off:], data)
 		d.headPos = off + int64(len(data))
@@ -280,7 +307,7 @@ func (d *Disk) Flush() error {
 	}
 	d.dirty = make(map[int64][]byte)
 	d.dirtyBytes = 0
-	return nil
+	return partial
 }
 
 // FailNextFlush arranges for the next Flush call to return err without
@@ -289,6 +316,18 @@ func (d *Disk) FailNextFlush(err error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.failNextSync = err
+}
+
+// FailFlushAfter arranges for the next Flush to destage only the first n
+// bytes of the cache (ascending offset order, whole sectors) and then return
+// err with the remaining cached writes dropped — power failing in the middle
+// of a cache destage.  The group-commit crash tests use it to tear a batch's
+// flush between the log body and the header (or inside either).
+func (d *Disk) FailFlushAfter(n int64, err error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.partialFlushErr = err
+	d.partialFlushLeft = n
 }
 
 // Crash simulates a power failure: all cached (unflushed) writes are lost.

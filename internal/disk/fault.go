@@ -71,6 +71,13 @@ type FaultDisk struct {
 	written int64
 	tripped bool
 	bounds  []int64 // cumulative written bytes after each WriteAt
+
+	// flushLimit arms the destage-path fault: the nth Flush call (1-based)
+	// trips the fault without reaching the inner device, so a volatile write
+	// cache behind it never destages — the drive lost power before the
+	// barrier completed.  0 means not armed.  flushes counts Flush calls.
+	flushLimit int
+	flushes    int
 }
 
 // NewFaultDisk wraps d with no fault armed (counting mode).
@@ -89,6 +96,32 @@ func (f *FaultDisk) Arm(limit int64, mode FaultMode) {
 	f.written = 0
 	f.tripped = false
 	f.bounds = nil
+	f.flushLimit = 0
+	f.flushes = 0
+}
+
+// ArmFlush configures a destage-path crash point: the nth Flush call
+// (1-based) trips the fault and returns ErrFault without invoking the inner
+// device's barrier, so anything the inner device holds in a volatile write
+// cache is lost when the harness simulates the power-off (Disk.Crash).
+// Together with Disk.FailFlushAfter this covers the group-commit destage
+// scenarios: an omitted batch flush here, a partial one there.
+func (f *FaultDisk) ArmFlush(nth int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.limit = -1
+	f.written = 0
+	f.tripped = false
+	f.bounds = nil
+	f.flushLimit = nth
+	f.flushes = 0
+}
+
+// Flushes returns how many Flush calls the device has seen since arming.
+func (f *FaultDisk) Flushes() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.flushes
 }
 
 // Inner returns the wrapped device (used to reopen the disk image after the
@@ -178,13 +211,20 @@ func (f *FaultDisk) WriteAt(p []byte, off int64) (int, error) {
 	return 0, ErrFault
 }
 
-// Flush implements Device; the barrier fails once the fault has tripped.
+// Flush implements Device; the barrier fails once the fault has tripped,
+// and an armed destage fault trips here before reaching the inner device.
 func (f *FaultDisk) Flush() error {
 	f.mu.Lock()
-	dead := f.tripped
-	f.mu.Unlock()
-	if dead {
+	if f.tripped {
+		f.mu.Unlock()
 		return ErrFault
 	}
+	f.flushes++
+	if f.flushLimit > 0 && f.flushes >= f.flushLimit {
+		f.tripped = true
+		f.mu.Unlock()
+		return ErrFault
+	}
+	f.mu.Unlock()
 	return f.d.Flush()
 }

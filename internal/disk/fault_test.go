@@ -125,3 +125,66 @@ func TestFaultDiskRearmResets(t *testing.T) {
 		t.Error("rearm should clear the trip state")
 	}
 }
+
+func TestFaultDiskArmFlushTripsOnNthBarrier(t *testing.T) {
+	f, _ := testFaultDisk(t)
+	f.ArmFlush(2)
+	if err := f.Flush(); err != nil {
+		t.Fatalf("first flush: %v", err)
+	}
+	if err := f.Flush(); !errors.Is(err, ErrFault) {
+		t.Fatalf("second flush should trip: %v", err)
+	}
+	if !f.Tripped() {
+		t.Error("flush fault should trip the device")
+	}
+	if _, err := f.WriteAt([]byte{1}, 0); !errors.Is(err, ErrFault) {
+		t.Error("writes after the flush fault should fail")
+	}
+	if f.Flushes() != 2 {
+		t.Errorf("flushes = %d, want 2", f.Flushes())
+	}
+}
+
+func TestPartialFlushDestagesPrefixOnly(t *testing.T) {
+	d := New(Params{Sectors: 1 << 10, WriteCache: true}, &vclock.Clock{})
+	a := bytes.Repeat([]byte{0xaa}, 2*SectorSize)
+	b := bytes.Repeat([]byte{0xbb}, 2*SectorSize)
+	if _, err := d.WriteAt(a, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.WriteAt(b, 8*SectorSize); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	// Budget covers the first cached write and half the second: the second
+	// is torn at a sector boundary and the remainder of the cache is lost.
+	d.FailFlushAfter(2*SectorSize+SectorSize+100, boom)
+	if err := d.Flush(); !errors.Is(err, boom) {
+		t.Fatalf("partial flush should report the injected error: %v", err)
+	}
+	d.Crash()
+	got := make([]byte, 2*SectorSize)
+	if _, err := d.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, a) {
+		t.Error("first write should have destaged whole")
+	}
+	if _, err := d.ReadAt(got, 8*SectorSize); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:SectorSize], b[:SectorSize]) {
+		t.Error("second write should have destaged its first sector")
+	}
+	if !bytes.Equal(got[SectorSize:], make([]byte, SectorSize)) {
+		t.Error("second write's torn sector should be untouched")
+	}
+	// The arm is one-shot: a later flush destages normally.
+	if _, err := d.WriteAt(a, 16*SectorSize); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Flush(); err != nil {
+		t.Fatalf("later flush: %v", err)
+	}
+}

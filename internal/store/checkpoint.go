@@ -1,0 +1,405 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"histar/internal/btree"
+)
+
+// Checkpoint writes every dirty object to a freshly allocated home extent,
+// persists the metadata trees and superblock, and truncates the log: the
+// whole-system snapshot behind HiStar's group sync consistency choice.  The
+// application either runs to completion or appears never to have started.
+// It holds ckptMu exclusively — the stop-the-world moment every concurrent
+// operation's read lock fences against — so entries and trees are accessed
+// directly.
+//
+// Checkpoints are copy-on-write: a dirty object is never rewritten over the
+// extent the current (still-referenced) snapshot points to, because a torn
+// write there would corrupt the only intact copy — exactly the failure the
+// crash-injection harness replays for.  Extents vacated by relocation or
+// deletion are held back from the allocator until every data write of this
+// checkpoint has issued, then returned to the free trees just before the
+// metadata snapshot is serialized: the new snapshot records them free, while
+// the old snapshot's extents were never overwritten, so whichever superblock
+// a crash leaves behind references only intact data.
+func (s *Store) Checkpoint() error {
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+	return s.checkpointLocked()
+}
+
+// checkpointLocked is Checkpoint's body; the caller holds ckptMu exclusively.
+func (s *Store) checkpointLocked() error {
+	if s.closed {
+		return ErrClosed
+	}
+	s.c.checkpoints.Add(1)
+	if err := s.relocateDirty(); err != nil {
+		return err
+	}
+	// All data writes issued; the vacated extents may now rejoin the free
+	// trees so the metadata snapshot below records them reusable.
+	for _, e := range s.deferredFree {
+		s.addFree(e)
+	}
+	s.deferredFree = nil
+	if err := s.writeSuperblock(); err != nil {
+		return err
+	}
+	if err := s.d.Flush(); err != nil {
+		return err
+	}
+	if err := s.l.Truncate(); err != nil {
+		return err
+	}
+	s.c.logApplications.Add(1)
+	s.ckptEpoch.Add(1)
+	return nil
+}
+
+// relocateDirty walks every entry, vacating deleted objects' extents and
+// writing dirty objects to fresh home extents.  It is the object map's only
+// writer and runs behind metaMu exclusively (concurrent readers are already
+// excluded by the caller's ckptMu hold, so metaMu here is the lock-order
+// witness, not the exclusion).
+func (s *Store) relocateDirty() error {
+	s.metaMu.Lock()
+	defer s.metaMu.Unlock()
+	for si := range s.shards {
+		sh := &s.shards[si]
+		for id, e := range sh.objs {
+			switch {
+			case e.dead:
+				// Vacate the extent of a deleted object (deferred: see the
+				// Checkpoint comment); the label was cleared at delete time.
+				if off, ok := s.objMap.Get(btree.K1(id)); ok {
+					size := s.objSizes[id]
+					s.objMap.Delete(btree.K1(id))
+					delete(s.objSizes, id)
+					s.deferredFree = append(s.deferredFree, extent{off: int64(off), size: alignUp(size)})
+				}
+				delete(sh.objs, id)
+			case e.dirty:
+				// Write the object to a new home extent.  Delayed allocation:
+				// space is chosen only now, so consecutive dirty objects land
+				// contiguously.
+				if oldOff, ok := s.objMap.Get(btree.K1(id)); ok {
+					oldSize := s.objSizes[id]
+					s.objMap.Delete(btree.K1(id))
+					s.deferredFree = append(s.deferredFree, extent{off: int64(oldOff), size: alignUp(oldSize)})
+				}
+				ext, err := s.allocate(int64(len(e.data)))
+				if err != nil {
+					return err
+				}
+				if len(e.data) > 0 {
+					if _, err := s.d.WriteAt(e.data, ext.off); err != nil {
+						return err
+					}
+				}
+				s.objMap.Put(btree.K1(id), uint64(ext.off))
+				s.objSizes[id] = int64(len(e.data))
+				s.c.bytesHome.Add(uint64(len(e.data)))
+				e.dirty = false
+			case !e.cached && !e.hasLbl:
+				// Nothing worth remembering: prune the entry.
+				delete(sh.objs, id)
+			}
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Extent allocation.
+// ---------------------------------------------------------------------------
+
+func alignUp(n int64) int64 {
+	if n <= 0 {
+		return extentAlign
+	}
+	return (n + extentAlign - 1) / extentAlign * extentAlign
+}
+
+// allocate finds a free extent of at least size bytes using the
+// free-by-size tree, splitting the extent when it is larger than needed.
+func (s *Store) allocate(size int64) (extent, error) {
+	s.allocMu.Lock()
+	defer s.allocMu.Unlock()
+	need := alignUp(size)
+	k, _, ok := s.freeBySize.Ceiling(btree.K2(uint64(need), 0))
+	if !ok {
+		return extent{}, ErrNoSpace
+	}
+	ext := extent{off: int64(k[1]), size: int64(k[0])}
+	s.removeFreeLocked(ext)
+	if ext.size > need {
+		s.addFreeLocked(extent{off: ext.off + need, size: ext.size - need})
+		ext.size = need
+	}
+	return ext, nil
+}
+
+// addFree inserts an extent into both free trees, coalescing with adjacent
+// extents (the purpose of the offset-indexed tree).
+func (s *Store) addFree(e extent) {
+	s.allocMu.Lock()
+	s.addFreeLocked(e)
+	s.allocMu.Unlock()
+}
+
+func (s *Store) addFreeLocked(e extent) {
+	if e.size <= 0 {
+		return
+	}
+	// Coalesce with the preceding extent.
+	if k, v, ok := s.freeByOff.Floor(btree.K1(uint64(e.off))); ok {
+		prev := extent{off: int64(k[0]), size: int64(v)}
+		if prev.off+prev.size == e.off {
+			s.removeFreeLocked(prev)
+			e.off = prev.off
+			e.size += prev.size
+		}
+	}
+	// Coalesce with the following extent.
+	if k, v, ok := s.freeByOff.Ceiling(btree.K1(uint64(e.off + e.size))); ok {
+		next := extent{off: int64(k[0]), size: int64(v)}
+		if e.off+e.size == next.off {
+			s.removeFreeLocked(next)
+			e.size += next.size
+		}
+	}
+	s.freeBySize.Put(btree.K2(uint64(e.size), uint64(e.off)), 0)
+	s.freeByOff.Put(btree.K1(uint64(e.off)), uint64(e.size))
+}
+
+func (s *Store) removeFreeLocked(e extent) {
+	s.freeBySize.Delete(btree.K2(uint64(e.size), uint64(e.off)))
+	s.freeByOff.Delete(btree.K1(uint64(e.off)))
+}
+
+// ---------------------------------------------------------------------------
+// Superblock and metadata persistence.
+// ---------------------------------------------------------------------------
+
+// The superblock stores the location and length of the serialized metadata
+// (object map, object sizes, free list, labels, label index).  Metadata is
+// written to the alternate metadata area on every checkpoint and the
+// superblock is updated last, so a crash during checkpoint leaves the
+// previous snapshot intact.  writeSuperblock and the metadata codecs run
+// only under ckptMu held exclusively (Checkpoint) or during single-threaded
+// construction (Format, Open).
+
+func (s *Store) writeSuperblock() error {
+	meta := s.encodeMetadata()
+	if int64(len(meta)) > s.metaSize {
+		return fmt.Errorf("store: metadata (%d bytes) exceeds the metadata area", len(meta))
+	}
+	next := 1 - s.metaWhich
+	metaOff := logOffset + s.logSize + int64(next)*s.metaSize
+	if len(meta) > 0 {
+		if _, err := s.d.WriteAt(meta, metaOff); err != nil {
+			return err
+		}
+	}
+	var sb [superblockSize]byte
+	binary.LittleEndian.PutUint64(sb[0:], superMagic)
+	binary.LittleEndian.PutUint64(sb[8:], uint64(next))
+	binary.LittleEndian.PutUint64(sb[16:], uint64(len(meta)))
+	binary.LittleEndian.PutUint64(sb[24:], uint64(s.logSize))
+	binary.LittleEndian.PutUint64(sb[32:], uint64(s.metaSize))
+	if _, err := s.d.WriteAt(sb[:], superblockOffset); err != nil {
+		return err
+	}
+	if err := s.d.Flush(); err != nil {
+		return err
+	}
+	s.metaWhich = next
+	return nil
+}
+
+func (s *Store) readSuperblock() error {
+	var sb [superblockSize]byte
+	if _, err := s.d.ReadAt(sb[:], superblockOffset); err != nil {
+		return err
+	}
+	if binary.LittleEndian.Uint64(sb[0:]) != superMagic {
+		return fmt.Errorf("store: bad superblock magic")
+	}
+	which := int(binary.LittleEndian.Uint64(sb[8:]))
+	metaLen := int64(binary.LittleEndian.Uint64(sb[16:]))
+	s.logSize = int64(binary.LittleEndian.Uint64(sb[24:]))
+	s.metaSize = int64(binary.LittleEndian.Uint64(sb[32:]))
+	if s.metaSize == 0 {
+		// Images from before the metadata area size was recorded.
+		s.metaSize = defaultMetaAreaSize
+	}
+	s.metaWhich = which
+	if metaLen == 0 {
+		dataStart := logOffset + s.logSize + 2*s.metaSize
+		s.addFree(extent{off: dataStart, size: s.d.Size() - dataStart})
+		return nil
+	}
+	metaOff := logOffset + s.logSize + int64(which)*s.metaSize
+	meta := make([]byte, metaLen)
+	if _, err := s.d.ReadAt(meta, metaOff); err != nil {
+		return err
+	}
+	return s.decodeMetadata(meta)
+}
+
+// encodeMetadata serializes the object map, object sizes, free list, labels
+// and label index.  Caller holds ckptMu exclusively (or is single-threaded
+// construction).
+func (s *Store) encodeMetadata() []byte {
+	var buf []byte
+	appendU64 := func(v uint64) { var b [8]byte; binary.LittleEndian.PutUint64(b[:], v); buf = append(buf, b[:]...) }
+
+	appendU64(uint64(s.objMap.Len()))
+	s.objMap.Scan(func(k btree.Key, v uint64) bool {
+		appendU64(k[0])
+		appendU64(v)
+		appendU64(uint64(s.objSizes[k[0]]))
+		return true
+	})
+	// Free list by offset.
+	var frees [][2]uint64
+	s.freeByOff.Scan(func(k btree.Key, v uint64) bool {
+		frees = append(frees, [2]uint64{k[0], v})
+		return true
+	})
+	appendU64(uint64(len(frees)))
+	for _, f := range frees {
+		appendU64(f[0])
+		appendU64(f[1])
+	}
+	// Object labels, in canonical serialized form.  Older metadata images
+	// simply end here; decodeMetadata treats the section as optional.
+	nLabels := 0
+	for si := range s.shards {
+		nLabels += s.shards[si].labelIndex.Len()
+	}
+	appendU64(uint64(nLabels))
+	for si := range s.shards {
+		for id, e := range s.shards[si].objs {
+			if !e.hasLbl {
+				continue
+			}
+			appendU64(id)
+			buf = e.lbl.AppendBinary(buf)
+		}
+	}
+	// The fingerprint-keyed label index, serialized shard by shard in tree
+	// order.  Also optional on decode: images written before the index
+	// existed rebuild it from the label section above.
+	appendU64(uint64(nLabels))
+	for si := range s.shards {
+		s.shards[si].labelIndex.Scan(func(k btree.Key, _ uint64) bool {
+			appendU64(k[0])
+			appendU64(k[1])
+			return true
+		})
+	}
+	return buf
+}
+
+// decodeMetadata rebuilds the trees and entries from a snapshot image; Open
+// calls it before the store is published, so no locks are taken.
+func (s *Store) decodeMetadata(buf []byte) error {
+	readU64 := func() (uint64, error) {
+		if len(buf) < 8 {
+			return 0, fmt.Errorf("store: truncated metadata")
+		}
+		v := binary.LittleEndian.Uint64(buf)
+		buf = buf[8:]
+		return v, nil
+	}
+	n, err := readU64()
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < n; i++ {
+		id, err := readU64()
+		if err != nil {
+			return err
+		}
+		off, err := readU64()
+		if err != nil {
+			return err
+		}
+		size, err := readU64()
+		if err != nil {
+			return err
+		}
+		s.objMap.Put(btree.K1(id), off)
+		s.objSizes[id] = int64(size)
+	}
+	nf, err := readU64()
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < nf; i++ {
+		off, err := readU64()
+		if err != nil {
+			return err
+		}
+		size, err := readU64()
+		if err != nil {
+			return err
+		}
+		s.freeBySize.Put(btree.K2(size, off), 0)
+		s.freeByOff.Put(btree.K1(off), size)
+	}
+	// Optional label section (absent in pre-label metadata images).
+	if len(buf) == 0 {
+		return nil
+	}
+	nl, err := readU64()
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < nl; i++ {
+		id, err := readU64()
+		if err != nil {
+			return err
+		}
+		lbl, rest, err := s.decodeLabel(buf)
+		if err != nil {
+			return err
+		}
+		buf = rest
+		e := s.shardOf(id).getOrCreate(id)
+		e.lbl, e.hasLbl = lbl, true
+	}
+	// Optional label-index section (absent in pre-index images, which
+	// rebuild it from the labels just decoded).
+	if len(buf) == 0 {
+		for si := range s.shards {
+			sh := &s.shards[si]
+			for id, e := range sh.objs {
+				if e.hasLbl {
+					sh.labelIndex.Put(btree.K2(uint64(e.lbl.Fingerprint()), id), 0)
+				}
+			}
+		}
+		return nil
+	}
+	ni, err := readU64()
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < ni; i++ {
+		fp, err := readU64()
+		if err != nil {
+			return err
+		}
+		id, err := readU64()
+		if err != nil {
+			return err
+		}
+		s.shardOf(id).labelIndex.Put(btree.K2(fp, id), 0)
+	}
+	return nil
+}

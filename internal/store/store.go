@@ -4,10 +4,10 @@
 // The layout follows the paper's description, inspired by XFS: a B+-tree
 // maps object IDs to their location on disk, two more B+-trees maintain the
 // free-extent list (indexed by size, for allocation, and by location, for
-// coalescing), and a fourth B+-tree keys object IDs by their label's
-// fingerprint so "every object tainted by category c" scans never touch a
-// serialized label.  Write-ahead logging provides atomicity and crash
-// consistency, and disk space allocation is delayed until an object is
+// coalescing), and a per-shard fourth B+-tree keys object IDs by their
+// label's fingerprint so "every object tainted by category c" scans never
+// touch a serialized label.  Write-ahead logging provides atomicity and
+// crash consistency, and disk space allocation is delayed until an object is
 // written to disk, making it easier to allocate contiguous extents.
 //
 // # On-disk layout
@@ -42,24 +42,62 @@
 //     checkpoint.
 //   - per-object sync: SyncObject appends the object — contents and label
 //     in one record, so a crash can never resurrect an object without its
-//     taint — to the write-ahead log and commits: a sequential write plus
-//     flush per operation.
+//     taint — to the write-ahead log through the group committer and waits
+//     for the batch commit: concurrent syncers share one sequential write
+//     plus flush.
 //   - group sync: Checkpoint writes every dirty object to its home extent,
 //     persists the metadata trees, and updates the superblock once.
+//
+// # Locking discipline
+//
+// The store admits concurrent operations with the same discipline the
+// kernel uses: no big lock, sharded tables, per-object state.  In order of
+// acquisition:
+//
+//  1. ckptMu, a store-wide RWMutex, is the checkpoint gate: every object
+//     operation (Put, Get, Delete, label ops, SyncObject, stats) holds it in
+//     read mode for its duration, and Checkpoint/Close hold it exclusively.
+//     A checkpoint is HiStar's stop-the-world whole-system snapshot, so
+//     exclusivity is semantically required, not a convenience; everything
+//     else runs concurrently under read mode.
+//  2. Each cached object has its own entry (objEntry) with a per-entry
+//     mutex guarding its contents, dirty/dead flags, and label.  Contents
+//     are copy-on-write: e.data is replaced, never mutated in place, so a
+//     sealed log record may alias it after the entry lock is released.
+//  3. The entry table is sharded by object-ID bits (Options.Shards; 1
+//     forces the single-shard ablation).  Each shard's RWMutex guards its
+//     id→entry map and its slice of the label fingerprint index.  Shard
+//     locks nest inside entry locks (label-index updates) and are never
+//     held while acquiring an entry lock — entry pointers are fetched under
+//     the shard read lock, which is released before the entry is locked.
+//  4. metaMu (RWMutex) guards the object map and size table: Get's
+//     home-location reads take it shared, checkpoint relocation takes it
+//     exclusively.
+//  5. allocMu guards the free-extent trees and the deferred-free list.
+//     Reads never touch it, so lookups never contend with allocation.
+//  6. The committer's queue mutex (see groupcommit.go) is a leaf below the
+//     entry locks: records are sealed and enqueued under the entry lock so
+//     per-object log order matches seal order.
+//
+// Under ckptMu held exclusively no other lock is required: Checkpoint,
+// Format, and Open read and write entries and trees directly.
 //
 // Recovery (Open) loads the snapshot the superblock references, replays the
 // committed write-ahead log on top of it — restoring each logged object's
 // label and recomputing its fingerprints exactly once — and rebuilds the
 // fingerprint index entries for replayed labels.  The crash-injection
 // harness in this package's tests replays every write-boundary crash point
-// of randomized workloads to check exactly this path.
+// of randomized workloads — concurrent ones included — to check exactly
+// this path.
 package store
 
 import (
-	"encoding/binary"
 	"errors"
 	"fmt"
+	"math/bits"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"histar/internal/btree"
 	"histar/internal/disk"
@@ -116,6 +154,13 @@ type Stats struct {
 	LabelDecodes uint64
 	// IndexQueries counts ObjectsWithLabel calls.
 	IndexQueries uint64
+	// WALCommits counts write-ahead log commits; with group commit active it
+	// stays below ObjectSyncs (many syncs per flush).  GroupBatches counts
+	// the batches the committer successfully committed (the committer is the
+	// single source of truth for batching stats; see GroupCommitStats for
+	// the full histogram).
+	WALCommits   uint64
+	GroupBatches uint64
 	DirtyObjects int
 	LiveObjects  int
 	// LabeledObjects and IndexEntries snapshot the label map and the
@@ -124,42 +169,63 @@ type Stats struct {
 	IndexEntries   int
 }
 
+type counters struct {
+	puts, gets, deletes, objectSyncs atomic.Uint64
+	checkpoints, logApplications     atomic.Uint64
+	bytesLogged, bytesHome           atomic.Uint64
+	labelBytesLogged, labelDecodes   atomic.Uint64
+	indexQueries                     atomic.Uint64
+}
+
 type extent struct {
 	off  int64
 	size int64
 }
 
 // Store is a single-level store on a simulated disk.  It is safe for
-// concurrent use.
+// concurrent use; see the package comment for the locking discipline.
 type Store struct {
-	mu sync.Mutex
-	d  disk.Device
-	l  *wal.Log
+	d disk.Device
+	l *wal.Log
 
 	logSize  int64
 	metaSize int64
 
-	objMap     *btree.Tree // object ID → extent offset
-	objSizes   map[uint64]int64
+	// ckptMu is the checkpoint gate (discipline rule 1).  closed is guarded
+	// by it (read under R, written under W).
+	ckptMu sync.RWMutex
+	closed bool
+
+	// ckptEpoch counts completed checkpoints; SyncObject's full-log fallback
+	// uses it to detect that another syncer's checkpoint already made its
+	// sealed state durable.
+	ckptEpoch atomic.Uint64
+
+	// shards hold the in-memory object entries and the label index,
+	// partitioned by object-ID bits.
+	shards    []storeShard
+	shardMask uint64
+
+	// metaMu guards the object map and size table.
+	metaMu   sync.RWMutex
+	objMap   *btree.Tree // object ID → extent offset
+	objSizes map[uint64]int64
+
+	// allocMu guards the free-extent trees and the deferred-free list.
+	allocMu    sync.Mutex
 	freeBySize *btree.Tree // (size, offset) → 0
 	freeByOff  *btree.Tree // (offset, 0) → size
-	labelIndex *btree.Tree // (label fingerprint, object ID) → 0
-
-	cache  map[uint64][]byte      // in-memory object contents (the "page cache")
-	dirty  map[uint64]bool        // objects modified since last checkpoint/apply
-	dead   map[uint64]bool        // objects deleted since last checkpoint
-	labels map[uint64]label.Label // object labels, persisted in canonical form
-
 	// deferredFree holds extents vacated during a checkpoint (relocations
 	// and deletions) until every data write of that checkpoint has issued;
 	// kept on the store, not the stack, so a failed checkpoint retains them
 	// for the next attempt instead of leaking the space.
 	deferredFree []extent
 
+	comm committer
+
 	metaWhich int // which metadata area (0 or 1) the superblock references
 
-	stats  Stats
-	closed bool
+	c counters
 }
 
 // Options configure Format and Open.
@@ -170,24 +236,58 @@ type Options struct {
 	// areas (default 16 MB).  Format records it in the superblock; Open
 	// reads it back, so the option only matters when formatting.
 	MetaAreaSize int64
+	// Shards is the store-shards knob: the number of object-cache shards
+	// (rounded down to a power of two).  0 picks the default; 1 forces the
+	// whole cache through a single shard lock, used by the scaling ablation
+	// benchmarks.  Runtime-only: not persisted in the superblock.
+	Shards int
+	// GroupCommitBytes bounds the encoded size of one group-commit batch
+	// (default 1 MB); a batch always admits at least one record.
+	GroupCommitBytes int64
+	// GroupCommitRecords bounds the number of records in one group-commit
+	// batch (default 128).
+	GroupCommitRecords int
 }
+
+// defaultStoreShards keeps shard-lock collisions negligible at any
+// realistic GOMAXPROCS while staying cheap to iterate for stats.
+const defaultStoreShards = 32
 
 // newStore builds the in-memory skeleton shared by Format and Open.
 func newStore(d disk.Device, opts Options) *Store {
-	return &Store{
-		d:          d,
-		logSize:    opts.LogSize,
-		metaSize:   opts.MetaAreaSize,
-		objMap:     &btree.Tree{},
-		objSizes:   make(map[uint64]int64),
+	nShards := defaultStoreShards
+	if opts.Shards > 0 {
+		nShards = 1 << bits.Len(uint(opts.Shards)) >> 1 // round down to a power of two
+		if nShards < 1 {
+			nShards = 1
+		}
+	}
+	s := &Store{
+		d:        d,
+		logSize:  opts.LogSize,
+		metaSize: opts.MetaAreaSize,
+		objMap:   &btree.Tree{},
+		objSizes: make(map[uint64]int64),
+
 		freeBySize: &btree.Tree{},
 		freeByOff:  &btree.Tree{},
-		labelIndex: &btree.Tree{},
-		cache:      make(map[uint64][]byte),
-		dirty:      make(map[uint64]bool),
-		dead:       make(map[uint64]bool),
-		labels:     make(map[uint64]label.Label),
+
+		shards:    make([]storeShard, nShards),
+		shardMask: uint64(nShards - 1),
 	}
+	for i := range s.shards {
+		s.shards[i].objs = make(map[uint64]*objEntry)
+		s.shards[i].labelIndex = &btree.Tree{}
+	}
+	s.comm.maxBytes = opts.GroupCommitBytes
+	if s.comm.maxBytes <= 0 {
+		s.comm.maxBytes = 1 << 20
+	}
+	s.comm.maxRecs = opts.GroupCommitRecords
+	if s.comm.maxRecs <= 0 {
+		s.comm.maxRecs = 128
+	}
+	return s
 }
 
 // Format initializes an empty single-level store on d, erasing any previous
@@ -233,18 +333,23 @@ func Open(d disk.Device, opts Options) (*Store, error) {
 	if err != nil && !errors.Is(err, wal.ErrCorrupt) {
 		return nil, err
 	}
-	// Re-apply committed log records on top of the checkpointed state.
+	// Re-apply committed log records on top of the checkpointed state.  Open
+	// is single-threaded (the store is not yet published), so entries are
+	// written directly.
 	legacy := s.l.RecoveredLegacy()
 	for _, r := range recs {
+		sh := s.shardOf(r.ObjectID)
+		e := sh.getOrCreate(r.ObjectID)
 		if r.Delete {
-			s.deleteLocked(r.ObjectID)
+			e.data, e.cached, e.dirty, e.dead = nil, false, false, true
+			s.clearLabel(sh, r.ObjectID, e)
 			continue
 		}
-		s.cache[r.ObjectID] = append([]byte(nil), r.Data...)
-		s.dirty[r.ObjectID] = true
+		e.data = append([]byte(nil), r.Data...)
+		e.cached, e.dirty = true, true
 		// A logged re-create after a logged tombstone must clear the dead
 		// flag, or the next SyncObject would log a spurious deletion.
-		delete(s.dead, r.ObjectID)
+		e.dead = false
 		switch {
 		case len(r.Label) > 0:
 			lbl, rest, derr := s.decodeLabel(r.Label)
@@ -253,14 +358,14 @@ func Open(d disk.Device, opts Options) (*Store, error) {
 			}
 			// Fingerprints were recomputed once by the decode; the index
 			// entry is rebuilt here so replayed taints are queryable.
-			s.setLabelLocked(r.ObjectID, lbl)
+			s.setLabel(sh, r.ObjectID, e, lbl)
 		case !legacy:
 			// A label-less record asserts the object was unlabeled when it
 			// was synced (it may have been deleted and re-created since a
 			// checkpoint recorded a label, with no tombstone ever logged).
 			// Migrated version-1 records are exempt: they predate labels in
 			// the log, so the snapshot's label is the best information.
-			s.clearLabelLocked(r.ObjectID)
+			s.clearLabel(sh, r.ObjectID, e)
 		}
 	}
 	return s, nil
@@ -271,73 +376,150 @@ func (s *Store) Disk() disk.Device { return s.d }
 
 // Stats returns a snapshot of store statistics.
 func (s *Store) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	st := s.stats
-	st.DirtyObjects = len(s.dirty)
-	st.LiveObjects = s.objMap.Len() + len(s.dirtyOnlyLocked())
-	st.LabeledObjects = len(s.labels)
-	st.IndexEntries = s.labelIndex.Len()
+	s.ckptMu.RLock()
+	defer s.ckptMu.RUnlock()
+	ws := s.l.Stats()
+	st := Stats{
+		Puts:             s.c.puts.Load(),
+		Gets:             s.c.gets.Load(),
+		Deletes:          s.c.deletes.Load(),
+		ObjectSyncs:      s.c.objectSyncs.Load(),
+		Checkpoints:      s.c.checkpoints.Load(),
+		LogApplications:  s.c.logApplications.Load(),
+		BytesLogged:      s.c.bytesLogged.Load(),
+		BytesHome:        s.c.bytesHome.Load(),
+		LabelBytesLogged: s.c.labelBytesLogged.Load(),
+		LabelDecodes:     s.c.labelDecodes.Load(),
+		IndexQueries:     s.c.indexQueries.Load(),
+		WALCommits:       ws.Commits,
+		GroupBatches:     s.GroupCommitStats().Batches,
+	}
+	// Entry locks first, metaMu second: the entry→metaMu order matches
+	// Get's readHome path, so a pending metaMu writer can never wedge
+	// between the two.
+	var dirtyIDs []uint64
+	for si := range s.shards {
+		sh := &s.shards[si]
+		for _, e := range sh.snapshot() {
+			e.entry.mu.Lock()
+			if e.entry.dirty {
+				dirtyIDs = append(dirtyIDs, e.id)
+			}
+			e.entry.mu.Unlock()
+		}
+		sh.mu.RLock()
+		st.IndexEntries += sh.labelIndex.Len()
+		sh.mu.RUnlock()
+	}
+	st.DirtyObjects = len(dirtyIDs)
+	s.metaMu.RLock()
+	st.LiveObjects = s.objMap.Len()
+	for _, id := range dirtyIDs {
+		if _, ok := s.objMap.Get(btree.K1(id)); !ok {
+			st.LiveObjects++
+		}
+	}
+	s.metaMu.RUnlock()
+	st.LabeledObjects = st.IndexEntries
 	return st
 }
 
-func (s *Store) dirtyOnlyLocked() []uint64 {
-	var out []uint64
-	for id := range s.dirty {
-		if _, ok := s.objMap.Get(btree.K1(id)); !ok {
-			out = append(out, id)
-		}
-	}
-	return out
-}
+// WALStats returns the write-ahead log's cumulative counters (commit,
+// truncate, append, and group-commit batch counts).
+func (s *Store) WALStats() wal.Stats { return s.l.Stats() }
 
 // Put stores (or replaces) the contents of an object in memory.  Nothing is
 // written to disk until SyncObject or a checkpoint, mirroring HiStar's
 // delayed allocation.
 func (s *Store) Put(id uint64, data []byte) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.ckptMu.RLock()
+	defer s.ckptMu.RUnlock()
 	if s.closed {
 		return ErrClosed
 	}
-	s.putLocked(id, data)
+	e := s.shardOf(id).getOrCreate(id)
+	e.mu.Lock()
+	s.putEntry(e, data)
+	e.mu.Unlock()
 	return nil
 }
 
-func (s *Store) putLocked(id uint64, data []byte) {
-	s.cache[id] = append([]byte(nil), data...)
-	s.dirty[id] = true
-	delete(s.dead, id)
-	s.stats.Puts++
+// putEntry installs new contents; the caller holds ckptMu in read mode and
+// the entry lock.
+func (s *Store) putEntry(e *objEntry, data []byte) {
+	// Copy-on-write: replace, never mutate, so sealed log records may alias
+	// the old slice.
+	e.data = append([]byte(nil), data...)
+	e.cached, e.dirty, e.dead = true, true, false
+	s.c.puts.Add(1)
 }
 
 // Get returns the contents of an object, reading it from disk if it is not
 // cached.
 func (s *Store) Get(id uint64) ([]byte, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.ckptMu.RLock()
+	defer s.ckptMu.RUnlock()
 	if s.closed {
 		return nil, ErrClosed
 	}
-	s.stats.Gets++
-	if data, ok := s.cache[id]; ok {
-		return append([]byte(nil), data...), nil
+	s.c.gets.Add(1)
+	sh := s.shardOf(id)
+	e := sh.lookup(id)
+	if e == nil {
+		// No in-memory state at all: the home location is authoritative.
+		buf, err := s.readHome(id)
+		if err != nil {
+			return nil, err
+		}
+		e = sh.getOrCreate(id)
+		e.mu.Lock()
+		switch {
+		case e.cached: // raced with a Put: its contents are newer
+			buf = append([]byte(nil), e.data...)
+		case e.dead:
+			e.mu.Unlock()
+			return nil, ErrNoSuchObject
+		default:
+			e.data = append([]byte(nil), buf...)
+			e.cached = true
+		}
+		e.mu.Unlock()
+		return buf, nil
 	}
-	if s.dead[id] {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.cached {
+		return append([]byte(nil), e.data...), nil
+	}
+	if e.dead {
 		return nil, ErrNoSuchObject
 	}
+	// Entry holds only a label (or was evicted): page the contents in while
+	// holding the entry lock so concurrent misses do one disk read.
+	buf, err := s.readHome(id)
+	if err != nil {
+		return nil, err
+	}
+	e.data = append([]byte(nil), buf...)
+	e.cached = true
+	return buf, nil
+}
+
+// readHome reads an object's contents from its home extent.
+func (s *Store) readHome(id uint64) ([]byte, error) {
+	s.metaMu.RLock()
 	off, ok := s.objMap.Get(btree.K1(id))
+	size := s.objSizes[id]
+	s.metaMu.RUnlock()
 	if !ok {
 		return nil, ErrNoSuchObject
 	}
-	size := s.objSizes[id]
 	buf := make([]byte, size)
 	if size > 0 {
 		if _, err := s.d.ReadAt(buf, int64(off)); err != nil {
 			return nil, err
 		}
 	}
-	s.cache[id] = append([]byte(nil), buf...)
 	return buf, nil
 }
 
@@ -345,83 +527,96 @@ func (s *Store) Get(id uint64) ([]byte, error) {
 // Labels are serialized in their canonical sorted form (into every SyncObject
 // log record, and into the metadata snapshot at checkpoint) and their
 // fingerprints are recomputed exactly once on load, so a restored system
-// resumes with warm comparison-cache keys.
+// resumes with warm comparison-cache keys.  Contents and label are installed
+// under one entry-lock hold, so a concurrent SyncObject can never seal the
+// new contents with the old (or no) label — the same atomicity the log
+// record format provides on disk.
 func (s *Store) PutLabeled(id uint64, lbl label.Label, data []byte) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.ckptMu.RLock()
+	defer s.ckptMu.RUnlock()
 	if s.closed {
 		return ErrClosed
 	}
-	s.putLocked(id, data)
-	s.setLabelLocked(id, lbl)
+	sh := s.shardOf(id)
+	e := sh.getOrCreate(id)
+	e.mu.Lock()
+	s.putEntry(e, data)
+	s.setLabel(sh, id, e, lbl)
+	e.mu.Unlock()
 	return nil
 }
 
 // SetLabel records (or replaces) the label of an object without touching its
 // contents.
 func (s *Store) SetLabel(id uint64, lbl label.Label) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.ckptMu.RLock()
+	defer s.ckptMu.RUnlock()
 	if s.closed {
 		return ErrClosed
 	}
-	s.setLabelLocked(id, lbl)
+	sh := s.shardOf(id)
+	e := sh.getOrCreate(id)
+	e.mu.Lock()
+	s.setLabel(sh, id, e, lbl)
+	e.mu.Unlock()
 	return nil
-}
-
-// setLabelLocked records a label and keeps the fingerprint index in step.
-func (s *Store) setLabelLocked(id uint64, lbl label.Label) {
-	if old, ok := s.labels[id]; ok {
-		s.labelIndex.Delete(btree.K2(uint64(old.Fingerprint()), id))
-	}
-	s.labels[id] = lbl
-	s.labelIndex.Put(btree.K2(uint64(lbl.Fingerprint()), id), 0)
-}
-
-// clearLabelLocked drops an object's label and its index entry.
-func (s *Store) clearLabelLocked(id uint64) {
-	if old, ok := s.labels[id]; ok {
-		s.labelIndex.Delete(btree.K2(uint64(old.Fingerprint()), id))
-		delete(s.labels, id)
-	}
 }
 
 // decodeLabel is the store's only route to label deserialization; it feeds
 // the LabelDecodes counter the index tests assert against.
 func (s *Store) decodeLabel(src []byte) (label.Label, []byte, error) {
-	s.stats.LabelDecodes++
+	s.c.labelDecodes.Add(1)
 	return label.DecodeBinary(src)
 }
 
 // Label returns the stored label of an object, if one was recorded.
 func (s *Store) Label(id uint64) (label.Label, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	l, ok := s.labels[id]
-	return l, ok
+	s.ckptMu.RLock()
+	defer s.ckptMu.RUnlock()
+	e := s.shardOf(id).lookup(id)
+	if e == nil {
+		return label.Label{}, false
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.lbl, e.hasLbl
 }
 
 // LabelCount returns how many objects have a recorded label.
 func (s *Store) LabelCount() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.labels)
+	s.ckptMu.RLock()
+	defer s.ckptMu.RUnlock()
+	n := 0
+	for si := range s.shards {
+		sh := &s.shards[si]
+		sh.mu.RLock()
+		n += sh.labelIndex.Len()
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
 // ObjectsWithLabel returns, in ascending order, the IDs of every object
 // whose label has the given fingerprint — the "all objects tainted by
 // category c" scan.  It is answered entirely from the fingerprint-keyed
-// label index: no label is deserialized or even compared, which the
-// LabelDecodes stat makes checkable.
+// label index slices (one per shard, merged and sorted): no label is
+// deserialized or even compared, which the LabelDecodes stat makes
+// checkable.
 func (s *Store) ObjectsWithLabel(fp label.Fingerprint) []uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.stats.IndexQueries++
+	s.ckptMu.RLock()
+	defer s.ckptMu.RUnlock()
+	s.c.indexQueries.Add(1)
 	var out []uint64
-	s.labelIndex.ScanPrefix(uint64(fp), func(k btree.Key, _ uint64) bool {
-		out = append(out, k[1])
-		return true
-	})
+	for si := range s.shards {
+		sh := &s.shards[si]
+		sh.mu.RLock()
+		sh.labelIndex.ScanPrefix(uint64(fp), func(k btree.Key, _ uint64) bool {
+			out = append(out, k[1])
+			return true
+		})
+		sh.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
@@ -429,14 +624,31 @@ func (s *Store) ObjectsWithLabel(fp label.Fingerprint) []uint64 {
 // mirror each other exactly; the recovery tests run it after every replayed
 // crash.
 func (s *Store) VerifyLabelIndex() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if n := s.labelIndex.Len(); n != len(s.labels) {
-		return fmt.Errorf("store: label index has %d entries for %d labels", n, len(s.labels))
-	}
-	for id, lbl := range s.labels {
-		if _, ok := s.labelIndex.Get(btree.K2(uint64(lbl.Fingerprint()), id)); !ok {
-			return fmt.Errorf("store: label index missing object %d (fingerprint %x)", id, uint64(lbl.Fingerprint()))
+	s.ckptMu.RLock()
+	defer s.ckptMu.RUnlock()
+	for si := range s.shards {
+		sh := &s.shards[si]
+		labeled := 0
+		for _, se := range sh.snapshot() {
+			se.entry.mu.Lock()
+			hasLbl, fp := se.entry.hasLbl, se.entry.lbl.Fingerprint()
+			se.entry.mu.Unlock()
+			if !hasLbl {
+				continue
+			}
+			labeled++
+			sh.mu.RLock()
+			_, ok := sh.labelIndex.Get(btree.K2(uint64(fp), se.id))
+			sh.mu.RUnlock()
+			if !ok {
+				return fmt.Errorf("store: label index missing object %d (fingerprint %x)", se.id, uint64(fp))
+			}
+		}
+		sh.mu.RLock()
+		n := sh.labelIndex.Len()
+		sh.mu.RUnlock()
+		if n != labeled {
+			return fmt.Errorf("store: shard %d label index has %d entries for %d labels", si, n, labeled)
 		}
 	}
 	return nil
@@ -444,173 +656,48 @@ func (s *Store) VerifyLabelIndex() error {
 
 // Cached reports whether the object's contents are resident in memory.
 func (s *Store) Cached(id uint64) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	_, ok := s.cache[id]
-	return ok
+	s.ckptMu.RLock()
+	defer s.ckptMu.RUnlock()
+	e := s.shardOf(id).lookup(id)
+	if e == nil {
+		return false
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.cached
 }
 
 // EvictCache drops all clean objects from the in-memory cache, forcing
 // subsequent Gets to hit the disk (used by the uncached read benchmarks).
+// Labels stay resident: only contents are evicted.
 func (s *Store) EvictCache() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for id := range s.cache {
-		if !s.dirty[id] {
-			delete(s.cache, id)
+	s.ckptMu.RLock()
+	defer s.ckptMu.RUnlock()
+	for si := range s.shards {
+		for _, se := range s.shards[si].snapshot() {
+			se.entry.mu.Lock()
+			if se.entry.cached && !se.entry.dirty {
+				se.entry.data, se.entry.cached = nil, false
+			}
+			se.entry.mu.Unlock()
 		}
 	}
 }
 
 // Delete removes an object.
 func (s *Store) Delete(id uint64) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.ckptMu.RLock()
+	defer s.ckptMu.RUnlock()
 	if s.closed {
 		return ErrClosed
 	}
-	s.stats.Deletes++
-	s.deleteLocked(id)
-	return nil
-}
-
-func (s *Store) deleteLocked(id uint64) {
-	delete(s.cache, id)
-	delete(s.dirty, id)
-	s.clearLabelLocked(id)
-	s.dead[id] = true
-}
-
-// SyncObject durably records the current contents of one object — and, in
-// the same log record, its canonical serialized label — by appending it to
-// the write-ahead log and committing: the fast path for fsync of a single
-// file's segment.  Because contents and label commit atomically, a crash
-// after SyncObject can never resurrect the object with a stale or missing
-// label.  Directory-level fsync in the Unix library uses Checkpoint instead,
-// which is why the paper's synchronous unlink phase is so much slower on
-// HiStar than Linux.
-func (s *Store) SyncObject(id uint64) error {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return ErrClosed
-	}
-	data, inCache := s.cache[id]
-	isDead := s.dead[id]
-	var lblBytes []byte
-	if lbl, ok := s.labels[id]; ok && !isDead {
-		lblBytes = lbl.AppendBinary(nil)
-	}
-	s.stats.ObjectSyncs++
-	s.mu.Unlock()
-
-	var rec wal.Record
-	switch {
-	case isDead:
-		rec = wal.Record{ObjectID: id, Delete: true}
-	case inCache:
-		rec = wal.Record{ObjectID: id, Data: data, Label: lblBytes}
-	default:
-		// Nothing in memory and not deleted: the on-disk copy is current.
-		return nil
-	}
-	if aerr := s.l.Append(rec); aerr != nil {
-		if errors.Is(aerr, wal.ErrTooLarge) {
-			// The record can never be logged (it exceeds the log region or
-			// the format's label-length field); a checkpoint provides the
-			// same durability — contents, label, and index — in one sweep.
-			return s.Checkpoint()
-		}
-		return aerr
-	}
-	err := s.l.Commit()
-	if errors.Is(err, wal.ErrFull) {
-		// Apply the log to home locations and retry once.  The record is
-		// still pending in the log; re-appending would duplicate it.
-		if cerr := s.Checkpoint(); cerr != nil {
-			return cerr
-		}
-		err = s.l.Commit()
-	}
-	if err == nil {
-		s.mu.Lock()
-		s.stats.BytesLogged += uint64(len(rec.Data))
-		s.stats.LabelBytesLogged += uint64(len(rec.Label))
-		s.mu.Unlock()
-	}
-	return err
-}
-
-// Checkpoint writes every dirty object to a freshly allocated home extent,
-// persists the metadata trees and superblock, and truncates the log: the
-// whole-system snapshot behind HiStar's group sync consistency choice.  The
-// application either runs to completion or appears never to have started.
-//
-// Checkpoints are copy-on-write: a dirty object is never rewritten over the
-// extent the current (still-referenced) snapshot points to, because a torn
-// write there would corrupt the only intact copy — exactly the failure the
-// crash-injection harness replays for.  Extents vacated by relocation or
-// deletion are held back from the allocator until every data write of this
-// checkpoint has issued, then returned to the free trees just before the
-// metadata snapshot is serialized: the new snapshot records them free, while
-// the old snapshot's extents were never overwritten, so whichever superblock
-// a crash leaves behind references only intact data.
-func (s *Store) Checkpoint() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return ErrClosed
-	}
-	s.stats.Checkpoints++
-	// Vacate extents of deleted objects (deferred: see above).
-	for id := range s.dead {
-		if off, ok := s.objMap.Get(btree.K1(id)); ok {
-			size := s.objSizes[id]
-			s.objMap.Delete(btree.K1(id))
-			delete(s.objSizes, id)
-			s.deferredFree = append(s.deferredFree, extent{off: int64(off), size: alignUp(size)})
-		}
-	}
-	s.dead = make(map[uint64]bool)
-	// Write dirty objects to new home extents.  Delayed allocation: space
-	// is chosen only now, so consecutive dirty objects land contiguously.
-	for id := range s.dirty {
-		data := s.cache[id]
-		if oldOff, ok := s.objMap.Get(btree.K1(id)); ok {
-			oldSize := s.objSizes[id]
-			s.objMap.Delete(btree.K1(id))
-			s.deferredFree = append(s.deferredFree, extent{off: int64(oldOff), size: alignUp(oldSize)})
-		}
-		ext, err := s.allocate(int64(len(data)))
-		if err != nil {
-			return err
-		}
-		if len(data) > 0 {
-			if _, err := s.d.WriteAt(data, ext.off); err != nil {
-				return err
-			}
-		}
-		s.objMap.Put(btree.K1(id), uint64(ext.off))
-		s.objSizes[id] = int64(len(data))
-		s.stats.BytesHome += uint64(len(data))
-	}
-	s.dirty = make(map[uint64]bool)
-	// All data writes issued; the vacated extents may now rejoin the free
-	// trees so the metadata snapshot below records them reusable.
-	for _, e := range s.deferredFree {
-		s.addFree(e)
-	}
-	s.deferredFree = nil
-	if err := s.writeSuperblock(); err != nil {
-		return err
-	}
-	if err := s.d.Flush(); err != nil {
-		return err
-	}
-	if err := s.l.Truncate(); err != nil {
-		return err
-	}
-	s.stats.LogApplications++
+	s.c.deletes.Add(1)
+	sh := s.shardOf(id)
+	e := sh.getOrCreate(id)
+	e.mu.Lock()
+	e.data, e.cached, e.dirty, e.dead = nil, false, false, true
+	s.clearLabel(sh, id, e)
+	e.mu.Unlock()
 	return nil
 }
 
@@ -619,280 +706,22 @@ func (s *Store) Close() error {
 	if err := s.Checkpoint(); err != nil {
 		return err
 	}
-	s.mu.Lock()
+	s.ckptMu.Lock()
 	s.closed = true
-	s.mu.Unlock()
+	s.ckptMu.Unlock()
 	return nil
-}
-
-// ---------------------------------------------------------------------------
-// Extent allocation.
-// ---------------------------------------------------------------------------
-
-func alignUp(n int64) int64 {
-	if n <= 0 {
-		return extentAlign
-	}
-	return (n + extentAlign - 1) / extentAlign * extentAlign
-}
-
-// allocate finds a free extent of at least size bytes using the
-// free-by-size tree, splitting the extent when it is larger than needed.
-func (s *Store) allocate(size int64) (extent, error) {
-	need := alignUp(size)
-	k, _, ok := s.freeBySize.Ceiling(btree.K2(uint64(need), 0))
-	if !ok {
-		return extent{}, ErrNoSpace
-	}
-	ext := extent{off: int64(k[1]), size: int64(k[0])}
-	s.removeFree(ext)
-	if ext.size > need {
-		s.addFree(extent{off: ext.off + need, size: ext.size - need})
-		ext.size = need
-	}
-	return ext, nil
-}
-
-// addFree inserts an extent into both free trees, coalescing with adjacent
-// extents (the purpose of the offset-indexed tree).
-func (s *Store) addFree(e extent) {
-	if e.size <= 0 {
-		return
-	}
-	// Coalesce with the preceding extent.
-	if k, v, ok := s.freeByOff.Floor(btree.K1(uint64(e.off))); ok {
-		prev := extent{off: int64(k[0]), size: int64(v)}
-		if prev.off+prev.size == e.off {
-			s.removeFree(prev)
-			e.off = prev.off
-			e.size += prev.size
-		}
-	}
-	// Coalesce with the following extent.
-	if k, v, ok := s.freeByOff.Ceiling(btree.K1(uint64(e.off + e.size))); ok {
-		next := extent{off: int64(k[0]), size: int64(v)}
-		if e.off+e.size == next.off {
-			s.removeFree(next)
-			e.size += next.size
-		}
-	}
-	s.freeBySize.Put(btree.K2(uint64(e.size), uint64(e.off)), 0)
-	s.freeByOff.Put(btree.K1(uint64(e.off)), uint64(e.size))
-}
-
-func (s *Store) removeFree(e extent) {
-	s.freeBySize.Delete(btree.K2(uint64(e.size), uint64(e.off)))
-	s.freeByOff.Delete(btree.K1(uint64(e.off)))
 }
 
 // FreeBytes returns the total free space in the data region.
 func (s *Store) FreeBytes() int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.ckptMu.RLock()
+	defer s.ckptMu.RUnlock()
+	s.allocMu.Lock()
+	defer s.allocMu.Unlock()
 	var total int64
 	s.freeByOff.Scan(func(_ btree.Key, v uint64) bool {
 		total += int64(v)
 		return true
 	})
 	return total
-}
-
-// ---------------------------------------------------------------------------
-// Superblock and metadata persistence.
-// ---------------------------------------------------------------------------
-
-// The superblock stores the location and length of the serialized metadata
-// (object map, object sizes, free list).  Metadata is written to a freshly
-// allocated extent on every checkpoint and the superblock is updated last,
-// so a crash during checkpoint leaves the previous snapshot intact.
-
-func (s *Store) writeSuperblock() error {
-	meta := s.encodeMetadata()
-	if int64(len(meta)) > s.metaSize {
-		return fmt.Errorf("store: metadata (%d bytes) exceeds the metadata area", len(meta))
-	}
-	next := 1 - s.metaWhich
-	metaOff := logOffset + s.logSize + int64(next)*s.metaSize
-	if len(meta) > 0 {
-		if _, err := s.d.WriteAt(meta, metaOff); err != nil {
-			return err
-		}
-	}
-	var sb [superblockSize]byte
-	binary.LittleEndian.PutUint64(sb[0:], superMagic)
-	binary.LittleEndian.PutUint64(sb[8:], uint64(next))
-	binary.LittleEndian.PutUint64(sb[16:], uint64(len(meta)))
-	binary.LittleEndian.PutUint64(sb[24:], uint64(s.logSize))
-	binary.LittleEndian.PutUint64(sb[32:], uint64(s.metaSize))
-	if _, err := s.d.WriteAt(sb[:], superblockOffset); err != nil {
-		return err
-	}
-	if err := s.d.Flush(); err != nil {
-		return err
-	}
-	s.metaWhich = next
-	return nil
-}
-
-func (s *Store) readSuperblock() error {
-	var sb [superblockSize]byte
-	if _, err := s.d.ReadAt(sb[:], superblockOffset); err != nil {
-		return err
-	}
-	if binary.LittleEndian.Uint64(sb[0:]) != superMagic {
-		return fmt.Errorf("store: bad superblock magic")
-	}
-	which := int(binary.LittleEndian.Uint64(sb[8:]))
-	metaLen := int64(binary.LittleEndian.Uint64(sb[16:]))
-	s.logSize = int64(binary.LittleEndian.Uint64(sb[24:]))
-	s.metaSize = int64(binary.LittleEndian.Uint64(sb[32:]))
-	if s.metaSize == 0 {
-		// Images from before the metadata area size was recorded.
-		s.metaSize = defaultMetaAreaSize
-	}
-	s.metaWhich = which
-	if metaLen == 0 {
-		dataStart := logOffset + s.logSize + 2*s.metaSize
-		s.addFree(extent{off: dataStart, size: s.d.Size() - dataStart})
-		return nil
-	}
-	metaOff := logOffset + s.logSize + int64(which)*s.metaSize
-	meta := make([]byte, metaLen)
-	if _, err := s.d.ReadAt(meta, metaOff); err != nil {
-		return err
-	}
-	return s.decodeMetadata(meta)
-}
-
-// encodeMetadata serializes the object map, object sizes and free list.
-func (s *Store) encodeMetadata() []byte {
-	var buf []byte
-	appendU64 := func(v uint64) { var b [8]byte; binary.LittleEndian.PutUint64(b[:], v); buf = append(buf, b[:]...) }
-
-	appendU64(uint64(s.objMap.Len()))
-	s.objMap.Scan(func(k btree.Key, v uint64) bool {
-		appendU64(k[0])
-		appendU64(v)
-		appendU64(uint64(s.objSizes[k[0]]))
-		return true
-	})
-	// Free list by offset.
-	var frees [][2]uint64
-	s.freeByOff.Scan(func(k btree.Key, v uint64) bool {
-		frees = append(frees, [2]uint64{k[0], v})
-		return true
-	})
-	appendU64(uint64(len(frees)))
-	for _, f := range frees {
-		appendU64(f[0])
-		appendU64(f[1])
-	}
-	// Object labels, in canonical serialized form.  Older metadata images
-	// simply end here; decodeMetadata treats the section as optional.
-	appendU64(uint64(len(s.labels)))
-	for id, lbl := range s.labels {
-		appendU64(id)
-		buf = lbl.AppendBinary(buf)
-	}
-	// The fingerprint-keyed label index, serialized in tree order.  Also
-	// optional on decode: images written before the index existed rebuild
-	// it from the label section above.
-	appendU64(uint64(s.labelIndex.Len()))
-	s.labelIndex.Scan(func(k btree.Key, _ uint64) bool {
-		appendU64(k[0])
-		appendU64(k[1])
-		return true
-	})
-	return buf
-}
-
-func (s *Store) decodeMetadata(buf []byte) error {
-	readU64 := func() (uint64, error) {
-		if len(buf) < 8 {
-			return 0, fmt.Errorf("store: truncated metadata")
-		}
-		v := binary.LittleEndian.Uint64(buf)
-		buf = buf[8:]
-		return v, nil
-	}
-	n, err := readU64()
-	if err != nil {
-		return err
-	}
-	for i := uint64(0); i < n; i++ {
-		id, err := readU64()
-		if err != nil {
-			return err
-		}
-		off, err := readU64()
-		if err != nil {
-			return err
-		}
-		size, err := readU64()
-		if err != nil {
-			return err
-		}
-		s.objMap.Put(btree.K1(id), off)
-		s.objSizes[id] = int64(size)
-	}
-	nf, err := readU64()
-	if err != nil {
-		return err
-	}
-	for i := uint64(0); i < nf; i++ {
-		off, err := readU64()
-		if err != nil {
-			return err
-		}
-		size, err := readU64()
-		if err != nil {
-			return err
-		}
-		s.freeBySize.Put(btree.K2(size, off), 0)
-		s.freeByOff.Put(btree.K1(off), size)
-	}
-	// Optional label section (absent in pre-label metadata images).
-	if len(buf) == 0 {
-		return nil
-	}
-	nl, err := readU64()
-	if err != nil {
-		return err
-	}
-	for i := uint64(0); i < nl; i++ {
-		id, err := readU64()
-		if err != nil {
-			return err
-		}
-		lbl, rest, err := s.decodeLabel(buf)
-		if err != nil {
-			return err
-		}
-		buf = rest
-		s.labels[id] = lbl
-	}
-	// Optional label-index section (absent in pre-index images, which
-	// rebuild it from the labels just decoded).
-	if len(buf) == 0 {
-		for id, lbl := range s.labels {
-			s.labelIndex.Put(btree.K2(uint64(lbl.Fingerprint()), id), 0)
-		}
-		return nil
-	}
-	ni, err := readU64()
-	if err != nil {
-		return err
-	}
-	for i := uint64(0); i < ni; i++ {
-		fp, err := readU64()
-		if err != nil {
-			return err
-		}
-		id, err := readU64()
-		if err != nil {
-			return err
-		}
-		s.labelIndex.Put(btree.K2(fp, id), 0)
-	}
-	return nil
 }

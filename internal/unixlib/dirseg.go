@@ -74,16 +74,28 @@ func decodeDirEntries(buf []byte) []DirEntry {
 }
 
 // dirSegCE returns the container entry of a directory's segment, whose ID is
-// stored in the directory container's metadata.
+// stored in the directory container's metadata.  The binding is immutable
+// once the directory exists, so it is served from the sharded dirSegs cache;
+// only the first lookup of a directory pays the ObjectStat syscall.
 func (sys *System) dirSegCE(tc *kernel.ThreadCall, dir kernel.ID) (kernel.CEnt, error) {
+	shard := &sys.dirSegs[uint64(dir)%dirSegShards]
+	shard.mu.RLock()
+	segID, ok := shard.m[dir]
+	shard.mu.RUnlock()
+	if ok {
+		return kernel.CEnt{Container: dir, Object: segID}, nil
+	}
 	st, err := tc.ObjectStat(kernel.Self(dir))
 	if err != nil {
 		return kernel.CEnt{}, mapKernelErr(err)
 	}
-	segID := kernel.ID(binary.LittleEndian.Uint64(st.Metadata[:8]))
+	segID = kernel.ID(binary.LittleEndian.Uint64(st.Metadata[:8]))
 	if segID == kernel.NilID {
 		return kernel.CEnt{}, ErrNotDir
 	}
+	shard.mu.Lock()
+	shard.m[dir] = segID
+	shard.mu.Unlock()
 	return kernel.CEnt{Container: dir, Object: segID}, nil
 }
 

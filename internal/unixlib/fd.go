@@ -2,6 +2,7 @@ package unixlib
 
 import (
 	"encoding/binary"
+	"sync"
 
 	"histar/internal/kernel"
 	"histar/internal/label"
@@ -32,6 +33,11 @@ const (
 // FD is a process's handle on an open file, directory, pipe, or socket.
 type FD struct {
 	Num int
+	// seekMu serializes read-modify-write cycles on the seek position in the
+	// descriptor segment.  It is a pointer so that the FD struct copies made
+	// by fork/spawn (which share the descriptor segment) share the lock too —
+	// per-descriptor, not per-process, exactly like the segment itself.
+	seekMu *sync.Mutex
 	// Seg is the file descriptor segment holding seek position and flags.
 	Seg kernel.CEnt
 	// File is the file segment (for regular files).
@@ -105,8 +111,11 @@ func (p *Process) fdFlags(fd *FD) (uint64, error) {
 
 // allocFD installs an FD in the process table and returns its number.
 func (p *Process) allocFD(fd *FD) int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	if fd.seekMu == nil {
+		fd.seekMu = new(sync.Mutex)
+	}
+	p.fdMu.Lock()
+	defer p.fdMu.Unlock()
 	num := 0
 	for {
 		if _, used := p.fds[num]; !used {
@@ -121,8 +130,8 @@ func (p *Process) allocFD(fd *FD) int {
 
 // FDTable returns the numbers of the process's open descriptors.
 func (p *Process) FDTable() []int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.fdMu.RLock()
+	defer p.fdMu.RUnlock()
 	out := make([]int, 0, len(p.fds))
 	for n := range p.fds {
 		out = append(out, n)
@@ -131,8 +140,8 @@ func (p *Process) FDTable() []int {
 }
 
 func (p *Process) getFD(num int) (*FD, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.fdMu.RLock()
+	defer p.fdMu.RUnlock()
 	fd, ok := p.fds[num]
 	if !ok {
 		return nil, ErrBadFD

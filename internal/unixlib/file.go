@@ -97,9 +97,9 @@ func (p *Process) Close(num int) error {
 	if err != nil {
 		return err
 	}
-	p.mu.Lock()
+	p.fdMu.Lock()
 	delete(p.fds, num)
-	p.mu.Unlock()
+	p.fdMu.Unlock()
 	if fd.Pipe != nil {
 		return p.closePipeEnd(fd)
 	}
@@ -109,7 +109,9 @@ func (p *Process) Close(num int) error {
 	return nil
 }
 
-// Read reads from the descriptor at its current seek position.
+// Read reads from the descriptor at its current seek position.  The
+// descriptor's shared seek lock makes the read-position update atomic even
+// when related processes share the descriptor across fork.
 func (p *Process) Read(num int, buf []byte) (int, error) {
 	fd, err := p.getFD(num)
 	if err != nil {
@@ -121,6 +123,8 @@ func (p *Process) Read(num int, buf []byte) (int, error) {
 	if fd.File.Object == kernel.NilID {
 		return 0, ErrIsDir
 	}
+	fd.seekMu.Lock()
+	defer fd.seekMu.Unlock()
 	pos, err := p.fdSeek(fd)
 	if err != nil {
 		return 0, err
@@ -168,6 +172,8 @@ func (p *Process) Write(num int, data []byte) (int, error) {
 	if fd.File.Object == kernel.NilID {
 		return 0, ErrIsDir
 	}
+	fd.seekMu.Lock()
+	defer fd.seekMu.Unlock()
 	flags, err := p.fdFlags(fd)
 	if err != nil {
 		return 0, err
@@ -229,6 +235,8 @@ func (p *Process) Seek(num int, off int64, whence int) (int64, error) {
 	if fd.File.Object == kernel.NilID && fd.Pipe != nil {
 		return 0, ErrInvalid
 	}
+	fd.seekMu.Lock()
+	defer fd.seekMu.Unlock()
 	var base int64
 	switch whence {
 	case SeekSet:

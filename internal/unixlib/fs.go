@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"strings"
+	"sync"
 
 	"histar/internal/kernel"
 	"histar/internal/label"
@@ -278,8 +279,11 @@ func cleanPath(p string) string {
 
 // MountTable maps path prefixes onto containers, like Plan 9 namespaces: a
 // process may copy and modify its table, for example at user login or to
-// select which network stack /netd refers to (Section 6.3).
+// select which network stack /netd refers to (Section 6.3).  Tables are safe
+// for concurrent use: path resolution takes the read lock, so concurrent
+// lookups through a shared table never serialize on each other.
 type MountTable struct {
+	mu      sync.RWMutex
 	entries map[string]kernel.ID
 }
 
@@ -291,6 +295,8 @@ func NewMountTable() *MountTable {
 // Clone returns a copy of the table (used across fork).
 func (m *MountTable) Clone() *MountTable {
 	n := NewMountTable()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	for k, v := range m.entries {
 		n.entries[k] = v
 	}
@@ -299,16 +305,22 @@ func (m *MountTable) Clone() *MountTable {
 
 // Mount overlays container id on path prefix.
 func (m *MountTable) Mount(prefix string, id kernel.ID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	m.entries[cleanPath(prefix)] = id
 }
 
 // Unmount removes an overlay.
 func (m *MountTable) Unmount(prefix string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	delete(m.entries, cleanPath(prefix))
 }
 
 // Lookup returns the container mounted exactly at prefix.
 func (m *MountTable) Lookup(prefix string) (kernel.ID, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	id, ok := m.entries[cleanPath(prefix)]
 	return id, ok
 }
@@ -316,6 +328,8 @@ func (m *MountTable) Lookup(prefix string) (kernel.ID, bool) {
 // match finds the longest mount prefix of path and returns the mounted
 // container and the remaining path.
 func (m *MountTable) match(path string) (kernel.ID, string, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	best := ""
 	var bestID kernel.ID
 	for prefix, id := range m.entries {

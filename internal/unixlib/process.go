@@ -46,13 +46,19 @@ type Process struct {
 	// nil for daemon-style processes).
 	User *User
 
-	mu       sync.Mutex
+	// No process-wide lock: the descriptor table has its own read-mostly
+	// RWMutex (per-descriptor state is additionally guarded by the FD's
+	// shared seek lock), the mount table locks itself, and the remaining
+	// mutable scraps (cwd, exit flag, signal handlers) sit behind two small
+	// leaf mutexes.
+	fdMu     sync.RWMutex
 	fds      map[int]*FD
+	mu       sync.Mutex // cwd, exited
 	cwd      string
+	exited   bool
 	mounts   *MountTable
 	sigMu    sync.Mutex
 	handlers map[int]func(sig int)
-	exited   bool
 }
 
 // Sys returns the owning System.
@@ -386,13 +392,15 @@ func (p *Process) Fork() (*Process, error) {
 // shareFDs makes the parent's descriptors visible in the child.  When link
 // is true the descriptor segments are hard linked into the child's process
 // container (fork semantics: shared state kept alive by both processes).
+// The child's FD structs are copies, but they share the parent's descriptor
+// segment and seek lock, so seek state stays coherent across both processes.
 func (p *Process) shareFDs(child *Process, link bool) {
-	p.mu.Lock()
+	p.fdMu.RLock()
 	fds := make(map[int]*FD, len(p.fds))
 	for n, fd := range p.fds {
 		fds[n] = fd
 	}
-	p.mu.Unlock()
+	p.fdMu.RUnlock()
 	for n, fd := range fds {
 		nfd := *fd
 		if link {
@@ -403,9 +411,9 @@ func (p *Process) shareFDs(child *Process, link bool) {
 				_ = p.TC.Link(child.ProcCt, fd.Pipe.Seg)
 			}
 		}
-		child.mu.Lock()
+		child.fdMu.Lock()
 		child.fds[n] = &nfd
-		child.mu.Unlock()
+		child.fdMu.Unlock()
 	}
 }
 

@@ -10,6 +10,7 @@ package unixlib
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"histar/internal/kernel"
 	"histar/internal/label"
@@ -31,7 +32,11 @@ type User struct {
 
 // System is one booted HiStar machine with its Unix environment: the kernel,
 // the optional single-level-store persistence bridge, the root directory,
-// registered programs, and user accounts.
+// registered programs, and user accounts.  There is no system-wide lock:
+// the program and user tables are read-mostly behind their own RWMutexes,
+// PIDs come from an atomic counter, and directory-segment lookups hit a
+// sharded cache, so concurrent processes contend only on the kernel objects
+// they actually share.
 type System struct {
 	Kern    *kernel.Kernel
 	Persist *store.Store
@@ -39,15 +44,39 @@ type System struct {
 	// RootDir is the container serving as the file system root "/".
 	RootDir kernel.ID
 
-	mu       sync.Mutex
+	progMu   sync.RWMutex
 	programs map[string]Program
-	users    map[string]*User
-	nextPID  int
+
+	userMu sync.RWMutex
+	users  map[string]*User
+	// addUserMu serializes whole AddUser calls: account creation mints
+	// categories and a labeled home directory before the name is registered,
+	// and two racing creators must not each mint their own — the loser's
+	// home-directory label would not match the winner's registered
+	// categories.  userMu alone only protects the map.
+	addUserMu sync.Mutex
+
+	nextPID atomic.Int64
+
+	// dirSegs caches directory container → directory segment bindings,
+	// sharded by container-ID bits.  A binding is written once when the
+	// directory is created and never changes (kernel IDs are never reused),
+	// so cached entries need no invalidation: a deleted directory's entry
+	// just resolves to a kernel lookup failure, as the uncached path would.
+	dirSegs [dirSegShards]dirSegShard
 
 	// initTC is the bootstrap thread that owns all users' categories; the
 	// authentication service (package auth) takes over this role in the full
 	// login flow.
 	initTC *kernel.ThreadCall
+}
+
+// dirSegShards is the size of the directory-segment cache's shard array.
+const dirSegShards = 16
+
+type dirSegShard struct {
+	mu sync.RWMutex
+	m  map[kernel.ID]kernel.ID
 }
 
 // BootOptions configure Boot.
@@ -68,7 +97,9 @@ func Boot(opts BootOptions) (*System, error) {
 		Persist:  opts.Persist,
 		programs: make(map[string]Program),
 		users:    make(map[string]*User),
-		nextPID:  1,
+	}
+	for i := range sys.dirSegs {
+		sys.dirSegs[i].m = make(map[kernel.ID]kernel.ID)
 	}
 	tc, err := k.BootThread(label.New(label.L1), label.New(label.L2), "unixlib init")
 	if err != nil {
@@ -99,9 +130,9 @@ func (sys *System) InitThread() *kernel.ThreadCall { return sys.initTC }
 // the corresponding file in the file system (its contents are the program
 // name, standing in for the executable's bytes).
 func (sys *System) RegisterProgram(path string, prog Program) error {
-	sys.mu.Lock()
+	sys.progMu.Lock()
 	sys.programs[path] = prog
-	sys.mu.Unlock()
+	sys.progMu.Unlock()
 	// Materialize the "binary" so exec can stat it and so the file system
 	// behaves like a real /bin.
 	p, err := sys.NewInitProcess("root")
@@ -124,8 +155,8 @@ func (sys *System) RegisterProgram(path string, prog Program) error {
 
 // LookupProgram resolves a registered program by path.
 func (sys *System) LookupProgram(path string) (Program, bool) {
-	sys.mu.Lock()
-	defer sys.mu.Unlock()
+	sys.progMu.RLock()
+	defer sys.progMu.RUnlock()
 	prog, ok := sys.programs[path]
 	return prog, ok
 }
@@ -133,12 +164,14 @@ func (sys *System) LookupProgram(path string) (Program, bool) {
 // AddUser creates a user account: a fresh ur/uw category pair and a home
 // directory /home/<name> labeled {ur3, uw0, 1}.
 func (sys *System) AddUser(name string) (*User, error) {
-	sys.mu.Lock()
-	if _, exists := sys.users[name]; exists {
-		sys.mu.Unlock()
+	sys.addUserMu.Lock()
+	defer sys.addUserMu.Unlock()
+	sys.userMu.RLock()
+	_, exists := sys.users[name]
+	sys.userMu.RUnlock()
+	if exists {
 		return nil, ErrExist
 	}
-	sys.mu.Unlock()
 
 	ur, err := sys.initTC.CategoryCreateNamed(name + "r")
 	if err != nil {
@@ -160,24 +193,24 @@ func (sys *System) AddUser(name string) (*User, error) {
 		return nil, err
 	}
 
-	sys.mu.Lock()
+	sys.userMu.Lock()
 	sys.users[name] = u
-	sys.mu.Unlock()
+	sys.userMu.Unlock()
 	return u, nil
 }
 
 // LookupUser returns the account record for name.
 func (sys *System) LookupUser(name string) (*User, bool) {
-	sys.mu.Lock()
-	defer sys.mu.Unlock()
+	sys.userMu.RLock()
+	defer sys.userMu.RUnlock()
 	u, ok := sys.users[name]
 	return u, ok
 }
 
 // Users returns the registered user names.
 func (sys *System) Users() []string {
-	sys.mu.Lock()
-	defer sys.mu.Unlock()
+	sys.userMu.RLock()
+	defer sys.userMu.RUnlock()
 	out := make([]string, 0, len(sys.users))
 	for n := range sys.users {
 		out = append(out, n)
@@ -186,11 +219,7 @@ func (sys *System) Users() []string {
 }
 
 func (sys *System) allocPID() int {
-	sys.mu.Lock()
-	defer sys.mu.Unlock()
-	pid := sys.nextPID
-	sys.nextPID++
-	return pid
+	return int(sys.nextPID.Add(1))
 }
 
 // lookupDir resolves an absolute path to a directory container using the

@@ -111,6 +111,13 @@ type Log struct {
 	applies  uint64
 	appended uint64
 
+	// Batch counters: AppendBatch calls, records appended through them, and
+	// the largest single batch — the group-commit tests assert commits stay
+	// below syncs using these.
+	batches      uint64
+	batchRecords uint64
+	maxBatch     int
+
 	// recoveredLegacy records that Recover migrated a version-1 log, whose
 	// records carry no label information (as opposed to a version-2 record
 	// without a label, which asserts the object had none).
@@ -151,20 +158,76 @@ func (l *Log) writeHeader(committedBytes int64) error {
 func (l *Log) Append(r Record) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if encodedSize(r) > l.size-logHeaderSize || len(r.Label) > 0xffff {
+	if l.tooLarge(r) {
 		return ErrTooLarge
 	}
+	l.appendLocked(r)
+	return nil
+}
+
+// AppendBatch buffers a whole batch of records for the next Commit, as one
+// all-or-nothing operation: if any record could never commit (see
+// ErrTooLarge), none of the batch is buffered.  One AppendBatch plus one
+// Commit is the group-commit fast path — many syncers' records become
+// durable with a single sequential write and flush.
+func (l *Log) AppendBatch(recs []Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, r := range recs {
+		if l.tooLarge(r) {
+			return ErrTooLarge
+		}
+	}
+	for _, r := range recs {
+		l.appendLocked(r)
+	}
+	l.batches++
+	l.batchRecords += uint64(len(recs))
+	if len(recs) > l.maxBatch {
+		l.maxBatch = len(recs)
+	}
+	return nil
+}
+
+// DropPending discards all buffered (uncommitted) records.  The group
+// committer uses it when a full log forces the checkpoint fallback: the
+// checkpoint makes a state at least as new as every sealed record durable,
+// so committing the stale records afterwards could only regress objects.
+func (l *Log) DropPending() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.pending = l.pending[:0]
+}
+
+// TooLarge reports whether r could never commit even in an empty log region
+// (the ErrTooLarge criterion), letting callers pre-check before sealing a
+// record into a shared batch.
+func (l *Log) TooLarge(r Record) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.tooLarge(r)
+}
+
+func (l *Log) tooLarge(r Record) bool {
+	return encodedSize(r) > l.size-logHeaderSize || len(r.Label) > 0xffff
+}
+
+// appendLocked buffers one pre-validated record; the caller holds l.mu.
+func (l *Log) appendLocked(r Record) {
 	r.Data = append([]byte(nil), r.Data...)
 	r.Label = append([]byte(nil), r.Label...)
 	l.pending = append(l.pending, r)
 	l.appended++
-	return nil
 }
 
 // encodedSize returns the on-disk size of one record.
 func encodedSize(r Record) int64 {
 	return recHeaderSize + int64(len(r.Label)) + int64(len(r.Data))
 }
+
+// EncodedSize returns the record's on-disk size, letting callers bound the
+// byte size of a group-commit batch before appending it.
+func (r Record) EncodedSize() int64 { return encodedSize(r) }
 
 // PendingBytes returns the encoded size of buffered (uncommitted) records.
 func (l *Log) PendingBytes() int64 {
@@ -316,11 +379,37 @@ func (l *Log) RecoveredLegacy() bool {
 	return l.recoveredLegacy
 }
 
-// Stats returns cumulative commit, apply (truncate) and append counts.
-func (l *Log) Stats() (commits, applies, appended uint64) {
+// Stats describes cumulative log activity.
+type Stats struct {
+	// Commits counts successful Commit calls (each one header update+flush).
+	Commits uint64
+	// Applies counts Truncate calls (the log being applied to home locations).
+	Applies uint64
+	// Appended counts records buffered via Append and AppendBatch.
+	Appended uint64
+	// Batches counts accepted AppendBatch calls and BatchRecords the records
+	// appended through them; MaxBatch is the largest single batch.  These
+	// count at the append layer — a batch whose Commit later fails is still
+	// counted here (the store's committer stats count only committed
+	// batches).  Appended ≫ Commits with Batches > 0 is group commit
+	// working.
+	Batches      uint64
+	BatchRecords uint64
+	MaxBatch     int
+}
+
+// Stats returns cumulative commit, apply (truncate), append and batch counts.
+func (l *Log) Stats() Stats {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return l.commits, l.applies, l.appended
+	return Stats{
+		Commits:      l.commits,
+		Applies:      l.applies,
+		Appended:     l.appended,
+		Batches:      l.batches,
+		BatchRecords: l.batchRecords,
+		MaxBatch:     l.maxBatch,
+	}
 }
 
 func encodeRecords(recs []Record) []byte {

@@ -113,9 +113,8 @@ func TestEmptyCommitIsNoop(t *testing.T) {
 	if err := l.Commit(); err != nil {
 		t.Fatal(err)
 	}
-	commits, _, _ := l.Stats()
-	if commits != 0 {
-		t.Errorf("empty commit counted: %d", commits)
+	if st := l.Stats(); st.Commits != 0 {
+		t.Errorf("empty commit counted: %d", st.Commits)
 	}
 }
 
@@ -292,9 +291,8 @@ func TestGroupCommitBatchesManyRecords(t *testing.T) {
 	if err := l.Commit(); err != nil {
 		t.Fatal(err)
 	}
-	commits, _, appended := l.Stats()
-	if commits != 1 || appended != 1000 {
-		t.Errorf("commits=%d appended=%d", commits, appended)
+	if st := l.Stats(); st.Commits != 1 || st.Appended != 1000 {
+		t.Errorf("commits=%d appended=%d", st.Commits, st.Appended)
 	}
 }
 
@@ -348,9 +346,8 @@ func TestOversizeRecordRejectedAtAppend(t *testing.T) {
 	if err != nil || len(recs) != 1 || recs[0].ObjectID != 2 {
 		t.Fatalf("recover: %+v, %v", recs, err)
 	}
-	_, _, appended := l.Stats()
-	if appended != 1 {
-		t.Errorf("rejected records counted as appended: %d", appended)
+	if st := l.Stats(); st.Appended != 1 {
+		t.Errorf("rejected records counted as appended: %d", st.Appended)
 	}
 }
 
@@ -377,5 +374,72 @@ func TestUnsupportedVersionRefusedWithoutErasure(t *testing.T) {
 	recs, err := Open(d, 0, 1<<16).Recover()
 	if err != nil || len(recs) != 1 || string(recs[0].Data) != "future records" {
 		t.Fatalf("after restoring version: %+v, %v", recs, err)
+	}
+}
+
+func TestAppendBatchCommitsAtomically(t *testing.T) {
+	l, d := testLog(t, 1<<20)
+	batch := []Record{
+		{ObjectID: 1, Data: []byte("batched one")},
+		{ObjectID: 2, Data: []byte("batched two"), Label: []byte{2, 0}},
+		{ObjectID: 3, Delete: true},
+	}
+	if err := l.AppendBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	st := l.Stats()
+	if st.Commits != 1 || st.Batches != 1 || st.BatchRecords != 3 || st.MaxBatch != 3 {
+		t.Errorf("stats = %+v", st)
+	}
+	recs, err := Open(d, 0, 1<<20).Recover()
+	if err != nil || len(recs) != 3 {
+		t.Fatalf("recover: %d records, %v", len(recs), err)
+	}
+	if recs[1].ObjectID != 2 || !bytes.Equal(recs[1].Label, []byte{2, 0}) {
+		t.Errorf("batched label record = %+v", recs[1])
+	}
+	if !recs[2].Delete {
+		t.Errorf("batched tombstone = %+v", recs[2])
+	}
+}
+
+func TestAppendBatchRejectsWholeBatchOnOversizeRecord(t *testing.T) {
+	l, _ := testLog(t, 4096)
+	batch := []Record{
+		{ObjectID: 1, Data: []byte("fits")},
+		{ObjectID: 2, Data: make([]byte, 8192)}, // could never commit
+	}
+	if err := l.AppendBatch(batch); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversize batch: err=%v", err)
+	}
+	if n := l.PendingBytes(); n != 0 {
+		t.Errorf("rejected batch left %d pending bytes", n)
+	}
+	if st := l.Stats(); st.Appended != 0 || st.Batches != 0 {
+		t.Errorf("rejected batch counted: %+v", st)
+	}
+}
+
+func TestDropPendingDiscardsUncommittedRecords(t *testing.T) {
+	l, d := testLog(t, 1<<20)
+	if err := l.Append(Record{ObjectID: 1, Data: []byte("committed")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendBatch([]Record{{ObjectID: 2, Data: []byte("abandoned")}}); err != nil {
+		t.Fatal(err)
+	}
+	l.DropPending()
+	if err := l.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := Open(d, 0, 1<<20).Recover()
+	if err != nil || len(recs) != 1 || recs[0].ObjectID != 1 {
+		t.Fatalf("recover after drop: %+v, %v", recs, err)
 	}
 }
