@@ -2,14 +2,19 @@
 // form.  It prints, for every row of Figure 12 and Figure 13, the paper's
 // measured value and the `go test -bench` target in this repository that
 // reproduces it, and runs the quick in-process experiments (syscall counts
-// per process-creation primitive, group-sync vs per-file-sync ratio) whose
-// results are shown inline.  Run the full harness with:
+// per process-creation primitive, group-sync vs per-file-sync ratio, syscall
+// ring batching) whose results are shown inline.  With -json the same
+// metrics are emitted as a single JSON object (the per-PR BENCH_*.json
+// snapshots and the CI bench-smoke artifact).  Run the full harness with:
 //
 //	go test -bench=. -benchmem -benchtime=1x .
 package main
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
+	"os"
 	"runtime"
 	"sync"
 	"time"
@@ -22,28 +27,113 @@ import (
 	"histar/internal/vclock"
 )
 
-func main() {
-	fmt.Println("HiStar reproduction — evaluation index (see EXPERIMENTS.md for details)")
-	fmt.Println()
-	rows := [][3]string{
-		{"Fig 12: IPC round trip", "HiStar 3.11us / Linux 4.32us / OpenBSD 2.13us", "BenchmarkFig12_IPC_*"},
-		{"Fig 12: fork/exec", "HiStar 1.35ms / Linux+OpenBSD 0.18ms", "BenchmarkFig12_ForkExec_*"},
-		{"Fig 12: spawn", "HiStar 0.47ms", "BenchmarkFig12_Spawn_HiStar"},
-		{"Fig 12: LFS small create (async/sync/group)", "0.31s / 459s / 2.57s (HiStar)", "BenchmarkFig12_LFSSmallCreate_*"},
-		{"Fig 12: LFS small read (cached/uncached/no-prefetch)", "0.16s / 6.49s / 86.4s (HiStar)", "BenchmarkFig12_LFSSmallRead_*"},
-		{"Fig 12: LFS small unlink (async/sync/group)", "0.09s / 456s / 0.38s (HiStar)", "BenchmarkFig12_LFSSmallUnlink_*"},
-		{"Fig 12: LFS large seq write / sync rand write / read", "2.14s / 93.0s / 1.96s (HiStar)", "BenchmarkFig12_LFSLarge*"},
-		{"Fig 13: building the kernel", "HiStar 6.2s / Linux 4.7s / OpenBSD 6.0s", "BenchmarkFig13_Build_*"},
-		{"Fig 13: wget 100MB", "9.1s / 9.0s / 9.0s (link-saturated)", "BenchmarkFig13_Wget100MB_HiStar"},
-		{"Fig 13: virus-scan 100MB (plain / with wrap)", "18.7s / 18.7s (HiStar)", "BenchmarkFig13_VirusScan_*"},
-		{"Sec 4.1: code size inventory", "15,200 C lines (kernel)", "go run ./cmd/loc"},
-	}
-	for _, r := range rows {
-		fmt.Printf("  %-55s paper: %-45s target: %s\n", r[0], r[1], r[2])
-	}
-	fmt.Println()
+// Report is the machine-readable form of everything histar-bench measures.
+type Report struct {
+	GoMaxProcs int `json:"gomaxprocs"`
 
-	// E13: syscalls per process-creation primitive.
+	// E13: syscalls per process-creation primitive (paper: 317 vs 127).
+	ForkExecSyscalls uint64 `json:"fork_exec_syscalls"`
+	SpawnSyscalls    uint64 `json:"spawn_syscalls"`
+
+	LabelCache LabelCacheReport `json:"label_cache"`
+	LabelL1    LabelL1Report    `json:"label_l1"`
+
+	// E4: per-file sync time over group sync time for small-file creates.
+	PerFileOverGroupSync float64 `json:"per_file_over_group_sync"`
+
+	GroupCommit GroupCommitReport `json:"group_commit"`
+	Ring        RingReport        `json:"ring"`
+	TaintScan   TaintScanReport   `json:"taint_scan"`
+}
+
+type LabelCacheReport struct {
+	Hits         uint64  `json:"hits"`
+	Misses       uint64  `json:"misses"`
+	HitRate      float64 `json:"hit_rate"`
+	Evictions    uint64  `json:"evictions"`
+	ActiveShards int     `json:"active_shards"`
+	TotalShards  int     `json:"total_shards"`
+}
+
+type LabelL1Report struct {
+	Hits    uint64  `json:"hits"`
+	Misses  uint64  `json:"misses"`
+	HitRate float64 `json:"hit_rate"`
+	Threads int     `json:"threads"`
+}
+
+type GroupCommitReport struct {
+	Syncs          uint64  `json:"syncs"`
+	WALCommits     uint64  `json:"wal_commits"`
+	CommitsPerSync float64 `json:"commits_per_sync"`
+	MaxBatch       int     `json:"max_batch"`
+}
+
+// RingReport is the syscall-ring section: submission depth, lock coalescing,
+// and how densely a ring-driven sync fan-out group-commits.
+type RingReport struct {
+	Waits          uint64  `json:"waits"`
+	Entries        uint64  `json:"entries"`
+	Depth          float64 `json:"entries_per_wait"`
+	Runs           uint64  `json:"lock_runs"`
+	Coalesced      uint64  `json:"coalesced_entries"`
+	CoalesceRate   float64 `json:"coalesce_rate"`
+	SyncGroups     uint64  `json:"sync_groups"`
+	SyncEntries    uint64  `json:"sync_entries"`
+	BatchRecords   int     `json:"batch_records"`
+	WALCommits     uint64  `json:"wal_commits"`
+	CommitsPerSync float64 `json:"commits_per_sync"`
+}
+
+type TaintScanReport struct {
+	TaintedObjects int    `json:"tainted_objects"`
+	LabelDecodes   uint64 `json:"label_decodes"`
+	IndexEntries   int    `json:"index_entries"`
+	LabeledObjects int    `json:"labeled_objects"`
+	KernelMatches  int    `json:"kernel_matches"`
+}
+
+var evalRows = [][3]string{
+	{"Fig 12: IPC round trip", "HiStar 3.11us / Linux 4.32us / OpenBSD 2.13us", "BenchmarkFig12_IPC_*"},
+	{"Fig 12: fork/exec", "HiStar 1.35ms / Linux+OpenBSD 0.18ms", "BenchmarkFig12_ForkExec_*"},
+	{"Fig 12: spawn", "HiStar 0.47ms", "BenchmarkFig12_Spawn_HiStar"},
+	{"Fig 12: LFS small create (async/sync/group)", "0.31s / 459s / 2.57s (HiStar)", "BenchmarkFig12_LFSSmallCreate_*"},
+	{"Fig 12: LFS small read (cached/uncached/no-prefetch)", "0.16s / 6.49s / 86.4s (HiStar)", "BenchmarkFig12_LFSSmallRead_*"},
+	{"Fig 12: LFS small unlink (async/sync/group)", "0.09s / 456s / 0.38s (HiStar)", "BenchmarkFig12_LFSSmallUnlink_*"},
+	{"Fig 12: LFS large seq write / sync rand write / read", "2.14s / 93.0s / 1.96s (HiStar)", "BenchmarkFig12_LFSLarge*"},
+	{"Fig 13: building the kernel", "HiStar 6.2s / Linux 4.7s / OpenBSD 6.0s", "BenchmarkFig13_Build_*"},
+	{"Fig 13: wget 100MB", "9.1s / 9.0s / 9.0s (link-saturated)", "BenchmarkFig13_Wget100MB_HiStar"},
+	{"Fig 13: virus-scan 100MB (plain / with wrap)", "18.7s / 18.7s (HiStar)", "BenchmarkFig13_VirusScan_*"},
+	{"Sec 4.1: code size inventory", "15,200 C lines (kernel)", "go run ./cmd/loc"},
+}
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit the metrics as one JSON object instead of text")
+	flag.Parse()
+
+	var r Report
+	r.GoMaxProcs = runtime.GOMAXPROCS(0)
+	syscallCounts(&r)
+	r.PerFileOverGroupSync = groupVsPerFileSync()
+	groupCommitRun(&r)
+	ringRun(&r)
+	taintedObjectScan(&r)
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(&r); err != nil {
+			panic(err)
+		}
+		return
+	}
+	printReport(&r)
+}
+
+// syscallCounts boots a fresh system, measures E13 (syscalls per
+// process-creation primitive), and snapshots the label caches that run
+// exercised.
+func syscallCounts(r *Report) {
 	sys, err := unixlib.Boot(unixlib.BootOptions{KernelConfig: kernel.Config{Seed: 2}})
 	must(err)
 	must(sys.RegisterProgram("/bin/true", func(p *unixlib.Process, args []string) int { return 0 }))
@@ -54,77 +144,126 @@ func main() {
 	must(err)
 	must(child.Exec("/bin/true", nil))
 	p.Wait(child)
-	forkExec := sys.Kern.SyscallTotal()
+	r.ForkExecSyscalls = sys.Kern.SyscallTotal()
 	sys.Kern.ResetSyscallCounts()
 	child2, err := p.Spawn("/bin/true", nil)
 	must(err)
 	p.Wait(child2)
-	spawn := sys.Kern.SyscallTotal()
-	fmt.Printf("E13 syscall counts: fork/exec=%d, spawn=%d (paper: 317 vs 127; Linux 9)\n", forkExec, spawn)
+	r.SpawnSyscalls = sys.Kern.SyscallTotal()
 
 	// Label comparison-cache behaviour over the run above (Section 4's
-	// immutable-label memoization).  Eviction counts are per shard: a full
-	// shard discards only its own entries, never the whole working set.
+	// immutable-label memoization).
 	cs := sys.Kern.LabelCacheStats()
-	used, maxEntries := 0, 0
-	var maxEvict uint64
 	for _, sh := range cs.Shards {
 		if sh.Entries > 0 || sh.Hits+sh.Misses > 0 {
-			used++
-		}
-		if sh.Entries > maxEntries {
-			maxEntries = sh.Entries
-		}
-		if sh.Evictions > maxEvict {
-			maxEvict = sh.Evictions
+			r.LabelCache.ActiveShards++
 		}
 	}
-	hitRate := 0.0
-	if cs.Hits+cs.Misses > 0 {
-		hitRate = 100 * float64(cs.Hits) / float64(cs.Hits+cs.Misses)
-	}
-	fmt.Printf("Label cache: %d hits / %d misses (%.1f%% hit rate), %d entries evicted\n",
-		cs.Hits, cs.Misses, hitRate, cs.Evictions)
-	fmt.Printf("Label cache shards: %d/%d active, largest shard %d entries, worst per-shard evictions %d\n",
-		used, len(cs.Shards), maxEntries, maxEvict)
+	r.LabelCache.TotalShards = len(cs.Shards)
+	r.LabelCache.Hits, r.LabelCache.Misses, r.LabelCache.Evictions = cs.Hits, cs.Misses, cs.Evictions
+	r.LabelCache.HitRate = rate(cs.Hits, cs.Misses)
 
 	// Per-thread L1 in front of the sharded cache: the hottest canObserve
-	// checks are answered from a lock-free per-thread array; the shard
-	// mutexes above are only touched on L1 misses.
+	// checks are answered from a lock-free per-thread array.
 	l1 := sys.Kern.LabelL1Stats()
-	l1Rate := 0.0
-	if l1.Hits+l1.Misses > 0 {
-		l1Rate = 100 * float64(l1.Hits) / float64(l1.Hits+l1.Misses)
-	}
-	fmt.Printf("Per-thread L1: %d hits / %d misses (%.1f%% hit rate), %d live threads\n",
-		l1.Hits, l1.Misses, l1Rate, len(l1.Threads))
-	for _, ts := range l1.Threads {
-		if ts.Hits+ts.Misses == 0 {
-			continue
-		}
-		fmt.Printf("  thread %-24q %6.1f%% L1 hit rate (%d lookups)\n",
-			ts.Descrip, 100*float64(ts.Hits)/float64(ts.Hits+ts.Misses), ts.Hits+ts.Misses)
-	}
-
-	// E4/E6 quick shape check: group sync vs per-file sync on 200 files.
-	ratio := groupVsPerFileSync()
-	fmt.Printf("E4 durability shapes: per-file sync is %.0fx slower than group sync for small-file creates (paper: up to ~200x)\n", ratio)
-
-	// Concurrent store: group-commit batching and shard spread under
-	// parallel SyncObject traffic (the PR 4 store refactor).  Batches larger
-	// than one record require syncers to overlap inside the committer, which
-	// needs GOMAXPROCS > 1 on real cores; the histogram makes the achieved
-	// overlap visible either way.
-	groupCommitReport()
-
-	// Tainted-object scans off the fingerprint-keyed label index: the store
-	// answers "every object tainted by category c" without deserializing a
-	// single label, and the kernel's container_find_labeled does the same
-	// scan over live kernel objects from precomputed fingerprints.
-	taintedObjectScan()
+	r.LabelL1 = LabelL1Report{Hits: l1.Hits, Misses: l1.Misses, HitRate: rate(l1.Hits, l1.Misses), Threads: len(l1.Threads)}
 }
 
-func taintedObjectScan() {
+func rate(hits, misses uint64) float64 {
+	if hits+misses == 0 {
+		return 0
+	}
+	return 100 * float64(hits) / float64(hits+misses)
+}
+
+// ringRun exercises the syscall ring the way the Unix library's hot paths
+// do: mixed read-heavy batches for depth/coalescing, then a multi-file
+// writev/fsync fan-out whose OpSync entries reach the store as pre-formed
+// groups.  A small GroupCommitRecords bound makes the ⌈files/batch⌉ commit
+// math visible with few files.
+func ringRun(r *Report) {
+	const (
+		batchRecs = 8
+		nFiles    = 32
+		batches   = 64
+	)
+	clk := &vclock.Clock{}
+	d := disk.New(disk.Params{Sectors: 1 << 18, WriteCache: true}, clk)
+	st, err := store.Format(d, store.Options{LogSize: 8 << 20, GroupCommitRecords: batchRecs})
+	must(err)
+	sys, err := unixlib.Boot(unixlib.BootOptions{Persist: st, KernelConfig: kernel.Config{Seed: 6}})
+	must(err)
+	p, err := sys.NewInitProcess("ring")
+	must(err)
+
+	// Depth/coalescing: 16-entry mixed batches against two segments.
+	tc := p.TC
+	root := sys.Kern.RootContainer()
+	lbl := label.New(label.L1)
+	hot, err := tc.SegmentCreate(root, lbl, "ring-hot", 256)
+	must(err)
+	own, err := tc.SegmentCreate(root, lbl, "ring-own", 256)
+	must(err)
+	hotCE := kernel.CEnt{Container: root, Object: hot}
+	ownCE := kernel.CEnt{Container: root, Object: own}
+	sys.Kern.ResetRingStats()
+	ring := tc.NewRing()
+	for b := 0; b < batches; b++ {
+		for j := 0; j < 16; j++ {
+			ce := hotCE
+			if j%2 == 1 {
+				ce = ownCE
+			}
+			e := kernel.RingEntry{Op: kernel.OpSegmentRead, Seg: ce, Off: 0, Len: 64}
+			if j == 7 {
+				e = kernel.RingEntry{Op: kernel.OpSegmentWrite, Seg: ownCE, Off: 0, Data: []byte("ringdata")}
+			}
+			ring.Submit(e)
+		}
+		comps, err := ring.Wait(16)
+		must(err)
+		for i := range comps {
+			must(comps[i].Err)
+		}
+	}
+
+	// Fan-out: one PwritevFsync over nFiles dirty files — one ring batch of
+	// writes+read-backs, one SyncObjects group, dense WAL batches.
+	fds := make([]int, nFiles)
+	ops := make([]unixlib.WriteOp, nFiles)
+	for i := range fds {
+		fd, err := p.Create(fmt.Sprintf("/tmp/ring%d", i), label.Label{})
+		must(err)
+		fds[i] = fd
+		ops[i] = unixlib.WriteOp{FD: fd, Off: 0, Data: []byte(fmt.Sprintf("ring payload %d", i))}
+	}
+	commitsBefore := st.WALStats().Commits
+	_, err = p.PwritevFsync(ops)
+	must(err)
+
+	rs := sys.Kern.RingStats()
+	r.Ring = RingReport{
+		Waits:        rs.Waits,
+		Entries:      rs.Entries,
+		Runs:         rs.Runs,
+		Coalesced:    rs.Coalesced,
+		SyncGroups:   rs.SyncGroups,
+		SyncEntries:  rs.SyncEntries,
+		BatchRecords: batchRecs,
+		WALCommits:   st.WALStats().Commits - commitsBefore,
+	}
+	if rs.Waits > 0 {
+		r.Ring.Depth = float64(rs.Entries) / float64(rs.Waits)
+	}
+	if rs.Runs+rs.Coalesced > 0 {
+		r.Ring.CoalesceRate = 100 * float64(rs.Coalesced) / float64(rs.Runs+rs.Coalesced)
+	}
+	if rs.SyncEntries > 0 {
+		r.Ring.CommitsPerSync = float64(r.Ring.WALCommits) / float64(rs.SyncEntries)
+	}
+}
+
+func taintedObjectScan(r *Report) {
 	clk := &vclock.Clock{}
 	params := disk.PaperDisk()
 	params.Sectors = (1 << 30) / disk.SectorSize
@@ -154,8 +293,10 @@ func taintedObjectScan() {
 	decodesBefore := st.Stats().LabelDecodes
 	ids := st.ObjectsWithLabel(taint.Fingerprint())
 	stStats := st.Stats()
-	fmt.Printf("Store label index: %d objects tainted by %v, %d label decodes during the scan (%d index entries over %d labeled objects)\n",
-		len(ids), cat, stStats.LabelDecodes-decodesBefore, stStats.IndexEntries, stStats.LabeledObjects)
+	r.TaintScan.TaintedObjects = len(ids)
+	r.TaintScan.LabelDecodes = stStats.LabelDecodes - decodesBefore
+	r.TaintScan.IndexEntries = stStats.IndexEntries
+	r.TaintScan.LabeledObjects = stStats.LabeledObjects
 
 	root := sys.Kern.RootContainer()
 	for i := 0; i < 5; i++ {
@@ -164,13 +305,12 @@ func taintedObjectScan() {
 	}
 	kids, err := tc.ContainerFindLabeled(kernel.Self(root), taint.Fingerprint())
 	must(err)
-	fmt.Printf("Kernel container_find_labeled: %d objects with the taint fingerprint directly in the root container\n", len(kids))
+	r.TaintScan.KernelMatches = len(kids)
 }
 
-// groupCommitReport runs a parallel Put+SyncObject workload directly against
-// a store and prints the write-ahead log commit savings, the batch-size
-// histogram, and the shard occupancy/operation spread.
-func groupCommitReport() {
+// groupCommitRun runs a parallel Put+SyncObject workload directly against a
+// store and records the write-ahead log commit savings.
+func groupCommitRun(r *Report) {
 	clk := &vclock.Clock{}
 	params := disk.PaperDisk()
 	params.Sectors = (1 << 30) / disk.SectorSize
@@ -200,36 +340,13 @@ func groupCommitReport() {
 	wg.Wait()
 
 	stats := st.Stats()
-	fmt.Printf("Store group commit: %d syncs → %d WAL commits (%.2f commits/sync, GOMAXPROCS=%d)\n",
-		stats.ObjectSyncs, stats.WALCommits, float64(stats.WALCommits)/float64(stats.ObjectSyncs), runtime.GOMAXPROCS(0))
 	gs := st.GroupCommitStats()
-	labels := []string{"1", "2", "3-4", "5-8", "9-16", "17-32", "33-64", "65+"}
-	fmt.Printf("  batch-size histogram:")
-	for i, n := range gs.Hist {
-		if n > 0 {
-			fmt.Printf("  [%s]=%d", labels[i], n)
-		}
+	r.GroupCommit = GroupCommitReport{
+		Syncs:          stats.ObjectSyncs,
+		WALCommits:     stats.WALCommits,
+		CommitsPerSync: float64(stats.WALCommits) / float64(stats.ObjectSyncs),
+		MaxBatch:       gs.MaxBatch,
 	}
-	fmt.Printf("  (max batch %d records)\n", gs.MaxBatch)
-
-	shards := st.ShardStats()
-	used, maxOps, minOps, maxObjs := 0, uint64(0), ^uint64(0), 0
-	for _, sh := range shards {
-		if sh.Ops > 0 {
-			used++
-		}
-		if sh.Ops > maxOps {
-			maxOps = sh.Ops
-		}
-		if sh.Ops < minOps {
-			minOps = sh.Ops
-		}
-		if sh.Objects > maxObjs {
-			maxObjs = sh.Objects
-		}
-	}
-	fmt.Printf("  store shards: %d/%d active, ops spread min %d / max %d per shard, largest shard %d objects\n",
-		used, len(shards), minOps, maxOps, maxObjs)
 }
 
 func groupVsPerFileSync() float64 {
@@ -265,6 +382,35 @@ func groupVsPerFileSync() float64 {
 		return 0
 	}
 	return float64(perFile) / float64(groupSync)
+}
+
+func printReport(r *Report) {
+	fmt.Println("HiStar reproduction — evaluation index (see EXPERIMENTS.md for details)")
+	fmt.Println()
+	for _, row := range evalRows {
+		fmt.Printf("  %-55s paper: %-45s target: %s\n", row[0], row[1], row[2])
+	}
+	fmt.Println()
+	fmt.Printf("E13 syscall counts: fork/exec=%d, spawn=%d (paper: 317 vs 127; Linux 9)\n",
+		r.ForkExecSyscalls, r.SpawnSyscalls)
+	fmt.Printf("Label cache: %d hits / %d misses (%.1f%% hit rate), %d entries evicted, %d/%d shards active\n",
+		r.LabelCache.Hits, r.LabelCache.Misses, r.LabelCache.HitRate,
+		r.LabelCache.Evictions, r.LabelCache.ActiveShards, r.LabelCache.TotalShards)
+	fmt.Printf("Per-thread L1: %d hits / %d misses (%.1f%% hit rate), %d live threads\n",
+		r.LabelL1.Hits, r.LabelL1.Misses, r.LabelL1.HitRate, r.LabelL1.Threads)
+	fmt.Printf("E4 durability shapes: per-file sync is %.0fx slower than group sync for small-file creates (paper: up to ~200x)\n",
+		r.PerFileOverGroupSync)
+	fmt.Printf("Store group commit: %d syncs → %d WAL commits (%.2f commits/sync, max batch %d records, GOMAXPROCS=%d)\n",
+		r.GroupCommit.Syncs, r.GroupCommit.WALCommits, r.GroupCommit.CommitsPerSync,
+		r.GroupCommit.MaxBatch, r.GoMaxProcs)
+	fmt.Printf("Syscall ring: %d entries over %d waits (depth %.1f), %d lock runs + %d coalesced entries (%.1f%% coalesced)\n",
+		r.Ring.Entries, r.Ring.Waits, r.Ring.Depth, r.Ring.Runs, r.Ring.Coalesced, r.Ring.CoalesceRate)
+	fmt.Printf("  ring sync fan-out: %d syncs in %d groups → %d WAL commits (%.2f commits/sync at %d records/batch)\n",
+		r.Ring.SyncEntries, r.Ring.SyncGroups, r.Ring.WALCommits, r.Ring.CommitsPerSync, r.Ring.BatchRecords)
+	fmt.Printf("Store label index: %d objects tainted, %d label decodes during the scan (%d index entries over %d labeled objects)\n",
+		r.TaintScan.TaintedObjects, r.TaintScan.LabelDecodes, r.TaintScan.IndexEntries, r.TaintScan.LabeledObjects)
+	fmt.Printf("Kernel container_find_labeled: %d objects with the taint fingerprint directly in the root container\n",
+		r.TaintScan.KernelMatches)
 }
 
 func must(err error) {

@@ -50,6 +50,23 @@
 // canObserve checks touch no mutex.  Syscall statistics are striped atomic
 // counters indexed by a fixed syscall enum, merged on read.
 //
+// Batched submission rides on top of that discipline: a per-thread syscall
+// ring (kernel.Ring, an io_uring-style interface) queues segment and stat
+// operations plus OpSync durability requests, then executes the whole batch
+// under one thread snapshot per Wait.  Completions return in submission
+// order with per-entry errors; a Chain flag makes an entry depend on its
+// predecessor, with failure skipping the rest of the chain (ErrSkipped).
+// Execution reorders independent chains by target object so same-object
+// entries share a single resolve, lockOrdered acquisition, and liveness
+// check — the sort is stable, so same-object submission order is preserved
+// and a write-then-read needs no Chain flag — while still locking
+// {container, object} in ascending-ID order, adding no new lock-order edges.
+// All OpSync entries in a batch reach the store as one pre-formed
+// SyncObjects group, which the group committer turns into dense log batches:
+// ⌈N/GroupCommitRecords⌉ flushes for N syncs instead of N.  The Unix
+// library's readdir scan and its multi-file writev/fsync fan-out
+// (Process.PwritevFsync, Process.FsyncMany) are built on the ring.
+//
 // The user-level Unix library (internal/unixlib) carries no big locks
 // either: program and user tables are read-mostly RWMutexes, PIDs are
 // atomic, directory-segment bindings come from a sharded cache, mount

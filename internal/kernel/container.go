@@ -365,6 +365,13 @@ func (tc *ThreadCall) ObjectStat(ce CEnt) (Stat, error) {
 	if err := verifyEntryLive(cont, obj); err != nil {
 		return Stat{}, err
 	}
+	return tc.objectStatLocked(ctx, obj)
+}
+
+// objectStatLocked is ObjectStat's body once the object's lock is held (any
+// mode) and liveness is verified; the ring executes it under a shared lock
+// acquisition for a coalesced run of entries.
+func (tc *ThreadCall) objectStatLocked(ctx tctx, obj object) (Stat, error) {
 	h := obj.hdr()
 	st := Stat{
 		ID:         h.id,

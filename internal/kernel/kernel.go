@@ -48,6 +48,21 @@
 // children are collected into a worklist, and the worklist is drained one
 // object at a time after the triggering syscall has released its locks.
 //
+// # Syscall ring
+//
+// Besides direct calls, a thread may batch system calls through a Ring
+// (ring.go): Submit queues entries, Wait snapshots the thread once, executes
+// every entry through the same resolve/check/lockOrdered paths, and returns
+// per-entry completions in submission order.  Chains (the Chain flag) fix
+// intra-chain order with skip-on-error; independent chains may be reordered
+// by target object ID so same-object entries share one lock acquisition.  A
+// run holds at most one lockOrdered set at a time and OpSync dispatch takes
+// no object locks, so the ring introduces no new lock-order edges.  Wait
+// records one ring_submit syscall per batch and each entry records its own
+// syscall (OpSync as ring_sync), so batched and direct traffic stay
+// distinguishable in SyscallCounts; RingStats aggregates depth, coalescing,
+// and sync-group fan-in.
+//
 // Read-mostly syscalls (segment reads, resolution, stat, list) take only
 // read locks, so they proceed in parallel across — and within — shards.
 // Mutating syscalls take write locks only on the objects they mutate.
@@ -110,6 +125,9 @@ type Kernel struct {
 	futexes [futexShardCount]futexShard
 
 	syscalls syscallCounters
+
+	// ring tallies batched-submission activity (see ring.go).
+	ring ringCounters
 
 	// retired L1 counters of deallocated threads, folded in at teardown.
 	retired l1Retired

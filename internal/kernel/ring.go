@@ -1,0 +1,502 @@
+package kernel
+
+import (
+	"sort"
+	"sync/atomic"
+)
+
+// Syscall ring: io_uring-style batched submission with a single completion
+// wait.  A Ring belongs to one thread (like a real ring mapped into one
+// address space) and is not safe for concurrent use; concurrency comes from
+// many threads each driving their own ring.
+//
+// Protocol:
+//
+//   - Submit queues entries; nothing executes until Wait.
+//   - Wait(minComplete) enters the kernel once (one thread snapshot, one
+//     ring_submit count), executes every pending entry, and returns one
+//     completion per entry in submission order.  Per-entry results and
+//     errors live in the completions; Wait itself fails only when the
+//     invoking thread cannot enter the kernel at all or minComplete exceeds
+//     the pending count.
+//   - An entry with Chain set depends on its predecessor: if the predecessor
+//     fails (or was itself skipped), the entry completes with ErrSkipped
+//     without executing — skip cascades down the chain, as an io_uring chain
+//     break cancels the rest of the chain.
+//
+// Ordering: entries within one chain execute in submission order.  Across
+// chains the kernel is free to reorder — Wait sorts independent chains by
+// target object ID so entries against the same object become adjacent and a
+// maximal run of same-target entries shares a single resolve, lockOrdered
+// acquisition, and liveness verification.  The sort is stable and a chain's
+// sort key is its FIRST entry's target, so two guarantees hold: chains keep
+// their internal order, and chains with the same sort key — in particular,
+// all unchained entries on one object — keep their submission order relative
+// to each other.  A write-then-read sequence of unchained entries on one
+// segment therefore needs no Chain flag unless it wants skip-on-error.  No
+// order is promised between entries of chains that start on different
+// objects (as between unlinked io_uring SQEs), and entries chained after an
+// OpSync execute in a later pass, after every unsequenced entry of the
+// current pass.  Each run still locks
+// {container, object} in ascending-ID order through lockOrdered, and at most
+// one run's locks are held at a time, so the ring adds no new lock-order
+// edges to the discipline in the package comment.
+//
+// OpSync entries are the payoff: all syncs that become runnable in one pass
+// are dispatched to the attached Syncer as a single SyncObjects group, which
+// the store turns into dense write-ahead-log batches — one flush per batch
+// instead of one per object.  Entries chained after a sync resume once the
+// group resolves, so read-after-sync sequences still work.
+type Ring struct {
+	tc     *ThreadCall
+	syncer Syncer
+
+	pending []RingEntry
+
+	// Scratch buffers reused across Waits so a steady-state batch allocates
+	// nothing beyond the data it reads.
+	units []ringUnit
+	plan  []planItem
+	syncs []syncRef
+	comps []RingCompletion
+
+	// Tallies accumulated locally and flushed into the kernel-wide ring
+	// counters once per Wait, so per-entry Submit calls from many threads
+	// never contend on shared cachelines.  The submit-side tallies survive
+	// across Waits until flushed; the rest are per-Wait.
+	nSubmits, nEntries, nChained                           uint64
+	nRuns, nCoalesced, nSkipped, nSyncGroups, nSyncEntries uint64
+}
+
+// RingOp selects the system call a ring entry performs.
+type RingOp int
+
+const (
+	// OpSegmentRead reads Len bytes at Off from the segment Seg.
+	OpSegmentRead RingOp = iota
+	// OpSegmentWrite writes Data at Off in the segment Seg.
+	OpSegmentWrite
+	// OpSegmentResize sets the length of segment Seg to Len.
+	OpSegmentResize
+	// OpSegmentLen reports the length of segment Seg.
+	OpSegmentLen
+	// OpObjectStat stats the object Seg (any type).
+	OpObjectStat
+	// OpSync durably records object Seg.Object through the attached Syncer.
+	OpSync
+)
+
+// RingEntry is one submitted operation.
+type RingEntry struct {
+	Op   RingOp
+	Seg  CEnt // target object
+	Off  int
+	Len  int
+	Data []byte
+	// Chain makes this entry depend on its predecessor in submission order:
+	// it is skipped (ErrSkipped) if the predecessor failed or was skipped.
+	Chain bool
+}
+
+// RingCompletion is one entry's result.  Completions are returned in
+// submission order; Index is the entry's position in that order.
+type RingCompletion struct {
+	Index int
+	Val   []byte // OpSegmentRead
+	N     int    // bytes read/written, or segment length
+	Stat  Stat   // OpObjectStat
+	Err   error
+}
+
+// Syncer is the ring's durability hook: the store's group committer.  It is
+// an interface so the kernel stays independent of the store package; the
+// Unix library attaches the concrete *store.Store.
+type Syncer interface {
+	// SyncObjects durably records the objects' current states, returning one
+	// error slot per id (nil = durable).
+	SyncObjects(ids []uint64) []error
+}
+
+// NewRing creates an empty ring bound to the invoking thread.
+func (tc *ThreadCall) NewRing() *Ring { return &Ring{tc: tc} }
+
+// SetSyncer attaches the durability hook OpSync entries dispatch to.
+func (r *Ring) SetSyncer(s Syncer) { r.syncer = s }
+
+// Submit queues entries for the next Wait and returns the number queued.
+// Submission tallies reach RingStats when the next Wait flushes them.
+func (r *Ring) Submit(entries ...RingEntry) int {
+	r.pending = append(r.pending, entries...)
+	r.nSubmits++
+	r.nEntries += uint64(len(entries))
+	for i := range entries {
+		if entries[i].Chain {
+			r.nChained++
+		}
+	}
+	return len(entries)
+}
+
+// Pending reports how many submitted entries have not yet been executed.
+func (r *Ring) Pending() int { return len(r.pending) }
+
+// ringUnit is one chain of entries: a maximal run of Chain-linked entries
+// (an unchained entry is a unit of one).  Chained entries are consecutive
+// submissions, so a unit is the contiguous range entries[start:end]; next is
+// the absolute index of its first unexecuted entry.  Units are the
+// reordering grain — intra-unit order is fixed, inter-unit order is not.
+type ringUnit struct {
+	start, end, next int
+	failed           bool
+}
+
+// planItem is one executable (non-sync) entry scheduled for the current
+// pass: u indexes the ring's unit buffer, i the entry.
+type planItem struct {
+	u, i int
+}
+
+// syncRef is one OpSync entry deferred to the current pass's group dispatch.
+type syncRef struct {
+	u, i int
+}
+
+// Wait executes every pending entry and returns their completions in
+// submission order.  minComplete must not exceed the pending count; in this
+// synchronous simulation Wait always completes everything, so any legal
+// minComplete is satisfied.  The thread is snapshotted once for the whole
+// batch, and one ring_submit syscall is recorded; each executed entry
+// additionally records its own syscall (segment_read, ring_sync, ...), so
+// batched and direct traffic remain distinguishable in SyscallCounts.
+//
+// The returned slice is the ring's completion queue: like consumed CQEs it
+// is valid only until the next Wait on this ring, which recycles it.  Copy
+// completions that must outlive that (the Val payloads are fresh per read
+// and may be retained).
+func (r *Ring) Wait(minComplete int) ([]RingCompletion, error) {
+	if minComplete < 0 || minComplete > len(r.pending) {
+		return nil, ErrInvalid
+	}
+	if len(r.pending) == 0 {
+		return nil, nil
+	}
+	entries := r.pending
+	r.pending = nil
+	ctx, err := r.tc.enter(scRingSubmit)
+	if err != nil {
+		return nil, err
+	}
+	k := r.tc.k
+	k.ring.waits.Add(1)
+	r.nRuns, r.nCoalesced, r.nSkipped, r.nSyncGroups, r.nSyncEntries = 0, 0, 0, 0, 0
+
+	if cap(r.comps) < len(entries) {
+		r.comps = make([]RingCompletion, len(entries))
+	}
+	comps := r.comps[:len(entries)]
+	for i := range comps {
+		comps[i] = RingCompletion{Index: i}
+	}
+	r.comps = comps
+
+	// Build chain units, then sort them by first-target object ID so
+	// same-object work becomes adjacent in the execution stream.  The sort is
+	// stable, so equal-target units keep submission order.
+	units := r.units[:0]
+	for i := range entries {
+		if i == 0 || !entries[i].Chain {
+			units = append(units, ringUnit{start: i, end: i + 1, next: i})
+		} else {
+			units[len(units)-1].end = i + 1
+		}
+	}
+	sortUnits(units, entries)
+
+	// Execute in passes: each pass runs every unit up to (but not through)
+	// its next OpSync, coalescing same-target runs; then — with every
+	// predecessor's outcome known — skips or dispatches the pending syncs as
+	// one group.  Units suspended at a sync resume in the next pass.
+	for remaining := len(entries); remaining > 0; {
+		plan := r.plan[:0]
+		for ui := range units {
+			u := &units[ui]
+			for u.next < u.end && entries[u.next].Op != OpSync {
+				i := u.next
+				u.next++
+				remaining--
+				if u.failed {
+					// The chain already failed before this pass; nothing
+					// after it executes, so don't bother planning it.
+					comps[i].Err = ErrSkipped
+					r.nSkipped++
+					continue
+				}
+				plan = append(plan, planItem{ui, i})
+			}
+		}
+		for j := 0; j < len(plan); {
+			end := j + 1
+			for end < len(plan) && entries[plan[end].i].Seg == entries[plan[j].i].Seg {
+				end++
+			}
+			r.execRun(ctx, entries, units, plan[j:end], comps)
+			r.nRuns++
+			r.nCoalesced += uint64(end - j - 1)
+			j = end
+		}
+		r.plan = plan
+		// Every planned entry has executed, so chain failure states are
+		// settled and each unit's pending sync can be skipped or dispatched.
+		syncs := r.syncs[:0]
+		for ui := range units {
+			u := &units[ui]
+			if u.next >= u.end {
+				continue
+			}
+			i := u.next
+			u.next++
+			remaining--
+			if u.failed {
+				comps[i].Err = ErrSkipped
+				r.nSkipped++
+				continue
+			}
+			syncs = append(syncs, syncRef{ui, i})
+		}
+		if len(syncs) > 0 {
+			r.dispatchSyncs(ctx, entries, units, syncs, comps)
+		}
+		r.syncs = syncs
+	}
+	r.units = units
+	r.pending = entries[:0] // recycle the submission buffer
+
+	k.ring.submits.Add(r.nSubmits)
+	k.ring.entries.Add(r.nEntries)
+	k.ring.chained.Add(r.nChained)
+	r.nSubmits, r.nEntries, r.nChained = 0, 0, 0
+	k.ring.runs.Add(r.nRuns)
+	k.ring.coalesced.Add(r.nCoalesced)
+	k.ring.skipped.Add(r.nSkipped)
+	k.ring.syncGroups.Add(r.nSyncGroups)
+	k.ring.syncEntries.Add(r.nSyncEntries)
+	return comps, nil
+}
+
+// sortUnits stably orders units by their first entry's target object ID.
+// Batches are usually small, so an insertion sort (no closure, no interface
+// dispatch) handles the common case; big fan-outs fall back to the library.
+func sortUnits(units []ringUnit, entries []RingEntry) {
+	if len(units) <= 32 {
+		for i := 1; i < len(units); i++ {
+			for j := i; j > 0 && entries[units[j].start].Seg.Object < entries[units[j-1].start].Seg.Object; j-- {
+				units[j], units[j-1] = units[j-1], units[j]
+			}
+		}
+		return
+	}
+	sort.SliceStable(units, func(a, b int) bool {
+		return entries[units[a].start].Seg.Object < entries[units[b].start].Seg.Object
+	})
+}
+
+// opWrites reports whether the op mutates its target (and so needs the
+// object's write lock).
+func opWrites(op RingOp) bool {
+	return op == OpSegmentWrite || op == OpSegmentResize
+}
+
+// scFor maps a ring op to the per-syscall counter it records.
+func scFor(op RingOp) syscallID {
+	switch op {
+	case OpSegmentRead:
+		return scSegmentRead
+	case OpSegmentWrite:
+		return scSegmentWrite
+	case OpSegmentResize:
+		return scSegmentResize
+	case OpSegmentLen:
+		return scSegmentLen
+	case OpObjectStat:
+		return scObjectStat
+	default:
+		return scRingSync
+	}
+}
+
+// execRun executes one maximal run of same-target entries under a single
+// resolve + lockOrdered + liveness verification.  Per-entry label checks
+// still happen individually (against immutable labels, so holding the lock
+// is irrelevant to them), and a failing entry fails only its own chain.
+func (r *Ring) execRun(ctx tctx, entries []RingEntry, units []ringUnit, run []planItem, comps []RingCompletion) {
+	k := r.tc.k
+	ce := entries[run[0].i].Seg
+	cont, obj, resolveErr := k.peek(ctx, ce)
+	var seg *segment
+	var liveErr error
+	if resolveErr == nil {
+		write := false
+		for _, it := range run {
+			if opWrites(entries[it.i].Op) {
+				write = true
+				break
+			}
+		}
+		ls := lockOrdered(objLock{cont, false}, objLock{obj, write})
+		defer ls.unlock()
+		liveErr = verifyEntryLive(cont, obj)
+		seg, _ = obj.(*segment)
+	}
+	for _, it := range run {
+		if units[it.u].failed {
+			comps[it.i].Err = ErrSkipped
+			r.nSkipped++
+			continue
+		}
+		e := &entries[it.i]
+		k.count(scFor(e.Op), ctx.t)
+		err := resolveErr
+		if err == nil {
+			err = liveErr
+		}
+		if err == nil {
+			switch e.Op {
+			case OpObjectStat:
+				comps[it.i].Stat, err = r.tc.objectStatLocked(ctx, obj)
+			case OpSegmentRead:
+				if seg == nil {
+					err = ErrWrongType
+				} else if err = r.tc.checkSegmentRead(ctx, seg); err == nil {
+					comps[it.i].Val, err = segReadLocked(seg, e.Off, e.Len)
+					comps[it.i].N = len(comps[it.i].Val)
+				}
+			case OpSegmentLen:
+				if seg == nil {
+					err = ErrWrongType
+				} else if err = r.tc.checkSegmentRead(ctx, seg); err == nil {
+					comps[it.i].N = len(seg.data)
+				}
+			case OpSegmentWrite:
+				if seg == nil {
+					err = ErrWrongType
+				} else if err = r.tc.checkSegmentWrite(ctx, seg); err == nil {
+					if err = segWriteLocked(seg, e.Off, e.Data); err == nil {
+						comps[it.i].N = len(e.Data)
+					}
+				}
+			case OpSegmentResize:
+				if seg == nil {
+					err = ErrWrongType
+				} else if err = r.tc.checkSegmentWrite(ctx, seg); err == nil {
+					err = segResizeLocked(seg, e.Len)
+				}
+			default:
+				err = ErrInvalid
+			}
+		}
+		if err != nil {
+			comps[it.i].Err = err
+			units[it.u].failed = true
+		}
+	}
+}
+
+// dispatchSyncs sends one pass's deferred OpSync entries to the Syncer as a
+// single group — the pre-formed batch the store's group committer commits
+// with one log append and one flush per bounded batch.
+func (r *Ring) dispatchSyncs(ctx tctx, entries []RingEntry, units []ringUnit, syncs []syncRef, comps []RingCompletion) {
+	k := r.tc.k
+	ids := make([]uint64, len(syncs))
+	for j, sr := range syncs {
+		ids[j] = uint64(entries[sr.i].Seg.Object)
+		k.count(scRingSync, ctx.t)
+	}
+	r.nSyncGroups++
+	r.nSyncEntries += uint64(len(syncs))
+	var errs []error
+	if r.syncer == nil {
+		errs = make([]error, len(ids))
+		for j := range errs {
+			errs[j] = ErrInvalid
+		}
+	} else {
+		errs = r.syncer.SyncObjects(ids)
+	}
+	for j, sr := range syncs {
+		var err error
+		if j < len(errs) {
+			err = errs[j]
+		}
+		if err != nil {
+			comps[sr.i].Err = err
+			units[sr.u].failed = true
+		}
+	}
+}
+
+// ringCounters is the kernel-wide tally of ring activity, kept as plain
+// atomics (adds happen once per batch, not per entry, so striping is not
+// needed).
+type ringCounters struct {
+	submits     atomic.Uint64
+	entries     atomic.Uint64
+	waits       atomic.Uint64
+	runs        atomic.Uint64
+	coalesced   atomic.Uint64
+	chained     atomic.Uint64
+	skipped     atomic.Uint64
+	syncGroups  atomic.Uint64
+	syncEntries atomic.Uint64
+}
+
+// RingStats is a snapshot of kernel-wide ring activity.
+type RingStats struct {
+	// Submits and Entries count Submit calls and the entries they queued;
+	// Waits counts Wait calls that executed at least one entry (equals the
+	// ring_submit syscall count).
+	Submits uint64
+	Entries uint64
+	Waits   uint64
+	// Runs is the number of lock acquisitions performed for entry execution;
+	// Coalesced is how many entries shared a predecessor's acquisition, so
+	// the coalesce rate is Coalesced / (Runs + Coalesced).
+	Runs      uint64
+	Coalesced uint64
+	// Chained and Skipped count entries submitted with the Chain flag and
+	// entries skipped by chain error propagation.
+	Chained uint64
+	Skipped uint64
+	// SyncGroups and SyncEntries count group dispatches to the Syncer and
+	// the OpSync entries they carried.
+	SyncGroups  uint64
+	SyncEntries uint64
+}
+
+// RingStats returns a snapshot of the kernel-wide ring counters.
+func (k *Kernel) RingStats() RingStats {
+	return RingStats{
+		Submits:     k.ring.submits.Load(),
+		Entries:     k.ring.entries.Load(),
+		Waits:       k.ring.waits.Load(),
+		Runs:        k.ring.runs.Load(),
+		Coalesced:   k.ring.coalesced.Load(),
+		Chained:     k.ring.chained.Load(),
+		Skipped:     k.ring.skipped.Load(),
+		SyncGroups:  k.ring.syncGroups.Load(),
+		SyncEntries: k.ring.syncEntries.Load(),
+	}
+}
+
+// ResetRingStats zeroes the ring counters (benchmark plumbing).
+func (k *Kernel) ResetRingStats() {
+	c := &k.ring
+	c.submits.Store(0)
+	c.entries.Store(0)
+	c.waits.Store(0)
+	c.runs.Store(0)
+	c.coalesced.Store(0)
+	c.chained.Store(0)
+	c.skipped.Store(0)
+	c.syncGroups.Store(0)
+	c.syncEntries.Store(0)
+}

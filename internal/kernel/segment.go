@@ -175,6 +175,23 @@ func (tc *ThreadCall) checkSegmentWrite(ctx tctx, seg *segment) error {
 	return nil
 }
 
+// segReadLocked is SegmentRead's body once the segment's lock is held (any
+// mode) and liveness is verified; the ring executes it under a shared lock
+// acquisition for a coalesced run of entries.
+func segReadLocked(seg *segment, off, n int) ([]byte, error) {
+	if off < 0 || n < 0 || off > len(seg.data) {
+		return nil, ErrInvalid
+	}
+	// Clamp without computing off+n, which could overflow int.
+	end := len(seg.data)
+	if n < end-off {
+		end = off + n
+	}
+	out := make([]byte, end-off)
+	copy(out, seg.data[off:end])
+	return out, nil
+}
+
 // SegmentRead reads n bytes at offset off from the segment named by ce.
 func (tc *ThreadCall) SegmentRead(ce CEnt, off, n int) ([]byte, error) {
 	ctx, err := tc.enter(scSegmentRead)
@@ -193,17 +210,7 @@ func (tc *ThreadCall) SegmentRead(ce CEnt, off, n int) ([]byte, error) {
 	if err := verifyEntryLive(cont, seg); err != nil {
 		return nil, err
 	}
-	if off < 0 || n < 0 || off > len(seg.data) {
-		return nil, ErrInvalid
-	}
-	// Clamp without computing off+n, which could overflow int.
-	end := len(seg.data)
-	if n < end-off {
-		end = off + n
-	}
-	out := make([]byte, end-off)
-	copy(out, seg.data[off:end])
-	return out, nil
+	return segReadLocked(seg, off, n)
 }
 
 // SegmentWrite writes data at offset off in the segment named by ce,
@@ -225,6 +232,12 @@ func (tc *ThreadCall) SegmentWrite(ce CEnt, off int, data []byte) error {
 	if err := verifyEntryLive(cont, seg); err != nil {
 		return err
 	}
+	return segWriteLocked(seg, off, data)
+}
+
+// segWriteLocked is SegmentWrite's body once the segment's write lock is held
+// and liveness is verified.
+func segWriteLocked(seg *segment, off int, data []byte) error {
 	if seg.immutable {
 		return ErrImmutable
 	}
@@ -268,6 +281,12 @@ func (tc *ThreadCall) SegmentResize(ce CEnt, n int) error {
 	if err := verifyEntryLive(cont, seg); err != nil {
 		return err
 	}
+	return segResizeLocked(seg, n)
+}
+
+// segResizeLocked is SegmentResize's body once the segment's write lock is
+// held and liveness is verified.
+func segResizeLocked(seg *segment, n int) error {
 	if seg.immutable {
 		return ErrImmutable
 	}

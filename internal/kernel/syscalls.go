@@ -63,6 +63,8 @@ const (
 	scNetTx
 	scNetRx
 	scNetWait
+	scRingSubmit
+	scRingSync
 
 	numSyscalls
 )
@@ -118,6 +120,8 @@ var syscallNames = [numSyscalls]string{
 	scNetTx:                "net_tx",
 	scNetRx:                "net_rx",
 	scNetWait:              "net_wait",
+	scRingSubmit:           "ring_submit",
+	scRingSync:             "ring_sync",
 }
 
 // counterStripes is the number of stripes per counter; threads hash onto

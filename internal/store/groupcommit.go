@@ -257,6 +257,100 @@ func (s *Store) syncOnce(id uint64) (uint64, error) {
 	return epoch, err
 }
 
+// SyncObjects durably records the current contents of many objects at once:
+// the batched form of SyncObject that the kernel's syscall ring dispatches.
+// Every record is sealed under its entry lock and enqueued with the
+// committer BEFORE any ticket is awaited, so the leader's takeBatch sees the
+// whole group and forms full batches even with no concurrent syncers — N
+// syncs cost at most ⌈N/GroupCommitRecords⌉ log flushes instead of N.  The
+// returned slice has one error slot per id (nil = durable); ids that cannot
+// go through the log share a single checkpoint fallback.
+func (s *Store) SyncObjects(ids []uint64) []error {
+	errs := make([]error, len(ids))
+	if len(ids) == 0 {
+		return errs
+	}
+	epoch, needCkpt := s.syncGroupOnce(ids, errs)
+	if needCkpt {
+		ckErr := s.checkpointSince(epoch)
+		for i := range errs {
+			if errors.Is(errs[i], errRetryCheckpoint) {
+				errs[i] = ckErr
+			}
+		}
+	}
+	return errs
+}
+
+// syncGroupOnce is SyncObjects' log phase: seal and enqueue every record,
+// then await all tickets.  Like syncOnce it holds ckptMu in read mode from
+// first seal to last ticket resolution, so no checkpoint can slip between
+// sealing a state and committing it.  It reports whether any id must fall
+// back to a checkpoint.
+func (s *Store) syncGroupOnce(ids []uint64, errs []error) (uint64, bool) {
+	s.ckptMu.RLock()
+	defer s.ckptMu.RUnlock()
+	epoch := s.ckptEpoch.Load()
+	if s.closed {
+		for i := range errs {
+			errs[i] = ErrClosed
+		}
+		return epoch, false
+	}
+	type slot struct {
+		i int
+		t *syncTicket
+	}
+	slots := make([]slot, 0, len(ids))
+	needCkpt := false
+	for i, id := range ids {
+		s.c.objectSyncs.Add(1)
+		e := s.shardOf(id).lookup(id)
+		if e == nil {
+			// Nothing in memory and not deleted: the on-disk copy is current.
+			continue
+		}
+		e.mu.Lock()
+		var rec wal.Record
+		switch {
+		case e.dead:
+			rec = wal.Record{ObjectID: id, Delete: true}
+		case e.cached:
+			rec = wal.Record{ObjectID: id, Data: e.data}
+			if e.hasLbl {
+				rec.Label = e.lbl.AppendBinary(nil)
+			}
+		default:
+			e.mu.Unlock()
+			continue
+		}
+		if s.l.TooLarge(rec) {
+			e.mu.Unlock()
+			errs[i] = errRetryCheckpoint
+			needCkpt = true
+			continue
+		}
+		// Enqueue under the entry lock: per-object log order = seal order.
+		t := s.comm.enqueue(rec)
+		e.mu.Unlock()
+		slots = append(slots, slot{i, t})
+	}
+	for _, sl := range slots {
+		err := s.awaitCommit(sl.t)
+		switch {
+		case err == nil:
+			s.c.bytesLogged.Add(uint64(len(sl.t.rec.Data)))
+			s.c.labelBytesLogged.Add(uint64(len(sl.t.rec.Label)))
+		case errors.Is(err, errRetryCheckpoint):
+			errs[sl.i] = errRetryCheckpoint
+			needCkpt = true
+		default:
+			errs[sl.i] = err
+		}
+	}
+	return epoch, needCkpt
+}
+
 // checkpointSince provides a sync's checkpoint fallback: if a checkpoint
 // already completed after the sync sealed its record (epoch moved), that
 // checkpoint made a state at least as new durable and nothing more is

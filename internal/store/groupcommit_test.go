@@ -95,6 +95,67 @@ func TestGroupCommitBatchesConcurrentSyncs(t *testing.T) {
 	}
 }
 
+// TestSyncObjectsSingleThreadedBatching is the deterministic ring-batching
+// guarantee: SyncObjects enqueues every record before awaiting any ticket,
+// so a single caller with no concurrency help gets at most ⌈N/batch⌉ WAL
+// commits — the property SyncObject-in-a-loop only approaches under high
+// accidental concurrency.
+func TestSyncObjectsSingleThreadedBatching(t *testing.T) {
+	d := disk.New(disk.Params{Sectors: 1 << 18, WriteCache: true}, &vclock.Clock{})
+	const batchRecs = 8
+	s, err := Format(d, Options{LogSize: 8 << 20, GroupCommitRecords: batchRecs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 40
+	payload := bytes.Repeat([]byte("r"), 256)
+	ids := make([]uint64, n)
+	for i := range ids {
+		ids[i] = uint64(i + 1)
+		if err := s.Put(ids[i], payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// An id with nothing in memory is legal: its on-disk copy is current.
+	ids[n-1] = 1 << 40
+
+	before := s.WALStats()
+	errs := s.SyncObjects(ids)
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("SyncObjects[%d] (id %d): %v", i, ids[i], err)
+		}
+	}
+	after := s.WALStats()
+	commits := after.Commits - before.Commits
+	want := uint64((n + batchRecs - 1) / batchRecs)
+	if commits == 0 || commits > want {
+		t.Errorf("%d single-threaded grouped syncs took %d WAL commits, want 1..%d", n, commits, want)
+	}
+	if got := after.BatchRecords - before.BatchRecords; got != n-1 {
+		t.Errorf("batch records = %d, want %d", got, n-1)
+	}
+	if after.BatchBytes == before.BatchBytes {
+		t.Error("BatchBytes did not advance for batched appends")
+	}
+	if gs := s.GroupCommitStats(); gs.MaxBatch != batchRecs {
+		t.Errorf("max batch = %d, want full batches of %d", gs.MaxBatch, batchRecs)
+	}
+
+	// Contents must actually be durable: recover from the disk image.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s2.Get(ids[0])
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("object 1 after recovery = (%d bytes, %v)", len(got), err)
+	}
+}
+
 func TestGroupCommitByteBoundSplitsBatches(t *testing.T) {
 	d := disk.New(disk.Params{Sectors: 1 << 18, WriteCache: true}, &vclock.Clock{})
 	// Each record is ~2 KB; a 5 KB byte bound admits two records per batch.

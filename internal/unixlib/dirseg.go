@@ -150,29 +150,45 @@ func (sys *System) unlockDir(tc *kernel.ThreadCall, seg kernel.CEnt) error {
 	return mapKernelErr(err)
 }
 
+// maxSegRead asks a ring read for "the rest of the segment": SegmentRead
+// clamps to the segment's length, so no separate SegmentLen call is needed.
+const maxSegRead = int(^uint(0) >> 1)
+
 // readDirEntries returns a consistent snapshot of a directory's entries.
 // Writers hold the mutex; readers without write permission retry until the
 // generation number is stable and the busy flag clear.
+//
+// The three reads of one attempt (generation+busy, whole segment, generation
+// again) go through the syscall ring as a single chained batch: one kernel
+// entry and — because same-target entries coalesce — one lock round-trip on
+// the directory segment, where the direct path paid four syscalls
+// (read, len, read, read).  The generation/busy protocol is kept even though
+// a coalesced batch reads atomically under the segment's lock: a writer
+// holding the user-level directory mutex updates the segment across several
+// syscalls, so a batch can still observe a mid-update (busy) state.
 func (sys *System) readDirEntries(tc *kernel.ThreadCall, seg kernel.CEnt) ([]DirEntry, error) {
+	r := tc.NewRing()
 	for attempt := 0; ; attempt++ {
-		before, err := tc.SegmentRead(seg, dsGenOff, 16) // generation + busy
+		r.Submit(
+			kernel.RingEntry{Op: kernel.OpSegmentRead, Seg: seg, Off: dsGenOff, Len: 16},
+			kernel.RingEntry{Op: kernel.OpSegmentRead, Seg: seg, Off: 0, Len: maxSegRead, Chain: true},
+			kernel.RingEntry{Op: kernel.OpSegmentRead, Seg: seg, Off: dsGenOff, Len: 8, Chain: true},
+		)
+		comps, err := r.Wait(3)
 		if err != nil {
 			return nil, mapKernelErr(err)
+		}
+		for i := range comps {
+			if comps[i].Err != nil {
+				return nil, mapKernelErr(comps[i].Err)
+			}
+		}
+		before, buf, after := comps[0].Val, comps[1].Val, comps[2].Val
+		if len(before) < 16 || len(after) < 8 {
+			return nil, ErrInvalid
 		}
 		genBefore := binary.LittleEndian.Uint64(before[:8])
 		busy := binary.LittleEndian.Uint64(before[8:16])
-		n, err := tc.SegmentLen(seg)
-		if err != nil {
-			return nil, mapKernelErr(err)
-		}
-		buf, err := tc.SegmentRead(seg, 0, n)
-		if err != nil {
-			return nil, mapKernelErr(err)
-		}
-		after, err := tc.SegmentRead(seg, dsGenOff, 8)
-		if err != nil {
-			return nil, mapKernelErr(err)
-		}
 		genAfter := binary.LittleEndian.Uint64(after)
 		if busy == 0 && genBefore == genAfter {
 			return decodeDirEntries(buf), nil

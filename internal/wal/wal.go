@@ -111,11 +111,12 @@ type Log struct {
 	applies  uint64
 	appended uint64
 
-	// Batch counters: AppendBatch calls, records appended through them, and
-	// the largest single batch — the group-commit tests assert commits stay
-	// below syncs using these.
+	// Batch counters: AppendBatch calls, records appended through them,
+	// their encoded bytes, and the largest single batch — the group-commit
+	// tests assert commits stay below syncs using these.
 	batches      uint64
 	batchRecords uint64
+	batchBytes   uint64
 	maxBatch     int
 
 	// recoveredLegacy records that Recover migrated a version-1 log, whose
@@ -180,6 +181,7 @@ func (l *Log) AppendBatch(recs []Record) error {
 	}
 	for _, r := range recs {
 		l.appendLocked(r)
+		l.batchBytes += uint64(r.EncodedSize())
 	}
 	l.batches++
 	l.batchRecords += uint64(len(recs))
@@ -396,6 +398,9 @@ type Stats struct {
 	Batches      uint64
 	BatchRecords uint64
 	MaxBatch     int
+	// BatchBytes counts the encoded bytes appended through AppendBatch, so
+	// bytes-per-flush is BatchBytes/Commits when all traffic is batched.
+	BatchBytes uint64
 }
 
 // Stats returns cumulative commit, apply (truncate), append and batch counts.
@@ -409,6 +414,7 @@ func (l *Log) Stats() Stats {
 		Batches:      l.batches,
 		BatchRecords: l.batchRecords,
 		MaxBatch:     l.maxBatch,
+		BatchBytes:   l.batchBytes,
 	}
 }
 
