@@ -11,7 +11,10 @@
 package main
 
 import (
+	"bytes"
+	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -44,6 +47,7 @@ type Report struct {
 	GroupCommit GroupCommitReport `json:"group_commit"`
 	Ring        RingReport        `json:"ring"`
 	TaintScan   TaintScanReport   `json:"taint_scan"`
+	Integrity   IntegrityReport   `json:"integrity"`
 }
 
 type LabelCacheReport struct {
@@ -85,6 +89,28 @@ type RingReport struct {
 	CommitsPerSync float64 `json:"commits_per_sync"`
 }
 
+// IntegrityReport is the on-disk integrity section: how fast a scrub pass
+// verifies the image, how long the store takes to notice an injected bit
+// flip on first access, and what a recovery mount (corrupt referenced
+// metadata area → previous snapshot + full log replay) costs relative to a
+// clean one.  All times are simulated disk time on the paper's disk model
+// (vclock), so the section is deterministic like every other metric here.
+type IntegrityReport struct {
+	ScrubBytes          int64   `json:"scrub_bytes"`
+	ScrubMBPerSec       float64 `json:"scrub_mb_per_sec"`
+	ScrubObjectsChecked int     `json:"scrub_objects_checked"`
+	ScrubMicros         float64 `json:"scrub_micros"`
+
+	DetectionLatencyMicros float64 `json:"detection_latency_micros"`
+
+	CleanOpenMicros         float64 `json:"clean_open_micros"`
+	FallbackOpenMicros      float64 `json:"fallback_open_micros"`
+	FallbackRecordsReplayed int     `json:"fallback_records_replayed"`
+
+	CorruptionsDetected uint64 `json:"corruptions_detected"`
+	Quarantined         int    `json:"quarantined"`
+}
+
 type TaintScanReport struct {
 	TaintedObjects int    `json:"tainted_objects"`
 	LabelDecodes   uint64 `json:"label_decodes"`
@@ -118,6 +144,7 @@ func main() {
 	groupCommitRun(&r)
 	ringRun(&r)
 	taintedObjectScan(&r)
+	integrityRun(&r)
 
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
@@ -308,6 +335,124 @@ func taintedObjectScan(r *Report) {
 	r.TaintScan.KernelMatches = len(kids)
 }
 
+// integrityRun measures the end-to-end integrity machinery on a
+// FaultDisk-wrapped store: scrub throughput over a clean image, the latency
+// from silent bit flip to quarantine on the first uncached access, and the
+// cost of a recovery mount (referenced metadata area corrupted → previous
+// snapshot loaded, full retained log replayed) against a clean mount of the
+// same image.  Times are read off the virtual disk clock (the paper-disk
+// latency model), not the host's wall clock, so every run of this section
+// produces identical numbers.
+func integrityRun(r *Report) {
+	const (
+		logSize  = 1 << 20
+		metaSize = 1 << 20
+		nObjects = 256
+	)
+	clk := &vclock.Clock{}
+	params := disk.PaperDisk()
+	params.Sectors = (32 << 20) / disk.SectorSize
+	params.WriteCache = true
+	base := disk.New(params, clk)
+	fd := disk.NewFaultDisk(base)
+	micros := func(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+	st, err := store.Format(fd, store.Options{LogSize: logSize, MetaAreaSize: metaSize})
+	must(err)
+
+	// Generation 0: the victim and its cohort, checkpointed to home extents
+	// (with contents CRCs) and never touched again.
+	victimPattern := bytes.Repeat([]byte("INTEGRITY-BENCH-VICTIM"), 180)
+	lbl := label.New(label.L1)
+	for i := uint64(0); i < nObjects; i++ {
+		payload := []byte(fmt.Sprintf("integrity object %d ", i))
+		payload = append(payload, make([]byte, 4096-len(payload))...)
+		must(st.PutLabeled(i, lbl, payload))
+		must(st.SyncObject(i))
+	}
+	const victim = uint64(1000)
+	must(st.PutLabeled(victim, lbl, victimPattern))
+	must(st.SyncObject(victim))
+	must(st.Checkpoint())
+	// Generation 1 plus a tail of synced writes in the current log
+	// generation, so a metadata fallback has records to replay.
+	for i := uint64(0); i < 32; i++ {
+		must(st.PutLabeled(i, lbl, []byte(fmt.Sprintf("integrity rewrite %d", i))))
+		must(st.SyncObject(i))
+	}
+	must(st.Checkpoint())
+	for i := uint64(nObjects); i < nObjects+16; i++ {
+		must(st.PutLabeled(i, lbl, []byte(fmt.Sprintf("integrity tail %d", i))))
+		must(st.SyncObject(i))
+	}
+
+	// Clean mount of the populated image.
+	t0 := clk.Now()
+	s2, err := store.Open(fd, store.Options{})
+	must(err)
+	r.Integrity.CleanOpenMicros = micros(clk.Now() - t0)
+	if s2.RecoveryReport().Degraded() {
+		panic("integrity bench: clean open reported degraded recovery")
+	}
+
+	// Scrub throughput over the intact image, in simulated disk time (the
+	// pass is read-bound: both superblock copies, both metadata areas, and
+	// every home extent).
+	t0 = clk.Now()
+	ss, err := s2.Scrub()
+	must(err)
+	scrubTime := clk.Now() - t0
+	r.Integrity.ScrubBytes = ss.BytesVerified
+	r.Integrity.ScrubObjectsChecked = ss.ObjectsChecked
+	r.Integrity.ScrubMicros = micros(scrubTime)
+	if scrubTime > 0 {
+		r.Integrity.ScrubMBPerSec = float64(ss.BytesVerified) / (1 << 20) / scrubTime.Seconds()
+	}
+
+	// Detection latency: flip one bit in the victim's home extent (located
+	// by its unique pattern, searched in the data region only — the log
+	// also holds a copy inside the victim's sync record), evict the cache,
+	// and time the Get that must notice and quarantine it.
+	dataStart := int64(4096) + logSize + 2*metaSize
+	raw := make([]byte, fd.Size()-dataStart)
+	_, err = fd.ReadAt(raw, dataStart)
+	must(err)
+	pos := bytes.Index(raw, victimPattern)
+	if pos < 0 {
+		panic("integrity bench: victim extent not found on disk")
+	}
+	must(fd.RotBits(disk.Region{Off: dataStart + int64(pos), Len: int64(len(victimPattern))}, 1, 17))
+	s2.EvictCache()
+	t0 = clk.Now()
+	_, err = s2.Get(victim)
+	r.Integrity.DetectionLatencyMicros = micros(clk.Now() - t0)
+	if !errors.Is(err, store.ErrQuarantined) {
+		panic(fmt.Sprintf("integrity bench: corrupted victim read returned %v, want quarantine", err))
+	}
+	is := s2.IntegrityStats()
+	r.Integrity.CorruptionsDetected = is.CorruptionsDetected
+	r.Integrity.Quarantined = is.QuarantinedNow
+
+	// Recovery mount: corrupt the referenced metadata area's header (the
+	// superblock's `which` field, a little-endian u64 at byte 8, says which
+	// of the two areas that is) and time the fallback open — previous
+	// snapshot plus a full replay of the retained and current log
+	// generations.
+	var sbWhich [8]byte
+	_, err = fd.ReadAt(sbWhich[:], 8)
+	must(err)
+	areaOff := int64(4096) + logSize + int64(binary.LittleEndian.Uint64(sbWhich[:]))*metaSize
+	must(fd.RotBits(disk.Region{Off: areaOff, Len: 48}, 3, 7))
+	t0 = clk.Now()
+	s3, err := store.Open(fd, store.Options{})
+	must(err)
+	r.Integrity.FallbackOpenMicros = micros(clk.Now() - t0)
+	rep := s3.RecoveryReport()
+	if !rep.MetaFallback {
+		panic(fmt.Sprintf("integrity bench: expected metadata fallback, got %+v", rep))
+	}
+	r.Integrity.FallbackRecordsReplayed = rep.WALRecordsReplayed
+}
+
 // groupCommitRun runs a parallel Put+SyncObject workload directly against a
 // store and records the write-ahead log commit savings.
 func groupCommitRun(r *Report) {
@@ -411,6 +556,12 @@ func printReport(r *Report) {
 		r.TaintScan.TaintedObjects, r.TaintScan.LabelDecodes, r.TaintScan.IndexEntries, r.TaintScan.LabeledObjects)
 	fmt.Printf("Kernel container_find_labeled: %d objects with the taint fingerprint directly in the root container\n",
 		r.TaintScan.KernelMatches)
+	fmt.Printf("Integrity (simulated disk time): scrub %.1f MB/s (%d bytes, %d objects, %.0fus), bit-flip detected+quarantined in %.1fus on first access\n",
+		r.Integrity.ScrubMBPerSec, r.Integrity.ScrubBytes, r.Integrity.ScrubObjectsChecked,
+		r.Integrity.ScrubMicros, r.Integrity.DetectionLatencyMicros)
+	fmt.Printf("  recovery mount: clean open %.0fus vs fallback open %.0fus (previous snapshot + %d log records replayed); %d corruptions detected, %d quarantined\n",
+		r.Integrity.CleanOpenMicros, r.Integrity.FallbackOpenMicros, r.Integrity.FallbackRecordsReplayed,
+		r.Integrity.CorruptionsDetected, r.Integrity.Quarantined)
 }
 
 func must(err error) {

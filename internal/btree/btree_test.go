@@ -332,3 +332,24 @@ func TestScanPrefix(t *testing.T) {
 		t.Errorf("early stop visited %d keys", n)
 	}
 }
+
+func TestChecksumOrderIndependentAndSensitive(t *testing.T) {
+	a, b := &Tree{}, &Tree{}
+	for i := uint64(0); i < 100; i++ {
+		a.Put(K2(i, i*3), i*7)
+	}
+	for i := uint64(100); i > 0; i-- {
+		b.Put(K2(i-1, (i-1)*3), (i-1)*7)
+	}
+	if a.Checksum() != b.Checksum() {
+		t.Error("same mapping must checksum identically regardless of insertion order")
+	}
+	b.Put(K2(5, 15), 999)
+	if a.Checksum() == b.Checksum() {
+		t.Error("changed value must change the checksum")
+	}
+	empty := &Tree{}
+	if empty.Checksum() == a.Checksum() {
+		t.Error("empty tree should not collide with a populated one")
+	}
+}

@@ -2,6 +2,8 @@ package disk
 
 import (
 	"errors"
+	"fmt"
+	"math/rand"
 	"sync"
 )
 
@@ -78,6 +80,27 @@ type FaultDisk struct {
 	// barrier completed.  0 means not armed.  flushes counts Flush calls.
 	flushLimit int
 	flushes    int
+
+	// flipSeed makes FaultFlip's corruption deterministic and reproducible:
+	// the flipped byte offset and XOR mask within the final written sector
+	// are drawn from a PRNG seeded with it.  0 keeps the legacy behaviour
+	// (last prefix byte XOR 0xff), which is itself deterministic.
+	flipSeed int64
+
+	// rot, when armed, models silent media decay: before every subsequent
+	// read or write, rotBits bits inside rotRegion are flipped directly on
+	// the inner device — no crash, no error, just damaged bytes waiting to
+	// be noticed by whoever checks.  rotRNG keeps the damage deterministic.
+	rot       bool
+	rotRegion Region
+	rotBits   int
+	rotRNG    *rand.Rand
+}
+
+// Region designates a byte range [Off, Off+Len) of the device, used to aim
+// bit-rot injection at a specific on-disk structure.
+type Region struct {
+	Off, Len int64
 }
 
 // NewFaultDisk wraps d with no fault armed (counting mode).
@@ -115,6 +138,82 @@ func (f *FaultDisk) ArmFlush(nth int) {
 	f.bounds = nil
 	f.flushLimit = nth
 	f.flushes = 0
+}
+
+// SetFlipSeed fixes the PRNG seed that FaultFlip draws its corrupted byte
+// offset and XOR mask from, so a bit-flip crash-test failure is reproducible
+// from the seed recorded in the failure output.  Seed 0 restores the legacy
+// deterministic behaviour (last prefix byte XOR 0xff).
+func (f *FaultDisk) SetFlipSeed(seed int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.flipSeed = seed
+}
+
+// RotBits flips n bits at positions drawn deterministically from seed inside
+// region, writing the damage straight through to the inner device.  It models
+// a one-shot dose of silent bit rot between operations: no crash, no I/O
+// error — the damaged bytes sit on the platter until something reads and
+// verifies them.  The injection bypasses the fault byte counter so armed
+// crash points are unaffected.
+func (f *FaultDisk) RotBits(region Region, n int, seed int64) error {
+	if region.Len <= 0 {
+		return fmt.Errorf("disk: rot region must be non-empty")
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	rng := rand.New(rand.NewSource(seed))
+	return rotBits(f.d, region, n, rng)
+}
+
+// ArmRot arms standing rot: before every subsequent ReadAt or WriteAt,
+// bitsPerOp bits inside region are flipped (deterministically from seed) on
+// the inner device.  Disarm with DisarmRot.
+func (f *FaultDisk) ArmRot(region Region, bitsPerOp int, seed int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.rot = true
+	f.rotRegion = region
+	f.rotBits = bitsPerOp
+	f.rotRNG = rand.New(rand.NewSource(seed))
+}
+
+// DisarmRot stops standing rot injection.
+func (f *FaultDisk) DisarmRot() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.rot = false
+	f.rotRNG = nil
+}
+
+// rotBits flips n bits inside region on d via read-modify-write.  Caller
+// holds f.mu (or owns d exclusively).  The damage is flushed to the platter
+// immediately: rot is a media defect, and leaving the flipped bytes pending
+// in the device's write cache would let them destage later, on top of
+// whatever the host writes there next.
+func rotBits(d Device, region Region, n int, rng *rand.Rand) error {
+	var b [1]byte
+	for i := 0; i < n; i++ {
+		off := region.Off + rng.Int63n(region.Len)
+		if _, err := d.ReadAt(b[:], off); err != nil {
+			return err
+		}
+		b[0] ^= 1 << uint(rng.Intn(8))
+		if _, err := d.WriteAt(b[:], off); err != nil {
+			return err
+		}
+	}
+	return d.Flush()
+}
+
+// maybeRot applies one dose of standing rot.  Caller holds f.mu.
+func (f *FaultDisk) maybeRot() {
+	if !f.rot || f.rotRegion.Len <= 0 {
+		return
+	}
+	// Rot damage must not count toward the crash-point byte budget or the
+	// write bounds, so it goes straight to the inner device.
+	_ = rotBits(f.d, f.rotRegion, f.rotBits, f.rotRNG)
 }
 
 // Flushes returns how many Flush calls the device has seen since arming.
@@ -161,6 +260,9 @@ func (f *FaultDisk) Size() int64 { return f.d.Size() }
 func (f *FaultDisk) ReadAt(p []byte, off int64) (int, error) {
 	f.mu.Lock()
 	dead := f.tripped
+	if !dead {
+		f.maybeRot()
+	}
 	f.mu.Unlock()
 	if dead {
 		return 0, ErrFault
@@ -178,6 +280,7 @@ func (f *FaultDisk) WriteAt(p []byte, off int64) (int, error) {
 	if f.tripped {
 		return 0, ErrFault
 	}
+	f.maybeRot()
 	n := int64(len(p))
 	if f.limit < 0 || f.written+n <= f.limit {
 		m, err := f.d.WriteAt(p, off)
@@ -201,7 +304,21 @@ func (f *FaultDisk) WriteAt(p []byte, off int64) (int, error) {
 		prefix := p[:keep]
 		if f.mode == FaultFlip {
 			prefix = append([]byte(nil), prefix...)
-			prefix[keep-1] ^= 0xff // garble the last sector written
+			if f.flipSeed == 0 {
+				prefix[keep-1] ^= 0xff // legacy: garble the last byte written
+			} else {
+				// Corrupt a seeded byte of the final sector that reached the
+				// platter, with a seeded non-zero mask, so the exact damage is
+				// reproducible from the seed a failing test logs.
+				rng := rand.New(rand.NewSource(f.flipSeed))
+				start := keep - SectorSize
+				if start < 0 {
+					start = 0
+				}
+				span := keep - start
+				mask := byte(1 + rng.Intn(255))
+				prefix[start+rng.Int63n(span)] ^= mask
+			}
 		}
 		if _, err := f.d.WriteAt(prefix, off); err != nil {
 			return 0, err

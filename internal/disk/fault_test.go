@@ -96,6 +96,118 @@ func TestFaultDiskFlipCorruptsFinalSector(t *testing.T) {
 	}
 }
 
+func TestFaultDiskFlipSeededReproducible(t *testing.T) {
+	// The same seed must produce byte-identical corruption, and the damage
+	// must land inside the final written sector.
+	run := func(seed int64) []byte {
+		f, d := testFaultDisk(t)
+		f.SetFlipSeed(seed)
+		payload := bytes.Repeat([]byte{0xcc}, 2*SectorSize)
+		f.Arm(2*SectorSize-1, FaultFlip)
+		if _, err := f.WriteAt(payload, 0); !errors.Is(err, ErrFault) {
+			t.Fatalf("err=%v", err)
+		}
+		got := make([]byte, 2*SectorSize)
+		if _, err := d.ReadAt(got, 0); err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	a, b := run(42), run(42)
+	if !bytes.Equal(a, b) {
+		t.Error("same seed should corrupt identically")
+	}
+	diff := 0
+	for i := 0; i < SectorSize; i++ {
+		if a[i] != 0xcc {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Errorf("seeded flip should corrupt exactly one byte of the final written sector, corrupted %d", diff)
+	}
+	if c := run(43); bytes.Equal(a, c) {
+		t.Error("different seeds should corrupt differently")
+	}
+}
+
+func TestRotBitsDeterministicAndContained(t *testing.T) {
+	region := Region{Off: 4096, Len: 2048}
+	run := func(seed int64) []byte {
+		f, d := testFaultDisk(t)
+		clean := bytes.Repeat([]byte{0x5a}, 8192)
+		if _, err := d.WriteAt(clean, 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.RotBits(region, 5, seed); err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, 8192)
+		if _, err := d.ReadAt(got, 0); err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	a, b := run(7), run(7)
+	if !bytes.Equal(a, b) {
+		t.Error("same seed must rot identically")
+	}
+	flipped := 0
+	for i, v := range a {
+		if v != 0x5a {
+			flipped++
+			if int64(i) < region.Off || int64(i) >= region.Off+region.Len {
+				t.Fatalf("rot escaped region: byte %d", i)
+			}
+		}
+	}
+	if flipped == 0 || flipped > 5 {
+		t.Errorf("expected 1..5 damaged bytes, got %d", flipped)
+	}
+	// Rot must not count as workload writes: crash points stay stable.
+	f, _ := testFaultDisk(t)
+	if err := f.RotBits(region, 5, 7); err != nil {
+		t.Fatal(err)
+	}
+	if f.BytesWritten() != 0 || len(f.WriteBounds()) != 0 {
+		t.Error("rot injection must bypass write accounting")
+	}
+}
+
+func TestArmRotDamagesBetweenOperations(t *testing.T) {
+	f, d := testFaultDisk(t)
+	clean := bytes.Repeat([]byte{0x33}, 4096)
+	if _, err := d.WriteAt(clean, 0); err != nil {
+		t.Fatal(err)
+	}
+	f.ArmRot(Region{Off: 0, Len: 4096}, 2, 99)
+	// Each op takes a dose of rot first; reads and writes both count.
+	buf := make([]byte, 64)
+	if _, err := f.ReadAt(buf, 2048); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 4096)
+	if _, err := d.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(got, clean) {
+		t.Error("standing rot should have damaged the region")
+	}
+	f.DisarmRot()
+	if _, err := d.WriteAt(clean, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.ReadAt(buf, 2048); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, clean) {
+		t.Error("disarmed rot should leave the region alone")
+	}
+}
+
 func TestFaultDiskDeadAfterTrip(t *testing.T) {
 	f, _ := testFaultDisk(t)
 	f.Arm(0, FaultOmit)

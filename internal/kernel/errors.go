@@ -47,6 +47,11 @@ var (
 	// ErrHalted is returned when the invoking thread has been halted.
 	ErrHalted = errors.New("kernel: thread halted")
 
+	// ErrCorrupt is returned when an object's persistent storage failed
+	// integrity verification (bit rot detected by the single-level store);
+	// the Unix library translates it into EIO.
+	ErrCorrupt = errors.New("kernel: object storage corrupt")
+
 	// ErrNotFound is returned by lookup helpers when a name has no binding.
 	ErrNotFound = errors.New("kernel: not found")
 

@@ -135,6 +135,11 @@ type Kernel struct {
 	// netMu guards the bootstrap device list.
 	netMu      sync.Mutex
 	netDevices []ID
+
+	// integMu guards the storage-integrity source the boot environment may
+	// attach (see SetIntegritySource).
+	integMu         sync.Mutex
+	integritySource func() StorageIntegrity
 }
 
 // New boots a kernel: it creates the object table and the root container.
@@ -410,6 +415,41 @@ func l1Mix(thrRaised, obj label.Fingerprint) uint64 {
 // LabelCacheStats returns hit/miss/eviction counts of the immutable-label
 // comparison cache, totalled and per shard.
 func (k *Kernel) LabelCacheStats() label.CacheStats { return k.labelCache.Stats() }
+
+// StorageIntegrity is the persistent storage layer's corruption accounting
+// as surfaced through kernel stats: detections, quarantines, scrub
+// progress, and whether the last mount had to take a recovery fallback.
+// The kernel itself is storage-agnostic; the boot environment attaches a
+// source when a single-level store is present (the same pattern as the
+// ring's Syncer hook).
+type StorageIntegrity struct {
+	CorruptionsDetected uint64
+	QuarantineEvents    uint64
+	QuarantinedNow      int
+	ScrubPasses         uint64
+	ScrubBytesVerified  uint64
+	DegradedMount       bool
+}
+
+// SetIntegritySource attaches the storage layer's integrity-snapshot
+// provider; call before the kernel is shared between threads.
+func (k *Kernel) SetIntegritySource(src func() StorageIntegrity) {
+	k.integMu.Lock()
+	k.integritySource = src
+	k.integMu.Unlock()
+}
+
+// StorageIntegrityStats reports the attached storage layer's corruption
+// accounting; ok is false when no persistent store is attached.
+func (k *Kernel) StorageIntegrityStats() (st StorageIntegrity, ok bool) {
+	k.integMu.Lock()
+	src := k.integritySource
+	k.integMu.Unlock()
+	if src == nil {
+		return StorageIntegrity{}, false
+	}
+	return src(), true
+}
 
 // ---------------------------------------------------------------------------
 // Syscall entry.

@@ -2,10 +2,19 @@ package store
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
+	"sort"
 
 	"histar/internal/btree"
 )
+
+// castagnoli is the CRC32C polynomial table shared by every store checksum
+// (superblock copies, metadata headers and sections, object contents).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+func crc32c(p []byte) uint32 { return crc32.Checksum(p, castagnoli) }
 
 // Checkpoint writes every dirty object to a freshly allocated home extent,
 // persists the metadata trees and superblock, and truncates the log: the
@@ -51,7 +60,11 @@ func (s *Store) checkpointLocked() error {
 	if err := s.d.Flush(); err != nil {
 		return err
 	}
-	if err := s.l.Truncate(); err != nil {
+	// Rotate rather than truncate: the just-applied log generation is
+	// retained behind a marker so that, should the snapshot written above
+	// rot on disk, Open can fall back to the previous snapshot and replay
+	// the retained generation forward — zero committed-sync loss.
+	if err := s.l.Rotate(); err != nil {
 		return err
 	}
 	s.c.logApplications.Add(1)
@@ -63,13 +76,22 @@ func (s *Store) checkpointLocked() error {
 // writing dirty objects to fresh home extents.  It is the object map's only
 // writer and runs behind metaMu exclusively (concurrent readers are already
 // excluded by the caller's ckptMu hold, so metaMu here is the lock-order
-// witness, not the exclusion).
+// witness, not the exclusion).  The walk is in ascending ID order per
+// shard, not map order: extent allocation order determines the free-tree
+// shape and therefore the serialized metadata, and a deterministic
+// workload must produce a byte-deterministic image.
 func (s *Store) relocateDirty() error {
 	s.metaMu.Lock()
 	defer s.metaMu.Unlock()
 	for si := range s.shards {
 		sh := &s.shards[si]
-		for id, e := range sh.objs {
+		ids := make([]uint64, 0, len(sh.objs))
+		for id := range sh.objs {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			e := sh.objs[id]
 			switch {
 			case e.dead:
 				// Vacate the extent of a deleted object (deferred: see the
@@ -78,6 +100,7 @@ func (s *Store) relocateDirty() error {
 					size := s.objSizes[id]
 					s.objMap.Delete(btree.K1(id))
 					delete(s.objSizes, id)
+					delete(s.objCRCs, id)
 					s.deferredFree = append(s.deferredFree, extent{off: int64(off), size: alignUp(size)})
 				}
 				delete(sh.objs, id)
@@ -101,10 +124,17 @@ func (s *Store) relocateDirty() error {
 				}
 				s.objMap.Put(btree.K1(id), uint64(ext.off))
 				s.objSizes[id] = int64(len(e.data))
+				// The contents CRC travels with the extent in the metadata
+				// snapshot; reads and scrubs verify against it.
+				s.objCRCs[id] = crc32c(e.data)
 				s.c.bytesHome.Add(uint64(len(e.data)))
 				e.dirty = false
-			case !e.cached && !e.hasLbl:
-				// Nothing worth remembering: prune the entry.
+				// The fresh extent supersedes any damage verdict on the old one.
+				e.quar = false
+			case !e.cached && !e.hasLbl && !e.quar:
+				// Nothing worth remembering: prune the entry.  Quarantined
+				// entries are remembered so the damage verdict (and the
+				// QuarantinedObjects enumeration) survives cache turnover.
 				delete(sh.objs, id)
 			}
 		}
@@ -191,126 +221,653 @@ func (s *Store) removeFreeLocked(e extent) {
 // previous snapshot intact.  writeSuperblock and the metadata codecs run
 // only under ckptMu held exclusively (Checkpoint) or during single-threaded
 // construction (Format, Open).
+//
+// Since format version 2, the superblock page holds two identical 64-byte
+// checksummed copies (primary at offset 0, backup at offset 512, each in
+// its own sector), and every metadata area starts with a checksummed,
+// epoch-stamped header followed by per-section CRCs — see the package
+// comment for the exact layouts and the fallback rules readSuperblock and
+// loadMetadata apply when a check fails.
+
+// superblock field offsets within one 64-byte copy (little-endian u64s
+// unless noted).  Version-0 (legacy) images carried only the first five
+// fields zero-padded to the 4096-byte page, with no backup copy.
+const (
+	sbCopySize   = 64
+	sbBackupOff  = 512 // second copy sits in its own sector
+	sbMagicOff   = 0
+	sbWhichOff   = 8
+	sbMetaLenOff = 16
+	sbLogSizeOff = 24
+	sbMetaSzOff  = 32
+	sbVersionOff = 40
+	sbEpochOff   = 48
+	sbCRCOff     = 56 // u32 CRC32C over bytes [0, 56)
+
+	superVersion = 2
+)
+
+// metadata-area header layout: a 48-byte checksummed prologue before the
+// section stream.
+const (
+	metaMagic      = 0x484d4554 // "HMET"
+	metaVersion    = 2
+	metaHeaderSize = 48
+	mhMagicOff     = 0
+	mhVersionOff   = 8
+	mhEpochOff     = 16
+	mhPayloadOff   = 24 // payload byte length (sections, after this header)
+	mhSectionsOff  = 32 // section count
+	mhCRCOff       = 40 // u32 CRC32C over bytes [0, 40)
+
+	// Section tags.  Each section is [tag u64][len u64][crc u64: low 32
+	// bits CRC32C of the payload][payload].  The fingerprint index (tag 4)
+	// is the only section whose corruption is non-fatal: it is rebuilt from
+	// the label section.
+	secObjMap = 1
+	secFree   = 2
+	secLabels = 3
+	secIndex  = 4
+	numSecs   = 4
+
+	// objCRCValid flags an object-map CRC field as carrying a real
+	// contents checksum; entries migrated from legacy images have 0 here
+	// and read unverified until their next relocation.
+	objCRCValid = uint64(1) << 32
+)
+
+// superblockInfo is one parsed superblock copy.
+type superblockInfo struct {
+	which    int
+	metaLen  int64
+	logSize  int64
+	metaSize int64
+	version  uint64
+	epoch    uint64
+}
+
+// encodeSuperblockCopy builds one 64-byte checksummed copy.
+func encodeSuperblockCopy(info superblockInfo) []byte {
+	b := make([]byte, sbCopySize)
+	binary.LittleEndian.PutUint64(b[sbMagicOff:], superMagic)
+	binary.LittleEndian.PutUint64(b[sbWhichOff:], uint64(info.which))
+	binary.LittleEndian.PutUint64(b[sbMetaLenOff:], uint64(info.metaLen))
+	binary.LittleEndian.PutUint64(b[sbLogSizeOff:], uint64(info.logSize))
+	binary.LittleEndian.PutUint64(b[sbMetaSzOff:], uint64(info.metaSize))
+	binary.LittleEndian.PutUint64(b[sbVersionOff:], superVersion)
+	binary.LittleEndian.PutUint64(b[sbEpochOff:], info.epoch)
+	binary.LittleEndian.PutUint32(b[sbCRCOff:], crc32c(b[:sbCRCOff]))
+	return b
+}
+
+// parseSuperblockCopy validates one copy at device offset off.  Legacy
+// (pre-checksum) images are recognized by an all-zero version/epoch/CRC
+// tail; anything else must pass the CRC.
+func parseSuperblockCopy(b []byte, off int64) (superblockInfo, error) {
+	var info superblockInfo
+	if got := binary.LittleEndian.Uint64(b[sbMagicOff:]); got != superMagic {
+		return info, &CorruptError{Area: "superblock", Offset: off + sbMagicOff,
+			Detail: fmt.Sprintf("bad magic: got %#x, want %#x", got, uint64(superMagic))}
+	}
+	info.which = int(binary.LittleEndian.Uint64(b[sbWhichOff:]))
+	info.metaLen = int64(binary.LittleEndian.Uint64(b[sbMetaLenOff:]))
+	info.logSize = int64(binary.LittleEndian.Uint64(b[sbLogSizeOff:]))
+	info.metaSize = int64(binary.LittleEndian.Uint64(b[sbMetaSzOff:]))
+	info.version = binary.LittleEndian.Uint64(b[sbVersionOff:])
+	info.epoch = binary.LittleEndian.Uint64(b[sbEpochOff:])
+	if info.version == 0 {
+		// Legacy image — but only if the whole post-field tail really is
+		// zero; a checksummed copy whose version field rotted to zero still
+		// has a non-zero CRC and must not sneak past verification.
+		for _, c := range b[sbVersionOff:] {
+			if c != 0 {
+				return info, &CorruptError{Area: "superblock", Offset: off + sbVersionOff,
+					Detail: "version field zero but checksum tail non-zero"}
+			}
+		}
+		if info.which != 0 && info.which != 1 {
+			return info, &CorruptError{Area: "superblock", Offset: off + sbWhichOff,
+				Detail: fmt.Sprintf("metadata area selector %d out of range", info.which)}
+		}
+		if info.metaSize == 0 {
+			// Images from before the metadata area size was recorded.
+			info.metaSize = defaultMetaAreaSize
+		}
+		return info, nil
+	}
+	if info.version != superVersion {
+		return info, &CorruptError{Area: "superblock", Offset: off + sbVersionOff,
+			Detail: fmt.Sprintf("unsupported superblock version %d", info.version)}
+	}
+	want := binary.LittleEndian.Uint32(b[sbCRCOff:])
+	if got := crc32c(b[:sbCRCOff]); got != want {
+		return info, &CorruptError{Area: "superblock", Offset: off + sbCRCOff,
+			Detail: fmt.Sprintf("checksum mismatch: got %#x, want %#x", got, want)}
+	}
+	if info.which != 0 && info.which != 1 {
+		return info, &CorruptError{Area: "superblock", Offset: off + sbWhichOff,
+			Detail: fmt.Sprintf("metadata area selector %d out of range", info.which)}
+	}
+	return info, nil
+}
 
 func (s *Store) writeSuperblock() error {
-	meta := s.encodeMetadata()
+	epoch := s.metaEpoch + 1
+	meta := s.encodeMetadata(epoch)
 	if int64(len(meta)) > s.metaSize {
 		return fmt.Errorf("store: metadata (%d bytes) exceeds the metadata area", len(meta))
 	}
 	next := 1 - s.metaWhich
 	metaOff := logOffset + s.logSize + int64(next)*s.metaSize
-	if len(meta) > 0 {
-		if _, err := s.d.WriteAt(meta, metaOff); err != nil {
-			return err
-		}
+	if _, err := s.d.WriteAt(meta, metaOff); err != nil {
+		return err
 	}
-	var sb [superblockSize]byte
-	binary.LittleEndian.PutUint64(sb[0:], superMagic)
-	binary.LittleEndian.PutUint64(sb[8:], uint64(next))
-	binary.LittleEndian.PutUint64(sb[16:], uint64(len(meta)))
-	binary.LittleEndian.PutUint64(sb[24:], uint64(s.logSize))
-	binary.LittleEndian.PutUint64(sb[32:], uint64(s.metaSize))
-	if _, err := s.d.WriteAt(sb[:], superblockOffset); err != nil {
+	// Barrier between the metadata image and the superblock that references
+	// it: without it, a write-back cache destaging in ascending offset
+	// order could persist the new superblock (offset 0) before the new
+	// metadata area behind it.
+	if err := s.d.Flush(); err != nil {
+		return err
+	}
+	copyBytes := encodeSuperblockCopy(superblockInfo{
+		which: next, metaLen: int64(len(meta)),
+		logSize: s.logSize, metaSize: s.metaSize, epoch: epoch,
+	})
+	sb := make([]byte, sbBackupOff+sbCopySize)
+	copy(sb[0:], copyBytes)
+	copy(sb[sbBackupOff:], copyBytes)
+	if _, err := s.d.WriteAt(sb, superblockOffset); err != nil {
 		return err
 	}
 	if err := s.d.Flush(); err != nil {
 		return err
 	}
 	s.metaWhich = next
+	s.metaEpoch = epoch
 	return nil
 }
 
+// readSuperblock mounts the superblock and metadata, walking the
+// degradation ladder on checksum failures; Open calls it before the store
+// is published, so no locks are taken.
 func (s *Store) readSuperblock() error {
-	var sb [superblockSize]byte
-	if _, err := s.d.ReadAt(sb[:], superblockOffset); err != nil {
+	raw := make([]byte, sbBackupOff+sbCopySize)
+	if _, err := s.d.ReadAt(raw, superblockOffset); err != nil {
 		return err
 	}
-	if binary.LittleEndian.Uint64(sb[0:]) != superMagic {
-		return fmt.Errorf("store: bad superblock magic")
+	primary, perr := parseSuperblockCopy(raw[:sbCopySize], superblockOffset)
+	backup, berr := parseSuperblockCopy(raw[sbBackupOff:], superblockOffset+sbBackupOff)
+	var sb superblockInfo
+	switch {
+	case perr == nil && berr == nil:
+		// Both intact: trust the newer epoch (they differ only if a crash
+		// tore the two-copy write, which sector atomicity makes one-sided).
+		sb = primary
+		if backup.epoch > primary.epoch {
+			sb = backup
+		}
+	case perr == nil:
+		sb = primary
+		if backup.version != 0 || primary.version != 0 {
+			// A legacy image legitimately has no backup copy; anything else
+			// means the backup rotted.
+			s.noteCorruption(berr)
+		}
+	case berr == nil:
+		sb = backup
+		s.report.SuperblockFallback = true
+		s.noteCorruption(perr)
+	default:
+		s.noteCorruption(berr)
+		return s.noteCorruption(fmt.Errorf("both superblock copies invalid: %w (backup: %v)", perr, berr))
 	}
-	which := int(binary.LittleEndian.Uint64(sb[8:]))
-	metaLen := int64(binary.LittleEndian.Uint64(sb[16:]))
-	s.logSize = int64(binary.LittleEndian.Uint64(sb[24:]))
-	s.metaSize = int64(binary.LittleEndian.Uint64(sb[32:]))
-	if s.metaSize == 0 {
-		// Images from before the metadata area size was recorded.
-		s.metaSize = defaultMetaAreaSize
+	s.logSize = sb.logSize
+	s.metaSize = sb.metaSize
+	s.metaWhich = sb.which
+	s.metaEpoch = sb.epoch
+	s.report.LegacyImage = sb.version == 0
+	s.report.MetaEpoch = sb.epoch
+	return s.loadMetadata(sb)
+}
+
+// loadMetadata loads the snapshot sb references, falling back to the
+// alternate area (plus the retained write-ahead log generation, which the
+// caller replays) when the referenced one fails verification.
+func (s *Store) loadMetadata(sb superblockInfo) error {
+	if sb.version == 0 {
+		return s.loadLegacyMetadata(sb)
 	}
-	s.metaWhich = which
-	if metaLen == 0 {
+	err := s.loadMetaArea(sb.which, sb.epoch)
+	if err == nil {
+		return nil
+	}
+	if !errors.Is(err, ErrCorrupt) {
+		return err
+	}
+	s.noteCorruption(err)
+	// Referenced snapshot is damaged: reset whatever the failed decode
+	// half-applied and try the alternate (previous-checkpoint) area.  Only
+	// a strictly older epoch is acceptable — a crash after the metadata
+	// write but before the superblock flip can leave the alternate area
+	// holding a NEWER, never-committed snapshot, which must not be
+	// resurrected.
+	s.resetLoadedState()
+	alt := 1 - sb.which
+	altErr := s.loadMetaAreaFallback(alt, sb.epoch)
+	if altErr != nil {
+		s.resetLoadedState()
+		return s.noteCorruption(fmt.Errorf("both metadata areas unusable: %w (alternate: %v)", err, altErr))
+	}
+	s.report.MetaFallback = true
+	s.metaWhich = alt
+	return nil
+}
+
+// loadLegacyMetadata loads a pre-checksum image; nothing can be verified,
+// so the only ladder available is the old behaviour.  The next checkpoint
+// rewrites everything in v2 form.
+func (s *Store) loadLegacyMetadata(sb superblockInfo) error {
+	if sb.metaLen == 0 {
 		dataStart := logOffset + s.logSize + 2*s.metaSize
 		s.addFree(extent{off: dataStart, size: s.d.Size() - dataStart})
 		return nil
 	}
-	metaOff := logOffset + s.logSize + int64(which)*s.metaSize
-	meta := make([]byte, metaLen)
+	metaOff := logOffset + s.logSize + int64(sb.which)*s.metaSize
+	meta := make([]byte, sb.metaLen)
 	if _, err := s.d.ReadAt(meta, metaOff); err != nil {
 		return err
 	}
-	return s.decodeMetadata(meta)
+	return s.decodeLegacyMetadata(meta)
 }
 
-// encodeMetadata serializes the object map, object sizes, free list, labels
-// and label index.  Caller holds ckptMu exclusively (or is single-threaded
-// construction).
-func (s *Store) encodeMetadata() []byte {
-	var buf []byte
-	appendU64 := func(v uint64) { var b [8]byte; binary.LittleEndian.PutUint64(b[:], v); buf = append(buf, b[:]...) }
+// resetLoadedState clears everything a failed metadata decode may have
+// half-applied, so the fallback area decodes into a clean store.
+func (s *Store) resetLoadedState() {
+	s.objMap = &btree.Tree{}
+	s.objSizes = make(map[uint64]int64)
+	s.objCRCs = make(map[uint64]uint32)
+	s.freeBySize = &btree.Tree{}
+	s.freeByOff = &btree.Tree{}
+	for i := range s.shards {
+		s.shards[i].objs = make(map[uint64]*objEntry)
+		s.shards[i].labelIndex = &btree.Tree{}
+	}
+	s.report.IndexRebuilt = false
+}
 
-	appendU64(uint64(s.objMap.Len()))
+// loadMetaArea reads, verifies, and decodes metadata area which, requiring
+// its header epoch to equal wantEpoch (the epoch the superblock committed).
+func (s *Store) loadMetaArea(which int, wantEpoch uint64) error {
+	secs, epoch, indexErr, err := s.verifyMetaArea(which)
+	if err != nil {
+		return err
+	}
+	if epoch != wantEpoch {
+		return &CorruptError{Area: "metadata", Offset: s.metaAreaOff(which) + mhEpochOff,
+			Detail: fmt.Sprintf("snapshot epoch %d does not match superblock epoch %d", epoch, wantEpoch)}
+	}
+	if indexErr != nil {
+		s.noteCorruption(indexErr)
+		s.report.IndexRebuilt = true
+	}
+	return s.applyMetaSections(which, secs)
+}
+
+// loadMetaAreaFallback is loadMetaArea for the alternate area: any epoch
+// strictly older than the superblock's is acceptable.
+func (s *Store) loadMetaAreaFallback(which int, sbEpoch uint64) error {
+	secs, epoch, indexErr, err := s.verifyMetaArea(which)
+	if err != nil {
+		return err
+	}
+	if epoch >= sbEpoch {
+		return &CorruptError{Area: "metadata", Offset: s.metaAreaOff(which) + mhEpochOff,
+			Detail: fmt.Sprintf("alternate snapshot epoch %d not older than superblock epoch %d (uncommitted checkpoint)", epoch, sbEpoch)}
+	}
+	if indexErr != nil {
+		s.noteCorruption(indexErr)
+		s.report.IndexRebuilt = true
+	}
+	if err := s.applyMetaSections(which, secs); err != nil {
+		return err
+	}
+	s.metaEpoch = epoch
+	s.report.MetaEpoch = epoch
+	return nil
+}
+
+func (s *Store) metaAreaOff(which int) int64 {
+	return logOffset + s.logSize + int64(which)*s.metaSize
+}
+
+// verifyMetaArea reads area which and checks the header and every section
+// CRC, returning the raw section payloads by tag.  A corrupt index section
+// (tag 4) alone is tolerated: the section is returned as nil along with a
+// non-nil indexErr, and callers decide whether to rebuild (Open) or just
+// count it (Scrub).  No payload is decoded here — verification is complete
+// before any byte is interpreted, so a damaged area can never half-apply.
+func (s *Store) verifyMetaArea(which int) (secs [numSecs + 1][]byte, epoch uint64, indexErr, err error) {
+	areaOff := s.metaAreaOff(which)
+	hdr := make([]byte, metaHeaderSize)
+	if _, rerr := s.d.ReadAt(hdr, areaOff); rerr != nil {
+		return secs, 0, nil, rerr
+	}
+	if got := binary.LittleEndian.Uint64(hdr[mhMagicOff:]); got != metaMagic {
+		return secs, 0, nil, &CorruptError{Area: "metadata", Offset: areaOff,
+			Detail: fmt.Sprintf("bad area magic: got %#x, want %#x", got, uint64(metaMagic))}
+	}
+	wantCRC := binary.LittleEndian.Uint32(hdr[mhCRCOff:])
+	if got := crc32c(hdr[:mhCRCOff]); got != wantCRC {
+		return secs, 0, nil, &CorruptError{Area: "metadata", Offset: areaOff + mhCRCOff,
+			Detail: fmt.Sprintf("area header checksum mismatch: got %#x, want %#x", got, wantCRC)}
+	}
+	if v := binary.LittleEndian.Uint64(hdr[mhVersionOff:]); v != metaVersion {
+		return secs, 0, nil, &CorruptError{Area: "metadata", Offset: areaOff + mhVersionOff,
+			Detail: fmt.Sprintf("unsupported metadata version %d", v)}
+	}
+	epoch = binary.LittleEndian.Uint64(hdr[mhEpochOff:])
+	payloadLen := int64(binary.LittleEndian.Uint64(hdr[mhPayloadOff:]))
+	nSecs := binary.LittleEndian.Uint64(hdr[mhSectionsOff:])
+	if payloadLen < 0 || payloadLen > s.metaSize-metaHeaderSize || nSecs != numSecs {
+		return secs, 0, nil, &CorruptError{Area: "metadata", Offset: areaOff + mhPayloadOff,
+			Detail: fmt.Sprintf("implausible geometry: payload %d bytes, %d sections", payloadLen, nSecs)}
+	}
+	payload := make([]byte, payloadLen)
+	if _, rerr := s.d.ReadAt(payload, areaOff+metaHeaderSize); rerr != nil {
+		return secs, 0, nil, rerr
+	}
+	// Walk the section stream.  Structure damage (bad tag, length past the
+	// payload) is fatal for the area; a checksum failure is fatal unless it
+	// is the rebuildable index section.
+	off := int64(0)
+	seen := 0
+	for off < payloadLen {
+		if payloadLen-off < 24 {
+			return secs, 0, nil, &CorruptError{Area: "metadata", Offset: areaOff + metaHeaderSize + off,
+				Detail: "truncated section header"}
+		}
+		tag := binary.LittleEndian.Uint64(payload[off:])
+		slen := int64(binary.LittleEndian.Uint64(payload[off+8:]))
+		scrc := binary.LittleEndian.Uint64(payload[off+16:])
+		off += 24
+		if tag < secObjMap || tag > secIndex || secs[tag] != nil || slen < 0 || slen > payloadLen-off {
+			return secs, 0, nil, &CorruptError{Area: "metadata", Offset: areaOff + metaHeaderSize + off - 24,
+				Detail: fmt.Sprintf("bad section header: tag %d, length %d", tag, slen)}
+		}
+		body := payload[off : off+slen]
+		off += slen
+		seen++
+		if got := crc32c(body); uint64(got) != scrc {
+			cerr := &CorruptError{Area: "metadata", Offset: areaOff + metaHeaderSize + off - slen,
+				Detail: fmt.Sprintf("section %d checksum mismatch: got %#x, want %#x", tag, got, scrc)}
+			if tag == secIndex {
+				// The index is derived data: report it separately, leave the
+				// section nil, and let the caller rebuild from labels.
+				cerr.Area = "metadata/index"
+				indexErr = cerr
+				continue
+			}
+			return secs, 0, nil, cerr
+		}
+		secs[tag] = body
+	}
+	if seen != numSecs {
+		return secs, 0, nil, &CorruptError{Area: "metadata", Offset: areaOff + metaHeaderSize,
+			Detail: fmt.Sprintf("expected %d sections, found %d", numSecs, seen)}
+	}
+	return secs, epoch, indexErr, nil
+}
+
+// applyMetaSections decodes the verified section payloads into the store.
+func (s *Store) applyMetaSections(which int, secs [numSecs + 1][]byte) error {
+	areaOff := s.metaAreaOff(which)
+	if err := s.decodeObjMapSection(secs[secObjMap], areaOff); err != nil {
+		return err
+	}
+	if err := s.decodeFreeSection(secs[secFree], areaOff); err != nil {
+		return err
+	}
+	if err := s.decodeLabelSection(secs[secLabels], areaOff); err != nil {
+		return err
+	}
+	if secs[secIndex] == nil {
+		s.rebuildLabelIndex()
+		return nil
+	}
+	if err := s.decodeIndexSection(secs[secIndex], areaOff); err != nil {
+		// The index section passed its CRC but does not parse — a codec
+		// regression rather than rot, but still recoverable the same way.
+		s.noteCorruption(err)
+		s.report.IndexRebuilt = true
+		for i := range s.shards {
+			s.shards[i].labelIndex = &btree.Tree{}
+		}
+		s.rebuildLabelIndex()
+	}
+	return nil
+}
+
+// rebuildLabelIndex recomputes the fingerprint index from the decoded
+// labels (the index is pure derived data).
+func (s *Store) rebuildLabelIndex() {
+	for si := range s.shards {
+		sh := &s.shards[si]
+		for id, e := range sh.objs {
+			if e.hasLbl {
+				sh.labelIndex.Put(btree.K2(uint64(e.lbl.Fingerprint()), id), 0)
+			}
+		}
+	}
+}
+
+// appendU64 is the metadata codecs' little-endian primitive.
+func appendU64(buf []byte, v uint64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return append(buf, b[:]...)
+}
+
+// encodeMetadata serializes the version-2 metadata image: a checksummed,
+// epoch-stamped header followed by four individually checksummed sections
+// (object map with per-object content CRCs, free list, labels, fingerprint
+// index).  Caller holds ckptMu exclusively (or is single-threaded
+// construction).
+func (s *Store) encodeMetadata(epoch uint64) []byte {
+	// Object map: (id, offset, size, contents-CRC) quads.
+	var objs []byte
+	objs = appendU64(objs, uint64(s.objMap.Len()))
 	s.objMap.Scan(func(k btree.Key, v uint64) bool {
-		appendU64(k[0])
-		appendU64(v)
-		appendU64(uint64(s.objSizes[k[0]]))
+		objs = appendU64(objs, k[0])
+		objs = appendU64(objs, v)
+		objs = appendU64(objs, uint64(s.objSizes[k[0]]))
+		crcField := uint64(0)
+		if crc, ok := s.objCRCs[k[0]]; ok {
+			crcField = objCRCValid | uint64(crc)
+		}
+		objs = appendU64(objs, crcField)
 		return true
 	})
 	// Free list by offset.
-	var frees [][2]uint64
+	var free []byte
+	nf := 0
+	s.freeByOff.Scan(func(btree.Key, uint64) bool { nf++; return true })
+	free = appendU64(free, uint64(nf))
 	s.freeByOff.Scan(func(k btree.Key, v uint64) bool {
-		frees = append(frees, [2]uint64{k[0], v})
+		free = appendU64(free, k[0])
+		free = appendU64(free, v)
 		return true
 	})
-	appendU64(uint64(len(frees)))
-	for _, f := range frees {
-		appendU64(f[0])
-		appendU64(f[1])
-	}
-	// Object labels, in canonical serialized form.  Older metadata images
-	// simply end here; decodeMetadata treats the section as optional.
+	// Object labels, in canonical serialized form.
 	nLabels := 0
 	for si := range s.shards {
 		nLabels += s.shards[si].labelIndex.Len()
 	}
-	appendU64(uint64(nLabels))
+	var labels []byte
+	labels = appendU64(labels, uint64(nLabels))
 	for si := range s.shards {
 		for id, e := range s.shards[si].objs {
 			if !e.hasLbl {
 				continue
 			}
-			appendU64(id)
-			buf = e.lbl.AppendBinary(buf)
+			labels = appendU64(labels, id)
+			labels = e.lbl.AppendBinary(labels)
 		}
 	}
 	// The fingerprint-keyed label index, serialized shard by shard in tree
-	// order.  Also optional on decode: images written before the index
-	// existed rebuild it from the label section above.
-	appendU64(uint64(nLabels))
+	// order.
+	var index []byte
+	index = appendU64(index, uint64(nLabels))
 	for si := range s.shards {
 		s.shards[si].labelIndex.Scan(func(k btree.Key, _ uint64) bool {
-			appendU64(k[0])
-			appendU64(k[1])
+			index = appendU64(index, k[0])
+			index = appendU64(index, k[1])
 			return true
 		})
 	}
-	return buf
+
+	var payload []byte
+	for _, sec := range []struct {
+		tag  uint64
+		body []byte
+	}{{secObjMap, objs}, {secFree, free}, {secLabels, labels}, {secIndex, index}} {
+		payload = appendU64(payload, sec.tag)
+		payload = appendU64(payload, uint64(len(sec.body)))
+		payload = appendU64(payload, uint64(crc32c(sec.body)))
+		payload = append(payload, sec.body...)
+	}
+
+	hdr := make([]byte, metaHeaderSize)
+	binary.LittleEndian.PutUint64(hdr[mhMagicOff:], metaMagic)
+	binary.LittleEndian.PutUint64(hdr[mhVersionOff:], metaVersion)
+	binary.LittleEndian.PutUint64(hdr[mhEpochOff:], epoch)
+	binary.LittleEndian.PutUint64(hdr[mhPayloadOff:], uint64(len(payload)))
+	binary.LittleEndian.PutUint64(hdr[mhSectionsOff:], numSecs)
+	binary.LittleEndian.PutUint32(hdr[mhCRCOff:], crc32c(hdr[:mhCRCOff]))
+	return append(hdr, payload...)
 }
 
-// decodeMetadata rebuilds the trees and entries from a snapshot image; Open
-// calls it before the store is published, so no locks are taken.
-func (s *Store) decodeMetadata(buf []byte) error {
+// sectionReader walks one verified section payload; every structural
+// violation comes back as a CorruptError anchored at the section's device
+// offset.
+type sectionReader struct {
+	buf  []byte
+	off  int64 // device offset of the section start, for error reports
+	area string
+}
+
+func (r *sectionReader) u64() (uint64, error) {
+	if len(r.buf) < 8 {
+		return 0, &CorruptError{Area: r.area, Offset: r.off, Detail: "truncated section"}
+	}
+	v := binary.LittleEndian.Uint64(r.buf)
+	r.buf = r.buf[8:]
+	return v, nil
+}
+
+func (s *Store) decodeObjMapSection(buf []byte, areaOff int64) error {
+	r := &sectionReader{buf: buf, off: areaOff, area: "metadata"}
+	n, err := r.u64()
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < n; i++ {
+		id, err := r.u64()
+		if err != nil {
+			return err
+		}
+		off, err := r.u64()
+		if err != nil {
+			return err
+		}
+		size, err := r.u64()
+		if err != nil {
+			return err
+		}
+		crcField, err := r.u64()
+		if err != nil {
+			return err
+		}
+		s.objMap.Put(btree.K1(id), off)
+		s.objSizes[id] = int64(size)
+		if crcField&objCRCValid != 0 {
+			s.objCRCs[id] = uint32(crcField)
+		}
+	}
+	return nil
+}
+
+func (s *Store) decodeFreeSection(buf []byte, areaOff int64) error {
+	r := &sectionReader{buf: buf, off: areaOff, area: "metadata"}
+	nf, err := r.u64()
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < nf; i++ {
+		off, err := r.u64()
+		if err != nil {
+			return err
+		}
+		size, err := r.u64()
+		if err != nil {
+			return err
+		}
+		s.freeBySize.Put(btree.K2(size, off), 0)
+		s.freeByOff.Put(btree.K1(off), size)
+	}
+	return nil
+}
+
+func (s *Store) decodeLabelSection(buf []byte, areaOff int64) error {
+	r := &sectionReader{buf: buf, off: areaOff, area: "metadata"}
+	nl, err := r.u64()
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < nl; i++ {
+		id, err := r.u64()
+		if err != nil {
+			return err
+		}
+		lbl, rest, derr := s.decodeLabel(r.buf)
+		if derr != nil {
+			return &CorruptError{Area: "metadata", Offset: areaOff,
+				Detail: fmt.Sprintf("label of object %d does not decode: %v", id, derr)}
+		}
+		r.buf = rest
+		e := s.shardOf(id).getOrCreate(id)
+		e.lbl, e.hasLbl = lbl, true
+	}
+	return nil
+}
+
+func (s *Store) decodeIndexSection(buf []byte, areaOff int64) error {
+	r := &sectionReader{buf: buf, off: areaOff, area: "metadata/index"}
+	ni, err := r.u64()
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < ni; i++ {
+		fp, err := r.u64()
+		if err != nil {
+			return err
+		}
+		id, err := r.u64()
+		if err != nil {
+			return err
+		}
+		s.shardOf(id).labelIndex.Put(btree.K2(fp, id), 0)
+	}
+	return nil
+}
+
+// decodeLegacyMetadata rebuilds the trees and entries from a pre-v2
+// snapshot image (unsectioned, no checksums, object map without content
+// CRCs); Open calls it before the store is published, so no locks are
+// taken.
+func (s *Store) decodeLegacyMetadata(buf []byte) error {
 	readU64 := func() (uint64, error) {
 		if len(buf) < 8 {
-			return 0, fmt.Errorf("store: truncated metadata")
+			return 0, s.noteCorruption(&CorruptError{Area: "metadata", Detail: "truncated legacy metadata"})
 		}
 		v := binary.LittleEndian.Uint64(buf)
 		buf = buf[8:]
@@ -365,9 +922,10 @@ func (s *Store) decodeMetadata(buf []byte) error {
 		if err != nil {
 			return err
 		}
-		lbl, rest, err := s.decodeLabel(buf)
-		if err != nil {
-			return err
+		lbl, rest, derr := s.decodeLabel(buf)
+		if derr != nil {
+			return s.noteCorruption(&CorruptError{Area: "metadata",
+				Detail: fmt.Sprintf("legacy label of object %d does not decode: %v", id, derr)})
 		}
 		buf = rest
 		e := s.shardOf(id).getOrCreate(id)
@@ -376,14 +934,7 @@ func (s *Store) decodeMetadata(buf []byte) error {
 	// Optional label-index section (absent in pre-index images, which
 	// rebuild it from the labels just decoded).
 	if len(buf) == 0 {
-		for si := range s.shards {
-			sh := &s.shards[si]
-			for id, e := range sh.objs {
-				if e.hasLbl {
-					sh.labelIndex.Put(btree.K2(uint64(e.lbl.Fingerprint()), id), 0)
-				}
-			}
-		}
+		s.rebuildLabelIndex()
 		return nil
 	}
 	ni, err := readU64()

@@ -484,9 +484,15 @@ func TestCrashRecoveryConcurrentEveryPoint(t *testing.T) {
 		verifyRecovery(t, fd.Inner(), merged, fmt.Sprintf("conc seed %d clean", seed))
 		points := crashPoints(fd.WriteBounds())
 
-		for _, mode := range []disk.FaultMode{disk.FaultTorn, disk.FaultOmit} {
+		for _, mode := range []disk.FaultMode{disk.FaultTorn, disk.FaultOmit, disk.FaultFlip} {
 			for _, pt := range points {
 				s, fd := newCrashRig(t)
+				// Flip damage is seeded so a failure reproduces exactly; the
+				// seed is part of the point string a failing run prints.
+				flipSeed := seed*1_000_000 + pt
+				if mode == disk.FaultFlip {
+					fd.SetFlipSeed(flipSeed)
+				}
 				fd.Arm(pt, mode)
 				models := freshModels()
 				crashed := runWorkloadConcurrent(t, s, workers, models)
@@ -494,6 +500,9 @@ func TestCrashRecoveryConcurrentEveryPoint(t *testing.T) {
 					t.Fatalf("conc seed %d %v@%d: fault tripped but no op reported it", seed, mode, pt)
 				}
 				point := fmt.Sprintf("conc seed %d %v@%d", seed, mode, pt)
+				if mode == disk.FaultFlip {
+					point = fmt.Sprintf("%s flipseed=%d", point, flipSeed)
+				}
 				m := mergeModels(models)
 				rec := verifyRecovery(t, fd.Inner(), m, point)
 				if t.Failed() {
@@ -540,9 +549,16 @@ func TestCrashRecoveryEveryPoint(t *testing.T) {
 		verifyRecovery(t, fd.Inner(), m, fmt.Sprintf("seed %d clean", seed))
 		points := crashPoints(fd.WriteBounds())
 
-		for _, mode := range []disk.FaultMode{disk.FaultTorn, disk.FaultOmit} {
+		for _, mode := range []disk.FaultMode{disk.FaultTorn, disk.FaultOmit, disk.FaultFlip} {
 			for _, pt := range points {
 				s, fd := newCrashRig(t)
+				// Seeded flip: the corrupted byte and mask derive from the
+				// seed recorded in the point string, so any failure here is
+				// reproducible bit-for-bit.
+				flipSeed := seed*1_000_000 + pt
+				if mode == disk.FaultFlip {
+					fd.SetFlipSeed(flipSeed)
+				}
 				fd.Arm(pt, mode)
 				m := newRefModel()
 				crashed := runWorkload(t, s, ops, m)
@@ -550,6 +566,9 @@ func TestCrashRecoveryEveryPoint(t *testing.T) {
 					t.Fatalf("seed %d %v@%d: fault tripped but no op reported it", seed, mode, pt)
 				}
 				point := fmt.Sprintf("seed %d %v@%d", seed, mode, pt)
+				if mode == disk.FaultFlip {
+					point = fmt.Sprintf("%s flipseed=%d", point, flipSeed)
+				}
 				rec := verifyRecovery(t, fd.Inner(), m, point)
 				if t.Failed() {
 					return // one failing crash point is enough detail

@@ -1,0 +1,80 @@
+// On-disk integrity reference.  (The package comment in store.go covers
+// the layout and locking; this file documents the checksum formats, the
+// degradation ladder, and the quarantine semantics in one place.)
+//
+// # Checksums
+//
+// Every persistent structure carries a CRC32C (Castagnoli), chosen for its
+// burst-detection properties: the generator polynomial has a factor of
+// x+1, so any odd-weight error burst within one checksummed span is
+// detected with certainty.
+//
+//   - Superblock: two 64-byte copies at offsets 0 and 512, each with a
+//     CRC32C over bytes [0, 56) in its final u32.  Fields (LE u64): magic
+//     "HIST", referenced metadata area (0 or 1), snapshot byte length, log
+//     region size, metadata area size, format version (2), checkpoint
+//     epoch.
+//   - Metadata area header (48 bytes): magic "HMET", version, checkpoint
+//     epoch, payload length, section count, CRC32C over the header's first
+//     40 bytes.
+//   - Metadata sections: each framed [tag u64][length u64][CRC32C u64]
+//     [payload], the CRC covering the payload.  Tags: 1 object map, 2 free
+//     extents, 3 labels, 4 fingerprint index.  Verification requires every
+//     tag exactly once, in-bounds lengths, and no trailing bytes, so a
+//     flipped tag or length never silently reassigns bytes between
+//     sections.
+//   - Object extents: the object-map entry records a CRC32C of the
+//     object's contents, computed when the checkpoint relocates it to its
+//     home extent and verified on every uncached read and every scrub
+//     pass.  A zero CRC field marks an object migrated from a legacy image
+//     whose extent is unverifiable until the next relocation rewrites it.
+//   - Write-ahead log: per-record and header CRCs (package wal).
+//
+// # Degradation ladder
+//
+// Open never serves unverified state and never gives up while an intact
+// copy remains.  From least to most degraded:
+//
+//  1. Clean: primary superblock copy verifies, the referenced metadata
+//     area verifies at the superblock's epoch, the log replays from the
+//     rotation mark.
+//  2. SuperblockFallback: the primary copy fails, the backup at offset 512
+//     verifies and is used.  Nothing else changes.
+//  3. IndexRebuilt: only the fingerprint-index section fails its CRC; the
+//     index is rebuilt from the (intact) label section instead of failing
+//     the mount.
+//  4. MetaFallback: the referenced area fails; the alternate area is
+//     accepted only if it verifies at a strictly older epoch (an equal or
+//     newer epoch would mean an uncommitted checkpoint).  The write-ahead
+//     log is then replayed in full — the log retains the previous
+//     generation behind its rotation marker, and a checkpoint's freed
+//     extents rejoin the allocator only one checkpoint later, so falling
+//     back one snapshot loses no committed sync.
+//  5. WALDamaged: a damaged log record or header truncates replay to the
+//     valid prefix; the log is resealed past it.
+//  6. Refusal: both superblock copies, or both metadata areas, are
+//     damaged.  Open returns an error wrapping ErrCorrupt rather than
+//     guessing.
+//
+// Which rungs fired is recorded in the RecoveryReport, immutable after
+// Open; a degraded mount heals on the next checkpoint, which rewrites both
+// the metadata and both superblock copies at a fresh epoch.
+//
+// # Quarantine
+//
+// A home extent whose contents fail CRC verification — on an uncached Get
+// or during a scrub — quarantines exactly that object: accesses return a
+// QuarantineError (errors.Is-matching both ErrQuarantined and ErrCorrupt),
+// SyncObject refuses to log the damaged bytes, and the ID stays enumerable
+// via QuarantinedObjects.  The rest of the store serves normally.  A
+// quarantine verdict is lifted by anything that replaces the damaged
+// extent as the object's authority: a new Put, a Delete, a logged copy
+// replayed at open, or the checkpoint relocation of a dirty entry.
+// Detection and quarantine events are counted in IntegrityStats and
+// surfaced through kernel stats and histar-bench's integrity section.
+//
+// The bit-rot harness in bitrot_test.go injects odd-weight flips into each
+// structure above and asserts the matching rung — and only that rung —
+// fires.
+
+package store

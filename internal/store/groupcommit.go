@@ -236,6 +236,12 @@ func (s *Store) syncOnce(id uint64) (uint64, error) {
 			rec.Label = e.lbl.AppendBinary(nil)
 		}
 	default:
+		if e.quar {
+			// No resident copy and the home extent is damaged: the store
+			// cannot promise this object is durable.
+			e.mu.Unlock()
+			return epoch, &QuarantineError{ID: id, Detail: "cannot sync: home extent failed verification"}
+		}
 		e.mu.Unlock()
 		return epoch, nil
 	}

@@ -1,0 +1,211 @@
+package store
+
+import (
+	"time"
+
+	"histar/internal/btree"
+)
+
+// ScrubStats is the result of one scrub pass.
+type ScrubStats struct {
+	// SuperblockCopiesOK counts the superblock copies (of 2) that passed
+	// verification; legacy images have only a primary, so 1 is healthy
+	// there.
+	SuperblockCopiesOK int
+	// MetaAreasChecked / MetaAreasOK cover the referenced metadata area
+	// and, when it holds a committed older snapshot, the alternate one.
+	MetaAreasChecked int
+	MetaAreasOK      int
+	// IndexCorrupt reports that only the fingerprint-index section of a
+	// checked area failed — recoverable damage (the index is rebuilt from
+	// labels at open).
+	IndexCorrupt bool
+	// ObjectsChecked counts home extents verified against their recorded
+	// contents CRC; ObjectsUnverifiable counts extents with no recorded CRC
+	// (objects migrated from a legacy image, unverifiable until their next
+	// relocation); ObjectsQuarantined counts extents newly quarantined by
+	// this pass.
+	ObjectsChecked      int
+	ObjectsUnverifiable int
+	ObjectsQuarantined  int
+	// CorruptionsFound is every verification failure this pass detected
+	// (superblock copies, metadata areas, index section, object extents).
+	CorruptionsFound int
+	// BytesVerified is the volume of data read and checksummed.
+	BytesVerified int64
+	// Duration is the wall-clock cost of the pass.
+	Duration time.Duration
+}
+
+// scrubTarget is one home extent to verify, captured from the object map
+// under metaMu so the walk itself runs lock-free.
+type scrubTarget struct {
+	id     uint64
+	off    int64
+	size   int64
+	crc    uint32
+	hasCRC bool
+}
+
+// Scrub verifies the store's on-disk state in the background of normal
+// operation: both superblock copies, the referenced (and, when present, the
+// alternate) metadata area, and every object home extent against its
+// recorded contents CRC.  Mismatched extents are quarantined exactly as an
+// access-time detection would.  Scrub holds ckptMu in read mode, so it
+// excludes checkpoints (which relocate extents) but runs concurrently with
+// reads, writes, and syncs.
+func (s *Store) Scrub() (ScrubStats, error) {
+	s.ckptMu.RLock()
+	defer s.ckptMu.RUnlock()
+	if s.closed {
+		return ScrubStats{}, ErrClosed
+	}
+	start := time.Now()
+	var st ScrubStats
+
+	s.scrubSuperblock(&st)
+	s.scrubMetaAreas(&st)
+	s.scrubObjects(&st)
+
+	st.Duration = time.Since(start)
+	s.integ.scrubPasses.Add(1)
+	s.integ.scrubBytes.Add(uint64(st.BytesVerified))
+	s.integ.mu.Lock()
+	s.integ.lastScrub = st
+	s.integ.mu.Unlock()
+	return st, nil
+}
+
+// scrubSuperblock verifies both superblock copies in place.
+func (s *Store) scrubSuperblock(st *ScrubStats) {
+	raw := make([]byte, sbBackupOff+sbCopySize)
+	if _, err := s.d.ReadAt(raw, superblockOffset); err != nil {
+		st.CorruptionsFound++
+		s.integ.corruptions.Add(1)
+		return
+	}
+	primary, perr := parseSuperblockCopy(raw[:sbCopySize], superblockOffset)
+	_, berr := parseSuperblockCopy(raw[sbBackupOff:], superblockOffset+sbBackupOff)
+	st.BytesVerified += 2 * sbCopySize
+	if perr == nil {
+		st.SuperblockCopiesOK++
+	} else {
+		st.CorruptionsFound++
+		s.integ.corruptions.Add(1)
+	}
+	if berr == nil {
+		st.SuperblockCopiesOK++
+	} else if !(perr == nil && primary.version == 0) {
+		// A legacy image legitimately has no backup copy; anything else
+		// means the backup rotted.
+		st.CorruptionsFound++
+		s.integ.corruptions.Add(1)
+	}
+}
+
+// scrubMetaAreas verifies the referenced metadata area and, when it holds a
+// committed (strictly older epoch) snapshot, the alternate one — the copy a
+// future fallback would depend on.  On a legacy image there is nothing
+// checksummed to verify.
+func (s *Store) scrubMetaAreas(st *ScrubStats) {
+	if s.report.LegacyImage && s.metaEpoch == 0 {
+		return
+	}
+	areaLen := func(secs [numSecs + 1][]byte) int64 {
+		n := int64(metaHeaderSize)
+		for _, sec := range secs {
+			if sec != nil {
+				n += 24 + int64(len(sec))
+			}
+		}
+		return n
+	}
+	// Referenced area: must verify at the current epoch.
+	secs, epoch, indexErr, err := s.verifyMetaArea(s.metaWhich)
+	st.MetaAreasChecked++
+	switch {
+	case err != nil:
+		st.CorruptionsFound++
+		s.integ.corruptions.Add(1)
+	case epoch != s.metaEpoch:
+		st.CorruptionsFound++
+		s.integ.corruptions.Add(1)
+	default:
+		st.MetaAreasOK++
+		st.BytesVerified += areaLen(secs)
+		if indexErr != nil {
+			st.IndexCorrupt = true
+			st.CorruptionsFound++
+			s.integ.corruptions.Add(1)
+		}
+	}
+	// Alternate area: only meaningful once it holds a committed older
+	// snapshot (epoch strictly below the superblock's).  An unparseable
+	// header is indistinguishable from "never written", so it is skipped
+	// rather than counted.
+	altSecs, altEpoch, altIndexErr, altErr := s.verifyMetaArea(1 - s.metaWhich)
+	if altErr == nil && altEpoch < s.metaEpoch {
+		st.MetaAreasChecked++
+		st.MetaAreasOK++
+		st.BytesVerified += areaLen(altSecs)
+		if altIndexErr != nil {
+			st.IndexCorrupt = true
+			st.CorruptionsFound++
+			s.integ.corruptions.Add(1)
+		}
+	}
+}
+
+// scrubObjects verifies every mapped home extent against its recorded
+// contents CRC, quarantining mismatches.
+func (s *Store) scrubObjects(st *ScrubStats) {
+	s.metaMu.RLock()
+	targets := make([]scrubTarget, 0, s.objMap.Len())
+	s.objMap.Scan(func(k btree.Key, v uint64) bool {
+		id := k[0]
+		crc, hasCRC := s.objCRCs[id]
+		targets = append(targets, scrubTarget{
+			id: id, off: int64(v), size: s.objSizes[id], crc: crc, hasCRC: hasCRC,
+		})
+		return true
+	})
+	s.metaMu.RUnlock()
+
+	for _, t := range targets {
+		if !t.hasCRC {
+			st.ObjectsUnverifiable++
+			continue
+		}
+		// Home extents are only rewritten by checkpoints, which ckptMu
+		// excludes, so the read below cannot race a relocation.  The CRC
+		// captured above keeps describing this extent even if the object
+		// was overwritten (dirty) or deleted (dead) since: new contents
+		// live in memory and the log until the next checkpoint.
+		buf := make([]byte, t.size)
+		if t.size > 0 {
+			if _, err := s.d.ReadAt(buf, t.off); err != nil {
+				st.CorruptionsFound++
+				s.integ.corruptions.Add(1)
+				continue
+			}
+		}
+		st.ObjectsChecked++
+		st.BytesVerified += t.size
+		if crc32c(buf) == t.crc {
+			continue
+		}
+		st.CorruptionsFound++
+		s.integ.corruptions.Add(1)
+		e := s.shardOf(t.id).getOrCreate(t.id)
+		e.mu.Lock()
+		// Skip the verdict if the on-disk copy is already superseded: a
+		// dirty or dead entry's next checkpoint abandons this extent.
+		if !e.dirty && !e.dead {
+			if !e.quar {
+				st.ObjectsQuarantined++
+			}
+			s.quarantine(t.id, e, "home extent failed scrub verification")
+		}
+		e.mu.Unlock()
+	}
+}

@@ -22,6 +22,11 @@ type objEntry struct {
 	dead   bool // deleted since the last checkpoint
 	lbl    label.Label
 	hasLbl bool
+	// quar marks an object whose home-extent contents failed checksum
+	// verification: accesses that would read the damaged extent return
+	// ErrQuarantined instead of corrupt bytes, until a Put/Delete replaces
+	// the contents.  The flag never blocks a resident (cached) copy.
+	quar bool
 }
 
 // storeShard is one shard of the object-entry table, selected by object-ID

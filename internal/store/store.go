@@ -14,27 +14,40 @@
 //
 // The disk is divided into four fixed regions followed by the data region:
 //
-//	[0, 4096)                       superblock
+//	[0, 4096)                       superblock (two checksummed copies)
 //	[4096, 4096+logSize)            write-ahead log (see package wal)
 //	[.., .. + metaSize)             metadata area 0
 //	[.., .. + metaSize)             metadata area 1
 //	[.., disk size)                 object extents (8 KB aligned)
 //
-// The superblock holds, as little-endian u64s: the magic "HIST", which
+// The superblock sector holds two identical 64-byte copies, at offsets 0
+// and 512, each independently protected by a CRC32C over its first 56
+// bytes.  A copy's fields are little-endian u64s: the magic "HIST", which
 // metadata area the current snapshot lives in, the snapshot's byte length,
-// the log region size, and the metadata area size (absent — zero — in
-// images from before the size was configurable, which read as the old
-// 16 MB default).  Checkpoints serialize the object map, the free list, the
-// object labels (in canonical label.AppendBinary form), and the label
-// index into the area the superblock does NOT reference, then flip the
-// superblock, so a crash mid-checkpoint always leaves one intact snapshot.
+// the log region size, the metadata area size, the format version
+// (currently 2), and the checkpoint epoch; the CRC32C sits in the final
+// u32.  Open uses whichever copy verifies (preferring the higher epoch if
+// both do), so a single rotted sector never loses the root of the store.
 //
-// The metadata image is a sequence of little-endian u64 sections, each a
-// count followed by its entries: object map triples (id, extent offset,
-// size); free extents (offset, size); object labels (id, canonical label
-// bytes); label index pairs (fingerprint, id).  The trailing two sections
-// are optional, so pre-label and pre-index images still load; a missing
-// index section is rebuilt from the decoded labels.
+// Each metadata area starts with a 48-byte header — magic "HMET", version,
+// checkpoint epoch, payload length, section count, and a CRC32C over the
+// header itself — followed by tagged sections, each framed as [tag u64]
+// [length u64] [CRC32C u64] [payload]: the object map (id, extent offset,
+// size, contents-CRC quads — the contents CRC is what read-time and scrub
+// verification of home extents check against, zero meaning "migrated from
+// a legacy image, unverifiable until next relocation"); the free-extent
+// list (offset, size); object labels (id, canonical label.AppendBinary
+// bytes); and the label fingerprint index (fingerprint, id).  Checkpoints
+// serialize into the area the superblock does NOT reference, flush, then
+// rewrite both superblock copies with the bumped epoch, so a crash
+// mid-checkpoint always leaves one intact, referenced snapshot.
+//
+// Images from before version 2 (a single bare superblock copy and an
+// unchecksummed flat metadata image) still open: they are detected by the
+// all-zero version/epoch tail, loaded without verification, and rewritten
+// in v2 form by the next checkpoint.  See doc.go for the full integrity
+// reference: the degradation ladder Open walks when verification fails,
+// and the quarantine semantics for damaged object extents.
 //
 // Three durability modes mirror the evaluation's LFS variants:
 //
@@ -206,10 +219,15 @@ type Store struct {
 	shards    []storeShard
 	shardMask uint64
 
-	// metaMu guards the object map and size table.
+	// metaMu guards the object map, size table, and content-CRC table.
 	metaMu   sync.RWMutex
 	objMap   *btree.Tree // object ID → extent offset
 	objSizes map[uint64]int64
+	// objCRCs holds the CRC32C of each object's home-extent contents,
+	// recorded when the checkpoint writes the extent and verified whenever
+	// it is read back.  Objects loaded from legacy (pre-CRC) images are
+	// absent until their next relocation and read unverified.
+	objCRCs map[uint64]uint32
 
 	// allocMu guards the free-extent trees and the deferred-free list.
 	allocMu    sync.Mutex
@@ -224,6 +242,16 @@ type Store struct {
 	comm committer
 
 	metaWhich int // which metadata area (0 or 1) the superblock references
+	// metaEpoch is the checkpoint epoch recorded in the current superblock
+	// and metadata-area headers; the next checkpoint writes metaEpoch+1.
+	// Only touched under ckptMu held exclusively (or during construction).
+	metaEpoch uint64
+
+	// report records the degradation-ladder rungs Open took; immutable once
+	// the store is published.
+	report RecoveryReport
+
+	integ integrityCounters
 
 	c counters
 }
@@ -268,6 +296,7 @@ func newStore(d disk.Device, opts Options) *Store {
 		metaSize: opts.MetaAreaSize,
 		objMap:   &btree.Tree{},
 		objSizes: make(map[uint64]int64),
+		objCRCs:  make(map[uint64]uint32),
 
 		freeBySize: &btree.Tree{},
 		freeByOff:  &btree.Tree{},
@@ -320,6 +349,16 @@ func Format(d disk.Device, opts Options) (*Store, error) {
 // loaded first, then committed log records — each carrying an object's
 // contents and canonical label — are re-applied on top, so a synced object
 // always comes back with the taint it was synced with.
+//
+// Every structure is checksum-verified on the way in, and failures walk a
+// degradation ladder instead of failing the mount (see RecoveryReport): a
+// damaged primary superblock copy falls back to the backup copy; a damaged
+// referenced metadata area falls back to the alternate (previous-checkpoint)
+// area plus a replay of the retained write-ahead log generation, losing no
+// committed sync; a damaged fingerprint-index section alone is rebuilt from
+// the label section; a damaged log yields its valid prefix.  Only when both
+// superblock copies or both metadata areas are corrupt does Open refuse,
+// with an error matching ErrCorrupt.
 func Open(d disk.Device, opts Options) (*Store, error) {
 	if opts.LogSize == 0 {
 		opts.LogSize = defaultLogSize
@@ -330,18 +369,33 @@ func Open(d disk.Device, opts Options) (*Store, error) {
 	}
 	s.l = wal.Open(d, logOffset, s.logSize)
 	recs, err := s.l.Recover()
-	if err != nil && !errors.Is(err, wal.ErrCorrupt) {
-		return nil, err
+	if err != nil {
+		if !errors.Is(err, wal.ErrCorrupt) {
+			return nil, err
+		}
+		// Damaged record or header: the valid prefix was recovered and the
+		// log resealed.  Mount degraded rather than refusing.
+		s.report.WALDamaged = true
+		s.noteCorruption(err)
 	}
 	// Re-apply committed log records on top of the checkpointed state.  Open
 	// is single-threaded (the store is not yet published), so entries are
-	// written directly.
+	// written directly.  Normally only the current checkpoint generation
+	// (records after the last rotation marker) replays; after a metadata
+	// fallback the retained previous generation replays too, which is
+	// exactly what makes the older snapshot catch up with zero
+	// committed-sync loss.
 	legacy := s.l.RecoveredLegacy()
-	for _, r := range recs {
+	for _, r := range recs[s.walReplayStart(s.l):] {
+		if r.Mark {
+			continue
+		}
+		s.report.WALRecordsReplayed++
 		sh := s.shardOf(r.ObjectID)
 		e := sh.getOrCreate(r.ObjectID)
 		if r.Delete {
 			e.data, e.cached, e.dirty, e.dead = nil, false, false, true
+			e.quar = false
 			s.clearLabel(sh, r.ObjectID, e)
 			continue
 		}
@@ -350,11 +404,12 @@ func Open(d disk.Device, opts Options) (*Store, error) {
 		// A logged re-create after a logged tombstone must clear the dead
 		// flag, or the next SyncObject would log a spurious deletion.
 		e.dead = false
+		e.quar = false
 		switch {
 		case len(r.Label) > 0:
 			lbl, rest, derr := s.decodeLabel(r.Label)
 			if derr != nil || len(rest) != 0 {
-				return nil, fmt.Errorf("store: replaying label of object %d: %v", r.ObjectID, derr)
+				return nil, s.noteCorruption(fmt.Errorf("%w: replaying label of object %d: %v", ErrCorrupt, r.ObjectID, derr))
 			}
 			// Fingerprints were recomputed once by the decode; the index
 			// entry is rebuilt here so replayed taints are queryable.
@@ -451,6 +506,8 @@ func (s *Store) putEntry(e *objEntry, data []byte) {
 	// the old slice.
 	e.data = append([]byte(nil), data...)
 	e.cached, e.dirty, e.dead = true, true, false
+	// New contents supersede a damaged home extent: lift the quarantine.
+	e.quar = false
 	s.c.puts.Add(1)
 }
 
@@ -469,6 +526,13 @@ func (s *Store) Get(id uint64) ([]byte, error) {
 		// No in-memory state at all: the home location is authoritative.
 		buf, err := s.readHome(id)
 		if err != nil {
+			if errors.Is(err, ErrCorrupt) {
+				e = sh.getOrCreate(id)
+				e.mu.Lock()
+				qerr := s.quarantine(id, e, err.Error())
+				e.mu.Unlock()
+				return nil, qerr
+			}
 			return nil, err
 		}
 		e = sh.getOrCreate(id)
@@ -494,10 +558,16 @@ func (s *Store) Get(id uint64) ([]byte, error) {
 	if e.dead {
 		return nil, ErrNoSuchObject
 	}
+	if e.quar {
+		return nil, &QuarantineError{ID: id, Detail: "home extent failed verification"}
+	}
 	// Entry holds only a label (or was evicted): page the contents in while
 	// holding the entry lock so concurrent misses do one disk read.
 	buf, err := s.readHome(id)
 	if err != nil {
+		if errors.Is(err, ErrCorrupt) {
+			return nil, s.quarantine(id, e, err.Error())
+		}
 		return nil, err
 	}
 	e.data = append([]byte(nil), buf...)
@@ -505,11 +575,15 @@ func (s *Store) Get(id uint64) ([]byte, error) {
 	return buf, nil
 }
 
-// readHome reads an object's contents from its home extent.
+// readHome reads an object's contents from its home extent, verifying them
+// against the checkpoint-recorded CRC when one exists (objects from legacy
+// pre-CRC images read unverified until their next relocation).  A mismatch
+// is reported as a CorruptError; callers quarantine the object.
 func (s *Store) readHome(id uint64) ([]byte, error) {
 	s.metaMu.RLock()
 	off, ok := s.objMap.Get(btree.K1(id))
 	size := s.objSizes[id]
+	crc, hasCRC := s.objCRCs[id]
 	s.metaMu.RUnlock()
 	if !ok {
 		return nil, ErrNoSuchObject
@@ -518,6 +592,15 @@ func (s *Store) readHome(id uint64) ([]byte, error) {
 	if size > 0 {
 		if _, err := s.d.ReadAt(buf, int64(off)); err != nil {
 			return nil, err
+		}
+	}
+	if hasCRC {
+		if got := crc32c(buf); got != crc {
+			return nil, s.noteCorruption(&CorruptError{
+				Area:   "object",
+				Offset: int64(off),
+				Detail: fmt.Sprintf("object %d contents checksum mismatch: got %#x, want %#x", id, got, crc),
+			})
 		}
 	}
 	return buf, nil
@@ -696,6 +779,7 @@ func (s *Store) Delete(id uint64) error {
 	e := sh.getOrCreate(id)
 	e.mu.Lock()
 	e.data, e.cached, e.dirty, e.dead = nil, false, false, true
+	e.quar = false // deletion disposes of the damaged extent
 	s.clearLabel(sh, id, e)
 	e.mu.Unlock()
 	return nil

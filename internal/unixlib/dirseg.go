@@ -2,6 +2,7 @@ package unixlib
 
 import (
 	"encoding/binary"
+	"errors"
 
 	"histar/internal/kernel"
 )
@@ -244,6 +245,10 @@ func mapKernelErr(err error) error {
 	case kernel.ErrInvalid:
 		return ErrInvalid
 	default:
+		// Storage-corruption errors arrive wrapped with object detail.
+		if errors.Is(err, kernel.ErrCorrupt) {
+			return ErrIO
+		}
 		return err
 	}
 }

@@ -29,4 +29,7 @@ var (
 	ErrPipeClosed = errors.New("unixlib: broken pipe")
 	// ErrNoUser is returned for operations on unknown user accounts.
 	ErrNoUser = errors.New("unixlib: no such user")
+	// ErrIO mirrors EIO: the object's persistent storage failed integrity
+	// verification (the store detected bit rot and quarantined it).
+	ErrIO = errors.New("unixlib: input/output error")
 )

@@ -129,7 +129,9 @@ func (p *Process) Read(num int, buf []byte) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	p.sys.pageInFile(fd.File)
+	if err := p.sys.pageInFile(fd.File); err != nil {
+		return 0, mapKernelErr(err)
+	}
 	data, err := p.TC.SegmentRead(fd.File, int(pos), len(buf))
 	if err != nil {
 		return 0, mapKernelErr(err)
@@ -150,7 +152,9 @@ func (p *Process) Pread(num int, buf []byte, off int64) (int, error) {
 	if fd.File.Object == kernel.NilID {
 		return 0, ErrIsDir
 	}
-	p.sys.pageInFile(fd.File)
+	if err := p.sys.pageInFile(fd.File); err != nil {
+		return 0, mapKernelErr(err)
+	}
 	data, err := p.TC.SegmentRead(fd.File, int(off), len(buf))
 	if err != nil {
 		return 0, mapKernelErr(err)
@@ -443,7 +447,9 @@ func (p *Process) ReadFile(path string) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	p.sys.pageInFile(f.File)
+	if err := p.sys.pageInFile(f.File); err != nil {
+		return nil, mapKernelErr(err)
+	}
 	n, err := p.TC.SegmentLen(f.File)
 	if err != nil {
 		return nil, mapKernelErr(err)

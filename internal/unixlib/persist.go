@@ -1,8 +1,12 @@
 package unixlib
 
 import (
+	"errors"
+	"fmt"
+
 	"histar/internal/kernel"
 	"histar/internal/label"
+	"histar/internal/store"
 )
 
 // Persistence bridge to the single-level store.  When a store is attached,
@@ -82,17 +86,24 @@ func (sys *System) persistDelete(id kernel.ID) {
 // support paging in of partial segments, so the entire file segment is paged
 // in when the file is first accessed" (Section 7.1).  Reading any byte of an
 // uncached file costs a full-object read from the store.
-func (sys *System) pageInFile(file kernel.CEnt) {
+//
+// Most store errors are ignored (the contents authoritative for the
+// simulation live in the kernel segment; the read only drives the latency
+// model) — but a detected-corruption error is real damage a real kernel
+// would refuse to page in, so it is surfaced as kernel.ErrCorrupt and
+// reaches the caller as EIO.
+func (sys *System) pageInFile(file kernel.CEnt) error {
 	if sys.Persist == nil {
-		return
+		return nil
 	}
 	if sys.Persist.Cached(uint64(file.Object)) {
-		return
+		return nil
 	}
-	// A miss pulls the whole object from disk; the contents authoritative
-	// for the simulation live in the kernel segment, so the bytes read here
-	// only drive the latency model.
-	_, _ = sys.Persist.Get(uint64(file.Object))
+	_, err := sys.Persist.Get(uint64(file.Object))
+	if err != nil && (errors.Is(err, store.ErrCorrupt) || errors.Is(err, store.ErrQuarantined)) {
+		return fmt.Errorf("%w: paging in object %d: %v", kernel.ErrCorrupt, file.Object, err)
+	}
+	return nil
 }
 
 // SyncWholeSystem checkpoints the single-level store: every dirty object is

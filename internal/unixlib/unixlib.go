@@ -101,6 +101,21 @@ func Boot(opts BootOptions) (*System, error) {
 	for i := range sys.dirSegs {
 		sys.dirSegs[i].m = make(map[kernel.ID]kernel.ID)
 	}
+	if st := opts.Persist; st != nil {
+		// Surface the store's corruption accounting through kernel stats,
+		// keeping the kernel itself storage-agnostic.
+		k.SetIntegritySource(func() kernel.StorageIntegrity {
+			is := st.IntegrityStats()
+			return kernel.StorageIntegrity{
+				CorruptionsDetected: is.CorruptionsDetected,
+				QuarantineEvents:    is.QuarantineEvents,
+				QuarantinedNow:      is.QuarantinedNow,
+				ScrubPasses:         is.ScrubPasses,
+				ScrubBytesVerified:  is.ScrubBytesVerified,
+				DegradedMount:       is.Recovery.Degraded(),
+			}
+		})
+	}
 	tc, err := k.BootThread(label.New(label.L1), label.New(label.L2), "unixlib init")
 	if err != nil {
 		return nil, err

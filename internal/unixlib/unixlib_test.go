@@ -468,3 +468,73 @@ func TestSpawnedProcessCountsSyscalls(t *testing.T) {
 		t.Errorf("spawn+wait issued only %d syscalls; the process machinery should cost more", sys.Kern.SyscallTotal())
 	}
 }
+
+// TestCorruptExtentSurfacesAsEIO proves the integrity plumbing end to end:
+// bit rot in a persisted file's home extent is detected by the store on
+// page-in, quarantined, surfaced to the file API as EIO, and visible
+// through the kernel's storage-integrity stats — while other files keep
+// reading normally.
+func TestCorruptExtentSurfacesAsEIO(t *testing.T) {
+	clk := &vclock.Clock{}
+	d := disk.New(disk.Params{Sectors: 1 << 15, WriteCache: true}, clk) // 16 MB
+	fdisk := disk.NewFaultDisk(d)
+	st, err := store.Format(fdisk, store.Options{LogSize: 256 << 10, MetaAreaSize: 256 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := Boot(BootOptions{Persist: st, KernelConfig: kernel.Config{Seed: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := sys.NewInitProcess("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pattern := bytes.Repeat([]byte("ROTTENBITS"), 400) // recognizable on the platter
+	fd, err := p.Create("/tmp/victim", label.Label{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Write(fd, pattern); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(fd); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.WriteFile("/tmp/bystander", []byte("healthy"), label.Label{}); err != nil {
+		t.Fatal(err)
+	}
+	// Whole-system sync writes home extents (with contents CRCs); evicting
+	// the cache forces the next read to page in from disk.
+	if err := sys.SyncWholeSystem(); err != nil {
+		t.Fatal(err)
+	}
+	sys.EvictFileCache()
+
+	// Locate the victim's home extent on the device and rot one bit of it.
+	img := make([]byte, fdisk.Size())
+	if _, err := fdisk.ReadAt(img, 0); err != nil {
+		t.Fatal(err)
+	}
+	off := int64(bytes.Index(img, pattern))
+	if off < 0 {
+		t.Fatal("victim extent not found on the device")
+	}
+	if err := fdisk.RotBits(disk.Region{Off: off, Len: int64(len(pattern))}, 1, 17); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := p.ReadFile("/tmp/victim"); !errors.Is(err, ErrIO) {
+		t.Fatalf("ReadFile of rotted file = %v; want ErrIO", err)
+	}
+	if data, err := p.ReadFile("/tmp/bystander"); err != nil || string(data) != "healthy" {
+		t.Fatalf("bystander read = %q, %v", data, err)
+	}
+	ks, ok := sys.Kern.StorageIntegrityStats()
+	if !ok {
+		t.Fatal("kernel has no integrity source despite an attached store")
+	}
+	if ks.QuarantinedNow != 1 || ks.CorruptionsDetected == 0 {
+		t.Fatalf("kernel integrity stats = %+v", ks)
+	}
+}

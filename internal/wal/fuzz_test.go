@@ -118,10 +118,11 @@ func TestRecoverCorruptionPrefixContract(t *testing.T) {
 		mut[pos] ^= 0xff
 		recs, err := Open(logImage(mut), 0, fuzzRegion).Recover()
 		if pos == 4 {
-			// The version byte: damage here reads as a future format, which
-			// is refused outright rather than decoded.
-			if !errors.Is(err, ErrVersion) {
-				t.Fatalf("pos 4: err=%v, want ErrVersion", err)
+			// The version byte: damage here is NOT mistaken for a future
+			// format — the header CRC no longer matches, so it is reported
+			// as corruption rather than refused as ErrVersion.
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("pos 4: err=%v, want ErrCorrupt", err)
 			}
 			continue
 		}
@@ -137,10 +138,10 @@ func TestRecoverCorruptionPrefixContract(t *testing.T) {
 				t.Fatalf("pos %d: record %d = %+v, want prefix of committed records", pos, i, r)
 			}
 		}
-		// A damaged magic (first four bytes) is indistinguishable from a
-		// never-formatted region and legitimately recovers as empty; every
-		// other damaged byte must be reported.
-		if len(recs) < len(want) && err == nil && pos >= 4 {
+		// Since the header gained its own CRC, a damaged magic is no longer
+		// mistaken for a never-formatted region: EVERY damaged byte that
+		// loses records must be reported.
+		if len(recs) < len(want) && err == nil {
 			t.Fatalf("pos %d: lost records without ErrCorrupt (%d/%d)", pos, len(recs), len(want))
 		}
 	}

@@ -7,29 +7,43 @@
 //
 // # On-disk format
 //
-// The log occupies a fixed region of the disk.  It starts with a 16-byte
-// header:
+// The log occupies a fixed region of the disk.  It starts with a 32-byte
+// version-3 header:
 //
 //	off  size  field
 //	0    4     magic "HWLO" (0x48574c4f, little endian)
-//	4    1     format version (2; 0 identifies pre-label version-1 logs)
+//	4    1     format version (3; 2 and 0 identify older formats)
 //	5    3     reserved (zero)
 //	8    8     committed length: bytes of valid records after the header
+//	16   4     CRC-32C of header bytes 0..15
+//	20   12    reserved (zero)
 //
-// Committed records follow back to back.  A version-2 record is:
+// The header CRC makes silent bit rot in the magic, version, or committed
+// length detectable: an all-zero header is a fresh region, anything else
+// that fails its checks is ErrCorrupt — never silently treated as empty.
+//
+// Committed records follow back to back.  A record is:
 //
 //	off  size  field
 //	0    8     object ID
 //	8    4     data length
 //	12   2     label length (0 when the object carries no label)
-//	14   1     flags: bit 0 = tombstone, bit 1 = label present
+//	14   1     flags: bit 0 = tombstone, bit 1 = label present,
+//	           bit 2 = generation marker
 //	15   4     CRC-32 (IEEE) of bytes 0..15 plus the label and data bytes
 //	19   ...   canonical serialized label (label.AppendBinary), then data
 //
-// Version-1 records had no version byte, label length, or label bytes, and
-// packed the delete flag at offset 12 with the CRC at 13; Recover still
-// decodes them and transparently rewrites a version-1 log in version-2
-// format, so labels logged after an upgrade coexist with nothing older.
+// A generation marker (bit 2, no data, no label) is written by Rotate at
+// each checkpoint: records before the last marker belong to the previous
+// checkpoint generation and are retained only so the store can fall back to
+// its older metadata snapshot and replay them forward if the newer snapshot
+// is corrupt on disk.  Normal recovery replays only records after the last
+// marker (see RecoveredAfterMark).
+//
+// Version-2 logs had a 16-byte header with no CRC; version-1 records
+// additionally had no label length or label bytes and packed the delete
+// flag at offset 12 with the CRC at 13.  Recover still decodes both and
+// transparently rewrites them in version-3 format.
 //
 // Commit appends the encoded records, then updates the header's committed
 // length and flushes; the header update is what makes the batch durable.
@@ -37,9 +51,10 @@
 // and — per the contract FuzzRecover enforces — never panics on arbitrary
 // log bytes: damage yields ErrCorrupt along with every record before the
 // damage, and the log is resealed to that valid prefix so later commits
-// append after it.  A version byte naming a future format is refused with
-// ErrVersion and the region left untouched; records that could never
-// commit at all are rejected at Append time with ErrTooLarge.
+// append after it.  A version byte naming a future format (with an intact
+// header CRC) is refused with ErrVersion and the region left untouched;
+// records that could never commit at all are rejected at Append time with
+// ErrTooLarge.
 package wal
 
 import (
@@ -63,6 +78,10 @@ type Record struct {
 	// covered by the record CRC; the store decodes it on replay.
 	Label  []byte
 	Delete bool
+	// Mark identifies a generation marker written by Rotate: not an object
+	// update at all, just the boundary between checkpoint generations.
+	// Replay loops must skip marker records.
+	Mark bool
 }
 
 // Errors returned by the log.
@@ -89,13 +108,17 @@ var (
 const (
 	recHeaderV1Size = 8 + 4 + 1 + 4     // id, length, delete flag, crc
 	recHeaderSize   = 8 + 4 + 2 + 1 + 4 // id, data len, label len, flags, crc
-	logHeaderSize   = 16                // magic + version + committed length
+	logHeaderV2Size = 16                // v1/v2: magic + version + committed length
+	logHeaderSize   = 32                // v3: adds header CRC + reserved
 	logMagic        = 0x48574c4f        // "HWLO"
-	logVersion      = 2
+	logVersion      = 3
 
 	flagDelete   = 1 << 0
 	flagHasLabel = 1 << 1
+	flagMark     = 1 << 2
 )
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // Log is a redo log occupying a fixed region of the disk.  It is safe for
 // concurrent use.
@@ -123,6 +146,16 @@ type Log struct {
 	// records carry no label information (as opposed to a version-2 record
 	// without a label, which asserts the object had none).
 	recoveredLegacy bool
+
+	// markOff is the byte offset (relative to the body start) just past the
+	// last generation marker in the committed prefix; 0 when none.  Records
+	// before it belong to the previous checkpoint generation.
+	markOff int64
+	// markIdx is the index into the slice the last Recover returned of the
+	// first record after the last generation marker (0 when none).
+	markIdx int
+	// rotations counts Rotate calls that retained a previous generation.
+	rotations uint64
 }
 
 // New creates a log over the region [start, start+size) of d and writes a
@@ -146,6 +179,7 @@ func (l *Log) writeHeader(committedBytes int64) error {
 	binary.LittleEndian.PutUint32(hdr[0:], logMagic)
 	hdr[4] = logVersion
 	binary.LittleEndian.PutUint64(hdr[8:], uint64(committedBytes))
+	binary.LittleEndian.PutUint32(hdr[16:], crc32.Checksum(hdr[:16], castagnoli))
 	if _, err := l.d.WriteAt(hdr[:], l.start); err != nil {
 		return err
 	}
@@ -283,12 +317,72 @@ func (l *Log) Commit() error {
 func (l *Log) Truncate() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	return l.truncateLocked()
+}
+
+func (l *Log) truncateLocked() error {
 	if err := l.writeHeader(0); err != nil {
 		return err
 	}
 	l.tail = logHeaderSize
+	l.markOff = 0
 	l.applies++
 	return nil
+}
+
+// Rotate seals the current checkpoint generation instead of discarding it:
+// the records committed since the previous rotation are kept (shifted to the
+// front of the region) and closed with a generation marker, so that if the
+// metadata snapshot the caller just wrote later fails its checksums, the
+// store can fall back to the older snapshot and replay this generation
+// forward — zero committed-sync loss.  Normal recovery replays only records
+// after the marker (see RecoveredAfterMark).
+//
+// The shuffle is crash-safe: the header is zeroed (and flushed) before any
+// record bytes move, so a crash mid-rotation recovers as an empty log — safe
+// because the checkpoint that precedes Rotate already made every sealed
+// record's state durable.  When the retained generation would occupy more
+// than half the region (starving future commits), or when it is empty,
+// Rotate degrades to a plain truncate.
+func (l *Log) Rotate() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	genLen := l.tail - logHeaderSize - l.markOff
+	marker := encodeRecords([]Record{{Mark: true}})
+	if genLen <= 0 || genLen+int64(len(marker)) > l.size/2 {
+		return l.truncateLocked()
+	}
+	gen := make([]byte, genLen)
+	if _, err := l.d.ReadAt(gen, l.start+logHeaderSize+l.markOff); err != nil {
+		return err
+	}
+	// Invalidate before moving bytes: a torn shuffle must never be read back
+	// as a valid committed prefix.
+	if err := l.writeHeader(0); err != nil {
+		return err
+	}
+	body := append(gen, marker...)
+	if _, err := l.d.WriteAt(body, l.start+logHeaderSize); err != nil {
+		return err
+	}
+	if err := l.writeHeader(int64(len(body))); err != nil {
+		return err
+	}
+	l.tail = logHeaderSize + int64(len(body))
+	l.markOff = int64(len(body))
+	l.applies++
+	l.rotations++
+	return nil
+}
+
+// RecoveredAfterMark returns the index into the slice the last Recover
+// returned of the first record after the last generation marker — the start
+// of the current checkpoint generation.  Normal recovery replays from here;
+// the metadata-fallback path replays everything.
+func (l *Log) RecoveredAfterMark() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.markIdx
 }
 
 // Recover reads the committed records back from the log region (after a
@@ -305,15 +399,58 @@ func (l *Log) Recover() ([]Record, error) {
 	if _, err := l.d.ReadAt(hdr[:], l.start); err != nil {
 		return nil, err
 	}
-	if binary.LittleEndian.Uint32(hdr[0:]) != logMagic {
-		// Fresh region: nothing logged.
+	allZero := true
+	for _, b := range hdr {
+		if b != 0 {
+			allZero = false
+			break
+		}
+	}
+	if allZero {
+		// Fresh region: nothing ever logged.
 		l.tail = logHeaderSize
+		l.markIdx, l.markOff = 0, 0
 		return nil, nil
 	}
-	version := hdr[4]
-	committed := int64(binary.LittleEndian.Uint64(hdr[8:]))
-	if committed < 0 || committed > l.size-logHeaderSize {
+	if got := binary.LittleEndian.Uint32(hdr[0:]); got != logMagic {
+		// Non-zero but wrong magic is damage, not a fresh region — reseal
+		// empty and say so rather than silently dropping the log.
 		l.tail = logHeaderSize
+		l.markIdx, l.markOff = 0, 0
+		if err := l.writeHeader(0); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("%w: bad log magic at offset %d: got %#x, want %#x", ErrCorrupt, l.start, got, logMagic)
+	}
+	version := hdr[4]
+	bodyOff := int64(logHeaderSize)
+	switch version {
+	case 0, 2:
+		// Pre-CRC header layouts: the body starts right after 16 bytes.
+		bodyOff = logHeaderV2Size
+	default:
+		// Version 3 and anything newer carry a header CRC at the same
+		// offset; verify it before trusting any header field.  A mismatch on
+		// an unknown version byte means rot, not a future format.
+		want := binary.LittleEndian.Uint32(hdr[16:])
+		if got := crc32.Checksum(hdr[:16], castagnoli); got != want {
+			l.tail = logHeaderSize
+			l.markIdx, l.markOff = 0, 0
+			if err := l.writeHeader(0); err != nil {
+				return nil, err
+			}
+			return nil, fmt.Errorf("%w: log header checksum mismatch at offset %d: got %#x, want %#x", ErrCorrupt, l.start, got, want)
+		}
+		if version != logVersion {
+			// A genuine future format: refuse the mount without touching the
+			// region, so the newer code that wrote it can still recover.
+			return nil, fmt.Errorf("%w %d", ErrVersion, version)
+		}
+	}
+	committed := int64(binary.LittleEndian.Uint64(hdr[8:]))
+	if committed < 0 || committed > l.size-bodyOff {
+		l.tail = logHeaderSize
+		l.markIdx, l.markOff = 0, 0
 		if err := l.writeHeader(0); err != nil {
 			return nil, err
 		}
@@ -321,7 +458,7 @@ func (l *Log) Recover() ([]Record, error) {
 	}
 	body := make([]byte, committed)
 	if committed > 0 {
-		if _, err := l.d.ReadAt(body, l.start+logHeaderSize); err != nil {
+		if _, err := l.d.ReadAt(body, l.start+bodyOff); err != nil {
 			return nil, err
 		}
 	}
@@ -330,16 +467,11 @@ func (l *Log) Recover() ([]Record, error) {
 		good int64
 		err  error
 	)
-	switch version {
-	case 0:
+	if version == 0 {
 		recs, good, err = decodeRecordsV1(body)
 		l.recoveredLegacy = true
-	case logVersion:
+	} else {
 		recs, good, err = decodeRecords(body)
-	default:
-		// A future format: refuse the mount without touching the region, so
-		// the newer code that wrote it can still recover its records.
-		return nil, fmt.Errorf("%w %d", ErrVersion, version)
 	}
 	if version != logVersion || good != committed {
 		// Format migration or damaged tail: rewrite the valid prefix in the
@@ -350,7 +482,23 @@ func (l *Log) Recover() ([]Record, error) {
 		return recs, err
 	}
 	l.tail = logHeaderSize + committed
+	l.setMarkBoundary(recs)
 	return recs, err
+}
+
+// setMarkBoundary records where the last generation marker sits in the
+// recovered records, both as a record index and a body byte offset; the
+// caller holds l.mu.
+func (l *Log) setMarkBoundary(recs []Record) {
+	l.markIdx, l.markOff = 0, 0
+	var off int64
+	for i, r := range recs {
+		off += encodedSize(r)
+		if r.Mark {
+			l.markIdx = i + 1
+			l.markOff = off
+		}
+	}
 }
 
 // rewrite replaces the committed log contents with recs encoded in the
@@ -369,6 +517,7 @@ func (l *Log) rewrite(recs []Record) error {
 		return err
 	}
 	l.tail = logHeaderSize + int64(len(buf))
+	l.setMarkBoundary(recs)
 	return nil
 }
 
@@ -401,6 +550,9 @@ type Stats struct {
 	// BatchBytes counts the encoded bytes appended through AppendBatch, so
 	// bytes-per-flush is BatchBytes/Commits when all traffic is batched.
 	BatchBytes uint64
+	// Rotations counts Rotate calls that retained a previous checkpoint
+	// generation behind a marker (a plain truncate counts only in Applies).
+	Rotations uint64
 }
 
 // Stats returns cumulative commit, apply (truncate), append and batch counts.
@@ -415,6 +567,7 @@ func (l *Log) Stats() Stats {
 		BatchRecords: l.batchRecords,
 		MaxBatch:     l.maxBatch,
 		BatchBytes:   l.batchBytes,
+		Rotations:    l.rotations,
 	}
 }
 
@@ -434,6 +587,9 @@ func encodeRecords(recs []Record) []byte {
 		}
 		if len(r.Label) > 0 {
 			hdr[14] |= flagHasLabel
+		}
+		if r.Mark {
+			hdr[14] |= flagMark
 		}
 		crc := crc32.NewIEEE()
 		crc.Write(hdr[:15])
@@ -462,10 +618,14 @@ func decodeRecords(buf []byte) ([]Record, int64, error) {
 		nl := int(binary.LittleEndian.Uint16(buf[12:]))
 		flags := buf[14]
 		wantCRC := binary.LittleEndian.Uint32(buf[15:])
-		if flags&^byte(flagDelete|flagHasLabel) != 0 {
+		if flags&^byte(flagDelete|flagHasLabel|flagMark) != 0 {
 			return out, consumed, ErrCorrupt
 		}
 		if (flags&flagHasLabel != 0) != (nl > 0) {
+			return out, consumed, ErrCorrupt
+		}
+		if flags&flagMark != 0 && (flags != flagMark || nd != 0 || nl != 0) {
+			// A generation marker carries nothing but the flag.
 			return out, consumed, ErrCorrupt
 		}
 		if nd < 0 || len(buf) < recHeaderSize+nl+nd {
@@ -480,7 +640,7 @@ func decodeRecords(buf []byte) ([]Record, int64, error) {
 		if crc.Sum32() != wantCRC {
 			return out, consumed, ErrCorrupt
 		}
-		r := Record{ObjectID: id, Delete: flags&flagDelete != 0}
+		r := Record{ObjectID: id, Delete: flags&flagDelete != 0, Mark: flags&flagMark != 0}
 		if nd > 0 {
 			r.Data = append([]byte(nil), data...)
 		}

@@ -359,21 +359,182 @@ func TestUnsupportedVersionRefusedWithoutErasure(t *testing.T) {
 	if err := l.Commit(); err != nil {
 		t.Fatal(err)
 	}
-	// Pretend a newer format wrote this log.
-	if _, err := d.WriteAt([]byte{9}, 4); err != nil {
-		t.Fatal(err)
+	// Pretend a newer format wrote this log: bump the version byte and fix
+	// up the header CRC the way the newer code would have.
+	setVersion := func(v byte) {
+		hdr := make([]byte, logHeaderSize)
+		if _, err := d.ReadAt(hdr, 0); err != nil {
+			t.Fatal(err)
+		}
+		hdr[4] = v
+		binary.LittleEndian.PutUint32(hdr[16:], crc32.Checksum(hdr[:16], castagnoli))
+		if _, err := d.WriteAt(hdr, 0); err != nil {
+			t.Fatal(err)
+		}
 	}
+	setVersion(9)
 	if _, err := Open(d, 0, 1<<16).Recover(); !errors.Is(err, ErrVersion) {
 		t.Fatalf("future version: err=%v, want ErrVersion", err)
 	}
 	// The region was left byte-for-byte intact: restoring the version byte
 	// recovers the records.
-	if _, err := d.WriteAt([]byte{2}, 4); err != nil {
-		t.Fatal(err)
-	}
+	setVersion(logVersion)
 	recs, err := Open(d, 0, 1<<16).Recover()
 	if err != nil || len(recs) != 1 || string(recs[0].Data) != "future records" {
 		t.Fatalf("after restoring version: %+v, %v", recs, err)
+	}
+}
+
+func TestFlippedVersionByteIsCorruptionNotFutureFormat(t *testing.T) {
+	// A bare version-byte flip (without a matching header CRC) is bit rot,
+	// not a future format: the log must report ErrCorrupt rather than refuse
+	// the mount as ErrVersion.
+	l, d := testLog(t, 1<<16)
+	if err := l.Append(Record{ObjectID: 1, Data: []byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.WriteAt([]byte{9}, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(d, 0, 1<<16).Recover(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("flipped version byte: err=%v, want ErrCorrupt", err)
+	}
+}
+
+func TestDamagedMagicIsCorruptionNotFresh(t *testing.T) {
+	l, d := testLog(t, 1<<16)
+	if err := l.Append(Record{ObjectID: 7, Data: []byte("y")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.WriteAt([]byte{0xde}, 1); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := Open(d, 0, 1<<16).Recover()
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("rotted magic must be ErrCorrupt, got %v (recs=%d)", err, len(recs))
+	}
+	// The reseal leaves a mountable empty log.
+	recs, err = Open(d, 0, 1<<16).Recover()
+	if err != nil || len(recs) != 0 {
+		t.Fatalf("after reseal: %d recs, %v", len(recs), err)
+	}
+}
+
+func TestRotateRetainsOneGenerationBehindMarker(t *testing.T) {
+	l, d := testLog(t, 1<<16)
+	put := func(id uint64, data string) {
+		t.Helper()
+		if err := l.Append(Record{ObjectID: id, Data: []byte(data)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	put(1, "gen one")
+	put(2, "gen one too")
+	if err := l.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	put(3, "gen two")
+
+	l2 := Open(d, 0, 1<<16)
+	recs, err := l2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full replay sees gen one, the marker, then gen two, in order.
+	var ids []uint64
+	marks := 0
+	for _, r := range recs {
+		if r.Mark {
+			marks++
+			continue
+		}
+		ids = append(ids, r.ObjectID)
+	}
+	if marks != 1 || len(ids) != 3 || ids[0] != 1 || ids[1] != 2 || ids[2] != 3 {
+		t.Fatalf("recovered ids=%v marks=%d", ids, marks)
+	}
+	// Normal recovery replays only the current generation.
+	cur := recs[l2.RecoveredAfterMark():]
+	if len(cur) != 1 || cur[0].ObjectID != 3 {
+		t.Fatalf("current generation = %+v", cur)
+	}
+
+	// A second rotation drops gen one: only gen two survives the marker.
+	if err := l2.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	l3 := Open(d, 0, 1<<16)
+	recs, err = l3.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids = ids[:0]
+	for _, r := range recs {
+		if !r.Mark {
+			ids = append(ids, r.ObjectID)
+		}
+	}
+	if len(ids) != 1 || ids[0] != 3 {
+		t.Fatalf("after second rotation ids=%v", ids)
+	}
+	if l3.RecoveredAfterMark() != len(recs) {
+		t.Fatalf("current generation should be empty, boundary=%d of %d", l3.RecoveredAfterMark(), len(recs))
+	}
+	if l2.Stats().Rotations != 1 {
+		t.Fatalf("rotations = %d", l2.Stats().Rotations)
+	}
+}
+
+func TestRotateEmptyGenerationTruncates(t *testing.T) {
+	l, d := testLog(t, 1<<16)
+	if err := l.Append(Record{ObjectID: 1, Data: []byte("z")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	// Nothing committed since: the second rotation degrades to a truncate.
+	if err := l.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := Open(d, 0, 1<<16).Recover()
+	if err != nil || len(recs) != 0 {
+		t.Fatalf("log should be empty after rotating an empty generation: %d recs, %v", len(recs), err)
+	}
+}
+
+func TestRotateOversizeGenerationTruncates(t *testing.T) {
+	// A generation bigger than half the region is not retained — the log
+	// must stay usable for new commits.
+	l, d := testLog(t, 1<<12)
+	big := make([]byte, 3<<10)
+	if err := l.Append(Record{ObjectID: 1, Data: big[:1200]}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(Record{ObjectID: 2, Data: big[:1200]}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := Open(d, 0, 1<<12).Recover()
+	if err != nil || len(recs) != 0 {
+		t.Fatalf("oversize generation should truncate: %d recs, %v", len(recs), err)
 	}
 }
 
