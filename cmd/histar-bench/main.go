@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -48,6 +49,9 @@ type Report struct {
 	Ring        RingReport        `json:"ring"`
 	TaintScan   TaintScanReport   `json:"taint_scan"`
 	Integrity   IntegrityReport   `json:"integrity"`
+	Stall       StallReport       `json:"stall_ms"`
+	WriteAmp    WriteAmpReport    `json:"write_amplification"`
+	SegCleaner  SegCleanerReport  `json:"segment_cleaner"`
 }
 
 type LabelCacheReport struct {
@@ -111,6 +115,50 @@ type IntegrityReport struct {
 	Quarantined         int    `json:"quarantined"`
 }
 
+// StallReport is the checkpoint-stall section: SyncObject latency, in
+// milliseconds of host wall clock, measured while a background goroutine
+// runs checkpoints back to back.  The stop-the-world design this protocol
+// replaced blocked every sync arriving during a checkpoint for the whole
+// pass; with the incremental SEAL/BODY/FINISH schedule only the brief
+// seal holds the exclusive lock, so the sync tail stays bounded no matter
+// how long the body runs.  Wall clock (not the virtual disk clock, which
+// is meaningless across racing goroutines) means absolute numbers vary by
+// machine; the CI smoke bound is correspondingly generous.
+type StallReport struct {
+	Syncs          int     `json:"syncs"`
+	Checkpoints    uint64  `json:"checkpoints_completed"`
+	P50            float64 `json:"sync_p50"`
+	P99            float64 `json:"sync_p99"`
+	Max            float64 `json:"sync_max"`
+	SealStallMax   float64 `json:"seal_stall_max"`
+	SealStallTotal float64 `json:"seal_stall_total"`
+}
+
+// WriteAmpReport decomposes checkpoint write amplification: bytes of
+// object data written to home locations, bytes the segment cleaner copied
+// out of half-dead segments, and metadata snapshot bytes, with the ratio
+// (home+cleaned+meta)/home.  The log is excluded on both sides — it is
+// the durability cost of sync itself, not of checkpointing.
+type WriteAmpReport struct {
+	BytesHome        uint64  `json:"bytes_home"`
+	BytesCleaned     uint64  `json:"bytes_cleaned"`
+	MetaBytesWritten uint64  `json:"meta_bytes_written"`
+	Ratio            float64 `json:"ratio"`
+}
+
+// SegCleanerReport is the segment-cleaner section: how many append-only
+// data segments the workload opened, and how many the cleaner copied out
+// (live objects relocated, segment freed) or freed outright (no live
+// objects left).  CRCBackfills counts legacy extents that gained a
+// contents CRC during checkpoint, the migration path for v2 images.
+type SegCleanerReport struct {
+	SegsAllocated uint64 `json:"segs_allocated"`
+	SegsCleaned   uint64 `json:"segs_cleaned"`
+	SegsFreed     uint64 `json:"segs_freed"`
+	BytesCleaned  uint64 `json:"bytes_cleaned"`
+	CRCBackfills  uint64 `json:"crc_backfills"`
+}
+
 type TaintScanReport struct {
 	TaintedObjects int    `json:"tainted_objects"`
 	LabelDecodes   uint64 `json:"label_decodes"`
@@ -145,6 +193,8 @@ func main() {
 	ringRun(&r)
 	taintedObjectScan(&r)
 	integrityRun(&r)
+	checkpointStallRun(&r)
+	segmentCleanerRun(&r)
 
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
@@ -453,6 +503,136 @@ func integrityRun(r *Report) {
 	r.Integrity.FallbackRecordsReplayed = rep.WALRecordsReplayed
 }
 
+// checkpointStallRun measures what the incremental checkpoint protocol
+// bought: a foreground loop times Put+SyncObject pairs while a background
+// goroutine runs checkpoints back to back, so the recorded tail is the
+// cost of a sync landing inside a checkpoint body.  This is the one
+// histar-bench section that is intentionally NOT deterministic (see the
+// StallReport doc).
+func checkpointStallRun(r *Report) {
+	clk := &vclock.Clock{}
+	d := disk.New(disk.Params{Sectors: 1 << 17, WriteCache: true}, clk)
+	st, err := store.Format(d, store.Options{
+		LogSize:      2 << 20,
+		MetaAreaSize: 1 << 20,
+		SegmentSize:  64 << 10,
+	})
+	must(err)
+
+	payload := make([]byte, 3000)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	const nObjects = 64
+	for i := uint64(0); i < nObjects; i++ {
+		must(st.Put(i, payload))
+		must(st.SyncObject(i))
+	}
+	must(st.Checkpoint())
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				must(st.Checkpoint())
+			}
+		}
+	}()
+
+	// Keep syncing until at least three checkpoints completed underneath the
+	// loop (with a hard cap in case a slow machine starves the background
+	// goroutine), so the measured tail genuinely overlaps checkpoint bodies.
+	const minSyncs = 400
+	ckptBase := st.Stats().Checkpoints
+	lat := make([]time.Duration, 0, minSyncs)
+	for i := 0; len(lat) < minSyncs || (st.Stats().Checkpoints < ckptBase+3 && i < 64*minSyncs); i++ {
+		id := uint64(i % nObjects)
+		must(st.Put(id, payload))
+		t0 := time.Now()
+		must(st.SyncObject(id))
+		lat = append(lat, time.Since(t0))
+	}
+	close(stop)
+	wg.Wait()
+
+	sort.Slice(lat, func(a, b int) bool { return lat[a] < lat[b] })
+	ms := func(ns int64) float64 { return float64(ns) / float64(time.Millisecond) }
+	ss := st.Stats()
+	r.Stall = StallReport{
+		Syncs:          len(lat),
+		Checkpoints:    ss.Checkpoints,
+		P50:            ms(int64(lat[len(lat)/2])),
+		P99:            ms(int64(lat[len(lat)*99/100])),
+		Max:            ms(int64(lat[len(lat)-1])),
+		SealStallMax:   ms(ss.SealStallMaxNs),
+		SealStallTotal: ms(ss.SealStallTotalNs),
+	}
+}
+
+// segmentCleanerRun feeds the write-amplification and segment-cleaner
+// sections from a single-threaded workload on the virtual disk clock, so
+// unlike the stall section these numbers are byte-deterministic: a fixed
+// object population is checkpointed into segments, rewritten once, then
+// two of every three objects are deleted so the early segments cross the
+// cleaner's copy-out threshold (live*2 < used), and two more checkpoints
+// let the cleaner both copy out and free.
+func segmentCleanerRun(r *Report) {
+	clk := &vclock.Clock{}
+	d := disk.New(disk.Params{Sectors: 1 << 17, WriteCache: true}, clk)
+	st, err := store.Format(d, store.Options{
+		LogSize:      2 << 20,
+		MetaAreaSize: 1 << 20,
+		SegmentSize:  64 << 10,
+	})
+	must(err)
+
+	payload := make([]byte, 3000)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	const nObjects = 64
+	for i := uint64(0); i < nObjects; i++ {
+		must(st.Put(i, payload))
+		must(st.SyncObject(i))
+	}
+	must(st.Checkpoint())
+	for i := uint64(0); i < nObjects; i++ {
+		must(st.Put(i, payload))
+		must(st.SyncObject(i))
+	}
+	must(st.Checkpoint())
+	for i := uint64(0); i < nObjects; i++ {
+		if i%3 != 0 {
+			must(st.Delete(i))
+		}
+	}
+	must(st.Checkpoint())
+	must(st.Checkpoint())
+
+	ss := st.Stats()
+	r.WriteAmp = WriteAmpReport{
+		BytesHome:        ss.BytesHome,
+		BytesCleaned:     ss.BytesCleaned,
+		MetaBytesWritten: ss.MetaBytesWritten,
+	}
+	if ss.BytesHome > 0 {
+		r.WriteAmp.Ratio = float64(ss.BytesHome+ss.BytesCleaned+ss.MetaBytesWritten) / float64(ss.BytesHome)
+	}
+	r.SegCleaner = SegCleanerReport{
+		SegsAllocated: ss.SegsAllocated,
+		SegsCleaned:   ss.SegsCleaned,
+		SegsFreed:     ss.SegsFreed,
+		BytesCleaned:  ss.BytesCleaned,
+		CRCBackfills:  ss.CRCBackfills,
+	}
+}
+
 // groupCommitRun runs a parallel Put+SyncObject workload directly against a
 // store and records the write-ahead log commit savings.
 func groupCommitRun(r *Report) {
@@ -562,6 +742,14 @@ func printReport(r *Report) {
 	fmt.Printf("  recovery mount: clean open %.0fus vs fallback open %.0fus (previous snapshot + %d log records replayed); %d corruptions detected, %d quarantined\n",
 		r.Integrity.CleanOpenMicros, r.Integrity.FallbackOpenMicros, r.Integrity.FallbackRecordsReplayed,
 		r.Integrity.CorruptionsDetected, r.Integrity.Quarantined)
+	fmt.Printf("Checkpoint stall (wall clock): %d syncs vs %d concurrent checkpoints — sync p50 %.3fms / p99 %.3fms / max %.3fms; seal stall max %.3fms, total %.3fms\n",
+		r.Stall.Syncs, r.Stall.Checkpoints, r.Stall.P50, r.Stall.P99, r.Stall.Max,
+		r.Stall.SealStallMax, r.Stall.SealStallTotal)
+	fmt.Printf("Write amplification: %.2fx (home %d + cleaned %d + meta %d bytes over home)\n",
+		r.WriteAmp.Ratio, r.WriteAmp.BytesHome, r.WriteAmp.BytesCleaned, r.WriteAmp.MetaBytesWritten)
+	fmt.Printf("Segment cleaner: %d segments allocated, %d copied out, %d freed (%d bytes relocated); %d CRC backfills\n",
+		r.SegCleaner.SegsAllocated, r.SegCleaner.SegsCleaned, r.SegCleaner.SegsFreed,
+		r.SegCleaner.BytesCleaned, r.SegCleaner.CRCBackfills)
 }
 
 func must(err error) {

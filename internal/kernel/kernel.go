@@ -429,6 +429,23 @@ type StorageIntegrity struct {
 	ScrubPasses         uint64
 	ScrubBytesVerified  uint64
 	DegradedMount       bool
+
+	// Checkpoint-liveness accounting (the incremental checkpoint protocol):
+	// SealStallTotalNs/SealStallMaxNs measure the brief exclusive seal —
+	// the only moment a checkpoint stops the world — and the byte counters
+	// decompose checkpoint write amplification: BytesHome is sealed object
+	// data written to home segments, BytesCleaned what the segment cleaner
+	// copied, MetaBytesWritten the serialized snapshots.  The Segs* trio
+	// counts data-region segments allocated, compacted, and freed.
+	Checkpoints      uint64
+	SealStallTotalNs int64
+	SealStallMaxNs   int64
+	BytesHome        uint64
+	BytesCleaned     uint64
+	MetaBytesWritten uint64
+	SegsAllocated    uint64
+	SegsCleaned      uint64
+	SegsFreed        uint64
 }
 
 // SetIntegritySource attaches the storage layer's integrity-snapshot

@@ -6,8 +6,11 @@ import (
 	"fmt"
 	"hash/crc32"
 	"sort"
+	"time"
 
 	"histar/internal/btree"
+	"histar/internal/label"
+	"histar/internal/wal"
 )
 
 // castagnoli is the CRC32C polynomial table shared by every store checksum
@@ -16,73 +19,125 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 func crc32c(p []byte) uint32 { return crc32.Checksum(p, castagnoli) }
 
-// Checkpoint writes every dirty object to a freshly allocated home extent,
-// persists the metadata trees and superblock, and truncates the log: the
-// whole-system snapshot behind HiStar's group sync consistency choice.  The
-// application either runs to completion or appears never to have started.
-// It holds ckptMu exclusively — the stop-the-world moment every concurrent
-// operation's read lock fences against — so entries and trees are accessed
-// directly.
+// Checkpoint persists a whole-system snapshot — every object dirtied since
+// the last seal written to a new home location, the metadata sections
+// rewritten, the superblock flipped — without stopping the world.  The old
+// protocol held ckptMu exclusively for the entire pass; now only the SEAL
+// is exclusive, and it does no I/O beyond one log-marker append:
 //
-// Checkpoints are copy-on-write: a dirty object is never rewritten over the
-// extent the current (still-referenced) snapshot points to, because a torn
-// write there would corrupt the only intact copy — exactly the failure the
-// crash-injection harness replays for.  Extents vacated by relocation or
-// deletion are held back from the allocator until every data write of this
-// checkpoint has issued, then returned to the free trees just before the
-// metadata snapshot is serialized: the new snapshot records them free, while
-// the old snapshot's extents were never overwritten, so whichever superblock
-// a crash leaves behind references only intact data.
+//	SEAL    (ckptMu held exclusively, microseconds): capture the dirty and
+//	        dead entries and every recorded label, clear the dirty flags
+//	        (marking the entries ckpt so eviction and scrub leave them
+//	        alone), and append a generation marker stamped with the epoch
+//	        this checkpoint will commit.  Records synced after the seal land
+//	        after the marker, so replay boundaries equal seal boundaries.
+//	BODY    (no store-wide lock; serialized by ckptRun): vacate deleted
+//	        objects' extents, stream the sealed contents into append-only
+//	        segments (dedicated extents for oversized objects), backfill
+//	        missing contents CRCs, run the segment cleaner, return deferred
+//	        frees to the allocator, serialize the metadata sections against
+//	        the sealed epoch, and flip the superblock.  Reads, writes, and
+//	        SyncObject group commits all proceed concurrently.
+//	FINISH  reclaim log generations older than the previous snapshot's seal
+//	        marker (kept for the metadata-fallback ladder rung) and publish
+//	        completion.
+//
+// Checkpoints remain copy-on-write: a sealed object is never written over
+// an extent the on-disk snapshot still references — segment appends only
+// ever extend past the committed high-water mark, and vacated extents are
+// held on the deferred-free list until every data write of this checkpoint
+// has issued, then returned to the free trees just before the metadata is
+// serialized.  Whichever superblock a crash leaves behind references only
+// intact data.
+//
+// If the log is so full that even the seal marker cannot be appended after
+// reclaiming the previous generation, the checkpoint degrades to the old
+// stop-the-world form: the body runs under the still-held exclusive ckptMu
+// and the log is truncated after the superblock flip.  Correctness is
+// unchanged; only concurrency is lost for that one pass.
 func (s *Store) Checkpoint() error {
-	s.ckptMu.Lock()
-	defer s.ckptMu.Unlock()
-	return s.checkpointLocked()
+	s.ckptRun.Lock()
+	defer s.ckptRun.Unlock()
+	return s.checkpointRunLocked()
 }
 
-// checkpointLocked is Checkpoint's body; the caller holds ckptMu exclusively.
-func (s *Store) checkpointLocked() error {
+// sealedEntry is one entry captured by the seal: a dirty object whose
+// sealed contents must be written home, or a dead object whose extent must
+// be vacated.  done marks entries the body has finished with, so a failed
+// body re-dirties only what was actually lost.
+type sealedEntry struct {
+	id   uint64
+	e    *objEntry
+	data []byte // aliases the COW contents slice sealed for this epoch
+	dead bool
+	done bool
+}
+
+// sealedLabel is one (id, label) pair captured at seal time; the metadata
+// label and index sections are serialized from this capture, not from the
+// live tables, so the snapshot is consistent with the sealed object map
+// even while concurrent SetLabel calls proceed.
+type sealedLabel struct {
+	id  uint64
+	lbl label.Label
+}
+
+// sealedState is everything the checkpoint body needs, captured under the
+// brief exclusive seal.
+type sealedState struct {
+	entries []sealedEntry // dirty and dead entries, ascending id per shard
+	labels  []sealedLabel // every recorded label, ascending id
+	epoch   uint64        // the snapshot epoch this checkpoint commits
+	seq     uint64        // sealSeq of this seal
+	world   bool          // no log room for the marker: stop-the-world pass
+}
+
+// checkpointRunLocked runs one seal→body→finish cycle; the caller holds
+// ckptRun, which serializes whole checkpoints (Checkpoint itself, Close,
+// and the sync fallback in checkpointSince).
+func (s *Store) checkpointRunLocked() error {
+	start := time.Now()
+	s.ckptMu.Lock()
 	if s.closed {
+		s.ckptMu.Unlock()
 		return ErrClosed
 	}
-	s.c.checkpoints.Add(1)
-	if err := s.relocateDirty(); err != nil {
+	ss, err := s.sealCheckpoint()
+	if err != nil {
+		s.ckptMu.Unlock()
 		return err
 	}
-	// All data writes issued; the vacated extents may now rejoin the free
-	// trees so the metadata snapshot below records them reusable.
-	for _, e := range s.deferredFree {
-		s.addFree(e)
+	if ss.world {
+		// Degraded stop-the-world pass: run the body under the still-held
+		// exclusive lock (see Checkpoint's comment).
+		defer s.noteSealStall(start)
+		defer s.ckptMu.Unlock()
+		return s.checkpointBody(ss)
 	}
-	s.deferredFree = nil
-	if err := s.writeSuperblock(); err != nil {
-		return err
+	s.ckptMu.Unlock()
+	s.noteSealStall(start)
+	if gate := s.ckptGate; gate != nil {
+		gate()
 	}
-	if err := s.d.Flush(); err != nil {
-		return err
-	}
-	// Rotate rather than truncate: the just-applied log generation is
-	// retained behind a marker so that, should the snapshot written above
-	// rot on disk, Open can fall back to the previous snapshot and replay
-	// the retained generation forward — zero committed-sync loss.
-	if err := s.l.Rotate(); err != nil {
-		return err
-	}
-	s.c.logApplications.Add(1)
-	s.ckptEpoch.Add(1)
-	return nil
+	return s.checkpointBody(ss)
 }
 
-// relocateDirty walks every entry, vacating deleted objects' extents and
-// writing dirty objects to fresh home extents.  It is the object map's only
-// writer and runs behind metaMu exclusively (concurrent readers are already
-// excluded by the caller's ckptMu hold, so metaMu here is the lock-order
-// witness, not the exclusion).  The walk is in ascending ID order per
-// shard, not map order: extent allocation order determines the free-tree
-// shape and therefore the serialized metadata, and a deterministic
-// workload must produce a byte-deterministic image.
-func (s *Store) relocateDirty() error {
-	s.metaMu.Lock()
-	defer s.metaMu.Unlock()
+// noteSealStall folds one seal's exclusive-hold duration into the stall
+// metrics.  ckptRun serializes callers, so plain load/store suffices.
+func (s *Store) noteSealStall(start time.Time) {
+	d := time.Since(start).Nanoseconds()
+	s.c.sealStallTotalNs.Add(d)
+	if d > s.c.sealStallMaxNs.Load() {
+		s.c.sealStallMaxNs.Store(d)
+	}
+}
+
+// sealCheckpoint is the SEAL phase; the caller holds ckptMu exclusively and
+// ckptRun.  The walk is in ascending ID order per shard, not map order:
+// relocation order determines segment packing and the free-tree shape, and
+// a deterministic workload must produce a byte-deterministic image.
+func (s *Store) sealCheckpoint() (*sealedState, error) {
+	ss := &sealedState{epoch: s.metaEpoch + 1}
 	for si := range s.shards {
 		sh := &s.shards[si]
 		ids := make([]uint64, 0, len(sh.objs))
@@ -92,46 +147,28 @@ func (s *Store) relocateDirty() error {
 		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 		for _, id := range ids {
 			e := sh.objs[id]
+			if e.hasLbl {
+				ss.labels = append(ss.labels, sealedLabel{id: id, lbl: e.lbl})
+			}
 			switch {
 			case e.dead:
-				// Vacate the extent of a deleted object (deferred: see the
-				// Checkpoint comment); the label was cleared at delete time.
-				if off, ok := s.objMap.Get(btree.K1(id)); ok {
-					size := s.objSizes[id]
-					s.objMap.Delete(btree.K1(id))
-					delete(s.objSizes, id)
-					delete(s.objCRCs, id)
-					s.deferredFree = append(s.deferredFree, extent{off: int64(off), size: alignUp(size)})
+				if _, ok := s.objMap.Get(btree.K1(id)); ok {
+					// The home extent must be vacated by the body; the entry
+					// stays in the shard (keeping the deletion visible to
+					// concurrent Gets) until a later seal finds the map entry
+					// gone and prunes it below.
+					ss.entries = append(ss.entries, sealedEntry{id: id, e: e, dead: true})
+				} else {
+					delete(sh.objs, id)
 				}
-				delete(sh.objs, id)
 			case e.dirty:
-				// Write the object to a new home extent.  Delayed allocation:
-				// space is chosen only now, so consecutive dirty objects land
-				// contiguously.
-				if oldOff, ok := s.objMap.Get(btree.K1(id)); ok {
-					oldSize := s.objSizes[id]
-					s.objMap.Delete(btree.K1(id))
-					s.deferredFree = append(s.deferredFree, extent{off: int64(oldOff), size: alignUp(oldSize)})
-				}
-				ext, err := s.allocate(int64(len(e.data)))
-				if err != nil {
-					return err
-				}
-				if len(e.data) > 0 {
-					if _, err := s.d.WriteAt(e.data, ext.off); err != nil {
-						return err
-					}
-				}
-				s.objMap.Put(btree.K1(id), uint64(ext.off))
-				s.objSizes[id] = int64(len(e.data))
-				// The contents CRC travels with the extent in the metadata
-				// snapshot; reads and scrubs verify against it.
-				s.objCRCs[id] = crc32c(e.data)
-				s.c.bytesHome.Add(uint64(len(e.data)))
+				// Seal the COW contents slice and hand the entry to the body:
+				// ckpt keeps eviction and scrub off the only in-RAM copy
+				// until the body has written it home.
 				e.dirty = false
-				// The fresh extent supersedes any damage verdict on the old one.
-				e.quar = false
-			case !e.cached && !e.hasLbl && !e.quar:
+				e.ckpt = true
+				ss.entries = append(ss.entries, sealedEntry{id: id, e: e, data: e.data})
+			case !e.cached && !e.hasLbl && !e.quar && !e.ckpt:
 				// Nothing worth remembering: prune the entry.  Quarantined
 				// entries are remembered so the damage verdict (and the
 				// QuarantinedObjects enumeration) survives cache turnover.
@@ -139,7 +176,216 @@ func (s *Store) relocateDirty() error {
 			}
 		}
 	}
+	sort.Slice(ss.labels, func(i, j int) bool { return ss.labels[i].id < ss.labels[j].id })
+	// The seal marker separates this checkpoint's generation from records
+	// synced afterwards.  It is appended while ckptMu is held exclusively,
+	// so no sync is mid-commit: log position order equals seal order.
+	if err := s.l.AppendMark(ss.epoch); err != nil {
+		if !errors.Is(err, wal.ErrFull) {
+			s.restoreSealed(ss)
+			return nil, err
+		}
+		// Make room by dropping the generation retained for metadata
+		// fallback (degraded: the fallback rung loses its replay tail, but
+		// the committed snapshot and the live generation stay intact).
+		_ = s.l.ReclaimBefore(s.metaEpoch)
+		if err := s.l.AppendMark(ss.epoch); err != nil {
+			if !errors.Is(err, wal.ErrFull) {
+				s.restoreSealed(ss)
+				return nil, err
+			}
+			ss.world = true
+		}
+	}
+	ss.seq = s.sealSeq.Add(1)
+	return ss, nil
+}
+
+// restoreSealed undoes a seal whose checkpoint failed: sealed-dirty entries
+// the body had not yet relocated become dirty again, so no sealed state is
+// lost and the next checkpoint retries them.  Entries deleted or re-written
+// concurrently keep their newer state.
+func (s *Store) restoreSealed(ss *sealedState) {
+	for i := range ss.entries {
+		se := &ss.entries[i]
+		if se.done || se.dead {
+			continue
+		}
+		se.e.mu.Lock()
+		se.e.ckpt = false
+		if !se.e.dead {
+			se.e.dirty = true
+		}
+		se.e.mu.Unlock()
+	}
+}
+
+// checkpointBody is the BODY and FINISH of one checkpoint; the caller holds
+// ckptRun (and, on a degraded stop-the-world pass, ckptMu exclusively).
+func (s *Store) checkpointBody(ss *sealedState) (err error) {
+	defer func() {
+		if err != nil {
+			s.restoreSealed(ss)
+		}
+	}()
+	if err := s.relocateSealed(ss); err != nil {
+		return err
+	}
+	s.backfillCRCs()
+	if err := s.cleanSegments(); err != nil {
+		return err
+	}
+	// All data writes issued; the vacated extents may now rejoin the free
+	// trees so the metadata snapshot below records them reusable.
+	s.allocMu.Lock()
+	for _, e := range s.deferredFree {
+		s.addFreeLocked(e)
+	}
+	s.deferredFree = nil
+	s.allocMu.Unlock()
+	if err := s.writeSnapshot(ss.epoch, ss.labels); err != nil {
+		return err
+	}
+	// FINISH: log retention.  The generation before the PREVIOUS snapshot's
+	// seal marker can no longer serve any replay; the previous generation
+	// itself is retained so that, should the snapshot written above rot on
+	// disk, Open can fall back to the previous snapshot and replay forward
+	// from its marker — zero committed-sync loss.  When even the retained
+	// generation would keep the log more than half full, it is sacrificed
+	// too (degraded, as at seal time).
+	if ss.world {
+		if err := s.l.Truncate(); err != nil {
+			return err
+		}
+		// The truncated log trivially has room for the new generation's
+		// marker; a failure here only costs replay precision (a missing
+		// marker replays from the log start, which is a superset).
+		if err := s.l.AppendMark(ss.epoch); err != nil && !errors.Is(err, wal.ErrFull) {
+			return err
+		}
+	} else {
+		if ss.epoch > 1 {
+			if err := s.l.ReclaimBefore(ss.epoch - 1); err != nil {
+				return err
+			}
+		}
+		if s.l.LiveBytes() > s.logSize/2 {
+			if err := s.l.ReclaimBefore(ss.epoch); err != nil {
+				return err
+			}
+		}
+	}
+	s.c.logApplications.Add(1)
+	s.c.checkpoints.Add(1)
+	s.completedSeal.Store(ss.seq)
 	return nil
+}
+
+// relocateSealed is the body's data phase: vacate the extents of sealed
+// deletions and write each sealed-dirty object to its new home — segment
+// appends for small objects, dedicated extents for oversized ones.  Device
+// writes are issued WITHOUT holding metaMu, so checkpoint I/O never blocks
+// metadata readers; the map/CRC updates after each write hold it only
+// briefly.
+func (s *Store) relocateSealed(ss *sealedState) error {
+	for i := range ss.entries {
+		se := &ss.entries[i]
+		if se.dead {
+			s.metaMu.Lock()
+			if off, ok := s.objMap.Get(btree.K1(se.id)); ok {
+				size := s.objSizes[se.id]
+				s.objMap.Delete(btree.K1(se.id))
+				delete(s.objSizes, se.id)
+				delete(s.objCRCs, se.id)
+				s.vacateExtent(int64(off), size)
+			}
+			s.metaMu.Unlock()
+			se.done = true
+			continue
+		}
+		newOff, err := s.writeObjectHome(se.data)
+		if err != nil {
+			return err
+		}
+		s.metaMu.Lock()
+		if oldOff, ok := s.objMap.Get(btree.K1(se.id)); ok {
+			s.vacateExtent(int64(oldOff), s.objSizes[se.id])
+		}
+		s.objMap.Put(btree.K1(se.id), uint64(newOff))
+		s.objSizes[se.id] = int64(len(se.data))
+		// The contents CRC travels with the extent in the metadata
+		// snapshot; reads and scrubs verify against it.
+		s.objCRCs[se.id] = crc32c(se.data)
+		s.metaMu.Unlock()
+		se.e.mu.Lock()
+		se.e.ckpt = false
+		// The fresh extent supersedes any damage verdict on the old one.
+		se.e.quar = false
+		se.e.mu.Unlock()
+		s.c.bytesHome.Add(uint64(len(se.data)))
+		se.done = true
+	}
+	return nil
+}
+
+// writeObjectHome writes one object's sealed contents to a new home:
+// packed into the open append-only segment when it fits, or a dedicated
+// extent otherwise.  No lock is held across the device write.
+func (s *Store) writeObjectHome(data []byte) (int64, error) {
+	if align512(int64(len(data))) <= s.segSize/2 {
+		return s.segAppend(data)
+	}
+	ext, err := s.allocate(int64(len(data)))
+	if err != nil {
+		return 0, err
+	}
+	if len(data) > 0 {
+		if _, err := s.d.WriteAt(data, ext.off); err != nil {
+			return 0, err
+		}
+	}
+	return ext.off, nil
+}
+
+// backfillCRCs computes contents checksums for mapped extents that have
+// none — objects migrated from legacy pre-CRC images — so a migrated image
+// converges to ObjectsUnverifiable == 0 at its first checkpoint instead of
+// staying unverifiable until every object happens to be dirtied.  The
+// extent bytes ARE the authoritative sealed contents for any object not
+// sealed this epoch, so checksumming them in place is exact; an unreadable
+// extent is simply left unverifiable for scrub to report.
+func (s *Store) backfillCRCs() {
+	type target struct {
+		id   uint64
+		off  int64
+		size int64
+	}
+	var targets []target
+	s.metaMu.RLock()
+	s.objMap.Scan(func(k btree.Key, v uint64) bool {
+		if _, ok := s.objCRCs[k[0]]; !ok {
+			targets = append(targets, target{id: k[0], off: int64(v), size: s.objSizes[k[0]]})
+		}
+		return true
+	})
+	s.metaMu.RUnlock()
+	for _, t := range targets {
+		buf := make([]byte, t.size)
+		if t.size > 0 {
+			if _, err := s.d.ReadAt(buf, t.off); err != nil {
+				continue
+			}
+		}
+		crc := crc32c(buf)
+		s.metaMu.Lock()
+		if off, ok := s.objMap.Get(btree.K1(t.id)); ok && int64(off) == t.off {
+			if _, has := s.objCRCs[t.id]; !has {
+				s.objCRCs[t.id] = crc
+				s.c.crcBackfills.Add(1)
+			}
+		}
+		s.metaMu.Unlock()
+	}
 }
 
 // ---------------------------------------------------------------------------
@@ -215,12 +461,13 @@ func (s *Store) removeFreeLocked(e extent) {
 // ---------------------------------------------------------------------------
 
 // The superblock stores the location and length of the serialized metadata
-// (object map, object sizes, free list, labels, label index).  Metadata is
-// written to the alternate metadata area on every checkpoint and the
-// superblock is updated last, so a crash during checkpoint leaves the
-// previous snapshot intact.  writeSuperblock and the metadata codecs run
-// only under ckptMu held exclusively (Checkpoint) or during single-threaded
-// construction (Format, Open).
+// (object map, object sizes, free list, labels, label index, segment
+// table).  Metadata is written to the alternate metadata area on every
+// checkpoint and the superblock is updated last, so a crash during
+// checkpoint leaves the previous snapshot intact.  writeSnapshot and the
+// encode side of the codecs run only in the checkpoint body (serialized by
+// ckptRun) or during single-threaded construction (Format); the decode side
+// runs only in single-threaded Open.
 //
 // Since format version 2, the superblock page holds two identical 64-byte
 // checksummed copies (primary at offset 0, backup at offset 512, each in
@@ -251,7 +498,7 @@ const (
 // section stream.
 const (
 	metaMagic      = 0x484d4554 // "HMET"
-	metaVersion    = 2
+	metaVersion    = 3
 	metaHeaderSize = 48
 	mhMagicOff     = 0
 	mhVersionOff   = 8
@@ -263,12 +510,17 @@ const (
 	// Section tags.  Each section is [tag u64][len u64][crc u64: low 32
 	// bits CRC32C of the payload][payload].  The fingerprint index (tag 4)
 	// is the only section whose corruption is non-fatal: it is rebuilt from
-	// the label section.
+	// the label section.  Version 3 added the segment table (tag 5);
+	// version-2 images (four sections, no segments — every object in a
+	// dedicated extent) still verify and load, and the next checkpoint
+	// rewrites them in v3 form.
 	secObjMap = 1
 	secFree   = 2
 	secLabels = 3
 	secIndex  = 4
-	numSecs   = 4
+	secSegs   = 5
+	numSecs   = 5
+	numSecsV2 = 4
 
 	// objCRCValid flags an object-map CRC field as carrying a real
 	// contents checksum; entries migrated from legacy images have 0 here
@@ -351,21 +603,33 @@ func parseSuperblockCopy(b []byte, off int64) (superblockInfo, error) {
 	return info, nil
 }
 
-func (s *Store) writeSuperblock() error {
-	epoch := s.metaEpoch + 1
-	meta := s.encodeMetadata(epoch)
+// writeSnapshot serializes the metadata sections against the sealed epoch,
+// writes them to the alternate metadata area, and flips the superblock.
+// It runs in the checkpoint body (ckptRun serialized) or single-threaded
+// construction: sbMu fences the superblock/meta-area device I/O against a
+// concurrent scrub's reads of the same regions, and the committed
+// metaWhich/metaEpoch are published under metaMu so concurrent readers
+// (scrub) always see a (which, epoch) pair that matches the bytes on disk.
+func (s *Store) writeSnapshot(epoch uint64, labels []sealedLabel) error {
+	meta := s.encodeMetadata(epoch, labels)
 	if int64(len(meta)) > s.metaSize {
 		return fmt.Errorf("store: metadata (%d bytes) exceeds the metadata area", len(meta))
 	}
+	s.metaMu.RLock()
 	next := 1 - s.metaWhich
+	s.metaMu.RUnlock()
 	metaOff := logOffset + s.logSize + int64(next)*s.metaSize
+	s.sbMu.Lock()
+	defer s.sbMu.Unlock()
 	if _, err := s.d.WriteAt(meta, metaOff); err != nil {
 		return err
 	}
 	// Barrier between the metadata image and the superblock that references
 	// it: without it, a write-back cache destaging in ascending offset
 	// order could persist the new superblock (offset 0) before the new
-	// metadata area behind it.
+	// metadata area behind it.  The same barrier also orders every data
+	// write of this checkpoint (segments, dedicated extents, CRC-backfill
+	// sources) before the superblock that references them.
 	if err := s.d.Flush(); err != nil {
 		return err
 	}
@@ -382,8 +646,11 @@ func (s *Store) writeSuperblock() error {
 	if err := s.d.Flush(); err != nil {
 		return err
 	}
+	s.metaMu.Lock()
 	s.metaWhich = next
 	s.metaEpoch = epoch
+	s.metaMu.Unlock()
+	s.c.metaBytesWritten.Add(uint64(len(meta) + len(sb)))
 	return nil
 }
 
@@ -488,6 +755,9 @@ func (s *Store) resetLoadedState() {
 	s.objCRCs = make(map[uint64]uint32)
 	s.freeBySize = &btree.Tree{}
 	s.freeByOff = &btree.Tree{}
+	s.segs = make(map[int64]*segment)
+	s.segBases = &btree.Tree{}
+	s.openSegBase = 0
 	for i := range s.shards {
 		s.shards[i].objs = make(map[uint64]*objEntry)
 		s.shards[i].labelIndex = &btree.Tree{}
@@ -561,14 +831,21 @@ func (s *Store) verifyMetaArea(which int) (secs [numSecs + 1][]byte, epoch uint6
 		return secs, 0, nil, &CorruptError{Area: "metadata", Offset: areaOff + mhCRCOff,
 			Detail: fmt.Sprintf("area header checksum mismatch: got %#x, want %#x", got, wantCRC)}
 	}
-	if v := binary.LittleEndian.Uint64(hdr[mhVersionOff:]); v != metaVersion {
+	v := binary.LittleEndian.Uint64(hdr[mhVersionOff:])
+	if v != 2 && v != metaVersion {
 		return secs, 0, nil, &CorruptError{Area: "metadata", Offset: areaOff + mhVersionOff,
 			Detail: fmt.Sprintf("unsupported metadata version %d", v)}
+	}
+	// Version-2 areas carry four sections (no segment table); the segment
+	// section stays nil and every object loads as a dedicated extent.
+	wantSecs, maxTag := uint64(numSecs), uint64(secSegs)
+	if v == 2 {
+		wantSecs, maxTag = numSecsV2, secIndex
 	}
 	epoch = binary.LittleEndian.Uint64(hdr[mhEpochOff:])
 	payloadLen := int64(binary.LittleEndian.Uint64(hdr[mhPayloadOff:]))
 	nSecs := binary.LittleEndian.Uint64(hdr[mhSectionsOff:])
-	if payloadLen < 0 || payloadLen > s.metaSize-metaHeaderSize || nSecs != numSecs {
+	if payloadLen < 0 || payloadLen > s.metaSize-metaHeaderSize || nSecs != wantSecs {
 		return secs, 0, nil, &CorruptError{Area: "metadata", Offset: areaOff + mhPayloadOff,
 			Detail: fmt.Sprintf("implausible geometry: payload %d bytes, %d sections", payloadLen, nSecs)}
 	}
@@ -590,7 +867,7 @@ func (s *Store) verifyMetaArea(which int) (secs [numSecs + 1][]byte, epoch uint6
 		slen := int64(binary.LittleEndian.Uint64(payload[off+8:]))
 		scrc := binary.LittleEndian.Uint64(payload[off+16:])
 		off += 24
-		if tag < secObjMap || tag > secIndex || secs[tag] != nil || slen < 0 || slen > payloadLen-off {
+		if tag < secObjMap || tag > maxTag || secs[tag] != nil || slen < 0 || slen > payloadLen-off {
 			return secs, 0, nil, &CorruptError{Area: "metadata", Offset: areaOff + metaHeaderSize + off - 24,
 				Detail: fmt.Sprintf("bad section header: tag %d, length %d", tag, slen)}
 		}
@@ -611,9 +888,9 @@ func (s *Store) verifyMetaArea(which int) (secs [numSecs + 1][]byte, epoch uint6
 		}
 		secs[tag] = body
 	}
-	if seen != numSecs {
+	if uint64(seen) != wantSecs {
 		return secs, 0, nil, &CorruptError{Area: "metadata", Offset: areaOff + metaHeaderSize,
-			Detail: fmt.Sprintf("expected %d sections, found %d", numSecs, seen)}
+			Detail: fmt.Sprintf("expected %d sections, found %d", wantSecs, seen)}
 	}
 	return secs, epoch, indexErr, nil
 }
@@ -632,9 +909,7 @@ func (s *Store) applyMetaSections(which int, secs [numSecs + 1][]byte) error {
 	}
 	if secs[secIndex] == nil {
 		s.rebuildLabelIndex()
-		return nil
-	}
-	if err := s.decodeIndexSection(secs[secIndex], areaOff); err != nil {
+	} else if err := s.decodeIndexSection(secs[secIndex], areaOff); err != nil {
 		// The index section passed its CRC but does not parse — a codec
 		// regression rather than rot, but still recoverable the same way.
 		s.noteCorruption(err)
@@ -644,6 +919,14 @@ func (s *Store) applyMetaSections(which int, secs [numSecs + 1][]byte) error {
 		}
 		s.rebuildLabelIndex()
 	}
+	// The segment table is absent in version-2 images: every object then
+	// lives in a dedicated extent and new segments start fresh.
+	if secs[secSegs] != nil {
+		if err := s.decodeSegsSection(secs[secSegs], areaOff); err != nil {
+			return err
+		}
+	}
+	s.recomputeSegLive()
 	return nil
 }
 
@@ -667,14 +950,19 @@ func appendU64(buf []byte, v uint64) []byte {
 	return append(buf, b[:]...)
 }
 
-// encodeMetadata serializes the version-2 metadata image: a checksummed,
-// epoch-stamped header followed by four individually checksummed sections
+// encodeMetadata serializes the version-3 metadata image: a checksummed,
+// epoch-stamped header followed by five individually checksummed sections
 // (object map with per-object content CRCs, free list, labels, fingerprint
-// index).  Caller holds ckptMu exclusively (or is single-threaded
-// construction).
-func (s *Store) encodeMetadata(epoch uint64) []byte {
+// index, segment table).  The object map and free/segment state are read
+// under their own locks — by the time the body serializes, it has finished
+// mutating them, and no concurrent operation does — while the label and
+// index sections come from the seal-time capture, so the snapshot is
+// consistent with the sealed epoch even as concurrent SetLabel calls
+// proceed.
+func (s *Store) encodeMetadata(epoch uint64, labels []sealedLabel) []byte {
 	// Object map: (id, offset, size, contents-CRC) quads.
 	var objs []byte
+	s.metaMu.RLock()
 	objs = appendU64(objs, uint64(s.objMap.Len()))
 	s.objMap.Scan(func(k btree.Key, v uint64) bool {
 		objs = appendU64(objs, k[0])
@@ -687,8 +975,11 @@ func (s *Store) encodeMetadata(epoch uint64) []byte {
 		objs = appendU64(objs, crcField)
 		return true
 	})
-	// Free list by offset.
-	var free []byte
+	s.metaMu.RUnlock()
+	// Free list by offset, and the segment table (base, size, used; live is
+	// derived), both under allocMu.
+	var free, segsSec []byte
+	s.allocMu.Lock()
 	nf := 0
 	s.freeByOff.Scan(func(btree.Key, uint64) bool { nf++; return true })
 	free = appendU64(free, uint64(nf))
@@ -697,39 +988,43 @@ func (s *Store) encodeMetadata(epoch uint64) []byte {
 		free = appendU64(free, v)
 		return true
 	})
-	// Object labels, in canonical serialized form.
-	nLabels := 0
-	for si := range s.shards {
-		nLabels += s.shards[si].labelIndex.Len()
+	segsSec = appendU64(segsSec, uint64(len(s.segs)))
+	s.segBases.Scan(func(k btree.Key, _ uint64) bool {
+		seg := s.segs[int64(k[0])]
+		segsSec = appendU64(segsSec, uint64(seg.base))
+		segsSec = appendU64(segsSec, uint64(seg.size))
+		segsSec = appendU64(segsSec, uint64(seg.used))
+		return true
+	})
+	s.allocMu.Unlock()
+	// Object labels in canonical serialized form, and the fingerprint index
+	// derived from them — both from the seal-time capture.
+	var labelsSec []byte
+	labelsSec = appendU64(labelsSec, uint64(len(labels)))
+	idx := make([][2]uint64, 0, len(labels))
+	for _, sl := range labels {
+		labelsSec = appendU64(labelsSec, sl.id)
+		labelsSec = sl.lbl.AppendBinary(labelsSec)
+		idx = append(idx, [2]uint64{uint64(sl.lbl.Fingerprint()), sl.id})
 	}
-	var labels []byte
-	labels = appendU64(labels, uint64(nLabels))
-	for si := range s.shards {
-		for id, e := range s.shards[si].objs {
-			if !e.hasLbl {
-				continue
-			}
-			labels = appendU64(labels, id)
-			labels = e.lbl.AppendBinary(labels)
+	sort.Slice(idx, func(i, j int) bool {
+		if idx[i][0] != idx[j][0] {
+			return idx[i][0] < idx[j][0]
 		}
-	}
-	// The fingerprint-keyed label index, serialized shard by shard in tree
-	// order.
+		return idx[i][1] < idx[j][1]
+	})
 	var index []byte
-	index = appendU64(index, uint64(nLabels))
-	for si := range s.shards {
-		s.shards[si].labelIndex.Scan(func(k btree.Key, _ uint64) bool {
-			index = appendU64(index, k[0])
-			index = appendU64(index, k[1])
-			return true
-		})
+	index = appendU64(index, uint64(len(idx)))
+	for _, p := range idx {
+		index = appendU64(index, p[0])
+		index = appendU64(index, p[1])
 	}
 
 	var payload []byte
 	for _, sec := range []struct {
 		tag  uint64
 		body []byte
-	}{{secObjMap, objs}, {secFree, free}, {secLabels, labels}, {secIndex, index}} {
+	}{{secObjMap, objs}, {secFree, free}, {secLabels, labelsSec}, {secIndex, index}, {secSegs, segsSec}} {
 		payload = appendU64(payload, sec.tag)
 		payload = appendU64(payload, uint64(len(sec.body)))
 		payload = appendU64(payload, uint64(crc32c(sec.body)))
@@ -813,6 +1108,36 @@ func (s *Store) decodeFreeSection(buf []byte, areaOff int64) error {
 		}
 		s.freeBySize.Put(btree.K2(size, off), 0)
 		s.freeByOff.Put(btree.K1(off), size)
+	}
+	return nil
+}
+
+func (s *Store) decodeSegsSection(buf []byte, areaOff int64) error {
+	r := &sectionReader{buf: buf, off: areaOff, area: "metadata"}
+	n, err := r.u64()
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < n; i++ {
+		base, err := r.u64()
+		if err != nil {
+			return err
+		}
+		size, err := r.u64()
+		if err != nil {
+			return err
+		}
+		used, err := r.u64()
+		if err != nil {
+			return err
+		}
+		if size == 0 || used > size {
+			return &CorruptError{Area: "metadata", Offset: areaOff,
+				Detail: fmt.Sprintf("segment at %d has impossible geometry (size %d, used %d)", base, size, used)}
+		}
+		seg := &segment{base: int64(base), size: int64(size), used: int64(used)}
+		s.segs[seg.base] = seg
+		s.segBases.Put(btree.K1(base), 0)
 	}
 	return nil
 }

@@ -167,7 +167,10 @@ const (
 	crashSectors  = 1 << 14 // 8 MB write-through disk
 )
 
-var crashOpts = Options{LogSize: crashLogSize, MetaAreaSize: crashMetaSize}
+// crashOpts shrinks every region so the randomized workloads exercise log
+// reclamation, checkpoint fallbacks, and the segment cleaner: the 64 KB
+// segments fill and turn over within a handful of checkpoints.
+var crashOpts = Options{LogSize: crashLogSize, MetaAreaSize: crashMetaSize, SegmentSize: 64 << 10}
 
 // newCrashRig formats a store on a write-through disk behind a FaultDisk.
 // The fault is armed only after Format, so crash points cover the workload.
@@ -216,11 +219,20 @@ func runWorkload(t *testing.T, s *Store, ops []wlOp, m *refModel) bool {
 			}
 			m.push(op.id, objState{exists: false})
 		case opSync:
-			cpBefore := s.Stats().Checkpoints
+			// Record the seal sequence under ckptMu the way SyncObject itself
+			// does: with incremental checkpoints, "a checkpoint completed
+			// during my sync" is not enough to mark everything durable (the
+			// completing body may belong to a seal from before this worker's
+			// recent Puts).  Only a checkpoint SEALED strictly after this
+			// point — observed as completedSeal moving past q — captured
+			// every state pushed so far.
+			s.ckptMu.RLock()
+			q := s.sealSeq.Load()
+			s.ckptMu.RUnlock()
 			if faulted(s.SyncObject(op.id)) {
 				return true
 			}
-			if s.Stats().Checkpoints > cpBefore {
+			if s.completedSeal.Load() > q {
 				// The log filled and SyncObject checkpointed everything.
 				m.commitAll()
 			}

@@ -16,16 +16,20 @@ package store
 //     so for one object, log order equals seal order: replay can never
 //     regress an object to an earlier sealed state.
 //   - SyncObject holds ckptMu in read mode from seal to ticket resolution,
-//     so no checkpoint can intervene between sealing a state and committing
-//     it — a record in the log is never older than the snapshot under it.
+//     so no checkpoint SEAL can intervene between sealing a state and
+//     committing it — a record in the log is never older than the epoch
+//     marker before it, so replay on the matching snapshot never regresses.
 //   - When a batch cannot commit (log full, or a record that could never
 //     fit), the sealed records are dropped from the log's pending buffer and
 //     every affected syncer falls back to a checkpoint: the checkpoint makes
 //     a state at least as new as each sealed record durable, which satisfies
 //     the sync contract, and dropping the records keeps a later commit from
-//     regressing objects below the checkpoint.  The ckptEpoch counter lets
-//     the fallback syncers share one checkpoint instead of each running
-//     their own.
+//     regressing objects below the checkpoint.  The sealSeq/completedSeal
+//     pair lets the fallback syncers share one checkpoint instead of each
+//     running their own: a syncer records sealSeq while still under ckptMu
+//     read mode, and any checkpoint sealed strictly after that (its body
+//     committed, so completedSeal exceeds the recorded value) covered the
+//     syncer's state.
 
 import (
 	"errors"
@@ -202,28 +206,29 @@ func (s *Store) commitBatch(batch []*syncTicket) error {
 // is why the paper's synchronous unlink phase is so much slower on HiStar
 // than Linux.
 func (s *Store) SyncObject(id uint64) error {
-	epoch, err := s.syncOnce(id)
+	seal, err := s.syncOnce(id)
 	if errors.Is(err, errRetryCheckpoint) {
-		return s.checkpointSince(epoch)
+		return s.checkpointSince(seal)
 	}
 	return err
 }
 
 // syncOnce seals and group-commits one record.  It returns the checkpoint
-// epoch observed at seal time (while holding ckptMu in read mode, so no
-// checkpoint can complete between the epoch read and the seal).
+// seal sequence observed at record-seal time (while holding ckptMu in read
+// mode, so no checkpoint SEAL can slip between the read and the enqueue —
+// any later seal captures this record's state).
 func (s *Store) syncOnce(id uint64) (uint64, error) {
 	s.ckptMu.RLock()
 	defer s.ckptMu.RUnlock()
 	if s.closed {
 		return 0, ErrClosed
 	}
-	epoch := s.ckptEpoch.Load()
+	seal := s.sealSeq.Load()
 	s.c.objectSyncs.Add(1)
 	e := s.shardOf(id).lookup(id)
 	if e == nil {
 		// Nothing in memory and not deleted: the on-disk copy is current.
-		return epoch, nil
+		return seal, nil
 	}
 	e.mu.Lock()
 	var rec wal.Record
@@ -240,17 +245,17 @@ func (s *Store) syncOnce(id uint64) (uint64, error) {
 			// No resident copy and the home extent is damaged: the store
 			// cannot promise this object is durable.
 			e.mu.Unlock()
-			return epoch, &QuarantineError{ID: id, Detail: "cannot sync: home extent failed verification"}
+			return seal, &QuarantineError{ID: id, Detail: "cannot sync: home extent failed verification"}
 		}
 		e.mu.Unlock()
-		return epoch, nil
+		return seal, nil
 	}
 	if s.l.TooLarge(rec) {
 		// The record can never be logged (it exceeds the log region or the
 		// format's label-length field); a checkpoint provides the same
 		// durability — contents, label, and index — in one sweep.
 		e.mu.Unlock()
-		return epoch, errRetryCheckpoint
+		return seal, errRetryCheckpoint
 	}
 	// Enqueue under the entry lock: per-object log order = seal order.
 	t := s.comm.enqueue(rec)
@@ -260,7 +265,7 @@ func (s *Store) syncOnce(id uint64) (uint64, error) {
 		s.c.bytesLogged.Add(uint64(len(rec.Data)))
 		s.c.labelBytesLogged.Add(uint64(len(rec.Label)))
 	}
-	return epoch, err
+	return seal, err
 }
 
 // SyncObjects durably records the current contents of many objects at once:
@@ -276,9 +281,9 @@ func (s *Store) SyncObjects(ids []uint64) []error {
 	if len(ids) == 0 {
 		return errs
 	}
-	epoch, needCkpt := s.syncGroupOnce(ids, errs)
+	seal, needCkpt := s.syncGroupOnce(ids, errs)
 	if needCkpt {
-		ckErr := s.checkpointSince(epoch)
+		ckErr := s.checkpointSince(seal)
 		for i := range errs {
 			if errors.Is(errs[i], errRetryCheckpoint) {
 				errs[i] = ckErr
@@ -296,12 +301,12 @@ func (s *Store) SyncObjects(ids []uint64) []error {
 func (s *Store) syncGroupOnce(ids []uint64, errs []error) (uint64, bool) {
 	s.ckptMu.RLock()
 	defer s.ckptMu.RUnlock()
-	epoch := s.ckptEpoch.Load()
+	seal := s.sealSeq.Load()
 	if s.closed {
 		for i := range errs {
 			errs[i] = ErrClosed
 		}
-		return epoch, false
+		return seal, false
 	}
 	type slot struct {
 		i int
@@ -354,26 +359,27 @@ func (s *Store) syncGroupOnce(ids []uint64, errs []error) (uint64, bool) {
 			errs[sl.i] = err
 		}
 	}
-	return epoch, needCkpt
+	return seal, needCkpt
 }
 
 // checkpointSince provides a sync's checkpoint fallback: if a checkpoint
-// already completed after the sync sealed its record (epoch moved), that
-// checkpoint made a state at least as new durable and nothing more is
-// needed; otherwise run one.  The epoch is re-checked after acquiring the
-// checkpoint gate, so when a whole failed batch lands here at once, the
-// first ticket-holder checkpoints and the rest observe its epoch bump and
-// return without running their own.
-func (s *Store) checkpointSince(epoch uint64) error {
-	if s.ckptEpoch.Load() != epoch {
+// sealed strictly after the record was enqueued has already committed
+// (completedSeal moved past the sealSeq value the syncer recorded under
+// ckptMu read mode), that checkpoint captured and made durable a state at
+// least as new and nothing more is needed; otherwise run one.  The check is
+// repeated after acquiring ckptRun, so when a whole failed batch lands here
+// at once, the first ticket-holder checkpoints and the rest observe its
+// completion and return without running their own.
+func (s *Store) checkpointSince(seal uint64) error {
+	if s.completedSeal.Load() > seal {
 		return nil
 	}
-	s.ckptMu.Lock()
-	defer s.ckptMu.Unlock()
-	if s.ckptEpoch.Load() != epoch {
+	s.ckptRun.Lock()
+	defer s.ckptRun.Unlock()
+	if s.completedSeal.Load() > seal {
 		return nil
 	}
-	return s.checkpointLocked()
+	return s.checkpointRunLocked()
 }
 
 // holdGroupCommit pauses the committer so a test can pile up concurrent

@@ -1,0 +1,390 @@
+package store
+
+// Directed tests for the incremental checkpoint protocol: syncs and reads
+// proceeding while a checkpoint body runs, scrub chunking bounding sync
+// latency, no device writes under metaMu, segment-cleaner behaviour, and
+// the crash matrix over a cleaning checkpoint's write schedule.
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"histar/internal/disk"
+	"histar/internal/vclock"
+)
+
+// withTimeout fails the test if fn does not return within d — the directed
+// concurrency tests use it so a reintroduced stall reads as a clear failure
+// instead of a package timeout.
+func withTimeout(t *testing.T, d time.Duration, what string, fn func()) {
+	t.Helper()
+	done := make(chan struct{})
+	go func() {
+		fn()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(d):
+		t.Fatalf("%s did not complete within %v (checkpoint stall regression)", what, d)
+	}
+}
+
+// TestSyncAndReadProceedDuringCheckpointBody pins the tentpole property:
+// with a checkpoint body paused indefinitely between seal and body (via the
+// ckptGate hook), Put, Get, and SyncObject all run to completion — the only
+// exclusive moment is the seal.  Under the old stop-the-world protocol
+// every one of these would block until the checkpoint finished.
+func TestSyncAndReadProceedDuringCheckpointBody(t *testing.T) {
+	d := disk.New(disk.Params{Sectors: 1 << 16, WriteCache: true}, &vclock.Clock{})
+	s, err := Format(d, Options{LogSize: 1 << 20, MetaAreaSize: 512 << 10, SegmentSize: 64 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := uint64(1); id <= 20; id++ {
+		if err := s.Put(id, []byte(fmt.Sprintf("sealed-%d", id))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	s.ckptGate = func() {
+		once.Do(func() {
+			close(entered)
+			<-release
+		})
+	}
+	ckptDone := make(chan error, 1)
+	go func() { ckptDone <- s.Checkpoint() }()
+	<-entered
+
+	// The body is paused; the seal is over.  Everything must proceed.
+	withTimeout(t, 30*time.Second, "operations during checkpoint body", func() {
+		if err := s.Put(100, []byte("written mid-body")); err != nil {
+			t.Errorf("Put during body: %v", err)
+		}
+		if err := s.SyncObject(100); err != nil {
+			t.Errorf("SyncObject during body: %v", err)
+		}
+		// A sealed object's contents must still be readable (from the
+		// pinned in-memory copy — its home extent does not exist yet).
+		got, err := s.Get(7)
+		if err != nil || string(got) != "sealed-7" {
+			t.Errorf("Get of sealed object during body = %q, %v", got, err)
+		}
+		// Overwriting a sealed object mid-body must not corrupt the sealed
+		// snapshot: the seal captured its own alias of the contents.
+		if err := s.Put(8, []byte("overwritten mid-body")); err != nil {
+			t.Errorf("Put over sealed object: %v", err)
+		}
+		if _, err := s.Stats(), error(nil); err != nil {
+			t.Errorf("Stats during body: %v", err)
+		}
+	})
+
+	close(release)
+	if err := <-ckptDone; err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+
+	// Remount: the snapshot plus the post-seal log records must reproduce
+	// everything, including the mid-body sync and overwrite.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, want := range map[uint64]string{7: "sealed-7", 8: "overwritten mid-body", 100: "written mid-body"} {
+		got, err := s2.Get(id)
+		if err != nil || string(got) != want {
+			t.Errorf("after remount, object %d = %q, %v; want %q", id, got, err, want)
+		}
+	}
+}
+
+// TestScrubChunkingAllowsCheckpointAndSyncMidPass is the satellite-1
+// regression test: with a scrub pass paused between chunks (via the
+// scrubGate hook, which runs with no locks held), a full Checkpoint and a
+// SyncObject both complete.  Under the old whole-pass ckptMu.RLock hold,
+// the checkpoint writer would queue behind the scrub and the sync behind
+// the writer — both would hang until the scrub released.  The scrub then
+// resumes over relocated extents and must not false-quarantine anything.
+func TestScrubChunkingAllowsCheckpointAndSyncMidPass(t *testing.T) {
+	d := disk.New(disk.Params{Sectors: 1 << 16, WriteCache: true}, &vclock.Clock{})
+	s, err := Format(d, Options{LogSize: 1 << 20, MetaAreaSize: 512 << 10, SegmentSize: 64 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Several chunks' worth of checkpointed objects, so the pass has
+	// multiple gate visits and live targets to revisit after relocation.
+	nObjs := scrubChunk*3 + 7
+	for id := uint64(0); id < uint64(nObjs); id++ {
+		if err := s.Put(id, []byte(fmt.Sprintf("scrub-object-%d", id))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Dirty a swath so the mid-scrub checkpoint genuinely relocates extents
+	// the scrub already captured as targets.
+	for id := uint64(0); id < uint64(nObjs); id += 2 {
+		if err := s.Put(id, []byte(fmt.Sprintf("scrub-object-%d-v2", id))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	s.scrubGate = func() {
+		once.Do(func() {
+			close(entered)
+			<-release
+		})
+	}
+	scrubDone := make(chan ScrubStats, 1)
+	go func() {
+		st, err := s.Scrub()
+		if err != nil {
+			t.Errorf("scrub: %v", err)
+		}
+		scrubDone <- st
+	}()
+	<-entered
+
+	// Scrub is paused mid-pass.  A checkpoint (a ckptMu writer) and a sync
+	// (a reader behind that writer under the old scheme) must both finish.
+	withTimeout(t, 30*time.Second, "checkpoint+sync during paused scrub", func() {
+		if err := s.Checkpoint(); err != nil {
+			t.Errorf("checkpoint during scrub: %v", err)
+		}
+		if err := s.Put(5000, []byte("synced during scrub")); err != nil {
+			t.Errorf("put during scrub: %v", err)
+		}
+		if err := s.SyncObject(5000); err != nil {
+			t.Errorf("sync during scrub: %v", err)
+		}
+	})
+
+	close(release)
+	st := <-scrubDone
+	// The checkpoint relocated half the targets out from under the scrub;
+	// re-validation against the live object map must classify those as
+	// stale, never as damage.
+	if st.ObjectsQuarantined != 0 || st.CorruptionsFound != 0 {
+		t.Fatalf("scrub over concurrent checkpoint reported damage: %+v", st)
+	}
+	if len(s.QuarantinedObjects()) != 0 {
+		t.Fatalf("objects quarantined: %v", s.QuarantinedObjects())
+	}
+}
+
+// lockCheckDevice wraps a Device and runs check before every WriteAt.
+type lockCheckDevice struct {
+	disk.Device
+	check func(off int64)
+}
+
+func (d *lockCheckDevice) WriteAt(p []byte, off int64) (int, error) {
+	if d.check != nil {
+		d.check(off)
+	}
+	return d.Device.WriteAt(p, off)
+}
+
+// TestNoDeviceWriteUnderMetaMuDuringCheckpoint is the satellite-3
+// assertion: no checkpoint device write (extent relocation, segment
+// append, snapshot, superblock) is issued while metaMu is held, so
+// metadata reads never stall behind checkpoint disk I/O.  The test is
+// single-threaded, so a failed TryLock during a write can only mean the
+// writing goroutine itself holds metaMu.
+func TestNoDeviceWriteUnderMetaMuDuringCheckpoint(t *testing.T) {
+	base := disk.New(disk.Params{Sectors: 1 << 16, WriteCache: true}, &vclock.Clock{})
+	ld := &lockCheckDevice{Device: base}
+	s, err := Format(ld, Options{LogSize: 1 << 20, MetaAreaSize: 512 << 10, SegmentSize: 64 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := uint64(0); id < 40; id++ {
+		if err := s.Put(id, bytes.Repeat([]byte{byte(id)}, 700)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Second round with deletions so the checkpoint also exercises the
+	// cleaner and dead-entry paths.
+	for id := uint64(0); id < 40; id += 2 {
+		if err := s.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for id := uint64(40); id < 60; id++ {
+		if err := s.Put(id, bytes.Repeat([]byte{byte(id)}, 900)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var violations []int64
+	ld.check = func(off int64) {
+		if s.metaMu.TryLock() {
+			s.metaMu.Unlock()
+		} else {
+			violations = append(violations, off)
+		}
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	ld.check = nil
+	if len(violations) != 0 {
+		t.Fatalf("%d device writes issued while holding metaMu (offsets %v)", len(violations), violations)
+	}
+}
+
+// cleanerPayload is a deterministic ~3 KB object body (big enough that a
+// few dozen objects span multiple 64 KB segments, small enough for the
+// segment path rather than a dedicated extent).
+func cleanerPayload(id uint64) []byte {
+	b := make([]byte, 3000)
+	for i := range b {
+		b[i] = byte(id) + byte(i%251)
+	}
+	return b
+}
+
+// cleanerWorkload fills segments with synced objects, checkpoints them
+// home, deletes two-thirds, and checkpoints again — driving the second
+// checkpoint's body through dead-segment frees and live-object copy-outs —
+// then dirties the survivors for one more round.
+func cleanerWorkload() []wlOp {
+	var ops []wlOp
+	for id := uint64(0); id < 24; id++ {
+		ops = append(ops, wlOp{kind: opPut, id: id, data: cleanerPayload(id)})
+		ops = append(ops, wlOp{kind: opSync, id: id})
+	}
+	ops = append(ops, wlOp{kind: opCheckpoint})
+	for id := uint64(0); id < 24; id++ {
+		if id%3 != 0 {
+			ops = append(ops, wlOp{kind: opDelete, id: id})
+		}
+	}
+	ops = append(ops, wlOp{kind: opCheckpoint})
+	for id := uint64(0); id < 24; id += 3 {
+		ops = append(ops, wlOp{kind: opPut, id: id, data: cleanerPayload(id + 100)})
+		ops = append(ops, wlOp{kind: opSync, id: id})
+	}
+	ops = append(ops, wlOp{kind: opCheckpoint})
+	return ops
+}
+
+// TestSegmentCleanerReclaimsAndPreservesData checks the cleaner end to end
+// on a healthy disk: the workload's deletions make it free and clean
+// segments, the survivors' contents stay exact across a remount, and the
+// vacated space returns to the free trees.
+func TestSegmentCleanerReclaimsAndPreservesData(t *testing.T) {
+	d := disk.New(disk.Params{Sectors: 1 << 16, WriteCache: true}, &vclock.Clock{})
+	s, err := Format(d, Options{LogSize: 1 << 20, MetaAreaSize: 512 << 10, SegmentSize: 64 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := newRefModel()
+	if runWorkload(t, s, cleanerWorkload(), m) {
+		t.Fatal("workload crashed with no fault armed")
+	}
+	st := s.Stats()
+	if st.SegsAllocated == 0 {
+		t.Fatal("no segments allocated: the relocation path is not using the segment writer")
+	}
+	if st.SegsFreed == 0 && st.SegsCleaned == 0 {
+		t.Fatalf("cleaner never reclaimed a segment: %+v", st)
+	}
+	free := s.FreeBytes()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(d, Options{SegmentSize: 64 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := uint64(0); id < 24; id += 3 {
+		got, err := s2.Get(id)
+		if err != nil || !bytes.Equal(got, cleanerPayload(id+100)) {
+			t.Fatalf("survivor %d after remount: len=%d err=%v", id, len(got), err)
+		}
+	}
+	if got := s2.FreeBytes(); got < free {
+		t.Fatalf("free space shrank across remount: %d -> %d", free, got)
+	}
+}
+
+// TestCrashMidSegmentCleanEveryPoint extends the crash matrix to the
+// cleaner's write schedule (satellite 4): the scripted workload makes the
+// second checkpoint free dead segments and copy live objects between
+// segments, the fault-free pass records every write boundary of that
+// schedule, and a fault is injected at each — including inside the
+// copy-out writes and the section rewrites that follow — with recovery
+// verified against the reference model every time.
+func TestCrashMidSegmentCleanEveryPoint(t *testing.T) {
+	ops := cleanerWorkload()
+
+	s, fd := newCrashRig(t)
+	fd.Arm(-1, disk.FaultTorn)
+	m := newRefModel()
+	if runWorkload(t, s, ops, m) {
+		t.Fatal("fault-free pass crashed")
+	}
+	if st := s.Stats(); st.SegsFreed == 0 && st.SegsCleaned == 0 {
+		t.Fatalf("workload did not exercise the segment cleaner: %+v", st)
+	}
+	verifyRecovery(t, fd.Inner(), m, "cleaner clean")
+	points := crashPoints(fd.WriteBounds())
+	if testing.Short() {
+		// Every third point still covers each phase of the schedule.
+		var sparse []int64
+		for i, pt := range points {
+			if i%3 == 0 {
+				sparse = append(sparse, pt)
+			}
+		}
+		points = sparse
+	}
+
+	for _, mode := range []disk.FaultMode{disk.FaultTorn, disk.FaultOmit, disk.FaultFlip} {
+		for _, pt := range points {
+			s, fd := newCrashRig(t)
+			flipSeed := 77_000_000 + pt
+			if mode == disk.FaultFlip {
+				fd.SetFlipSeed(flipSeed)
+			}
+			fd.Arm(pt, mode)
+			m := newRefModel()
+			crashed := runWorkload(t, s, ops, m)
+			if !crashed && fd.Tripped() {
+				t.Fatalf("cleaner %v@%d: fault tripped but no op reported it", mode, pt)
+			}
+			point := fmt.Sprintf("cleaner %v@%d", mode, pt)
+			if mode == disk.FaultFlip {
+				point = fmt.Sprintf("%s flipseed=%d", point, flipSeed)
+			}
+			rec := verifyRecovery(t, fd.Inner(), m, point)
+			if t.Failed() {
+				return // one failing crash point is enough detail
+			}
+			continueAfterRecovery(t, rec, m, flipSeed, point)
+			verifyRecovery(t, fd.Inner(), m, point+" post-continuation")
+			if t.Failed() {
+				return
+			}
+		}
+	}
+}

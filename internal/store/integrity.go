@@ -186,12 +186,24 @@ func (s *Store) noteCorruption(err error) error {
 	return err
 }
 
-// walReplayStart returns the index into recs where the normal-open replay
-// begins, and applies the fallback rule: a metadata fallback replays the
-// retained previous generation too, so no committed sync is lost.
+// walReplayStart returns the index into recs where replay begins: the first
+// record after the epoch marker of the snapshot actually loaded.  That rule
+// subsumes the fallback case — a metadata fallback loads the previous
+// snapshot, whose marker (and generation) ReclaimBefore retains, so replay
+// naturally covers everything the lost snapshot held plus what followed,
+// with zero committed-sync loss.  When the loaded epoch has no marker
+// (fresh format, or a legacy log whose markers carry no epoch), replay
+// starts at the legacy marker if one exists, else at the beginning — for a
+// fallback mount, always at the beginning.
 func (s *Store) walReplayStart(l *wal.Log) int {
+	if idx, ok := l.ReplayStart(s.metaEpoch); ok {
+		return idx
+	}
 	if s.report.MetaFallback {
 		return 0
 	}
-	return l.RecoveredAfterMark()
+	if idx, ok := l.ReplayStart(0); ok {
+		return idx
+	}
+	return 0
 }

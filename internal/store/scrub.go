@@ -22,9 +22,9 @@ type ScrubStats struct {
 	IndexCorrupt bool
 	// ObjectsChecked counts home extents verified against their recorded
 	// contents CRC; ObjectsUnverifiable counts extents with no recorded CRC
-	// (objects migrated from a legacy image, unverifiable until their next
-	// relocation); ObjectsQuarantined counts extents newly quarantined by
-	// this pass.
+	// (objects migrated from a legacy image, unverifiable until the next
+	// checkpoint's CRC-backfill pass reads and checksums them);
+	// ObjectsQuarantined counts extents newly quarantined by this pass.
 	ObjectsChecked      int
 	ObjectsUnverifiable int
 	ObjectsQuarantined  int
@@ -47,25 +47,64 @@ type scrubTarget struct {
 	hasCRC bool
 }
 
+// scrubChunk bounds how many object extents are verified per ckptMu read
+// hold.  The gate is reacquired between chunks, so a pending checkpoint
+// seal (a ckptMu writer) waits for at most one chunk of reads — not the
+// whole pass — and syncs queued behind that writer see bounded latency.
+const scrubChunk = 64
+
 // Scrub verifies the store's on-disk state in the background of normal
 // operation: both superblock copies, the referenced (and, when present, the
 // alternate) metadata area, and every object home extent against its
 // recorded contents CRC.  Mismatched extents are quarantined exactly as an
-// access-time detection would.  Scrub holds ckptMu in read mode, so it
-// excludes checkpoints (which relocate extents) but runs concurrently with
-// reads, writes, and syncs.
+// access-time detection would.
+//
+// The object walk is chunked: each chunk of extents is verified under its
+// own ckptMu read hold, and the lock is dropped between chunks, so a
+// checkpoint seal never queues behind a full pass (and syncs never queue
+// behind the seal).  Because the checkpoint body relocates extents
+// concurrently, a mismatch is re-validated against the live object map
+// before any quarantine verdict: a target whose object has moved or been
+// re-checksummed since capture is simply stale, not damaged.  Superblock
+// and metadata-area verification runs under sbMu, which the checkpoint
+// body holds across its snapshot write and superblock flip, so scrub never
+// reads a torn in-progress image.
 func (s *Store) Scrub() (ScrubStats, error) {
-	s.ckptMu.RLock()
-	defer s.ckptMu.RUnlock()
-	if s.closed {
-		return ScrubStats{}, ErrClosed
-	}
 	start := time.Now()
 	var st ScrubStats
 
+	s.ckptMu.RLock()
+	if s.closed {
+		s.ckptMu.RUnlock()
+		return ScrubStats{}, ErrClosed
+	}
+	s.sbMu.Lock()
 	s.scrubSuperblock(&st)
 	s.scrubMetaAreas(&st)
-	s.scrubObjects(&st)
+	s.sbMu.Unlock()
+	targets := s.scrubTargets()
+	s.ckptMu.RUnlock()
+
+	for len(targets) > 0 {
+		if s.scrubGate != nil {
+			s.scrubGate()
+		}
+		n := scrubChunk
+		if n > len(targets) {
+			n = len(targets)
+		}
+		chunk := targets[:n]
+		targets = targets[n:]
+		s.ckptMu.RLock()
+		if s.closed {
+			s.ckptMu.RUnlock()
+			break
+		}
+		for _, t := range chunk {
+			s.scrubOneObject(t, &st)
+		}
+		s.ckptMu.RUnlock()
+	}
 
 	st.Duration = time.Since(start)
 	s.integ.scrubPasses.Add(1)
@@ -76,7 +115,8 @@ func (s *Store) Scrub() (ScrubStats, error) {
 	return st, nil
 }
 
-// scrubSuperblock verifies both superblock copies in place.
+// scrubSuperblock verifies both superblock copies in place; the caller
+// holds sbMu.
 func (s *Store) scrubSuperblock(st *ScrubStats) {
 	raw := make([]byte, sbBackupOff+sbCopySize)
 	if _, err := s.d.ReadAt(raw, superblockOffset); err != nil {
@@ -106,7 +146,9 @@ func (s *Store) scrubSuperblock(st *ScrubStats) {
 // scrubMetaAreas verifies the referenced metadata area and, when it holds a
 // committed (strictly older epoch) snapshot, the alternate one — the copy a
 // future fallback would depend on.  On a legacy image there is nothing
-// checksummed to verify.
+// checksummed to verify.  The caller holds sbMu, which keeps metaWhich and
+// metaEpoch stable (the checkpoint body updates them under sbMu) and
+// excludes an in-progress area rewrite.
 func (s *Store) scrubMetaAreas(st *ScrubStats) {
 	if s.report.LegacyImage && s.metaEpoch == 0 {
 		return
@@ -156,10 +198,10 @@ func (s *Store) scrubMetaAreas(st *ScrubStats) {
 	}
 }
 
-// scrubObjects verifies every mapped home extent against its recorded
-// contents CRC, quarantining mismatches.
-func (s *Store) scrubObjects(st *ScrubStats) {
+// scrubTargets captures every mapped home extent under metaMu.
+func (s *Store) scrubTargets() []scrubTarget {
 	s.metaMu.RLock()
+	defer s.metaMu.RUnlock()
 	targets := make([]scrubTarget, 0, s.objMap.Len())
 	s.objMap.Scan(func(k btree.Key, v uint64) bool {
 		id := k[0]
@@ -169,43 +211,52 @@ func (s *Store) scrubObjects(st *ScrubStats) {
 		})
 		return true
 	})
-	s.metaMu.RUnlock()
+	return targets
+}
 
-	for _, t := range targets {
-		if !t.hasCRC {
-			st.ObjectsUnverifiable++
-			continue
-		}
-		// Home extents are only rewritten by checkpoints, which ckptMu
-		// excludes, so the read below cannot race a relocation.  The CRC
-		// captured above keeps describing this extent even if the object
-		// was overwritten (dirty) or deleted (dead) since: new contents
-		// live in memory and the log until the next checkpoint.
-		buf := make([]byte, t.size)
-		if t.size > 0 {
-			if _, err := s.d.ReadAt(buf, t.off); err != nil {
-				st.CorruptionsFound++
-				s.integ.corruptions.Add(1)
-				continue
-			}
-		}
-		st.ObjectsChecked++
-		st.BytesVerified += t.size
-		if crc32c(buf) == t.crc {
-			continue
-		}
-		st.CorruptionsFound++
-		s.integ.corruptions.Add(1)
-		e := s.shardOf(t.id).getOrCreate(t.id)
-		e.mu.Lock()
-		// Skip the verdict if the on-disk copy is already superseded: a
-		// dirty or dead entry's next checkpoint abandons this extent.
-		if !e.dirty && !e.dead {
-			if !e.quar {
-				st.ObjectsQuarantined++
-			}
-			s.quarantine(t.id, e, "home extent failed scrub verification")
-		}
-		e.mu.Unlock()
+// scrubOneObject verifies one captured home extent; the caller holds ckptMu
+// in read mode.
+func (s *Store) scrubOneObject(t scrubTarget, st *ScrubStats) {
+	if !t.hasCRC {
+		st.ObjectsUnverifiable++
+		return
 	}
+	buf := make([]byte, t.size)
+	if t.size > 0 {
+		if _, err := s.d.ReadAt(buf, t.off); err != nil {
+			st.CorruptionsFound++
+			s.integ.corruptions.Add(1)
+			return
+		}
+	}
+	st.ObjectsChecked++
+	st.BytesVerified += t.size
+	if crc32c(buf) == t.crc {
+		return
+	}
+	// The extent disagrees with the CRC captured at walk start — but the
+	// checkpoint body may have relocated the object (or backfilled a new
+	// CRC) since then, making this target stale rather than damaged.  Only
+	// a mismatch the live object map still vouches for is a real verdict.
+	s.metaMu.RLock()
+	cur, ok := s.objMap.Get(btree.K1(t.id))
+	crcNow, hasNow := s.objCRCs[t.id]
+	s.metaMu.RUnlock()
+	if !ok || int64(cur) != t.off || !hasNow || crcNow != t.crc {
+		return
+	}
+	st.CorruptionsFound++
+	s.integ.corruptions.Add(1)
+	e := s.shardOf(t.id).getOrCreate(t.id)
+	e.mu.Lock()
+	// Skip the verdict if the on-disk copy is already superseded: a dirty,
+	// dead, or checkpoint-sealed entry's in-memory state replaces this
+	// extent at the next relocation.
+	if !e.dirty && !e.dead && !e.ckpt {
+		if !e.quar {
+			st.ObjectsQuarantined++
+		}
+		s.quarantine(t.id, e, "home extent failed scrub verification")
+	}
+	e.mu.Unlock()
 }

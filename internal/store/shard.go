@@ -18,8 +18,8 @@ type objEntry struct {
 	mu     sync.Mutex
 	data   []byte
 	cached bool // contents resident (the "page cache")
-	dirty  bool // modified since the last checkpoint/apply
-	dead   bool // deleted since the last checkpoint
+	dirty  bool // modified since the last checkpoint seal
+	dead   bool // deleted since the last checkpoint seal
 	lbl    label.Label
 	hasLbl bool
 	// quar marks an object whose home-extent contents failed checksum
@@ -27,6 +27,13 @@ type objEntry struct {
 	// ErrQuarantined instead of corrupt bytes, until a Put/Delete replaces
 	// the contents.  The flag never blocks a resident (cached) copy.
 	quar bool
+	// ckpt marks an entry sealed into the running incremental checkpoint:
+	// the seal cleared dirty, so until the checkpoint body writes the data
+	// to its new home extent, this in-memory copy is the only one — the
+	// flag keeps EvictCache from dropping it and scrub from judging the
+	// object by an extent the checkpoint is about to supersede.  Cleared by
+	// the body after relocation, or restored to dirty if the body fails.
+	ckpt bool
 }
 
 // storeShard is one shard of the object-entry table, selected by object-ID

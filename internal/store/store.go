@@ -18,7 +18,7 @@
 //	[4096, 4096+logSize)            write-ahead log (see package wal)
 //	[.., .. + metaSize)             metadata area 0
 //	[.., .. + metaSize)             metadata area 1
-//	[.., disk size)                 object extents (8 KB aligned)
+//	[.., disk size)                 data region: segments + dedicated extents
 //
 // The superblock sector holds two identical 64-byte copies, at offsets 0
 // and 512, each independently protected by a CRC32C over its first 56
@@ -29,25 +29,47 @@
 // u32.  Open uses whichever copy verifies (preferring the higher epoch if
 // both do), so a single rotted sector never loses the root of the store.
 //
-// Each metadata area starts with a 48-byte header — magic "HMET", version,
-// checkpoint epoch, payload length, section count, and a CRC32C over the
-// header itself — followed by tagged sections, each framed as [tag u64]
-// [length u64] [CRC32C u64] [payload]: the object map (id, extent offset,
-// size, contents-CRC quads — the contents CRC is what read-time and scrub
-// verification of home extents check against, zero meaning "migrated from
-// a legacy image, unverifiable until next relocation"); the free-extent
-// list (offset, size); object labels (id, canonical label.AppendBinary
-// bytes); and the label fingerprint index (fingerprint, id).  Checkpoints
-// serialize into the area the superblock does NOT reference, flush, then
-// rewrite both superblock copies with the bumped epoch, so a crash
-// mid-checkpoint always leaves one intact, referenced snapshot.
+// Each metadata area starts with a 48-byte header — magic "HMET", version
+// (currently 3), checkpoint epoch, payload length, section count, and a
+// CRC32C over the header itself — followed by tagged sections, each framed
+// as [tag u64] [length u64] [CRC32C u64] [payload]: the object map (id,
+// extent offset, size, contents-CRC quads — the contents CRC is what
+// read-time and scrub verification of home extents check against, zero
+// meaning "migrated from a legacy image, unverifiable until the checkpoint
+// CRC-backfill pass reads and checksums it"); the free-extent list
+// (offset, size); object labels (id, canonical label.AppendBinary bytes);
+// the label fingerprint index (fingerprint, id); and the segment table
+// (base, size, used triples describing the append-only data segments —
+// per-segment live counts are derived from the object map at open).
+// Checkpoints serialize into the area the superblock does NOT reference,
+// flush, then rewrite both superblock copies with the bumped epoch, so a
+// crash mid-checkpoint always leaves one intact, referenced snapshot.
 //
-// Images from before version 2 (a single bare superblock copy and an
-// unchecksummed flat metadata image) still open: they are detected by the
-// all-zero version/epoch tail, loaded without verification, and rewritten
-// in v2 form by the next checkpoint.  See doc.go for the full integrity
+// Version-2 images (the same framing with four sections and no segment
+// table) open transparently: all their objects live in dedicated extents,
+// and the next checkpoint writes a five-section version-3 image.  Images
+// from before version 2 (a single bare superblock copy and an unchecksummed
+// flat metadata image) also still open: they are detected by the all-zero
+// version/epoch tail, loaded without verification, and rewritten in current
+// form by the next checkpoint.  See doc.go for the full integrity
 // reference: the degradation ladder Open walks when verification fails,
 // and the quarantine semantics for damaged object extents.
+//
+// # Data region: segments
+//
+// Checkpoint relocations append object contents into fixed-size append-only
+// segments (Options.SegmentSize, default 1 MB) at 512-byte granularity, so
+// one checkpoint's home writes are a few sequential streams rather than one
+// random extent per object; objects larger than half a segment keep the
+// original dedicated-extent path.  Space behind deleted or superseded
+// objects is reclaimed by a cleaner that runs inside the checkpoint body:
+// fully dead segments are freed without copying, and segments at least half
+// dead have their live objects appended out so the extent can be reclaimed.
+// Segments are never overwritten in place — appends land only beyond the
+// committed high-water mark, and vacated extents return to the free trees
+// only after every data write of the checkpoint has issued — preserving the
+// copy-on-write discipline that makes a crash at any write boundary leave
+// the previously referenced snapshot intact.  See segment.go.
 //
 // Three durability modes mirror the evaluation's LFS variants:
 //
@@ -58,8 +80,32 @@
 //     taint — to the write-ahead log through the group committer and waits
 //     for the batch commit: concurrent syncers share one sequential write
 //     plus flush.
-//   - group sync: Checkpoint writes every dirty object to its home extent,
-//     persists the metadata trees, and updates the superblock once.
+//   - group sync: Checkpoint seals the dirty set, writes it to home
+//     segments, persists the metadata trees, and updates the superblock
+//     once.
+//
+// # Incremental checkpoints
+//
+// Checkpoint is no longer a stop-the-world pause.  The protocol has three
+// phases (see checkpoint.go for the full invariant catalogue):
+//
+//   - SEAL, the only exclusive moment: a brief ckptMu write hold that
+//     captures the dirty set (clearing dirty, marking entries ckpt),
+//     captures every label, and appends an epoch marker to the write-ahead
+//     log.  Seal duration is proportional to the number of entries, with no
+//     disk I/O except the marker append.
+//   - BODY, concurrent with everything: relocates the sealed entries into
+//     segments, backfills missing contents CRCs, runs the segment cleaner,
+//     and writes the metadata snapshot for the sealed epoch while reads,
+//     Puts, and SyncObject group commits proceed under ckptMu read mode.
+//     Bodies of different checkpoints are serialized by ckptRun.
+//   - FINISH: reclaims write-ahead log generations older than the previous
+//     epoch (the previous generation is retained so a torn metadata area
+//     can fall back one snapshot with zero committed-sync loss).
+//
+// Log records appended after the seal marker carry state the sealed
+// snapshot may not include, and replay on top of it at Open; records from
+// before the marker are reclaimable once the snapshot commits.
 //
 // # Locking discipline
 //
@@ -69,39 +115,46 @@
 //
 //  1. ckptMu, a store-wide RWMutex, is the checkpoint gate: every object
 //     operation (Put, Get, Delete, label ops, SyncObject, stats) holds it in
-//     read mode for its duration, and Checkpoint/Close hold it exclusively.
-//     A checkpoint is HiStar's stop-the-world whole-system snapshot, so
-//     exclusivity is semantically required, not a convenience; everything
-//     else runs concurrently under read mode.
+//     read mode for its duration.  Only the checkpoint SEAL and Close hold
+//     it exclusively, and only briefly; the checkpoint body runs under no
+//     ckptMu mode at all, serialized against other checkpoints by ckptRun.
 //  2. Each cached object has its own entry (objEntry) with a per-entry
-//     mutex guarding its contents, dirty/dead flags, and label.  Contents
-//     are copy-on-write: e.data is replaced, never mutated in place, so a
-//     sealed log record may alias it after the entry lock is released.
+//     mutex guarding its contents, dirty/dead/ckpt flags, and label.
+//     Contents are copy-on-write: e.data is replaced, never mutated in
+//     place, so a sealed log record or a sealed checkpoint capture may
+//     alias it after the entry lock is released.
 //  3. The entry table is sharded by object-ID bits (Options.Shards; 1
 //     forces the single-shard ablation).  Each shard's RWMutex guards its
 //     id→entry map and its slice of the label fingerprint index.  Shard
 //     locks nest inside entry locks (label-index updates) and are never
 //     held while acquiring an entry lock — entry pointers are fetched under
 //     the shard read lock, which is released before the entry is locked.
-//  4. metaMu (RWMutex) guards the object map and size table: Get's
-//     home-location reads take it shared, checkpoint relocation takes it
-//     exclusively.
-//  5. allocMu guards the free-extent trees and the deferred-free list.
-//     Reads never touch it, so lookups never contend with allocation.
-//  6. The committer's queue mutex (see groupcommit.go) is a leaf below the
+//  4. sbMu fences superblock and metadata-area device I/O: the checkpoint
+//     body holds it across the snapshot write + superblock flip, and scrub
+//     holds it while verifying those same regions, so scrub never reads a
+//     torn in-progress image.
+//  5. metaMu (RWMutex) guards the object map, size table, and content-CRC
+//     table: Get's home-location reads take it shared, checkpoint
+//     relocation takes it exclusively per object — never across device
+//     I/O, which is staged outside the lock.
+//  6. allocMu guards the free-extent trees, the segment table, and the
+//     deferred-free list.  Reads never touch it, so lookups never contend
+//     with allocation.
+//  7. The committer's queue mutex (see groupcommit.go) is a leaf below the
 //     entry locks: records are sealed and enqueued under the entry lock so
 //     per-object log order matches seal order.
 //
-// Under ckptMu held exclusively no other lock is required: Checkpoint,
-// Format, and Open read and write entries and trees directly.
+// Under ckptMu held exclusively (the seal; Format and Open are
+// single-threaded) entry locks are not required: entries are read and
+// written directly.
 //
 // Recovery (Open) loads the snapshot the superblock references, replays the
-// committed write-ahead log on top of it — restoring each logged object's
-// label and recomputing its fingerprints exactly once — and rebuilds the
-// fingerprint index entries for replayed labels.  The crash-injection
-// harness in this package's tests replays every write-boundary crash point
-// of randomized workloads — concurrent ones included — to check exactly
-// this path.
+// committed write-ahead log from that snapshot's epoch marker on top of it
+// — restoring each logged object's label and recomputing its fingerprints
+// exactly once — and rebuilds the fingerprint index entries for replayed
+// labels.  The crash-injection harness in this package's tests replays
+// every write-boundary crash point of randomized workloads — concurrent
+// ones included — to check exactly this path.
 package store
 
 import (
@@ -180,6 +233,26 @@ type Stats struct {
 	// fingerprint index; they are always equal unless the index is corrupt.
 	LabeledObjects int
 	IndexEntries   int
+	// SealStallTotalNs and SealStallMaxNs measure the only exclusive moment
+	// an incremental checkpoint has: the ckptMu write hold of the seal.
+	// This is the store's "stop-the-world" budget — everything else in a
+	// checkpoint runs concurrently with syncs and reads.
+	SealStallTotalNs int64
+	SealStallMaxNs   int64
+	// BytesCleaned counts object bytes the segment cleaner copied out of
+	// half-dead segments; together with BytesHome and MetaBytesWritten it
+	// gives the checkpoint write-amplification picture.
+	BytesCleaned     uint64
+	MetaBytesWritten uint64
+	// SegsAllocated / SegsCleaned / SegsFreed count data-region segments
+	// created by the segment writer, compacted by the cleaner, and returned
+	// to the free trees.
+	SegsAllocated uint64
+	SegsCleaned   uint64
+	SegsFreed     uint64
+	// CRCBackfills counts clean legacy-image extents that gained a contents
+	// CRC during a checkpoint's backfill pass.
+	CRCBackfills uint64
 }
 
 type counters struct {
@@ -188,6 +261,11 @@ type counters struct {
 	bytesLogged, bytesHome           atomic.Uint64
 	labelBytesLogged, labelDecodes   atomic.Uint64
 	indexQueries                     atomic.Uint64
+
+	sealStallTotalNs, sealStallMaxNs atomic.Int64
+	bytesCleaned, metaBytesWritten   atomic.Uint64
+	segsAllocated, segsCleaned       atomic.Uint64
+	segsFreed, crcBackfills          atomic.Uint64
 }
 
 type extent struct {
@@ -209,10 +287,18 @@ type Store struct {
 	ckptMu sync.RWMutex
 	closed bool
 
-	// ckptEpoch counts completed checkpoints; SyncObject's full-log fallback
-	// uses it to detect that another syncer's checkpoint already made its
-	// sealed state durable.
-	ckptEpoch atomic.Uint64
+	// ckptRun serializes checkpoint runs end to end (seal through finish);
+	// ckptMu write mode covers only the seal, so without ckptRun two
+	// concurrent Checkpoint calls could interleave their bodies.
+	ckptRun sync.Mutex
+
+	// sealSeq counts checkpoint SEALs and completedSeal the highest sealed
+	// sequence whose body has fully committed.  SyncObject's full-log
+	// fallback records sealSeq under ckptMu.R before syncing; the record is
+	// durably covered once completedSeal exceeds that value (a checkpoint
+	// sealed strictly after the record was enqueued has committed).
+	sealSeq       atomic.Uint64
+	completedSeal atomic.Uint64
 
 	// shards hold the in-memory object entries and the label index,
 	// partitioned by object-ID bits.
@@ -229,23 +315,46 @@ type Store struct {
 	// absent until their next relocation and read unverified.
 	objCRCs map[uint64]uint32
 
-	// allocMu guards the free-extent trees and the deferred-free list.
+	// allocMu guards the free-extent trees, the segment table, and the
+	// deferred-free list.
 	allocMu    sync.Mutex
 	freeBySize *btree.Tree // (size, offset) → 0
 	freeByOff  *btree.Tree // (offset, 0) → size
-	// deferredFree holds extents vacated during a checkpoint (relocations
-	// and deletions) until every data write of that checkpoint has issued;
-	// kept on the store, not the stack, so a failed checkpoint retains them
-	// for the next attempt instead of leaking the space.
+	// deferredFree holds extents vacated during a checkpoint (relocations,
+	// deletions, emptied segments) until every data write of that checkpoint
+	// has issued; kept on the store, not the stack, so a failed checkpoint
+	// retains them for the next attempt instead of leaking the space.
 	deferredFree []extent
 
+	// The append-only data segments (see segment.go): segs maps base offset
+	// to segment, segBases indexes the bases for containment lookups, and
+	// openSegBase is the segment currently receiving appends (0 = none; the
+	// data region never starts at offset 0).  Guarded by allocMu.
+	segs        map[int64]*segment
+	segBases    *btree.Tree
+	openSegBase int64
+	segSize     int64
+
 	comm committer
+
+	// sbMu fences superblock and metadata-area device I/O (discipline rule
+	// 4): the checkpoint body's snapshot write + superblock flip and scrub's
+	// verification of those regions exclude each other.
+	sbMu sync.Mutex
 
 	metaWhich int // which metadata area (0 or 1) the superblock references
 	// metaEpoch is the checkpoint epoch recorded in the current superblock
 	// and metadata-area headers; the next checkpoint writes metaEpoch+1.
-	// Only touched under ckptMu held exclusively (or during construction).
+	// Written under metaMu by the checkpoint body (ckptRun-serialized);
+	// the seal may read it without metaMu because the previous body's
+	// release of ckptRun happens-before this run's acquisition.
 	metaEpoch uint64
+
+	// Test hooks, set before the store is shared: scrubGate runs between
+	// scrub chunks (no locks held), ckptGate between a checkpoint's seal and
+	// body.
+	scrubGate func()
+	ckptGate  func()
 
 	// report records the degradation-ladder rungs Open took; immutable once
 	// the store is published.
@@ -275,7 +384,17 @@ type Options struct {
 	// GroupCommitRecords bounds the number of records in one group-commit
 	// batch (default 128).
 	GroupCommitRecords int
+	// SegmentSize is the size of the append-only data segments checkpoint
+	// relocation packs small objects into (default 1 MB, rounded up to the
+	// extent alignment).  Runtime-only: each existing segment's geometry is
+	// persisted in the metadata snapshot, so reopening under a different
+	// SegmentSize affects only newly allocated segments.
+	SegmentSize int64
 }
+
+// defaultSegmentSize balances sequential checkpoint writes against cleaner
+// copy granularity.
+const defaultSegmentSize = 1 << 20
 
 // defaultStoreShards keeps shard-lock collisions negligible at any
 // realistic GOMAXPROCS while staying cheap to iterate for stats.
@@ -290,6 +409,10 @@ func newStore(d disk.Device, opts Options) *Store {
 			nShards = 1
 		}
 	}
+	segSize := opts.SegmentSize
+	if segSize <= 0 {
+		segSize = defaultSegmentSize
+	}
 	s := &Store{
 		d:        d,
 		logSize:  opts.LogSize,
@@ -300,6 +423,10 @@ func newStore(d disk.Device, opts Options) *Store {
 
 		freeBySize: &btree.Tree{},
 		freeByOff:  &btree.Tree{},
+
+		segs:     make(map[int64]*segment),
+		segBases: &btree.Tree{},
+		segSize:  alignUp(segSize),
 
 		shards:    make([]storeShard, nShards),
 		shardMask: uint64(nShards - 1),
@@ -336,7 +463,7 @@ func Format(d disk.Device, opts Options) (*Store, error) {
 	s.l = l
 	dataStart := logOffset + opts.LogSize + 2*s.metaSize
 	s.addFree(extent{off: dataStart, size: d.Size() - dataStart})
-	if err := s.writeSuperblock(); err != nil {
+	if err := s.writeSnapshot(s.metaEpoch+1, nil); err != nil {
 		return nil, err
 	}
 	return s, nil
@@ -448,6 +575,14 @@ func (s *Store) Stats() Stats {
 		IndexQueries:     s.c.indexQueries.Load(),
 		WALCommits:       ws.Commits,
 		GroupBatches:     s.GroupCommitStats().Batches,
+		SealStallTotalNs: s.c.sealStallTotalNs.Load(),
+		SealStallMaxNs:   s.c.sealStallMaxNs.Load(),
+		BytesCleaned:     s.c.bytesCleaned.Load(),
+		MetaBytesWritten: s.c.metaBytesWritten.Load(),
+		SegsAllocated:    s.c.segsAllocated.Load(),
+		SegsCleaned:      s.c.segsCleaned.Load(),
+		SegsFreed:        s.c.segsFreed.Load(),
+		CRCBackfills:     s.c.crcBackfills.Load(),
 	}
 	// Entry locks first, metaMu second: the entry→metaMu order matches
 	// Get's readHome path, so a pending metaMu writer can never wedge
@@ -759,7 +894,9 @@ func (s *Store) EvictCache() {
 	for si := range s.shards {
 		for _, se := range s.shards[si].snapshot() {
 			se.entry.mu.Lock()
-			if se.entry.cached && !se.entry.dirty {
+			// A checkpoint-sealed entry's resident copy is the only copy of
+			// its sealed state until the body writes it home: never evictable.
+			if se.entry.cached && !se.entry.dirty && !se.entry.ckpt {
 				se.entry.data, se.entry.cached = nil, false
 			}
 			se.entry.mu.Unlock()

@@ -106,6 +106,7 @@ func Boot(opts BootOptions) (*System, error) {
 		// keeping the kernel itself storage-agnostic.
 		k.SetIntegritySource(func() kernel.StorageIntegrity {
 			is := st.IntegrityStats()
+			ss := st.Stats()
 			return kernel.StorageIntegrity{
 				CorruptionsDetected: is.CorruptionsDetected,
 				QuarantineEvents:    is.QuarantineEvents,
@@ -113,6 +114,15 @@ func Boot(opts BootOptions) (*System, error) {
 				ScrubPasses:         is.ScrubPasses,
 				ScrubBytesVerified:  is.ScrubBytesVerified,
 				DegradedMount:       is.Recovery.Degraded(),
+				Checkpoints:         ss.Checkpoints,
+				SealStallTotalNs:    ss.SealStallTotalNs,
+				SealStallMaxNs:      ss.SealStallMaxNs,
+				BytesHome:           ss.BytesHome,
+				BytesCleaned:        ss.BytesCleaned,
+				MetaBytesWritten:    ss.MetaBytesWritten,
+				SegsAllocated:       ss.SegsAllocated,
+				SegsCleaned:         ss.SegsCleaned,
+				SegsFreed:           ss.SegsFreed,
 			}
 		})
 	}

@@ -8,19 +8,24 @@
 // # On-disk format
 //
 // The log occupies a fixed region of the disk.  It starts with a 32-byte
-// version-3 header:
+// version-4 header:
 //
 //	off  size  field
 //	0    4     magic "HWLO" (0x48574c4f, little endian)
-//	4    1     format version (3; 2 and 0 identify older formats)
+//	4    1     format version (4; 3, 2 and 0 identify older formats)
 //	5    3     reserved (zero)
-//	8    8     committed length: bytes of valid records after the header
+//	8    8     committed length: bytes of records after the header,
+//	           including any reclaimed (dead) prefix
 //	16   4     CRC-32C of header bytes 0..15
-//	20   12    reserved (zero)
+//	20   8     start offset: bytes after the header where the live records
+//	           begin (records before it were reclaimed by an epoch
+//	           checkpoint and are no longer replayed)
+//	28   4     CRC-32C of header bytes 20..27
 //
-// The header CRC makes silent bit rot in the magic, version, or committed
-// length detectable: an all-zero header is a fresh region, anything else
-// that fails its checks is ErrCorrupt — never silently treated as empty.
+// The header CRCs make silent bit rot in the magic, version, committed
+// length, or start offset detectable: an all-zero header is a fresh region,
+// anything else that fails its checks is ErrCorrupt — never silently
+// treated as empty.
 //
 // Committed records follow back to back.  A record is:
 //
@@ -33,17 +38,25 @@
 //	15   4     CRC-32 (IEEE) of bytes 0..15 plus the label and data bytes
 //	19   ...   canonical serialized label (label.AppendBinary), then data
 //
-// A generation marker (bit 2, no data, no label) is written by Rotate at
-// each checkpoint: records before the last marker belong to the previous
-// checkpoint generation and are retained only so the store can fall back to
-// its older metadata snapshot and replay them forward if the newer snapshot
-// is corrupt on disk.  Normal recovery replays only records after the last
-// marker (see RecoveredAfterMark).
+// A generation marker (bit 2, no data, no label) closes a checkpoint
+// generation.  The store's incremental checkpoint seals one with AppendMark,
+// reusing the object-ID field to carry the epoch of the metadata snapshot
+// the marker opens; Rotate's legacy markers carry epoch 0.  Records before
+// the last marker for the mounted snapshot's epoch belong to previous
+// generations and are retained only so the store can fall back to its older
+// metadata snapshot and replay them forward if the newer snapshot is
+// corrupt on disk (see ReplayStart).  ReclaimBefore drops generations the
+// fallback can no longer need by advancing the start offset — a single
+// crash-atomic header write, no record bytes move — and compacts the region
+// physically only when the live suffix fits entirely inside the dead
+// prefix, so a torn compaction can never damage records the header still
+// references.
 //
-// Version-2 logs had a 16-byte header with no CRC; version-1 records
-// additionally had no label length or label bytes and packed the delete
-// flag at offset 12 with the CRC at 13.  Recover still decodes both and
-// transparently rewrites them in version-3 format.
+// Version-3 logs had the same record format but no start offset; version-2
+// logs had a 16-byte header with no CRC; version-1 records additionally had
+// no label length or label bytes and packed the delete flag at offset 12
+// with the CRC at 13.  Recover still decodes all three and transparently
+// rewrites them in version-4 format.
 //
 // Commit appends the encoded records, then updates the header's committed
 // length and flushes; the header update is what makes the batch durable.
@@ -109,9 +122,9 @@ const (
 	recHeaderV1Size = 8 + 4 + 1 + 4     // id, length, delete flag, crc
 	recHeaderSize   = 8 + 4 + 2 + 1 + 4 // id, data len, label len, flags, crc
 	logHeaderV2Size = 16                // v1/v2: magic + version + committed length
-	logHeaderSize   = 32                // v3: adds header CRC + reserved
+	logHeaderSize   = 32                // v3: adds header CRC; v4: adds start offset
 	logMagic        = 0x48574c4f        // "HWLO"
-	logVersion      = 3
+	logVersion      = 4
 
 	flagDelete   = 1 << 0
 	flagHasLabel = 1 << 1
@@ -156,13 +169,31 @@ type Log struct {
 	markIdx int
 	// rotations counts Rotate calls that retained a previous generation.
 	rotations uint64
+
+	// reclaimOff is the body offset where the live records begin (the
+	// header's start-offset field): everything before it has been reclaimed
+	// by ReclaimBefore but not yet physically compacted away.
+	reclaimOff int64
+	// markOffs maps a marker epoch (its object-ID field) to the body offset
+	// where the LAST marker carrying that epoch starts.  ReclaimBefore uses
+	// it to find the reclaim boundary; AppendMark and Recover maintain it.
+	markOffs map[uint64]int64
+	// markIdxs maps a marker epoch to the index into the slice the last
+	// Recover returned of the first record after the last marker carrying
+	// that epoch (see ReplayStart).  Unlike markOffs it is only meaningful
+	// until the recovered slice goes stale.
+	markIdxs map[uint64]int
+	// reclaims counts ReclaimBefore calls that advanced the start offset;
+	// compactions counts physical compactions of the dead prefix.
+	reclaims    uint64
+	compactions uint64
 }
 
 // New creates a log over the region [start, start+size) of d and writes a
 // fresh header.  Any previous log contents are discarded.
 func New(d disk.Device, start, size int64) (*Log, error) {
 	l := &Log{d: d, start: start, size: size, tail: logHeaderSize}
-	if err := l.writeHeader(0); err != nil {
+	if err := l.writeHeader(0, 0); err != nil {
 		return nil, err
 	}
 	return l, nil
@@ -174,12 +205,14 @@ func Open(d disk.Device, start, size int64) *Log {
 	return &Log{d: d, start: start, size: size, tail: logHeaderSize}
 }
 
-func (l *Log) writeHeader(committedBytes int64) error {
+func (l *Log) writeHeader(committedBytes, startOff int64) error {
 	var hdr [logHeaderSize]byte
 	binary.LittleEndian.PutUint32(hdr[0:], logMagic)
 	hdr[4] = logVersion
 	binary.LittleEndian.PutUint64(hdr[8:], uint64(committedBytes))
 	binary.LittleEndian.PutUint32(hdr[16:], crc32.Checksum(hdr[:16], castagnoli))
+	binary.LittleEndian.PutUint64(hdr[20:], uint64(startOff))
+	binary.LittleEndian.PutUint32(hdr[28:], crc32.Checksum(hdr[20:28], castagnoli))
 	if _, err := l.d.WriteAt(hdr[:], l.start); err != nil {
 		return err
 	}
@@ -290,12 +323,23 @@ func (l *Log) CommittedBytes() int64 {
 func (l *Log) Commit() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	return l.commitLocked()
+}
+
+func (l *Log) commitLocked() error {
 	if len(l.pending) == 0 {
 		return nil
 	}
 	buf := encodeRecords(l.pending)
 	if l.tail+int64(len(buf)) > l.size {
-		return ErrFull
+		// A reclaimed-but-uncompacted prefix may be holding the space this
+		// commit needs; compact it away before giving up.
+		if err := l.compactLocked(); err != nil {
+			return err
+		}
+		if l.tail+int64(len(buf)) > l.size {
+			return ErrFull
+		}
 	}
 	if _, err := l.d.WriteAt(buf, l.start+l.tail); err != nil {
 		return err
@@ -303,7 +347,7 @@ func (l *Log) Commit() error {
 	newTail := l.tail + int64(len(buf))
 	// Header update makes the newly appended records part of the committed
 	// prefix; the flush inside writeHeader orders both.
-	if err := l.writeHeader(newTail - logHeaderSize); err != nil {
+	if err := l.writeHeader(newTail-logHeaderSize, l.reclaimOff); err != nil {
 		return err
 	}
 	l.tail = newTail
@@ -321,11 +365,13 @@ func (l *Log) Truncate() error {
 }
 
 func (l *Log) truncateLocked() error {
-	if err := l.writeHeader(0); err != nil {
+	if err := l.writeHeader(0, 0); err != nil {
 		return err
 	}
 	l.tail = logHeaderSize
 	l.markOff = 0
+	l.reclaimOff = 0
+	l.markOffs = nil
 	l.applies++
 	return nil
 }
@@ -358,21 +404,138 @@ func (l *Log) Rotate() error {
 	}
 	// Invalidate before moving bytes: a torn shuffle must never be read back
 	// as a valid committed prefix.
-	if err := l.writeHeader(0); err != nil {
+	if err := l.writeHeader(0, 0); err != nil {
 		return err
 	}
 	body := append(gen, marker...)
 	if _, err := l.d.WriteAt(body, l.start+logHeaderSize); err != nil {
 		return err
 	}
-	if err := l.writeHeader(int64(len(body))); err != nil {
+	if err := l.writeHeader(int64(len(body)), 0); err != nil {
 		return err
 	}
 	l.tail = logHeaderSize + int64(len(body))
 	l.markOff = int64(len(body))
+	l.reclaimOff = 0
+	l.markOffs = map[uint64]int64{0: genLen}
 	l.applies++
 	l.rotations++
 	return nil
+}
+
+// AppendMark durably appends a generation marker carrying epoch in its
+// object-ID field, committing it (and any pending records) in one batch.
+// The store's incremental checkpoint calls it at seal time: records before
+// this marker belong to generations the snapshot named by epoch subsumes.
+// On ErrFull the marker is dropped from the pending set (unlike data
+// records, a marker is trivially re-created on retry) so a later group
+// commit cannot smuggle in a stale seal boundary.
+func (l *Log) AppendMark(epoch uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.appendLocked(Record{ObjectID: epoch, Mark: true})
+	if err := l.commitLocked(); err != nil {
+		l.pending = l.pending[:len(l.pending)-1]
+		return err
+	}
+	markStart := l.tail - logHeaderSize - recHeaderSize
+	if l.markOffs == nil {
+		l.markOffs = make(map[uint64]int64)
+	}
+	l.markOffs[epoch] = markStart
+	l.markOff = markStart + recHeaderSize
+	return nil
+}
+
+// ReclaimBefore drops every record before the last generation marker
+// carrying epoch: a single crash-atomic header write advances the start
+// offset to the marker (the marker itself is retained so recovery can still
+// find the generation boundary), then the region is physically compacted if
+// the live suffix fits inside the dead prefix.  When no marker for epoch is
+// known the log is left untouched apart from a compaction attempt — never
+// guess a reclaim boundary.
+func (l *Log) ReclaimBefore(epoch uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	off, ok := l.markOffs[epoch]
+	if ok && off > l.reclaimOff {
+		l.reclaimOff = off
+		for e, o := range l.markOffs {
+			if o < off {
+				delete(l.markOffs, e)
+			}
+		}
+		if err := l.writeHeader(l.tail-logHeaderSize, l.reclaimOff); err != nil {
+			return err
+		}
+		l.reclaims++
+	}
+	return l.compactLocked()
+}
+
+// compactLocked physically removes the reclaimed dead prefix by copying the
+// live suffix to the front of the region, but only when the two do not
+// overlap: the copy then lands entirely inside bytes the on-disk header no
+// longer references, so a crash at any point leaves the old header's view
+// intact and the final header write switches over atomically.  The caller
+// holds l.mu.
+func (l *Log) compactLocked() error {
+	live := l.tail - logHeaderSize - l.reclaimOff
+	if l.reclaimOff == 0 || live > l.reclaimOff {
+		return nil
+	}
+	if live > 0 {
+		buf := make([]byte, live)
+		if _, err := l.d.ReadAt(buf, l.start+logHeaderSize+l.reclaimOff); err != nil {
+			return err
+		}
+		if _, err := l.d.WriteAt(buf, l.start+logHeaderSize); err != nil {
+			return err
+		}
+		// Barrier: the copied records must be on the platter before the
+		// header points at them.
+		if err := l.d.Flush(); err != nil {
+			return err
+		}
+	}
+	shift := l.reclaimOff
+	l.reclaimOff = 0
+	l.tail -= shift
+	if l.markOff >= shift {
+		l.markOff -= shift
+	} else {
+		l.markOff = 0
+	}
+	for e := range l.markOffs {
+		l.markOffs[e] -= shift
+	}
+	if err := l.writeHeader(l.tail-logHeaderSize, 0); err != nil {
+		return err
+	}
+	l.compactions++
+	return nil
+}
+
+// LiveBytes returns the committed bytes recovery would actually replay —
+// the region length minus any reclaimed dead prefix.  The store uses it to
+// decide when retaining a fallback generation would starve future commits.
+func (l *Log) LiveBytes() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.tail - logHeaderSize - l.reclaimOff
+}
+
+// ReplayStart returns the index into the slice the last Recover returned of
+// the first record after the last generation marker carrying epoch, and
+// whether such a marker exists.  Normal recovery replays from the marker of
+// the snapshot it mounted; the metadata-fallback path uses the older
+// snapshot's epoch, whose generation ReclaimBefore retains for exactly this
+// purpose.
+func (l *Log) ReplayStart(epoch uint64) (int, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	idx, ok := l.markIdxs[epoch]
+	return idx, ok
 }
 
 // RecoveredAfterMark returns the index into the slice the last Recover
@@ -408,16 +571,14 @@ func (l *Log) Recover() ([]Record, error) {
 	}
 	if allZero {
 		// Fresh region: nothing ever logged.
-		l.tail = logHeaderSize
-		l.markIdx, l.markOff = 0, 0
+		l.resetRecoveredState()
 		return nil, nil
 	}
 	if got := binary.LittleEndian.Uint32(hdr[0:]); got != logMagic {
 		// Non-zero but wrong magic is damage, not a fresh region — reseal
 		// empty and say so rather than silently dropping the log.
-		l.tail = logHeaderSize
-		l.markIdx, l.markOff = 0, 0
-		if err := l.writeHeader(0); err != nil {
+		l.resetRecoveredState()
+		if err := l.writeHeader(0, 0); err != nil {
 			return nil, err
 		}
 		return nil, fmt.Errorf("%w: bad log magic at offset %d: got %#x, want %#x", ErrCorrupt, l.start, got, logMagic)
@@ -434,14 +595,13 @@ func (l *Log) Recover() ([]Record, error) {
 		// an unknown version byte means rot, not a future format.
 		want := binary.LittleEndian.Uint32(hdr[16:])
 		if got := crc32.Checksum(hdr[:16], castagnoli); got != want {
-			l.tail = logHeaderSize
-			l.markIdx, l.markOff = 0, 0
-			if err := l.writeHeader(0); err != nil {
+			l.resetRecoveredState()
+			if err := l.writeHeader(0, 0); err != nil {
 				return nil, err
 			}
 			return nil, fmt.Errorf("%w: log header checksum mismatch at offset %d: got %#x, want %#x", ErrCorrupt, l.start, got, want)
 		}
-		if version != logVersion {
+		if version != logVersion && version != 3 {
 			// A genuine future format: refuse the mount without touching the
 			// region, so the newer code that wrote it can still recover.
 			return nil, fmt.Errorf("%w %d", ErrVersion, version)
@@ -449,16 +609,36 @@ func (l *Log) Recover() ([]Record, error) {
 	}
 	committed := int64(binary.LittleEndian.Uint64(hdr[8:]))
 	if committed < 0 || committed > l.size-bodyOff {
-		l.tail = logHeaderSize
-		l.markIdx, l.markOff = 0, 0
-		if err := l.writeHeader(0); err != nil {
+		l.resetRecoveredState()
+		if err := l.writeHeader(0, 0); err != nil {
 			return nil, err
 		}
 		return nil, fmt.Errorf("%w: committed length %d out of range", ErrCorrupt, committed)
 	}
-	body := make([]byte, committed)
-	if committed > 0 {
-		if _, err := l.d.ReadAt(body, l.start+bodyOff); err != nil {
+	var startOff int64
+	if version == logVersion {
+		// The start offset (and its CRC) exists only in the current layout;
+		// older versions implicitly start at 0.
+		want := binary.LittleEndian.Uint32(hdr[28:])
+		if got := crc32.Checksum(hdr[20:28], castagnoli); got != want {
+			l.resetRecoveredState()
+			if err := l.writeHeader(0, 0); err != nil {
+				return nil, err
+			}
+			return nil, fmt.Errorf("%w: log start-offset checksum mismatch at offset %d: got %#x, want %#x", ErrCorrupt, l.start, got, want)
+		}
+		startOff = int64(binary.LittleEndian.Uint64(hdr[20:]))
+		if startOff < 0 || startOff > committed {
+			l.resetRecoveredState()
+			if err := l.writeHeader(0, 0); err != nil {
+				return nil, err
+			}
+			return nil, fmt.Errorf("%w: start offset %d out of range (committed %d)", ErrCorrupt, startOff, committed)
+		}
+	}
+	body := make([]byte, committed-startOff)
+	if len(body) > 0 {
+		if _, err := l.d.ReadAt(body, l.start+bodyOff+startOff); err != nil {
 			return nil, err
 		}
 	}
@@ -473,7 +653,7 @@ func (l *Log) Recover() ([]Record, error) {
 	} else {
 		recs, good, err = decodeRecords(body)
 	}
-	if version != logVersion || good != committed {
+	if version != logVersion || good != committed-startOff {
 		// Format migration or damaged tail: rewrite the valid prefix in the
 		// current format and reseal the header to it.
 		if werr := l.rewrite(recs); werr != nil {
@@ -482,22 +662,38 @@ func (l *Log) Recover() ([]Record, error) {
 		return recs, err
 	}
 	l.tail = logHeaderSize + committed
-	l.setMarkBoundary(recs)
+	l.reclaimOff = startOff
+	l.setMarkBoundary(recs, startOff)
 	return recs, err
 }
 
-// setMarkBoundary records where the last generation marker sits in the
-// recovered records, both as a record index and a body byte offset; the
-// caller holds l.mu.
-func (l *Log) setMarkBoundary(recs []Record) {
+// resetRecoveredState clears every field derived from a recovered log body,
+// leaving the log logically empty; the caller holds l.mu.
+func (l *Log) resetRecoveredState() {
+	l.tail = logHeaderSize
 	l.markIdx, l.markOff = 0, 0
-	var off int64
+	l.reclaimOff = 0
+	l.markOffs = nil
+	l.markIdxs = nil
+}
+
+// setMarkBoundary records where generation markers sit in the recovered
+// records — the legacy last-marker index/offset plus the per-epoch maps —
+// with body offsets counted from base (the reclaimed start offset the
+// records were decoded after); the caller holds l.mu.
+func (l *Log) setMarkBoundary(recs []Record, base int64) {
+	l.markIdx, l.markOff = 0, 0
+	l.markOffs = make(map[uint64]int64)
+	l.markIdxs = make(map[uint64]int)
+	off := base
 	for i, r := range recs {
-		off += encodedSize(r)
 		if r.Mark {
+			l.markOffs[r.ObjectID] = off
+			l.markIdxs[r.ObjectID] = i + 1
 			l.markIdx = i + 1
-			l.markOff = off
+			l.markOff = off + encodedSize(r)
 		}
+		off += encodedSize(r)
 	}
 }
 
@@ -513,11 +709,12 @@ func (l *Log) rewrite(recs []Record) error {
 			return err
 		}
 	}
-	if err := l.writeHeader(int64(len(buf))); err != nil {
+	if err := l.writeHeader(int64(len(buf)), 0); err != nil {
 		return err
 	}
 	l.tail = logHeaderSize + int64(len(buf))
-	l.setMarkBoundary(recs)
+	l.reclaimOff = 0
+	l.setMarkBoundary(recs, 0)
 	return nil
 }
 
@@ -553,6 +750,11 @@ type Stats struct {
 	// Rotations counts Rotate calls that retained a previous checkpoint
 	// generation behind a marker (a plain truncate counts only in Applies).
 	Rotations uint64
+	// Reclaims counts ReclaimBefore calls that advanced the start offset;
+	// Compactions counts the physical dead-prefix compactions that followed
+	// (here or opportunistically inside a would-be-full Commit).
+	Reclaims    uint64
+	Compactions uint64
 }
 
 // Stats returns cumulative commit, apply (truncate), append and batch counts.
@@ -568,6 +770,8 @@ func (l *Log) Stats() Stats {
 		MaxBatch:     l.maxBatch,
 		BatchBytes:   l.batchBytes,
 		Rotations:    l.rotations,
+		Reclaims:     l.reclaims,
+		Compactions:  l.compactions,
 	}
 }
 
