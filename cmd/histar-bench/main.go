@@ -29,6 +29,7 @@ import (
 	"histar/internal/store"
 	"histar/internal/unixlib"
 	"histar/internal/vclock"
+	"histar/internal/webd"
 )
 
 // Report is the machine-readable form of everything histar-bench measures.
@@ -52,6 +53,25 @@ type Report struct {
 	Stall       StallReport       `json:"stall_ms"`
 	WriteAmp    WriteAmpReport    `json:"write_amplification"`
 	SegCleaner  SegCleanerReport  `json:"segment_cleaner"`
+	Web         WebReport         `json:"web"`
+}
+
+// WebReport is the Section 6.4 web-service section: the same many-user
+// workload driven three times at equal concurrency.  Baseline pays a fresh
+// worker process and full gate login per request.  Mixed runs the realistic
+// blend through the session cache — a hot set plus a uniform tail bigger
+// than the cache, with periodic logouts, so it pays evictions and cold
+// logins continuously.  Warm prewarms the cache with a hot set that fits,
+// measuring the steady state the cache exists to create.  Wall-clock
+// timing, so absolute RPS varies by machine; the ratios are the claim.
+type WebReport struct {
+	Baseline webd.LoadReport `json:"baseline"`
+	Mixed    webd.LoadReport `json:"mixed"`
+	Warm     webd.LoadReport `json:"warm"`
+	// MixedSpeedup is mixed RPS over baseline RPS; WarmSpeedup is warm
+	// (steady-state session-hit) RPS over baseline RPS.
+	MixedSpeedup float64 `json:"mixed_speedup"`
+	WarmSpeedup  float64 `json:"warm_speedup"`
 }
 
 type LabelCacheReport struct {
@@ -187,6 +207,10 @@ func main() {
 
 	var r Report
 	r.GoMaxProcs = runtime.GOMAXPROCS(0)
+	// The web section runs first: the disk sections below leave gigabytes of
+	// simulated platters live on the heap, and GC pacing over that heap
+	// throttles the high-RPS cached runs if they go second.
+	webRun(&r)
 	syscallCounts(&r)
 	r.PerFileOverGroupSync = groupVsPerFileSync()
 	groupCommitRun(&r)
@@ -633,6 +657,58 @@ func segmentCleanerRun(r *Report) {
 	}
 }
 
+// webRun drives the webd load harness three times at equal concurrency: the
+// per-request-login baseline; the mixed run over a larger population than
+// the session cache holds (so it continuously pays evictions and cold
+// logins on the uniform tail, plus periodic logouts); and the warm run,
+// prewarmed with a hot set that fits the cache, measuring the steady state.
+// The baseline gets proportionally fewer requests — it is orders of
+// magnitude more expensive per request — since RPS normalizes the
+// comparison.
+func webRun(r *Report) {
+	const (
+		users       = 256
+		concurrency = 8
+	)
+	baseline, err := webd.RunLoad(webd.LoadConfig{
+		Users:       users,
+		Requests:    400,
+		Concurrency: concurrency,
+		Seed:        9,
+		Server:      webd.Config{DisableSessionCache: true},
+	})
+	must(err)
+	mixed, err := webd.RunLoad(webd.LoadConfig{
+		Users:       users,
+		Requests:    4000,
+		Concurrency: concurrency,
+		LogoutEvery: 500,
+		Seed:        9,
+		Server:      webd.Config{MaxSessions: 192, Lanes: 4, MaxBatch: 16},
+	})
+	must(err)
+	warm, err := webd.RunLoad(webd.LoadConfig{
+		Users:       users,
+		Requests:    8000,
+		Concurrency: concurrency,
+		HotUsers:    96,
+		HotFraction: 1.0,
+		Prewarm:     true,
+		Seed:        9,
+		Server:      webd.Config{MaxSessions: 192, Lanes: 4, MaxBatch: 16},
+	})
+	must(err)
+	if baseline.Errors > 0 || mixed.Errors > 0 || warm.Errors > 0 {
+		panic(fmt.Sprintf("web bench: request errors (baseline %d, mixed %d, warm %d)",
+			baseline.Errors, mixed.Errors, warm.Errors))
+	}
+	r.Web = WebReport{Baseline: *baseline, Mixed: *mixed, Warm: *warm}
+	if baseline.RPS > 0 {
+		r.Web.MixedSpeedup = mixed.RPS / baseline.RPS
+		r.Web.WarmSpeedup = warm.RPS / baseline.RPS
+	}
+}
+
 // groupCommitRun runs a parallel Put+SyncObject workload directly against a
 // store and records the write-ahead log commit savings.
 func groupCommitRun(r *Report) {
@@ -750,6 +826,15 @@ func printReport(r *Report) {
 	fmt.Printf("Segment cleaner: %d segments allocated, %d copied out, %d freed (%d bytes relocated); %d CRC backfills\n",
 		r.SegCleaner.SegsAllocated, r.SegCleaner.SegsCleaned, r.SegCleaner.SegsFreed,
 		r.SegCleaner.BytesCleaned, r.SegCleaner.CRCBackfills)
+	fmt.Printf("Web service (wall clock, %d users, %d clients): per-request login %.0f req/s (p99 %.0fus) vs session-cached mixed %.0f req/s (p99 %.0fus, %.1fx) vs warm %.0f req/s (p99 %.0fus, %.1fx)\n",
+		r.Web.Mixed.Users, r.Web.Mixed.Concurrency,
+		r.Web.Baseline.RPS, r.Web.Baseline.P99Micros,
+		r.Web.Mixed.RPS, r.Web.Mixed.P99Micros, r.Web.MixedSpeedup,
+		r.Web.Warm.RPS, r.Web.Warm.P99Micros, r.Web.WarmSpeedup)
+	fmt.Printf("  mixed session cache: %.1f%% hit rate (%d hits / %d misses), %d cold logins, %d evictions, %d logouts; %d gate calls over %d ring waits\n",
+		100*r.Web.Mixed.HitRate, r.Web.Mixed.Sessions.Hits, r.Web.Mixed.Sessions.Misses,
+		r.Web.Mixed.Sessions.ColdLogins, r.Web.Mixed.Sessions.Evictions,
+		r.Web.Mixed.Sessions.Logouts, r.Web.Mixed.RingGateCalls, r.Web.Mixed.RingWaits)
 }
 
 func must(err error) {

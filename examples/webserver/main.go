@@ -1,6 +1,10 @@
 // Example: the Section 6.4 web service.  Each request runs in a worker
 // holding exactly one authenticated user's categories; even an application
 // handler that tries to read another user's data is stopped by the kernel.
+// The server keeps authenticated workers in a session cache: the first
+// request per user pays a full gate login, later ones re-check the password
+// and reach the warm worker through its serve gate, and Logout tears the
+// worker down so the next request logs in from scratch.
 package main
 
 import (
@@ -22,7 +26,8 @@ func main() {
 	authSvc := auth.New(sys)
 	authSvc.Register("alice", "alicepw")
 	authSvc.Register("bob", "bobpw")
-	srv := webd.New(sys, authSvc, webd.ProfileApp)
+	srv := webd.NewWithConfig(sys, authSvc, webd.ProfileApp, webd.Config{MaxSessions: 8, Lanes: 2})
+	defer srv.Close()
 
 	mustServe := func(req webd.Request) string {
 		resp, err := srv.Serve(req)
@@ -36,4 +41,14 @@ func main() {
 	fmt.Println("alice sees:", mustServe(webd.Request{User: "alice", Password: "alicepw", Path: "/profile"}))
 	fmt.Println("bob sees:  ", mustServe(webd.Request{User: "bob", Password: "bobpw", Path: "/profile"}))
 	fmt.Println("bad creds: ", mustServe(webd.Request{User: "alice", Password: "guess", Path: "/profile"}))
+
+	st := srv.SessionStats()
+	fmt.Printf("session cache: %d live, %d hits, %d cold logins, %d bad passwords\n",
+		st.Live, st.Hits, st.ColdLogins, st.BadPasswords)
+
+	// Logout invalidates the cached worker; the next request is a fresh login.
+	srv.Logout("alice")
+	fmt.Println("after logout:", mustServe(webd.Request{User: "alice", Password: "alicepw", Path: "/profile"}))
+	st = srv.SessionStats()
+	fmt.Printf("session cache: %d live, %d logouts, %d cold logins\n", st.Live, st.Logouts, st.ColdLogins)
 }

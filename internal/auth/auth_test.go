@@ -141,3 +141,101 @@ func TestCrossUserIsolationAfterLogin(t *testing.T) {
 		t.Error("bob's session must not read alice's files")
 	}
 }
+
+func TestVerifyFastPath(t *testing.T) {
+	_, svc := bootAuth(t)
+	if _, err := svc.Register("dave", "open sesame"); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Verify("dave", "open sesame"); err != nil {
+		t.Errorf("correct password: %v", err)
+	}
+	if err := svc.Verify("dave", "open says me"); !errors.Is(err, ErrBadPassword) {
+		t.Errorf("wrong password: err=%v, want ErrBadPassword", err)
+	}
+	if err := svc.Verify("nobody", "x"); !errors.Is(err, ErrNoSuchUser) {
+		t.Errorf("unknown user: err=%v, want ErrNoSuchUser", err)
+	}
+}
+
+func TestVerifierMatchesHashPassword(t *testing.T) {
+	// The midstate-resumed hash must equal the from-scratch reference for
+	// arbitrary user/password combinations, including empty strings.
+	cases := []struct{ user, pass string }{
+		{"alice", "wonderland"},
+		{"", ""},
+		{"u", "p"},
+		{"name-with-\x00-byte", "pass\x00word"},
+	}
+	for _, c := range cases {
+		v := newPassVerifier(c.user)
+		if got, want := v.hash(c.user, c.pass), hashPassword(c.user, c.pass); got != want {
+			t.Errorf("verifier hash mismatch for %q/%q", c.user, c.pass)
+		}
+	}
+}
+
+func TestSessionCodecRoundTrip(t *testing.T) {
+	sess := &sessionState{
+		x:         label.Category(0xdeadbeefcafe),
+		checkGate: kernel.CEnt{Container: 1, Object: 2},
+		grantGate: kernel.CEnt{Container: 3, Object: 4},
+		retrySeg:  kernel.CEnt{Container: 5, Object: 6},
+	}
+	got, err := decodeSession(encodeSession(sess))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *sess {
+		t.Errorf("round trip: got %+v, want %+v", got, sess)
+	}
+	if _, err := decodeSession([]byte("ERR something broke")); err == nil {
+		t.Error("text error reply must not decode as a session")
+	}
+}
+
+// benchAuth boots a system with one registered user for the login
+// benchmarks; testing.TB so benchmarks share it.
+func benchAuth(tb testing.TB) (*unixlib.System, *Service) {
+	tb.Helper()
+	sys, err := unixlib.Boot(unixlib.BootOptions{KernelConfig: kernel.Config{Seed: 11}})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	svc := New(sys)
+	if _, err := svc.Register("bench", "passw0rd"); err != nil {
+		tb.Fatal(err)
+	}
+	return sys, svc
+}
+
+// BenchmarkLoginCold measures the full cold login a session miss pays:
+// a fresh unprivileged process plus the three-gate authentication protocol.
+func BenchmarkLoginCold(b *testing.B) {
+	sys, svc := benchAuth(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		client, err := sys.NewInitProcess("")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := svc.Login(client, "bench", "passw0rd"); err != nil {
+			b.Fatal(err)
+		}
+		client.ExitQuietly()
+	}
+}
+
+// BenchmarkLoginSessionHit measures the credential re-check a session hit
+// pays: one midstate-resumed hash and a constant-time compare.
+func BenchmarkLoginSessionHit(b *testing.B) {
+	_, svc := benchAuth(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := svc.Verify("bench", "passw0rd"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

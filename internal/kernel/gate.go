@@ -1,6 +1,8 @@
 package kernel
 
 import (
+	"sync"
+
 	"histar/internal/label"
 )
 
@@ -125,6 +127,19 @@ func (tc *ThreadCall) GateEnter(ce CEnt, req GateRequest) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	g, err := tc.resolveGate(ctx, ce)
+	if err != nil {
+		return nil, err
+	}
+	if err := tc.gateEnterTransfer(ctx.t, g, req); err != nil {
+		return nil, err
+	}
+	return tc.gateDispatch(g, req), nil
+}
+
+// resolveGate resolves a container entry to a live gate without taking any
+// object locks (peek's container read lock excepted).
+func (tc *ThreadCall) resolveGate(ctx tctx, ce CEnt) (*gate, error) {
 	_, obj, err := tc.k.peek(ctx, ce)
 	if err != nil {
 		return nil, err
@@ -133,15 +148,20 @@ func (tc *ThreadCall) GateEnter(ce CEnt, req GateRequest) ([]byte, error) {
 	if !ok {
 		return nil, ErrWrongType
 	}
+	return g, nil
+}
+
+// gateEnterTransfer performs the label checks of Section 3.5 and, if they
+// pass, retargets thread t to the requested label/clearance and the gate's
+// address space.  The checks compare the thread's label against the
+// (immutable) gate, so they run under the thread's write lock, against the
+// label as it is now: a concurrent self_set_label or ownership grant must
+// either land before the checks or after the transfer, never be overwritten
+// by it.  The label cache is a leaf and may be consulted under the lock.
+func (tc *ThreadCall) gateEnterTransfer(t *thread, g *gate, req GateRequest) error {
 	if !label.ValidThreadLabel(req.Label) || !label.ValidClearance(req.Clearance) {
-		return nil, ErrInvalid
+		return ErrInvalid
 	}
-	// The entry checks compare the thread's label against the (immutable)
-	// gate, so they run under the thread's write lock, against the label as
-	// it is now: a concurrent self_set_label or ownership grant must either
-	// land before the checks or after the transfer, never be overwritten by
-	// it.  The label cache is a leaf and may be consulted under the lock.
-	t := ctx.t
 	ls := lockOrdered(objLock{t, true}, objLock{t.localSegment, true})
 	gerr := func() error {
 		if t.halted {
@@ -158,13 +178,20 @@ func (tc *ThreadCall) GateEnter(ce CEnt, req GateRequest) ([]byte, error) {
 		}
 		// (LTᴶ ⊔ LGᴶ)⋆ ⊑ LR: the requested label must carry at least the
 		// taint of both the thread and the gate (ownership from either may
-		// appear).
-		minLabel := t.lbl.RaiseJ().Join(g.gateLabel.RaiseJ()).LowerStar()
-		if !tc.k.leq(minLabel, req.Label) {
+		// appear).  GateMinLeq compares pointwise without materializing the
+		// join, keeping the steady-state gate call allocation-free.
+		if !label.GateMinLeq(t.lbl, g.gateLabel, req.Label) {
 			return ErrLabel
 		}
-		// LR ⊑ CR ⊑ (CT ⊔ CG).
-		if !tc.k.leq(req.Label, req.Clearance) || !tc.k.leq(req.Clearance, t.clearance.Join(g.clearance)) {
+		// LR ⊑ CR ⊑ (CT ⊔ CG).  CR below either bound is below the join, so
+		// the common cases (a caller keeping its own clearance, or asking for
+		// the gate's) never materialize CT ⊔ CG; only the mixed case pays the
+		// join's allocation.
+		if !tc.k.leq(req.Label, req.Clearance) {
+			return ErrClearance
+		}
+		if !tc.k.leq(req.Clearance, t.clearance) && !tc.k.leq(req.Clearance, g.clearance) &&
+			!tc.k.leq(req.Clearance, t.clearance.Join(g.clearance)) {
 			return ErrClearance
 		}
 		// Perform the transfer: the thread now runs with LR/CR in the
@@ -179,20 +206,29 @@ func (tc *ThreadCall) GateEnter(ce CEnt, req GateRequest) ([]byte, error) {
 		return nil
 	}()
 	ls.unlock()
-	if gerr != nil {
-		return nil, gerr
-	}
-	closure := append([]byte(nil), g.closureArgs...)
+	return gerr
+}
 
-	// The entry point runs with no kernel locks held, on the invoking
-	// thread.
-	result := g.entry(&GateCallCtx{
+// gateCtxPool recycles GateCallCtx allocations across gate calls; see the
+// lifetime note on GateCallCtx.
+var gateCtxPool = sync.Pool{New: func() any { return new(GateCallCtx) }}
+
+// gateDispatch runs the gate's entry point on the invoking thread with no
+// kernel locks held.  The closure slice is passed as-is: closures are
+// immutable after GateCreate (which made its own copy), so there is no
+// per-call copy.
+func (tc *ThreadCall) gateDispatch(g *gate, req GateRequest) []byte {
+	call := gateCtxPool.Get().(*GateCallCtx)
+	*call = GateCallCtx{
 		TC:      tc,
 		Verify:  req.Verify,
 		Args:    req.Args,
-		Closure: closure,
-	})
-	return result, nil
+		Closure: g.closureArgs,
+	}
+	result := g.entry(call)
+	*call = GateCallCtx{}
+	gateCtxPool.Put(call)
+	return result
 }
 
 // GateStat describes a gate's externally visible state.

@@ -7,6 +7,96 @@ import (
 	"histar/internal/label"
 )
 
+// gateBenchEnv builds a gate plus a pre-interned steady-state request, the
+// shape of a warm webd session call: the caller repeatedly enters the same
+// gate with identical labels, so every label the transfer installs is
+// already interned and every comparison is already cached.
+func gateBenchEnv(tb testing.TB) (*ThreadCall, CEnt, GateRequest) {
+	tb.Helper()
+	k, tc := boot(tb)
+	root := k.RootContainer()
+	c, _ := tc.CategoryCreateNamed("sess")
+	gateID, err := tc.GateCreate(root, GateSpec{
+		Label:     label.New(label.L1, label.P(c, label.Star)),
+		Clearance: label.New(label.L2),
+		Closure:   []byte("closure-bytes"),
+		Descrip:   "bench gate",
+		Entry:     func(call *GateCallCtx) []byte { return call.Closure },
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	lbl, _ := tc.SelfLabel()
+	clr, _ := tc.SelfClearance()
+	req := GateRequest{
+		Label:     label.Intern(lbl),
+		Clearance: label.Intern(clr),
+		Verify:    label.Intern(lbl),
+	}
+	return tc, CEnt{root, gateID}, req
+}
+
+func TestGateEnterZeroAlloc(t *testing.T) {
+	tc, gate, req := gateBenchEnv(t)
+	// Warm the label caches, intern table, and ctx pool.
+	if _, err := tc.GateEnter(gate, req); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := tc.GateEnter(gate, req); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state GateEnter allocates %.1f times per call, want 0", allocs)
+	}
+}
+
+func TestGateEnterClosureNotCopied(t *testing.T) {
+	k, tc := boot(t)
+	root := k.RootContainer()
+	var first, second *byte
+	gateID, _ := tc.GateCreate(root, GateSpec{
+		Label:     label.New(label.L1),
+		Clearance: label.New(label.L2),
+		Closure:   []byte("immutable"),
+		Entry: func(call *GateCallCtx) []byte {
+			if first == nil {
+				first = &call.Closure[0]
+			} else {
+				second = &call.Closure[0]
+			}
+			return nil
+		},
+	})
+	req := GateRequest{Label: label.New(label.L1), Clearance: label.New(label.L2), Verify: label.New(label.L1)}
+	for i := 0; i < 2; i++ {
+		if _, err := tc.GateEnter(CEnt{root, gateID}, req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if first == nil || second == nil {
+		t.Fatal("entry did not run twice")
+	}
+	if first != second {
+		t.Error("closure bytes were copied per call; invocations should share the gate's immutable backing")
+	}
+}
+
+func BenchmarkGateEnter(b *testing.B) {
+	tc, gate, req := gateBenchEnv(b)
+	if _, err := tc.GateEnter(gate, req); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tc.GateEnter(gate, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func TestGateTransfersOwnership(t *testing.T) {
 	k, tc := boot(t)
 	root := k.RootContainer()

@@ -13,7 +13,11 @@
 //
 // Every system call is a method on ThreadCall, the per-thread syscall
 // context, so each call is checked against the invoking thread's label and
-// clearance.
+// clearance.  Threads that issue many calls can batch them through a
+// syscall ring (NewRing): one kernel entry executes a whole submission
+// queue, including ring-native gate calls via OpGateEnter — the full
+// Section 3.5 transfer plus a chained read checked against the post-entry
+// label.  The ring's protocol and ordering rules are documented in ring.go.
 //
 // # Locking discipline
 //
@@ -89,6 +93,11 @@ type Config struct {
 	// immutable labels (the Section 4 optimization); used by the ablation
 	// benchmarks.
 	DisableLabelCache bool
+	// LabelCacheEntries bounds the label comparison cache (0 picks the
+	// default of 65536).  Workloads with very large live category
+	// populations — the many-user web harness — size this up so steady-state
+	// comparisons stay cached instead of churning through evictions.
+	LabelCacheEntries int
 	// RootQuota is the quota of the root container; 0 means infinite.
 	RootQuota uint64
 	// ObjectTableShards overrides the number of object-table shards (rounded
@@ -157,7 +166,7 @@ func New(cfg Config) *Kernel {
 		shardMask:     uint64(nShards - 1),
 		ids:           label.NewAllocator(cfg.Seed ^ 0x9e3779b97f4a7c15),
 		cats:          label.NewAllocator(cfg.Seed),
-		labelCache:    label.NewCache(0),
+		labelCache:    label.NewCache(cfg.LabelCacheEntries),
 		useLabelCache: !cfg.DisableLabelCache,
 	}
 	for i := range k.shards {

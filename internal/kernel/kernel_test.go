@@ -8,7 +8,7 @@ import (
 )
 
 // boot creates a kernel and a root thread with full default privileges.
-func boot(t *testing.T) (*Kernel, *ThreadCall) {
+func boot(t testing.TB) (*Kernel, *ThreadCall) {
 	t.Helper()
 	k := New(Config{Seed: 1})
 	tc, err := k.BootThread(label.New(label.L1), label.New(label.L2), "boot thread")

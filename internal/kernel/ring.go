@@ -47,6 +47,19 @@ import (
 // the store turns into dense write-ahead-log batches — one flush per batch
 // instead of one per object.  Entries chained after a sync resume once the
 // group resolves, so read-after-sync sequences still work.
+//
+// OpGateEnter makes gate calls ring-native: the entry performs the full
+// Section 3.5 label checks and transfer, runs the gate's entry point (with
+// no kernel locks held, on the invoking thread), and returns the entry
+// point's result bytes in the completion's Val.  A successful gate entry
+// retargets the invoking thread's label, clearance, and address space, so
+// the ring re-snapshots the thread after each one: entries executing later
+// in the batch — in particular a chained read of a reply segment only the
+// post-entry label may observe — are checked against the thread's
+// post-transfer state, exactly as if the gate call had been made directly.
+// Gate entries are never coalesced with other entries and are their own
+// run.  The canonical use is a demultiplexer batching many
+// gate-call+reply-read chains (one chain per session) in a single Wait.
 type Ring struct {
 	tc     *ThreadCall
 	syncer Syncer
@@ -64,8 +77,8 @@ type Ring struct {
 	// counters once per Wait, so per-entry Submit calls from many threads
 	// never contend on shared cachelines.  The submit-side tallies survive
 	// across Waits until flushed; the rest are per-Wait.
-	nSubmits, nEntries, nChained                           uint64
-	nRuns, nCoalesced, nSkipped, nSyncGroups, nSyncEntries uint64
+	nSubmits, nEntries, nChained                                       uint64
+	nRuns, nCoalesced, nSkipped, nSyncGroups, nSyncEntries, nGateCalls uint64
 }
 
 // RingOp selects the system call a ring entry performs.
@@ -84,6 +97,11 @@ const (
 	OpObjectStat
 	// OpSync durably records object Seg.Object through the attached Syncer.
 	OpSync
+	// OpGateEnter invokes the gate Seg with the request in the entry's Gate
+	// field; the completion's Val carries the entry point's result bytes.
+	// On success the invoking thread runs under the requested label and
+	// clearance for the rest of the batch (and after Wait returns).
+	OpGateEnter
 )
 
 // RingEntry is one submitted operation.
@@ -93,6 +111,9 @@ type RingEntry struct {
 	Off  int
 	Len  int
 	Data []byte
+	// Gate is the gate-call request for OpGateEnter entries (nil is treated
+	// as the zero request, which the label checks reject).
+	Gate *GateRequest
 	// Chain makes this entry depend on its predecessor in submission order:
 	// it is skipped (ErrSkipped) if the predecessor failed or was skipped.
 	Chain bool
@@ -102,7 +123,7 @@ type RingEntry struct {
 // submission order; Index is the entry's position in that order.
 type RingCompletion struct {
 	Index int
-	Val   []byte // OpSegmentRead
+	Val   []byte // OpSegmentRead, OpGateEnter (entry point result)
 	N     int    // bytes read/written, or segment length
 	Stat  Stat   // OpObjectStat
 	Err   error
@@ -188,7 +209,7 @@ func (r *Ring) Wait(minComplete int) ([]RingCompletion, error) {
 	}
 	k := r.tc.k
 	k.ring.waits.Add(1)
-	r.nRuns, r.nCoalesced, r.nSkipped, r.nSyncGroups, r.nSyncEntries = 0, 0, 0, 0, 0
+	r.nRuns, r.nCoalesced, r.nSkipped, r.nSyncGroups, r.nSyncEntries, r.nGateCalls = 0, 0, 0, 0, 0, 0
 
 	if cap(r.comps) < len(entries) {
 		r.comps = make([]RingCompletion, len(entries))
@@ -235,8 +256,19 @@ func (r *Ring) Wait(minComplete int) ([]RingCompletion, error) {
 			}
 		}
 		for j := 0; j < len(plan); {
+			if entries[plan[j].i].Op == OpGateEnter {
+				// Gate entries are their own run: the transfer takes the
+				// thread's write lock itself, the entry point must run with
+				// no locks held, and on success the batch snapshot is
+				// refreshed for everything that follows.
+				r.execGateEnter(&ctx, entries, units, plan[j], comps)
+				r.nRuns++
+				j++
+				continue
+			}
 			end := j + 1
-			for end < len(plan) && entries[plan[end].i].Seg == entries[plan[j].i].Seg {
+			for end < len(plan) && entries[plan[end].i].Seg == entries[plan[j].i].Seg &&
+				entries[plan[end].i].Op != OpGateEnter {
 				end++
 			}
 			r.execRun(ctx, entries, units, plan[j:end], comps)
@@ -280,6 +312,7 @@ func (r *Ring) Wait(minComplete int) ([]RingCompletion, error) {
 	k.ring.skipped.Add(r.nSkipped)
 	k.ring.syncGroups.Add(r.nSyncGroups)
 	k.ring.syncEntries.Add(r.nSyncEntries)
+	k.ring.gateCalls.Add(r.nGateCalls)
 	return comps, nil
 }
 
@@ -401,6 +434,39 @@ func (r *Ring) execRun(ctx tctx, entries []RingEntry, units []ringUnit, run []pl
 	}
 }
 
+// execGateEnter executes one OpGateEnter entry: resolve the gate, run the
+// Section 3.5 checks and transfer (which takes the thread and thread-local
+// segment write locks itself), then dispatch the entry point with no kernel
+// locks held.  On success the batch snapshot *ctx is refreshed to the
+// thread's post-transfer state, so the rest of the batch — notably a
+// chained read of a reply segment readable only under the acquired label —
+// is checked the same way it would be after a direct GateEnter syscall.
+func (r *Ring) execGateEnter(ctx *tctx, entries []RingEntry, units []ringUnit, it planItem, comps []RingCompletion) {
+	k := r.tc.k
+	e := &entries[it.i]
+	k.count(scGateEnter, ctx.t)
+	r.nGateCalls++
+	var req GateRequest
+	if e.Gate != nil {
+		req = *e.Gate
+	}
+	g, err := r.tc.resolveGate(*ctx, e.Seg)
+	if err == nil {
+		err = r.tc.gateEnterTransfer(ctx.t, g, req)
+	}
+	if err != nil {
+		comps[it.i].Err = err
+		units[it.u].failed = true
+		return
+	}
+	comps[it.i].Val = r.tc.gateDispatch(g, req)
+	comps[it.i].N = len(comps[it.i].Val)
+	t := ctx.t
+	t.mu.RLock()
+	*ctx = tctx{t: t, lbl: t.lbl, clearance: t.clearance, as: t.addressSpace}
+	t.mu.RUnlock()
+}
+
 // dispatchSyncs sends one pass's deferred OpSync entries to the Syncer as a
 // single group — the pre-formed batch the store's group committer commits
 // with one log append and one flush per bounded batch.
@@ -447,6 +513,7 @@ type ringCounters struct {
 	skipped     atomic.Uint64
 	syncGroups  atomic.Uint64
 	syncEntries atomic.Uint64
+	gateCalls   atomic.Uint64
 }
 
 // RingStats is a snapshot of kernel-wide ring activity.
@@ -470,6 +537,8 @@ type RingStats struct {
 	// the OpSync entries they carried.
 	SyncGroups  uint64
 	SyncEntries uint64
+	// GateCalls counts OpGateEnter entries executed through the ring.
+	GateCalls uint64
 }
 
 // RingStats returns a snapshot of the kernel-wide ring counters.
@@ -484,6 +553,7 @@ func (k *Kernel) RingStats() RingStats {
 		Skipped:     k.ring.skipped.Load(),
 		SyncGroups:  k.ring.syncGroups.Load(),
 		SyncEntries: k.ring.syncEntries.Load(),
+		GateCalls:   k.ring.gateCalls.Load(),
 	}
 }
 
@@ -499,4 +569,5 @@ func (k *Kernel) ResetRingStats() {
 	c.skipped.Store(0)
 	c.syncGroups.Store(0)
 	c.syncEntries.Store(0)
+	c.gateCalls.Store(0)
 }

@@ -428,3 +428,209 @@ func TestRingConcurrentOverlap(t *testing.T) {
 		t.Errorf("no ring activity recorded: %+v", st)
 	}
 }
+
+// TestRingGateEnterChainedReplyRead is the demux pattern OpGateEnter exists
+// for: the gate entry writes a reply into a segment only the post-entry
+// label may observe, and a chained OpSegmentRead in the same batch reads it
+// back — which only works because the ring refreshes its thread snapshot
+// after the gate transfer.
+func TestRingGateEnterChainedReplyRead(t *testing.T) {
+	k, tc := boot(t)
+	root := k.RootContainer()
+	u, _ := tc.CategoryCreateNamed("u")
+
+	reply, err := tc.SegmentCreate(root, label.New(label.L1, label.P(u, label.L3)), "reply", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gateID, err := tc.GateCreate(root, GateSpec{
+		Label:     label.New(label.L1, label.P(u, label.Star)),
+		Clearance: label.New(label.L2),
+		Descrip:   "session gate",
+		Entry: func(call *GateCallCtx) []byte {
+			if err := call.TC.SegmentWrite(CEnt{root, reply}, 0, append([]byte("re:"), call.Args...)); err != nil {
+				return []byte("write failed: " + err.Error())
+			}
+			return []byte("ok")
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// An unprivileged client cannot read the reply segment directly.
+	tid, _ := tc.ThreadCreate(root, ThreadSpec{Label: label.New(label.L1), Clearance: label.New(label.L2), Descrip: "client"})
+	tc2, _ := k.ThreadCall(tid)
+	if _, err := tc2.SegmentRead(CEnt{root, reply}, 0, 8); err == nil {
+		t.Fatal("client must not read the reply segment before the gate call")
+	}
+
+	ring := tc2.NewRing()
+	ring.Submit(
+		RingEntry{Op: OpGateEnter, Seg: CEnt{root, gateID}, Gate: &GateRequest{
+			Label:     label.New(label.L1, label.P(u, label.Star)),
+			Clearance: label.New(label.L2),
+			Verify:    label.New(label.L1),
+			Args:      []byte("req1"),
+		}},
+		RingEntry{Op: OpSegmentRead, Seg: CEnt{root, reply}, Off: 0, Len: 7, Chain: true},
+	)
+	comps, err := ring.Wait(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comps[0].Err != nil || string(comps[0].Val) != "ok" {
+		t.Fatalf("gate completion: val=%q err=%v", comps[0].Val, comps[0].Err)
+	}
+	if comps[1].Err != nil || string(comps[1].Val) != "re:req1" {
+		t.Fatalf("chained reply read: val=%q err=%v", comps[1].Val, comps[1].Err)
+	}
+	if st := k.RingStats(); st.GateCalls != 1 {
+		t.Errorf("GateCalls = %d, want 1", st.GateCalls)
+	}
+	// The thread keeps the label it acquired, as after a direct GateEnter.
+	lbl, _ := tc2.SelfLabel()
+	if !lbl.Owns(u) {
+		t.Error("client should own u after the ring gate call")
+	}
+}
+
+// TestRingGateEnterFailureSkipsChain checks that a rejected gate request
+// fails its own chain (the reply read is skipped) without poisoning an
+// independent chain in the same batch.
+func TestRingGateEnterFailureSkipsChain(t *testing.T) {
+	k, tc := boot(t)
+	root := k.RootContainer()
+	v, _ := tc.CategoryCreate()
+
+	seg, _ := tc.SegmentCreate(root, label.New(label.L1), "plain", 8)
+	_ = tc.SegmentWrite(CEnt{root, seg}, 0, []byte("plain!"))
+	gateID, _ := tc.GateCreate(root, GateSpec{
+		Label:     label.New(label.L1),
+		Clearance: label.New(label.L2),
+		Entry:     func(call *GateCallCtx) []byte { return []byte("ok") },
+	})
+
+	// Client tainted v2 tries to shed the taint across the gate: ErrLabel.
+	tid, _ := tc.ThreadCreate(root, ThreadSpec{
+		Label:     label.New(label.L1, label.P(v, label.L2)),
+		Clearance: label.New(label.L2),
+	})
+	tc2, _ := k.ThreadCall(tid)
+	ring := tc2.NewRing()
+	ring.Submit(
+		RingEntry{Op: OpGateEnter, Seg: CEnt{root, gateID}, Gate: &GateRequest{
+			Label:     label.New(label.L1), // sheds v2: rejected
+			Clearance: label.New(label.L2),
+			Verify:    label.New(label.L1, label.P(v, label.L2)),
+		}},
+		RingEntry{Op: OpSegmentRead, Seg: CEnt{root, seg}, Off: 0, Len: 6, Chain: true},
+		// Independent chain: must execute despite the failure above.
+		RingEntry{Op: OpSegmentRead, Seg: CEnt{root, seg}, Off: 0, Len: 6},
+	)
+	comps, err := ring.Wait(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(comps[0].Err, ErrLabel) {
+		t.Errorf("gate completion err = %v, want ErrLabel", comps[0].Err)
+	}
+	if !errors.Is(comps[1].Err, ErrSkipped) {
+		t.Errorf("chained read err = %v, want ErrSkipped", comps[1].Err)
+	}
+	if comps[2].Err != nil || string(comps[2].Val) != "plain!" {
+		t.Errorf("independent read: val=%q err=%v", comps[2].Val, comps[2].Err)
+	}
+	// The failed transfer must not have changed the thread's label.
+	lbl, _ := tc2.SelfLabel()
+	if lbl.Get(v) != label.L2 {
+		t.Errorf("thread label changed by failed gate entry: %v", lbl)
+	}
+}
+
+// TestRingGateEnterWrongType rejects OpGateEnter aimed at a non-gate.
+func TestRingGateEnterWrongType(t *testing.T) {
+	env := newRingEnv(t, 1, 64)
+	ring := env.tc.NewRing()
+	ring.Submit(RingEntry{Op: OpGateEnter, Seg: env.segs[0], Gate: &GateRequest{
+		Label:     label.New(label.L1),
+		Clearance: label.New(label.L2),
+		Verify:    label.New(label.L1),
+	}})
+	comps, err := ring.Wait(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(comps[0].Err, ErrWrongType) {
+		t.Errorf("err = %v, want ErrWrongType", comps[0].Err)
+	}
+}
+
+// TestRingGateEnterMultipleSessions batches two independent
+// gate-call+reply-read chains — two "sessions" with disjoint categories —
+// in one Wait, verifying the snapshot refresh keeps each chain's read under
+// the right label and neither session's privilege leaks into the other's
+// transfer.
+func TestRingGateEnterMultipleSessions(t *testing.T) {
+	k, tc := boot(t)
+	root := k.RootContainer()
+
+	type sess struct {
+		gate, reply ID
+		cat         label.Category
+	}
+	var sessions []sess
+	for i := 0; i < 2; i++ {
+		c, _ := tc.CategoryCreateNamed(fmt.Sprintf("u%d", i))
+		reply, err := tc.SegmentCreate(root, label.New(label.L1, label.P(c, label.L3)), fmt.Sprintf("reply%d", i), 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		msg := fmt.Sprintf("user%d-data", i)
+		gateID, err := tc.GateCreate(root, GateSpec{
+			Label:     label.New(label.L1, label.P(c, label.Star)),
+			Clearance: label.New(label.L2),
+			Entry: func(call *GateCallCtx) []byte {
+				if err := call.TC.SegmentWrite(CEnt{root, reply}, 0, []byte(msg)); err != nil {
+					return []byte("ERR")
+				}
+				return []byte("ok")
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sessions = append(sessions, sess{gate: gateID, reply: reply, cat: c})
+	}
+
+	tid, _ := tc.ThreadCreate(root, ThreadSpec{Label: label.New(label.L1), Clearance: label.New(label.L2), Descrip: "demux lane"})
+	lane, _ := k.ThreadCall(tid)
+	ring := lane.NewRing()
+	for _, s := range sessions {
+		ring.Submit(
+			RingEntry{Op: OpGateEnter, Seg: CEnt{root, s.gate}, Gate: &GateRequest{
+				Label:     label.New(label.L1, label.P(s.cat, label.Star)),
+				Clearance: label.New(label.L2),
+				Verify:    label.New(label.L1),
+			}},
+			RingEntry{Op: OpSegmentRead, Seg: CEnt{root, s.reply}, Off: 0, Len: 10, Chain: true},
+		)
+	}
+	comps, err := ring.Wait(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sessions {
+		gc, rc := comps[2*i], comps[2*i+1]
+		if gc.Err != nil || string(gc.Val) != "ok" {
+			t.Errorf("session %d gate: val=%q err=%v", i, gc.Val, gc.Err)
+		}
+		want := fmt.Sprintf("user%d-data", i)
+		if rc.Err != nil || string(rc.Val) != want {
+			t.Errorf("session %d reply = %q (err=%v), want %q", i, rc.Val, rc.Err, want)
+		}
+	}
+	if st := k.RingStats(); st.GateCalls != 2 {
+		t.Errorf("GateCalls = %d, want 2", st.GateCalls)
+	}
+}

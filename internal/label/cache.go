@@ -83,13 +83,28 @@ func (c *Cache) lookup(a, b Fingerprint, compute func() bool) bool {
 	s.mu.Lock()
 	if _, ok := s.m[k]; !ok {
 		if len(s.m) >= c.maxPerShard {
-			s.evictions += uint64(len(s.m))
-			clear(s.m)
+			s.evictLocked(c.maxPerShard / 2)
 		}
 		s.m[k] = v
 	}
 	s.mu.Unlock()
 	return v
+}
+
+// evictLocked discards entries (in Go's randomized map iteration order)
+// until at most target remain.  Evicting half the shard instead of clearing
+// it keeps the surviving comparisons hot: under sustained churn — e.g. a
+// many-user web workload minting fresh categories — a full clear caused
+// periodic miss storms where every in-flight comparison recomputed and
+// re-inserted at once.
+func (s *cacheShard) evictLocked(target int) {
+	for k := range s.m {
+		if len(s.m) <= target {
+			break
+		}
+		delete(s.m, k)
+		s.evictions++
+	}
 }
 
 // Leq returns l ⊑ m, consulting and updating the cache.

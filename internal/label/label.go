@@ -579,6 +579,60 @@ func MinObserveLabel(cur, obj Label) Label {
 	return cur.RaiseJ().Join(obj).LowerStar()
 }
 
+// gateMinLevel is the pointwise level of the gate-entry minimum label
+// (lᴶ ⊔ gᴶ)⋆ for a category at level lt in the thread label and lg in the
+// gate label: ownership on either side survives as ⋆, otherwise the levels
+// combine as a plain max.
+func gateMinLevel(lt, lg Level) Level {
+	return levelLowerStar(maxLevel(levelRaiseJ(lt), levelRaiseJ(lg)))
+}
+
+// GateMinLeq reports whether (lᴶ ⊔ gᴶ)⋆ ⊑ r, the minimum-label check of
+// gate entry (Section 3.5: l is the invoking thread's label LT, g the gate
+// label LG, r the requested label LR).  It computes the pointwise comparison
+// directly as a three-way merge over the canonical slices, so — unlike
+// materializing RaiseJ/Join/LowerStar — it allocates nothing.  Note the
+// check does not decompose into l ⊑ r ∧ g ⊑ r: LowerStar is not monotone,
+// so the combined form must be compared pointwise.
+func GateMinLeq(l, g, r Label) bool {
+	if gateMinLevel(l.def, g.def) > r.def {
+		return false
+	}
+	lp, gp, rp := l.pairs, g.pairs, r.pairs
+	i, j, k := 0, 0, 0
+	for i < len(lp) || j < len(gp) || k < len(rp) {
+		// Lowest category among the three heads.
+		var c Category
+		have := false
+		if i < len(lp) {
+			c, have = lp[i].Category, true
+		}
+		if j < len(gp) && (!have || gp[j].Category < c) {
+			c, have = gp[j].Category, true
+		}
+		if k < len(rp) && (!have || rp[k].Category < c) {
+			c = rp[k].Category
+		}
+		lt, lg, lr := l.def, g.def, r.def
+		if i < len(lp) && lp[i].Category == c {
+			lt = lp[i].Level
+			i++
+		}
+		if j < len(gp) && gp[j].Category == c {
+			lg = gp[j].Level
+			j++
+		}
+		if k < len(rp) && rp[k].Category == c {
+			lr = rp[k].Level
+			k++
+		}
+		if gateMinLevel(lt, lg) > lr {
+			return false
+		}
+	}
+	return true
+}
+
 // ValidObjectLabel reports whether l is acceptable as the label of a
 // non-thread, non-gate kernel object: no ⋆ or J entries anywhere.
 func ValidObjectLabel(l Label) bool {

@@ -513,3 +513,31 @@ func TestInternConcurrent(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestPropGateMinLeqMatchesMaterialized checks the allocation-free gate
+// minimum-label comparison against the materialized reference form
+// (lᴶ ⊔ gᴶ)⋆ ⊑ r for random thread labels, gate labels, and requests.
+func TestPropGateMinLeqMatchesMaterialized(t *testing.T) {
+	f := func(l, g quickThreadLabel, r quickThreadLabel) bool {
+		want := l.L.RaiseJ().Join(g.L.RaiseJ()).LowerStar().Leq(r.L)
+		return GateMinLeq(l.L, g.L, r.L) == want
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGateMinLeqZeroAlloc pins the allocation-free property the gate-entry
+// hot path depends on.
+func TestGateMinLeqZeroAlloc(t *testing.T) {
+	l := New(L1, P(3, Star), P(5, L2))
+	g := New(L1, P(4, Star), P(6, L3))
+	r := New(L1, P(5, L2), P(6, L3))
+	if !GateMinLeq(l, g, r) {
+		t.Fatal("expected GateMinLeq to hold for this triple")
+	}
+	allocs := testing.AllocsPerRun(100, func() { GateMinLeq(l, g, r) })
+	if allocs != 0 {
+		t.Errorf("GateMinLeq allocates %.1f times, want 0", allocs)
+	}
+}

@@ -238,6 +238,37 @@ func (sys *System) newProcessExtra(creator *kernel.ThreadCall, u *User, cwd stri
 	return p, nil
 }
 
+// NewThread creates an additional thread in the process, sharing its address
+// space and starting with the process's current label and clearance.  This is
+// how a multi-threaded daemon — the webd demultiplexer's lanes, Section 6.4 —
+// gets per-lane syscall contexts (each with its own ring) without new
+// processes.  The caller drives the returned ThreadCall from its own
+// goroutine; the thread is not scheduled independently in this simulation.
+func (p *Process) NewThread(descrip string) (*kernel.ThreadCall, error) {
+	lbl, err := p.TC.SelfLabel()
+	if err != nil {
+		return nil, mapKernelErr(err)
+	}
+	clr, err := p.TC.SelfClearance()
+	if err != nil {
+		return nil, mapKernelErr(err)
+	}
+	tid, err := p.TC.ThreadCreate(p.ProcCt, kernel.ThreadSpec{
+		Label:        lbl,
+		Clearance:    clr,
+		AddressSpace: p.AS,
+		Descrip:      descrip,
+	})
+	if err != nil {
+		return nil, mapKernelErr(err)
+	}
+	tc, err := p.sys.Kern.ThreadCall(tid)
+	if err != nil {
+		return nil, mapKernelErr(err)
+	}
+	return tc, nil
+}
+
 // createSignalGate exposes a gate in the process container whose entry sends
 // an alert to the process's main thread (Section 5.6).  Its clearance is
 // {uw0, 2} so only threads with the owning user's privilege can signal.
