@@ -54,6 +54,44 @@ type Report struct {
 	WriteAmp    WriteAmpReport    `json:"write_amplification"`
 	SegCleaner  SegCleanerReport  `json:"segment_cleaner"`
 	Web         WebReport         `json:"web"`
+	Snapshot    SnapshotReport    `json:"snapshot"`
+}
+
+// SnapshotReport is the container-snapshot/golden-image section: capture and
+// clone rates over a sandbox subtree, the byte-sharing ledger (bytes aliased
+// copy-on-write vs bytes actually copied by COW breaks), the cold-spawn vs
+// golden-spawn latency distributions the fast-path exists to separate, and
+// the webd cold-user blend run both ways.  Wall-clock timing; the ratios
+// (spawn_speedup_p50, web_cold_user_speedup) are the claim.
+type SnapshotReport struct {
+	// SandboxBytes/SandboxObjects describe the golden image: segment data
+	// shared by every spawn, and captured object count.
+	SandboxBytes   uint64 `json:"sandbox_bytes"`
+	SandboxObjects int    `json:"sandbox_objects"`
+
+	SnapshotsPerSec float64 `json:"snapshots_per_sec"`
+	ClonesPerSec    float64 `json:"clones_per_sec"`
+
+	// BytesShared counts segment bytes spawns aliased instead of copying;
+	// BytesCopied counts bytes privatized by first-write COW breaks.
+	BytesShared uint64 `json:"bytes_shared"`
+	BytesCopied uint64 `json:"bytes_copied"`
+	COWBreaks   uint64 `json:"cow_breaks"`
+
+	ColdSpawnP50Micros   float64 `json:"cold_spawn_p50_micros"`
+	ColdSpawnP99Micros   float64 `json:"cold_spawn_p99_micros"`
+	GoldenSpawnP50Micros float64 `json:"golden_spawn_p50_micros"`
+	GoldenSpawnP99Micros float64 `json:"golden_spawn_p99_micros"`
+	// SpawnSpeedupP50 is cold-spawn p50 over golden-spawn p50 for the same
+	// sandbox content.
+	SpawnSpeedupP50 float64 `json:"spawn_speedup_p50"`
+
+	// WebScratch and WebGolden run the same cold-user-heavy webd blend (more
+	// users than the session cache holds, so cold logins never stop) with
+	// the sandbox built from scratch vs cloned from a golden image.
+	WebScratch         webd.LoadReport `json:"web_scratch"`
+	WebGolden          webd.LoadReport `json:"web_golden"`
+	WebColdUserSpeedup float64         `json:"web_cold_user_speedup"`
 }
 
 // WebReport is the Section 6.4 web-service section: the same many-user
@@ -211,6 +249,7 @@ func main() {
 	// simulated platters live on the heap, and GC pacing over that heap
 	// throttles the high-RPS cached runs if they go second.
 	webRun(&r)
+	snapshotRun(&r)
 	syscallCounts(&r)
 	r.PerFileOverGroupSync = groupVsPerFileSync()
 	groupCommitRun(&r)
@@ -709,6 +748,116 @@ func webRun(r *Report) {
 	}
 }
 
+// snapshotRun measures the container snapshot/clone machinery: how fast the
+// kernel captures a 64 MiB sandbox subtree and how fast golden-image spawns
+// clone it, against the from-scratch sandbox build they replace; then the
+// webd cold-user blend (population ≫ session cache, so evictions keep the
+// cold-login path hot) with scratch-built vs golden-cloned sandboxes.
+func snapshotRun(r *Report) {
+	const (
+		sandboxBytes = 64 << 20
+		nColdSpawns  = 4
+		nSnapshots   = 16
+		nClones      = 32
+	)
+	sys, err := unixlib.Boot(unixlib.BootOptions{KernelConfig: kernel.Config{Seed: 11}})
+	must(err)
+	tc := sys.InitThread()
+	root := sys.Kern.RootContainer()
+
+	tmpl, err := sys.AddUser("goldentmpl")
+	must(err)
+	img, err := sys.BakeGoldenData("bench-sandbox", tmpl, sandboxBytes)
+	must(err)
+	r.Snapshot.SandboxBytes = img.Bytes
+	r.Snapshot.SandboxObjects = img.Objects
+
+	// Capture rate: re-snapshot the baked subtree under distinct names (each
+	// a fresh lineage, so nothing is answered from the idempotence check).
+	imgCE := kernel.CEnt{Container: root, Object: img.Root}
+	t0 := time.Now()
+	for i := 0; i < nSnapshots; i++ {
+		_, err := tc.ContainerSnapshot(imgCE, fmt.Sprintf("bench-recapture-%d", i))
+		must(err)
+	}
+	if el := time.Since(t0); el > 0 {
+		r.Snapshot.SnapshotsPerSec = nSnapshots / el.Seconds()
+	}
+
+	// Cold-spawn baseline: build the same sandbox from scratch, creating and
+	// writing every byte.
+	spawns, err := tc.ContainerCreate(root, label.New(label.L1), "bench spawns", 0, kernel.QuotaInfinite)
+	must(err)
+	cold := make([]time.Duration, nColdSpawns)
+	for i := range cold {
+		t0 := time.Now()
+		_, err := sys.BuildSandboxScratch(tc, spawns, nil, sandboxBytes)
+		must(err)
+		cold[i] = time.Since(t0)
+	}
+
+	// Golden spawns: one O(metadata) clone per user, categories remapped.
+	golden := make([]time.Duration, nClones)
+	t0 = time.Now()
+	for i := range golden {
+		u, err := sys.AddUser(fmt.Sprintf("spawnuser%d", i))
+		must(err)
+		s0 := time.Now()
+		_, err = sys.SpawnFromGolden(tc, img, spawns, u)
+		must(err)
+		golden[i] = time.Since(s0)
+	}
+	if el := time.Since(t0); el > 0 {
+		r.Snapshot.ClonesPerSec = nClones / el.Seconds()
+	}
+
+	coldP50, coldP99 := durPercentiles(cold)
+	goldP50, goldP99 := durPercentiles(golden)
+	micros := func(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+	r.Snapshot.ColdSpawnP50Micros, r.Snapshot.ColdSpawnP99Micros = micros(coldP50), micros(coldP99)
+	r.Snapshot.GoldenSpawnP50Micros, r.Snapshot.GoldenSpawnP99Micros = micros(goldP50), micros(goldP99)
+	if goldP50 > 0 {
+		r.Snapshot.SpawnSpeedupP50 = float64(coldP50) / float64(goldP50)
+	}
+	ss := sys.Kern.SnapshotStats()
+	r.Snapshot.BytesShared = ss.SharedBytes
+	r.Snapshot.BytesCopied = ss.CopiedBytes
+	r.Snapshot.COWBreaks = ss.CowBreaks
+
+	// The webd cold-user blend: 48 users over a 12-session cache means the
+	// uniform traffic never stops paying cold logins, which is exactly where
+	// the sandbox build sits.  Same blend, scratch vs golden.
+	blend := func(goldenImage bool) *webd.LoadReport {
+		rep, err := webd.RunLoad(webd.LoadConfig{
+			Users:        48,
+			Requests:     600,
+			Concurrency:  8,
+			Seed:         11,
+			SandboxBytes: 1 << 20,
+			GoldenImage:  goldenImage,
+			Server:       webd.Config{MaxSessions: 12, Lanes: 4, MaxBatch: 16},
+		})
+		must(err)
+		if rep.Errors > 0 {
+			panic(fmt.Sprintf("snapshot bench: %d web request errors (golden=%v)", rep.Errors, goldenImage))
+		}
+		return rep
+	}
+	scratch := blend(false)
+	goldenRep := blend(true)
+	r.Snapshot.WebScratch, r.Snapshot.WebGolden = *scratch, *goldenRep
+	if scratch.RPS > 0 {
+		r.Snapshot.WebColdUserSpeedup = goldenRep.RPS / scratch.RPS
+	}
+}
+
+// durPercentiles returns the p50 and p99 of a latency sample (sorted copy).
+func durPercentiles(d []time.Duration) (p50, p99 time.Duration) {
+	s := append([]time.Duration(nil), d...)
+	sort.Slice(s, func(a, b int) bool { return s[a] < s[b] })
+	return s[len(s)/2], s[len(s)*99/100]
+}
+
 // groupCommitRun runs a parallel Put+SyncObject workload directly against a
 // store and records the write-ahead log commit savings.
 func groupCommitRun(r *Report) {
@@ -831,6 +980,14 @@ func printReport(r *Report) {
 		r.Web.Baseline.RPS, r.Web.Baseline.P99Micros,
 		r.Web.Mixed.RPS, r.Web.Mixed.P99Micros, r.Web.MixedSpeedup,
 		r.Web.Warm.RPS, r.Web.Warm.P99Micros, r.Web.WarmSpeedup)
+	fmt.Printf("Golden-image spawn (wall clock, %d MiB sandbox, %d objects): scratch build p50 %.0fus vs clone p50 %.0fus (%.0fx); %.0f snapshots/s, %.0f clones/s; %d bytes shared vs %d copied (%d COW breaks)\n",
+		r.Snapshot.SandboxBytes>>20, r.Snapshot.SandboxObjects,
+		r.Snapshot.ColdSpawnP50Micros, r.Snapshot.GoldenSpawnP50Micros, r.Snapshot.SpawnSpeedupP50,
+		r.Snapshot.SnapshotsPerSec, r.Snapshot.ClonesPerSec,
+		r.Snapshot.BytesShared, r.Snapshot.BytesCopied, r.Snapshot.COWBreaks)
+	fmt.Printf("  webd cold-user blend: scratch sandboxes %.0f req/s vs golden clones %.0f req/s (%.1fx; %d golden spawns, %d scratch spawns)\n",
+		r.Snapshot.WebScratch.RPS, r.Snapshot.WebGolden.RPS, r.Snapshot.WebColdUserSpeedup,
+		r.Snapshot.WebGolden.GoldenSpawns, r.Snapshot.WebScratch.ScratchSpawns)
 	fmt.Printf("  mixed session cache: %.1f%% hit rate (%d hits / %d misses), %d cold logins, %d evictions, %d logouts; %d gate calls over %d ring waits\n",
 		100*r.Web.Mixed.HitRate, r.Web.Mixed.Sessions.Hits, r.Web.Mixed.Sessions.Misses,
 		r.Web.Mixed.Sessions.ColdLogins, r.Web.Mixed.Sessions.Evictions,

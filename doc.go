@@ -67,6 +67,25 @@
 // library's readdir scan and its multi-file writev/fsync fan-out
 // (Process.PwritevFsync, Process.FsyncMany) are built on the ring.
 //
+// Container snapshots make sandbox creation O(metadata): the kernel
+// captures a container subtree as an immutable snapshot (segment buffers
+// frozen for copy-on-write) under a deterministic lineage ID, and
+// ContainerClone — also available ring-natively as OpSnapshot/OpClone —
+// materializes it with fresh object IDs, intra-subtree references
+// rewritten, and per-user categories remapped in every label, sharing all
+// segment data COW until first write.  With a persistent store attached,
+// snapshots are mirrored as refcounted store bundles: captured extents are
+// pinned against the segment cleaner and the deferred-free path, bundles
+// survive crashes via a WAL record and live in the metadata snapshot
+// (format v4) from the next checkpoint, and a rotted shared extent
+// quarantines every clone with a typed error rather than propagating
+// silently.  unixlib.BakeGolden/SpawnFromGolden package the pattern as
+// golden-image spawning, and webd's session cache uses it to clone each
+// cold-login user's sandbox from a 64 MiB golden image in microseconds
+// instead of rebuilding it (examples/goldenspawn; the acceptance floors —
+// clone ≥50x faster than a scratch build, bytes copied ≤1% of bytes
+// shared — are asserted in CI and recorded in BENCH_10.json).
+//
 // The user-level Unix library (internal/unixlib) carries no big locks
 // either: program and user tables are read-mostly RWMutexes, PIDs are
 // atomic, directory-segment bindings come from a sharded cache, mount

@@ -67,6 +67,33 @@
 // distinguishable in SyscallCounts; RingStats aggregates depth, coalescing,
 // and sync-group fan-in.
 //
+// # Container snapshot and clone (golden images)
+//
+// ContainerSnapshot captures a container subtree — containers, segments,
+// gates, address spaces — as an immutable in-kernel snapshot under a
+// deterministic lineage ID, freezing every captured segment's buffer for
+// copy-on-write (snapshot.go); OpSnapshot/OpClone make both operations
+// ring-native so spawns batch.  ContainerClone materializes a snapshot
+// under a destination container in O(metadata) with these ID-remap rules:
+// every captured object gets a fresh object ID; intra-subtree references
+// (container links, gate entry objects, address-space segment mappings)
+// are rewritten through the old→new map; references that leave the subtree
+// keep their original IDs; and a caller-supplied category remap rewrites
+// labels, clearances, and gate verify labels pair-by-pair — the
+// golden-image pattern maps a template user's ur/uw categories to the
+// spawning user's, with CanAllocate enforced per remapped label, so a
+// clone can never mint authority its creator could not hold.  Segment data
+// is never copied at clone time: clone and master share the frozen buffer
+// until either side's first write breaks COW for that segment alone.  When
+// a persistent store is attached, a SnapshotSink mirrors snapshots as
+// refcounted store bundles and validates lineage (CRC walk) before every
+// clone, so restoring from a rotted image fails typed instead of fanning
+// bad bytes into every sandbox.  The golden-spawn flow end to end:
+// unixlib.BakeGolden builds and snapshots a template sandbox once;
+// webd's session cache, on a cold login, issues one ContainerClone into
+// the worker's process container (sharing all read-only data COW) instead
+// of rebuilding the sandbox from scratch.
+//
 // Read-mostly syscalls (segment reads, resolution, stat, list) take only
 // read locks, so they proceed in parallel across — and within — shards.
 // Mutating syscalls take write locks only on the objects they mutate.
@@ -149,6 +176,13 @@ type Kernel struct {
 	// attach (see SetIntegritySource).
 	integMu         sync.Mutex
 	integritySource func() StorageIntegrity
+
+	// snapMu guards the container-snapshot registry and the optional
+	// persistence sink; snap tallies snapshot/clone activity (snapshot.go).
+	snapMu    sync.Mutex
+	snapshots map[uint64]*Snapshot
+	snapSink  SnapshotSink
+	snap      snapCounters
 }
 
 // New boots a kernel: it creates the object table and the root container.
@@ -168,6 +202,7 @@ func New(cfg Config) *Kernel {
 		cats:          label.NewAllocator(cfg.Seed),
 		labelCache:    label.NewCache(cfg.LabelCacheEntries),
 		useLabelCache: !cfg.DisableLabelCache,
+		snapshots:     make(map[uint64]*Snapshot),
 	}
 	for i := range k.shards {
 		k.shards[i].m = make(map[ID]object)

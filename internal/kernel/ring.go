@@ -1,8 +1,11 @@
 package kernel
 
 import (
+	"encoding/binary"
 	"sort"
 	"sync/atomic"
+
+	"histar/internal/label"
 )
 
 // Syscall ring: io_uring-style batched submission with a single completion
@@ -102,6 +105,16 @@ const (
 	// On success the invoking thread runs under the requested label and
 	// clearance for the rest of the batch (and after Wait returns).
 	OpGateEnter
+	// OpSnapshot captures the container Seg's subtree as a snapshot named by
+	// the entry's Snap.Name (container_snapshot); the completion's Val is the
+	// snapshot's lineage as 8 little-endian bytes and N the object count.
+	OpSnapshot
+	// OpClone materializes the snapshot Snap.Lineage under the container
+	// Snap.Dst with category remap Snap.Remap (container_clone); the
+	// completion's Val is the clone's root ID as 8 little-endian bytes and N
+	// the object count.  Seg is ignored for ordering purposes — like gate
+	// entries, snapshot and clone ops are always their own run.
+	OpClone
 )
 
 // RingEntry is one submitted operation.
@@ -114,9 +127,23 @@ type RingEntry struct {
 	// Gate is the gate-call request for OpGateEnter entries (nil is treated
 	// as the zero request, which the label checks reject).
 	Gate *GateRequest
+	// Snap is the request for OpSnapshot and OpClone entries.
+	Snap *SnapRequest
 	// Chain makes this entry depend on its predecessor in submission order:
 	// it is skipped (ErrSkipped) if the predecessor failed or was skipped.
 	Chain bool
+}
+
+// SnapRequest is the request payload of OpSnapshot and OpClone entries.
+type SnapRequest struct {
+	// Name names the snapshot (OpSnapshot).
+	Name string
+	// Lineage selects the snapshot to clone, Dst the container the clone is
+	// linked into, and Remap the category rewrite applied to every cloned
+	// label (OpClone).
+	Lineage uint64
+	Dst     ID
+	Remap   map[label.Category]label.Category
 }
 
 // RingCompletion is one entry's result.  Completions are returned in
@@ -256,19 +283,24 @@ func (r *Ring) Wait(minComplete int) ([]RingCompletion, error) {
 			}
 		}
 		for j := 0; j < len(plan); {
-			if entries[plan[j].i].Op == OpGateEnter {
-				// Gate entries are their own run: the transfer takes the
-				// thread's write lock itself, the entry point must run with
-				// no locks held, and on success the batch snapshot is
-				// refreshed for everything that follows.
-				r.execGateEnter(&ctx, entries, units, plan[j], comps)
+			if op := entries[plan[j].i].Op; standalone(op) {
+				// Gate, snapshot, and clone entries are their own run: each
+				// takes its own locks one object at a time, so none may share
+				// a coalesced acquisition.  A successful gate entry
+				// additionally refreshes the batch snapshot for everything
+				// that follows.
+				if op == OpGateEnter {
+					r.execGateEnter(&ctx, entries, units, plan[j], comps)
+				} else {
+					r.execSnapClone(&ctx, entries, units, plan[j], comps)
+				}
 				r.nRuns++
 				j++
 				continue
 			}
 			end := j + 1
 			for end < len(plan) && entries[plan[end].i].Seg == entries[plan[j].i].Seg &&
-				entries[plan[end].i].Op != OpGateEnter {
+				!standalone(entries[plan[end].i].Op) {
 				end++
 			}
 			r.execRun(ctx, entries, units, plan[j:end], comps)
@@ -339,6 +371,12 @@ func opWrites(op RingOp) bool {
 	return op == OpSegmentWrite || op == OpSegmentResize
 }
 
+// standalone reports whether the op always executes as its own run, outside
+// the same-target coalescing that shares one lock acquisition.
+func standalone(op RingOp) bool {
+	return op == OpGateEnter || op == OpSnapshot || op == OpClone
+}
+
 // scFor maps a ring op to the per-syscall counter it records.
 func scFor(op RingOp) syscallID {
 	switch op {
@@ -352,6 +390,10 @@ func scFor(op RingOp) syscallID {
 		return scSegmentLen
 	case OpObjectStat:
 		return scObjectStat
+	case OpSnapshot:
+		return scContainerSnapshot
+	case OpClone:
+		return scContainerClone
 	default:
 		return scRingSync
 	}
@@ -413,7 +455,7 @@ func (r *Ring) execRun(ctx tctx, entries []RingEntry, units []ringUnit, run []pl
 				if seg == nil {
 					err = ErrWrongType
 				} else if err = r.tc.checkSegmentWrite(ctx, seg); err == nil {
-					if err = segWriteLocked(seg, e.Off, e.Data); err == nil {
+					if err = segWriteLocked(k, seg, e.Off, e.Data); err == nil {
 						comps[it.i].N = len(e.Data)
 					}
 				}
@@ -421,7 +463,7 @@ func (r *Ring) execRun(ctx tctx, entries []RingEntry, units []ringUnit, run []pl
 				if seg == nil {
 					err = ErrWrongType
 				} else if err = r.tc.checkSegmentWrite(ctx, seg); err == nil {
-					err = segResizeLocked(seg, e.Len)
+					err = segResizeLocked(k, seg, e.Len)
 				}
 			default:
 				err = ErrInvalid
@@ -465,6 +507,44 @@ func (r *Ring) execGateEnter(ctx *tctx, entries []RingEntry, units []ringUnit, i
 	t.mu.RLock()
 	*ctx = tctx{t: t, lbl: t.lbl, clearance: t.clearance, as: t.addressSpace}
 	t.mu.RUnlock()
+}
+
+// execSnapClone executes one OpSnapshot or OpClone entry as its own run.
+// The syscall bodies lock one object at a time (plus the destination
+// container for a clone's publish step), so like gate entries they never
+// share a coalesced acquisition.
+func (r *Ring) execSnapClone(ctx *tctx, entries []RingEntry, units []ringUnit, it planItem, comps []RingCompletion) {
+	e := &entries[it.i]
+	r.tc.k.count(scFor(e.Op), ctx.t)
+	var req SnapRequest
+	if e.Snap != nil {
+		req = *e.Snap
+	}
+	var err error
+	switch e.Op {
+	case OpSnapshot:
+		var info SnapshotInfo
+		info, err = r.tc.containerSnapshotCtx(*ctx, e.Seg, req.Name)
+		if err == nil {
+			buf := make([]byte, 8)
+			binary.LittleEndian.PutUint64(buf, info.Lineage)
+			comps[it.i].Val = buf
+			comps[it.i].N = info.Objects
+		}
+	case OpClone:
+		var res CloneResult
+		res, err = r.tc.containerCloneCtx(*ctx, req.Lineage, req.Dst, req.Remap)
+		if err == nil {
+			buf := make([]byte, 8)
+			binary.LittleEndian.PutUint64(buf, uint64(res.Root))
+			comps[it.i].Val = buf
+			comps[it.i].N = res.Objects
+		}
+	}
+	if err != nil {
+		comps[it.i].Err = err
+		units[it.u].failed = true
+	}
 }
 
 // dispatchSyncs sends one pass's deferred OpSync entries to the Syncer as a

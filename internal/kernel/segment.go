@@ -232,12 +232,39 @@ func (tc *ThreadCall) SegmentWrite(ce CEnt, off int, data []byte) error {
 	if err := verifyEntryLive(cont, seg); err != nil {
 		return err
 	}
-	return segWriteLocked(seg, off, data)
+	return segWriteLocked(tc.k, seg, off, data)
+}
+
+// breakCOWLocked gives the segment a private copy of its data before the
+// first mutation after a snapshot or clone froze the slice; the caller holds
+// the segment's write lock.  This is the only place snapshot-shared bytes are
+// ever duplicated, so the kernel-wide copied-bytes counter lives here.
+func (s *segment) breakCOWLocked(k *Kernel) {
+	if !s.frozen {
+		return
+	}
+	s.data = append([]byte(nil), s.data...)
+	s.noteCOWBreakLocked(k)
+}
+
+// noteCOWBreakLocked clears the frozen flag and accounts the bytes that were
+// (or are about to be) copied out of the shared array; growth paths that
+// already allocate a fresh array call it instead of breakCOWLocked so the
+// data is not copied twice.
+func (s *segment) noteCOWBreakLocked(k *Kernel) {
+	if !s.frozen {
+		return
+	}
+	s.frozen = false
+	if k != nil {
+		k.snap.cowBreaks.Add(1)
+		k.snap.copiedBytes.Add(uint64(len(s.data)))
+	}
 }
 
 // segWriteLocked is SegmentWrite's body once the segment's write lock is held
 // and liveness is verified.
-func segWriteLocked(seg *segment, off int, data []byte) error {
+func segWriteLocked(k *Kernel, seg *segment, off int, data []byte) error {
 	if seg.immutable {
 		return ErrImmutable
 	}
@@ -252,9 +279,12 @@ func segWriteLocked(seg *segment, off int, data []byte) error {
 		if uint64(end)+128 > seg.quota {
 			return ErrQuota
 		}
+		seg.noteCOWBreakLocked(k)
 		grown := make([]byte, end)
 		copy(grown, seg.data)
 		seg.data = grown
+	} else {
+		seg.breakCOWLocked(k)
 	}
 	copy(seg.data[off:], data)
 	seg.usage = seg.footprint()
@@ -281,12 +311,12 @@ func (tc *ThreadCall) SegmentResize(ce CEnt, n int) error {
 	if err := verifyEntryLive(cont, seg); err != nil {
 		return err
 	}
-	return segResizeLocked(seg, n)
+	return segResizeLocked(tc.k, seg, n)
 }
 
 // segResizeLocked is SegmentResize's body once the segment's write lock is
 // held and liveness is verified.
-func segResizeLocked(seg *segment, n int) error {
+func segResizeLocked(k *Kernel, seg *segment, n int) error {
 	if seg.immutable {
 		return ErrImmutable
 	}
@@ -297,8 +327,11 @@ func segResizeLocked(seg *segment, n int) error {
 		return ErrQuota
 	}
 	if n <= len(seg.data) {
+		// Truncation keeps sharing the frozen array: shrinking mutates no
+		// byte, and any later in-place write still breaks the COW first.
 		seg.data = seg.data[:n]
 	} else {
+		seg.noteCOWBreakLocked(k)
 		grown := make([]byte, n)
 		copy(grown, seg.data)
 		seg.data = grown
@@ -341,6 +374,7 @@ func (tc *ThreadCall) SegmentCompareSwap(ce CEnt, off uint64, old, next uint64) 
 	if cur != old {
 		return false, nil
 	}
+	seg.breakCOWLocked(tc.k)
 	putLittleEndianU64(seg.data[off:], next)
 	seg.bump()
 	return true, nil

@@ -65,6 +65,8 @@ const (
 	scNetWait
 	scRingSubmit
 	scRingSync
+	scContainerSnapshot
+	scContainerClone
 
 	numSyscalls
 )
@@ -122,6 +124,8 @@ var syscallNames = [numSyscalls]string{
 	scNetWait:              "net_wait",
 	scRingSubmit:           "ring_submit",
 	scRingSync:             "ring_sync",
+	scContainerSnapshot:    "container_snapshot",
+	scContainerClone:       "container_clone",
 }
 
 // counterStripes is the number of stripes per counter; threads hash onto

@@ -188,7 +188,12 @@ func (s *Store) sealCheckpoint() (*sealedState, error) {
 		// Make room by dropping the generation retained for metadata
 		// fallback (degraded: the fallback rung loses its replay tail, but
 		// the committed snapshot and the live generation stay intact).
-		_ = s.l.ReclaimBefore(s.metaEpoch)
+		// Generations a live bundle's record still needs are kept even here.
+		cut := s.metaEpoch
+		if floor := s.bundleRetentionFloor(ss.epoch); floor < cut {
+			cut = floor
+		}
+		_ = s.l.ReclaimBefore(cut)
 		if err := s.l.AppendMark(ss.epoch); err != nil {
 			if !errors.Is(err, wal.ErrFull) {
 				s.restoreSealed(ss)
@@ -264,13 +269,28 @@ func (s *Store) checkpointBody(ss *sealedState) (err error) {
 			return err
 		}
 	} else {
+		// Bundle retention: a bundle captured at epoch E has its WAL record
+		// in generation E and enters the metadata snapshot at E+1, so that
+		// generation stays replayable until two committed snapshots contain
+		// the bundle — otherwise a metadata fallback could lose the bundle
+		// and orphan every clone of it.  Both reclaim points clamp to the
+		// floor.
+		floor := s.bundleRetentionFloor(ss.epoch)
 		if ss.epoch > 1 {
-			if err := s.l.ReclaimBefore(ss.epoch - 1); err != nil {
+			cut := ss.epoch - 1
+			if floor < cut {
+				cut = floor
+			}
+			if err := s.l.ReclaimBefore(cut); err != nil {
 				return err
 			}
 		}
 		if s.l.LiveBytes() > s.logSize/2 {
-			if err := s.l.ReclaimBefore(ss.epoch); err != nil {
+			cut := ss.epoch
+			if floor < cut {
+				cut = floor
+			}
+			if err := s.l.ReclaimBefore(cut); err != nil {
 				return err
 			}
 		}
@@ -498,7 +518,7 @@ const (
 // section stream.
 const (
 	metaMagic      = 0x484d4554 // "HMET"
-	metaVersion    = 3
+	metaVersion    = 4
 	metaHeaderSize = 48
 	mhMagicOff     = 0
 	mhVersionOff   = 8
@@ -511,16 +531,21 @@ const (
 	// bits CRC32C of the payload][payload].  The fingerprint index (tag 4)
 	// is the only section whose corruption is non-fatal: it is rebuilt from
 	// the label section.  Version 3 added the segment table (tag 5);
-	// version-2 images (four sections, no segments — every object in a
-	// dedicated extent) still verify and load, and the next checkpoint
-	// rewrites them in v3 form.
-	secObjMap = 1
-	secFree   = 2
-	secLabels = 3
-	secIndex  = 4
-	secSegs   = 5
-	numSecs   = 5
-	numSecsV2 = 4
+	// version 4 added the snapshot-bundle table (tag 6: per bundle its
+	// lineage ID and serialized name, capture epoch, and object list — see
+	// bundle.go for the body codec).  Version-2 images (four sections, no
+	// segments — every object in a dedicated extent) and version-3 images
+	// (five sections, no bundles) still verify and load, and the next
+	// checkpoint rewrites them in v4 form.
+	secObjMap  = 1
+	secFree    = 2
+	secLabels  = 3
+	secIndex   = 4
+	secSegs    = 5
+	secBundles = 6
+	numSecs    = 6
+	numSecsV3  = 5
+	numSecsV2  = 4
 
 	// objCRCValid flags an object-map CRC field as carrying a real
 	// contents checksum; entries migrated from legacy images have 0 here
@@ -758,6 +783,8 @@ func (s *Store) resetLoadedState() {
 	s.segs = make(map[int64]*segment)
 	s.segBases = &btree.Tree{}
 	s.openSegBase = 0
+	s.bundles = make(map[uint64]*Bundle)
+	s.extRefs = make(map[int64]int64)
 	for i := range s.shards {
 		s.shards[i].objs = make(map[uint64]*objEntry)
 		s.shards[i].labelIndex = &btree.Tree{}
@@ -832,15 +859,19 @@ func (s *Store) verifyMetaArea(which int) (secs [numSecs + 1][]byte, epoch uint6
 			Detail: fmt.Sprintf("area header checksum mismatch: got %#x, want %#x", got, wantCRC)}
 	}
 	v := binary.LittleEndian.Uint64(hdr[mhVersionOff:])
-	if v != 2 && v != metaVersion {
+	if v != 2 && v != 3 && v != metaVersion {
 		return secs, 0, nil, &CorruptError{Area: "metadata", Offset: areaOff + mhVersionOff,
 			Detail: fmt.Sprintf("unsupported metadata version %d", v)}
 	}
-	// Version-2 areas carry four sections (no segment table); the segment
-	// section stays nil and every object loads as a dedicated extent.
-	wantSecs, maxTag := uint64(numSecs), uint64(secSegs)
-	if v == 2 {
+	// Version-2 areas carry four sections (no segment table; every object
+	// loads as a dedicated extent) and version-3 areas five (no bundle
+	// table); the missing sections stay nil.
+	wantSecs, maxTag := uint64(numSecs), uint64(secBundles)
+	switch v {
+	case 2:
 		wantSecs, maxTag = numSecsV2, secIndex
+	case 3:
+		wantSecs, maxTag = numSecsV3, secSegs
 	}
 	epoch = binary.LittleEndian.Uint64(hdr[mhEpochOff:])
 	payloadLen := int64(binary.LittleEndian.Uint64(hdr[mhPayloadOff:]))
@@ -926,6 +957,12 @@ func (s *Store) applyMetaSections(which int, secs [numSecs + 1][]byte) error {
 			return err
 		}
 	}
+	// The bundle table is absent before version 4 (no bundles existed).
+	if secs[secBundles] != nil {
+		if err := s.decodeBundlesSection(secs[secBundles], areaOff); err != nil {
+			return err
+		}
+	}
 	s.recomputeSegLive()
 	return nil
 }
@@ -950,15 +987,17 @@ func appendU64(buf []byte, v uint64) []byte {
 	return append(buf, b[:]...)
 }
 
-// encodeMetadata serializes the version-3 metadata image: a checksummed,
-// epoch-stamped header followed by five individually checksummed sections
+// encodeMetadata serializes the version-4 metadata image: a checksummed,
+// epoch-stamped header followed by six individually checksummed sections
 // (object map with per-object content CRCs, free list, labels, fingerprint
-// index, segment table).  The object map and free/segment state are read
-// under their own locks — by the time the body serializes, it has finished
-// mutating them, and no concurrent operation does — while the label and
-// index sections come from the seal-time capture, so the snapshot is
-// consistent with the sealed epoch even as concurrent SetLabel calls
-// proceed.
+// index, segment table, snapshot-bundle table).  The object map and
+// free/segment state are read under their own locks — by the time the body
+// serializes, it has finished mutating them, and no concurrent operation
+// does — while the label and index sections come from the seal-time
+// capture, so the snapshot is consistent with the sealed epoch even as
+// concurrent SetLabel calls proceed.  The bundle section reads the live
+// table under metaMu: bundles registered after the seal simply appear one
+// snapshot early, which replay tolerates (re-registration is idempotent).
 func (s *Store) encodeMetadata(epoch uint64, labels []sealedLabel) []byte {
 	// Object map: (id, offset, size, contents-CRC) quads.
 	var objs []byte
@@ -1020,11 +1059,14 @@ func (s *Store) encodeMetadata(epoch uint64, labels []sealedLabel) []byte {
 		index = appendU64(index, p[1])
 	}
 
+	bundlesSec := s.encodeBundlesSection()
+
 	var payload []byte
 	for _, sec := range []struct {
 		tag  uint64
 		body []byte
-	}{{secObjMap, objs}, {secFree, free}, {secLabels, labelsSec}, {secIndex, index}, {secSegs, segsSec}} {
+	}{{secObjMap, objs}, {secFree, free}, {secLabels, labelsSec}, {secIndex, index},
+		{secSegs, segsSec}, {secBundles, bundlesSec}} {
 		payload = appendU64(payload, sec.tag)
 		payload = appendU64(payload, uint64(len(sec.body)))
 		payload = appendU64(payload, uint64(crc32c(sec.body)))

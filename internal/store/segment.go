@@ -60,15 +60,28 @@ func (s *Store) dropSegLocked(base int64) {
 	}
 }
 
-// vacateExtent releases the home extent behind (off, size): space inside a
-// segment just decrements the segment's live count — the extent itself is
-// reclaimed when the segment empties (here) or by the cleaner — while a
-// dedicated extent joins the deferred-free list directly.  Only the
-// checkpoint body calls it (ckptRun serializes); takes allocMu, so it may
-// be called with metaMu held (lock order metaMu → allocMu).
+// vacateExtent releases one reference to the home extent behind (off,
+// size).  A shared extent (clone aliases and/or bundle pins, tracked in
+// extRefs) just loses a reference — no byte is reclaimable while any
+// referent remains, which is what keeps the cleaner and the deferred-free
+// path off bundle-reachable data.  The sole (or last) referent's release
+// does the real work: space inside a segment decrements the segment's live
+// count — the extent itself is reclaimed when the segment empties (here) or
+// by the cleaner — while a dedicated extent joins the deferred-free list
+// directly.  Called by the checkpoint body (ckptRun serializes) and by
+// DeleteBundle (pin release); takes allocMu, so it may be called with
+// metaMu held (lock order metaMu → allocMu).
 func (s *Store) vacateExtent(off, size int64) {
 	s.allocMu.Lock()
 	defer s.allocMu.Unlock()
+	if n, ok := s.extRefs[off]; ok {
+		if n <= 2 {
+			delete(s.extRefs, off) // back to a single owner
+		} else {
+			s.extRefs[off] = n - 1
+		}
+		return
+	}
 	if seg := s.segContainingLocked(off); seg != nil {
 		seg.live -= align512(size)
 		if seg.live <= 0 {
@@ -118,22 +131,57 @@ func (s *Store) segAppend(data []byte) (int64, error) {
 	return off, nil
 }
 
-// recomputeSegLive derives each loaded segment's live count from the object
-// map (live is not persisted) and reopens the most recently allocated
-// partially filled segment — provided its geometry matches the current
-// SegmentSize — so appends continue where the committed snapshot left off.
-// Appending beyond a committed used mark is crash-safe: no referenced
-// snapshot addresses those bytes.  Runs during Open, single-threaded.
+// recomputeSegLive derives the loaded image's reference state: the extent
+// refcounts (extRefs — object-map aliases plus bundle pins; neither is
+// persisted directly) and each segment's live count, with every unique
+// extent counted exactly once no matter how many referents share it.  It
+// also reopens the most recently allocated partially filled segment —
+// provided its geometry matches the current SegmentSize — so appends
+// continue where the committed snapshot left off.  Appending beyond a
+// committed used mark is crash-safe: no referenced snapshot addresses those
+// bytes.  Runs during Open, single-threaded, and is idempotent: Open calls
+// it again after WAL replay, which may have added bundles and clones.
 func (s *Store) recomputeSegLive() {
+	type ref struct {
+		n    int64
+		size int64
+	}
+	refs := make(map[int64]ref, s.objMap.Len())
+	s.objMap.Scan(func(k btree.Key, v uint64) bool {
+		r := refs[int64(v)]
+		r.n++
+		r.size = s.objSizes[k[0]]
+		refs[int64(v)] = r
+		return true
+	})
+	for _, b := range s.bundles {
+		for i := range b.Objects {
+			o := &b.Objects[i]
+			r := refs[o.Off]
+			r.n++
+			if r.size == 0 {
+				r.size = o.Size
+			}
+			refs[o.Off] = r
+		}
+	}
+	s.extRefs = make(map[int64]int64)
+	for off, r := range refs {
+		if r.n >= 2 {
+			s.extRefs[off] = r.n
+		}
+	}
 	if len(s.segs) == 0 {
 		return
 	}
-	s.objMap.Scan(func(k btree.Key, v uint64) bool {
-		if seg := s.segContainingLocked(int64(v)); seg != nil {
-			seg.live += align512(s.objSizes[k[0]])
+	for _, seg := range s.segs {
+		seg.live = 0
+	}
+	for off, r := range refs {
+		if seg := s.segContainingLocked(off); seg != nil {
+			seg.live += align512(r.size)
 		}
-		return true
-	})
+	}
 	s.openSegBase = 0
 	for base, seg := range s.segs {
 		if seg.size == s.segSize && seg.used < seg.size && base > s.openSegBase {
@@ -150,10 +198,32 @@ func (s *Store) recomputeSegLive() {
 // is quarantined and its segment left in place (moving would destroy the
 // only — damaged — copy).
 func (s *Store) cleanSegments() error {
+	// Segments holding bundle-pinned extents are immovable: a bundle records
+	// its extents by offset, so copying them out would invalidate every
+	// future clone and replay of the bundle.  (A clone-shared extent with no
+	// bundle pin may still move — each alias is copied out separately and
+	// vacateExtent retires the share one reference at a time.)  Bundle
+	// extents always count toward live, so a pinned segment can never look
+	// empty; the skip below keeps both the free path and the copy-out path
+	// off it.
+	s.metaMu.RLock()
+	var pinnedOffs []int64
+	for _, b := range s.bundles {
+		for i := range b.Objects {
+			pinnedOffs = append(pinnedOffs, b.Objects[i].Off)
+		}
+	}
+	s.metaMu.RUnlock()
 	s.allocMu.Lock()
+	pinned := make(map[int64]bool)
+	for _, off := range pinnedOffs {
+		if seg := s.segContainingLocked(off); seg != nil {
+			pinned[seg.base] = true
+		}
+	}
 	var victims []*segment
 	for base, seg := range s.segs {
-		if base == s.openSegBase || seg.used == 0 {
+		if base == s.openSegBase || seg.used == 0 || pinned[base] {
 			continue
 		}
 		if seg.live == 0 {
@@ -215,6 +285,7 @@ func (s *Store) cleanSegments() error {
 					s.quarantine(o.id, e, "home extent failed verification during segment clean")
 				}
 				e.mu.Unlock()
+				s.propagateExtentRot(o.off, o.id)
 				damaged = true
 				break
 			}

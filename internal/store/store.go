@@ -30,7 +30,7 @@
 // both do), so a single rotted sector never loses the root of the store.
 //
 // Each metadata area starts with a 48-byte header — magic "HMET", version
-// (currently 3), checkpoint epoch, payload length, section count, and a
+// (currently 4), checkpoint epoch, payload length, section count, and a
 // CRC32C over the header itself — followed by tagged sections, each framed
 // as [tag u64] [length u64] [CRC32C u64] [payload]: the object map (id,
 // extent offset, size, contents-CRC quads — the contents CRC is what
@@ -38,22 +38,52 @@
 // meaning "migrated from a legacy image, unverifiable until the checkpoint
 // CRC-backfill pass reads and checksums it"); the free-extent list
 // (offset, size); object labels (id, canonical label.AppendBinary bytes);
-// the label fingerprint index (fingerprint, id); and the segment table
+// the label fingerprint index (fingerprint, id); the segment table
 // (base, size, used triples describing the append-only data segments —
-// per-segment live counts are derived from the object map at open).
+// per-segment live counts are derived from the object map at open); and
+// the bundle table ([count], then per bundle [lineage][bodyLen][body],
+// where the body is the bundle name, capture epoch, and per-object
+// id/offset/size/CRC/label records — see bundle.go for the codec).
 // Checkpoints serialize into the area the superblock does NOT reference,
 // flush, then rewrite both superblock copies with the bumped epoch, so a
 // crash mid-checkpoint always leaves one intact, referenced snapshot.
 //
 // Version-2 images (the same framing with four sections and no segment
-// table) open transparently: all their objects live in dedicated extents,
-// and the next checkpoint writes a five-section version-3 image.  Images
-// from before version 2 (a single bare superblock copy and an unchecksummed
-// flat metadata image) also still open: they are detected by the all-zero
-// version/epoch tail, loaded without verification, and rewritten in current
-// form by the next checkpoint.  See doc.go for the full integrity
-// reference: the degradation ladder Open walks when verification fails,
-// and the quarantine semantics for damaged object extents.
+// table) and version-3 images (five sections, no bundle table) open
+// transparently; the next checkpoint writes a six-section version-4 image.
+// Images from before version 2 (a single bare superblock copy and an
+// unchecksummed flat metadata image) also still open: they are detected by
+// the all-zero version/epoch tail, loaded without verification, and
+// rewritten in current form by the next checkpoint.  See doc.go for the
+// full integrity reference: the degradation ladder Open walks when
+// verification fails, and the quarantine semantics for damaged object
+// extents.
+//
+// # Snapshot bundles and O(metadata) clones
+//
+// A snapshot bundle (bundle.go) captures a set of committed objects by
+// reference: their home extents, contents CRCs, and canonical labels,
+// registered under a deterministic lineage ID (an FNV-1a hash of the
+// bundle name and each object's identity/size/CRC/label — content, not
+// physical layout, so recapturing identical content is idempotent).
+// CloneObject materializes a bundle member under a fresh object ID in
+// O(metadata): the clone's object-map entry aliases the captured extent,
+// and the first rewrite relocates it through the ordinary dirty path
+// (copy-on-write at checkpoint granularity).  The refcount invariants:
+// extRefs counts referents per shared extent (object-map aliases plus
+// bundle pins; absent means one ordinary owner), vacateExtent decrements
+// before freeing, so neither the segment cleaner nor the deferred-free
+// path can reclaim bytes reachable from a live bundle or clone — and
+// segments holding bundle-pinned extents are immovable (bundles record
+// extents by offset), so the cleaner skips them outright.  Durability:
+// the bundle rides a WAL record committed before SnapshotBundle returns
+// and enters the metadata snapshot at the next checkpoint; checkpoint
+// finish retains every WAL generation back to the oldest live bundle's
+// capture epoch until two committed snapshots contain that bundle.  A
+// contents-CRC failure on a shared extent propagates to every referent:
+// aliasing objects are quarantined and the bundle entries marked rotted,
+// so later clones fail with a typed QuarantineError instead of silently
+// fanning damaged bytes out.
 //
 // # Data region: segments
 //
@@ -266,6 +296,9 @@ type counters struct {
 	bytesCleaned, metaBytesWritten   atomic.Uint64
 	segsAllocated, segsCleaned       atomic.Uint64
 	segsFreed, crcBackfills          atomic.Uint64
+
+	bundleSnapshots, objectClones atomic.Uint64
+	cloneBytesShared              atomic.Uint64
 }
 
 type extent struct {
@@ -314,6 +347,10 @@ type Store struct {
 	// it is read back.  Objects loaded from legacy (pre-CRC) images are
 	// absent until their next relocation and read unverified.
 	objCRCs map[uint64]uint32
+	// bundles is the snapshot-bundle table, lineage ID → bundle (see
+	// bundle.go); registered bundles pin their extents via extRefs and are
+	// persisted in the metadata snapshot's bundle section (format v4).
+	bundles map[uint64]*Bundle
 
 	// allocMu guards the free-extent trees, the segment table, and the
 	// deferred-free list.
@@ -325,6 +362,12 @@ type Store struct {
 	// has issued; kept on the store, not the stack, so a failed checkpoint
 	// retains them for the next attempt instead of leaking the space.
 	deferredFree []extent
+	// extRefs counts references to shared home extents — object-map aliases
+	// created by CloneObject plus bundle pins.  An absent entry means the
+	// ordinary single owner; vacateExtent decrements before freeing, so a
+	// shared extent is reclaimed only when its last referent lets go.
+	// Rebuilt from the object map and bundle table at Open.
+	extRefs map[int64]int64
 
 	// The append-only data segments (see segment.go): segs maps base offset
 	// to segment, segBases indexes the bases for containment lookups, and
@@ -420,9 +463,11 @@ func newStore(d disk.Device, opts Options) *Store {
 		objMap:   &btree.Tree{},
 		objSizes: make(map[uint64]int64),
 		objCRCs:  make(map[uint64]uint32),
+		bundles:  make(map[uint64]*Bundle),
 
 		freeBySize: &btree.Tree{},
 		freeByOff:  &btree.Tree{},
+		extRefs:    make(map[int64]int64),
 
 		segs:     make(map[int64]*segment),
 		segBases: &btree.Tree{},
@@ -518,6 +563,17 @@ func Open(d disk.Device, opts Options) (*Store, error) {
 			continue
 		}
 		s.report.WALRecordsReplayed++
+		if r.Bundle {
+			// A snapshot bundle committed after the loaded snapshot's seal;
+			// a damaged payload degrades the mount (clones of the lost bundle
+			// quarantine) rather than refusing it.
+			_ = s.replayBundleRecord(r)
+			continue
+		}
+		if r.Clone {
+			s.replayCloneRecord(r, legacy)
+			continue
+		}
 		sh := s.shardOf(r.ObjectID)
 		e := sh.getOrCreate(r.ObjectID)
 		if r.Delete {
@@ -550,6 +606,10 @@ func Open(d disk.Device, opts Options) (*Store, error) {
 			s.clearLabel(sh, r.ObjectID, e)
 		}
 	}
+	// Replayed bundle and clone records introduced references the loaded
+	// snapshot's derived state does not reflect: rebuild the extent
+	// refcounts and segment live totals once over the final tables.
+	s.recomputeSegLive()
 	return s, nil
 }
 
@@ -666,6 +726,11 @@ func (s *Store) Get(id uint64) ([]byte, error) {
 				e.mu.Lock()
 				qerr := s.quarantine(id, e, err.Error())
 				e.mu.Unlock()
+				// Damage on a shared extent damages every referent: clones
+				// and bundle entries over it must never serve these bytes.
+				if off, ok := s.homeOffset(id); ok {
+					s.propagateExtentRot(off, id)
+				}
 				return nil, qerr
 			}
 			return nil, err
@@ -701,7 +766,16 @@ func (s *Store) Get(id uint64) ([]byte, error) {
 	buf, err := s.readHome(id)
 	if err != nil {
 		if errors.Is(err, ErrCorrupt) {
-			return nil, s.quarantine(id, e, err.Error())
+			qerr := s.quarantine(id, e, err.Error())
+			off, hasOff := s.homeOffset(id)
+			// Propagation locks sibling entries one at a time; drop this
+			// entry's lock around it (the deferred unlock needs it back).
+			e.mu.Unlock()
+			if hasOff {
+				s.propagateExtentRot(off, id)
+			}
+			e.mu.Lock()
+			return nil, qerr
 		}
 		return nil, err
 	}

@@ -125,6 +125,10 @@ func Boot(opts BootOptions) (*System, error) {
 				SegsFreed:           ss.SegsFreed,
 			}
 		})
+		// Container snapshots persist as refcounted store bundles; clones
+		// validate the bundle and record extent-sharing aliases.  The kernel
+		// stays storage-agnostic behind the sink interface.
+		k.SetSnapshotSink(snapshotSink{st})
 	}
 	tc, err := k.BootThread(label.New(label.L1), label.New(label.L2), "unixlib init")
 	if err != nil {

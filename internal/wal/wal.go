@@ -34,9 +34,19 @@
 //	8    4     data length
 //	12   2     label length (0 when the object carries no label)
 //	14   1     flags: bit 0 = tombstone, bit 1 = label present,
-//	           bit 2 = generation marker
+//	           bit 2 = generation marker, bit 3 = clone alias,
+//	           bit 4 = snapshot-bundle metadata
 //	15   4     CRC-32 (IEEE) of bytes 0..15 plus the label and data bytes
 //	19   ...   canonical serialized label (label.AppendBinary), then data
+//
+// A clone record (bit 3) does not carry the object's contents: its data is a
+// small store-defined payload describing which committed extent the new
+// object aliases (the store's snapshot-bundle clone path), and its label is
+// the clone's own label.  A bundle record (bit 4) carries a store-defined
+// serialization of a whole snapshot bundle in its data, keyed by the bundle's
+// lineage ID in the object-ID field.  The log treats both payloads as opaque
+// bytes under the record CRC; clone/bundle records cannot combine with each
+// other or with tombstones or markers.
 //
 // A generation marker (bit 2, no data, no label) closes a checkpoint
 // generation.  The store's incremental checkpoint seals one with AppendMark,
@@ -95,6 +105,13 @@ type Record struct {
 	// update at all, just the boundary between checkpoint generations.
 	// Replay loops must skip marker records.
 	Mark bool
+	// Clone marks a clone-alias record: Data is the store's description of
+	// the committed extent the object aliases (not object contents), and
+	// Label is the clone's label.
+	Clone bool
+	// Bundle marks a snapshot-bundle metadata record: ObjectID is the
+	// bundle's lineage ID and Data its serialized metadata.
+	Bundle bool
 }
 
 // Errors returned by the log.
@@ -129,6 +146,8 @@ const (
 	flagDelete   = 1 << 0
 	flagHasLabel = 1 << 1
 	flagMark     = 1 << 2
+	flagClone    = 1 << 3
+	flagBundle   = 1 << 4
 )
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
@@ -795,6 +814,12 @@ func encodeRecords(recs []Record) []byte {
 		if r.Mark {
 			hdr[14] |= flagMark
 		}
+		if r.Clone {
+			hdr[14] |= flagClone
+		}
+		if r.Bundle {
+			hdr[14] |= flagBundle
+		}
 		crc := crc32.NewIEEE()
 		crc.Write(hdr[:15])
 		crc.Write(r.Label)
@@ -822,7 +847,7 @@ func decodeRecords(buf []byte) ([]Record, int64, error) {
 		nl := int(binary.LittleEndian.Uint16(buf[12:]))
 		flags := buf[14]
 		wantCRC := binary.LittleEndian.Uint32(buf[15:])
-		if flags&^byte(flagDelete|flagHasLabel|flagMark) != 0 {
+		if flags&^byte(flagDelete|flagHasLabel|flagMark|flagClone|flagBundle) != 0 {
 			return out, consumed, ErrCorrupt
 		}
 		if (flags&flagHasLabel != 0) != (nl > 0) {
@@ -830,6 +855,14 @@ func decodeRecords(buf []byte) ([]Record, int64, error) {
 		}
 		if flags&flagMark != 0 && (flags != flagMark || nd != 0 || nl != 0) {
 			// A generation marker carries nothing but the flag.
+			return out, consumed, ErrCorrupt
+		}
+		if flags&flagClone != 0 && flags&(flagDelete|flagMark|flagBundle) != 0 {
+			// A clone alias is neither a tombstone, a marker, nor a bundle.
+			return out, consumed, ErrCorrupt
+		}
+		if flags&flagBundle != 0 && flags&^byte(flagBundle) != 0 {
+			// Bundle metadata carries only its payload: no label, no other flag.
 			return out, consumed, ErrCorrupt
 		}
 		if nd < 0 || len(buf) < recHeaderSize+nl+nd {
@@ -844,7 +877,13 @@ func decodeRecords(buf []byte) ([]Record, int64, error) {
 		if crc.Sum32() != wantCRC {
 			return out, consumed, ErrCorrupt
 		}
-		r := Record{ObjectID: id, Delete: flags&flagDelete != 0, Mark: flags&flagMark != 0}
+		r := Record{
+			ObjectID: id,
+			Delete:   flags&flagDelete != 0,
+			Mark:     flags&flagMark != 0,
+			Clone:    flags&flagClone != 0,
+			Bundle:   flags&flagBundle != 0,
+		}
 		if nd > 0 {
 			r.Data = append([]byte(nil), data...)
 		}

@@ -48,6 +48,14 @@ type LoadConfig struct {
 	// starts, so the measured window is the cache's steady state rather than
 	// its cold ramp.  Ignored for the baseline (it has no cache to warm).
 	Prewarm bool
+	// SandboxBytes gives every cold login a per-user sandbox of this many
+	// read-only bytes.  With GoldenImage set the sandbox is cloned from a
+	// pre-baked golden image (O(metadata), all bytes shared COW); otherwise
+	// it is built from scratch — the baseline.  0 spawns no sandboxes.
+	SandboxBytes int
+	// GoldenImage bakes a golden image at boot and serves cold logins by
+	// cloning it (requires SandboxBytes > 0).
+	GoldenImage bool
 	// Seed drives both the kernel and the traffic mix.
 	Seed int64
 	// LabelCacheEntries sizes the kernel's label comparison cache (0 =
@@ -104,6 +112,16 @@ type LoadReport struct {
 	Sessions SessionStats `json:"sessions"`
 	HitRate  float64      `json:"hit_rate"`
 
+	// Sandbox spawn accounting for the cold-user blend: how cold logins got
+	// their sandboxes and what the golden-image fast-path shared vs copied.
+	SandboxBytes    int    `json:"sandbox_bytes"`
+	Golden          bool   `json:"golden"`
+	GoldenSpawns    uint64 `json:"golden_spawns"`
+	ScratchSpawns   uint64 `json:"scratch_spawns"`
+	SnapSharedBytes uint64 `json:"snap_shared_bytes"`
+	SnapCopiedBytes uint64 `json:"snap_copied_bytes"`
+	SnapCowBreaks   uint64 `json:"snap_cow_breaks"`
+
 	RingWaits        uint64 `json:"ring_waits"`
 	RingGateCalls    uint64 `json:"ring_gate_calls"`
 	RingEntries      uint64 `json:"ring_entries"`
@@ -139,6 +157,23 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 		name, pw := loadUser(i)
 		if _, err := authSvc.Register(name, pw); err != nil {
 			return nil, fmt.Errorf("register %s: %w", name, err)
+		}
+	}
+	if cfg.SandboxBytes > 0 {
+		if cfg.GoldenImage {
+			// Bake once with a template account's categories; every cold
+			// login clones it with the categories remapped to the real user.
+			tmpl, err := sys.AddUser("goldentmpl")
+			if err != nil {
+				return nil, fmt.Errorf("golden template user: %w", err)
+			}
+			img, err := sys.BakeGoldenData("webd-sandbox", tmpl, cfg.SandboxBytes)
+			if err != nil {
+				return nil, fmt.Errorf("baking golden image: %w", err)
+			}
+			cfg.Server.Golden = img
+		} else {
+			cfg.Server.SandboxBytes = cfg.SandboxBytes
 		}
 	}
 	srv := NewWithConfig(sys, authSvc, ProfileApp, cfg.Server)
@@ -261,11 +296,14 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	st.Evictions -= ss0.Evictions
 	st.IdleEvictions -= ss0.IdleEvictions
 	st.Logouts -= ss0.Logouts
+	st.GoldenSpawns -= ss0.GoldenSpawns
+	st.ScratchSpawns -= ss0.ScratchSpawns
 	hitRate := 0.0
 	if st.Hits+st.Misses > 0 {
 		hitRate = float64(st.Hits) / float64(st.Hits+st.Misses)
 	}
 	ring := sys.Kern.RingStats()
+	snap := sys.Kern.SnapshotStats()
 	lc := sys.Kern.LabelCacheStats()
 	in := label.InternStatsSnapshot()
 	bytesAB, bytesBA, _, _ := link.Stats()
@@ -287,6 +325,14 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 
 		Sessions: st,
 		HitRate:  hitRate,
+
+		SandboxBytes:    cfg.SandboxBytes,
+		Golden:          cfg.GoldenImage,
+		GoldenSpawns:    st.GoldenSpawns,
+		ScratchSpawns:   st.ScratchSpawns,
+		SnapSharedBytes: snap.SharedBytes,
+		SnapCopiedBytes: snap.CopiedBytes,
+		SnapCowBreaks:   snap.CowBreaks,
 
 		RingWaits:        ring.Waits,
 		RingGateCalls:    ring.GateCalls,

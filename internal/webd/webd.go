@@ -68,6 +68,16 @@ type Config struct {
 	// DisableSessionCache makes every request pay a fresh process + full
 	// login (the pre-session-cache behavior); the load harness's baseline.
 	DisableSessionCache bool
+	// Golden, when set, makes the cold-login path spawn the user's sandbox
+	// by cloning this golden image (O(metadata): template categories are
+	// remapped to the user's, all data is shared copy-on-write).  The
+	// sandbox lives in the worker's process container, so session teardown
+	// reclaims it with the worker.
+	Golden *unixlib.GoldenImage
+	// SandboxBytes, when Golden is nil, makes the cold-login path build an
+	// equivalent sandbox from scratch (creating and writing every byte) —
+	// the baseline golden spawns replace.  0 builds no sandbox.
+	SandboxBytes int
 }
 
 func (c Config) withDefaults() Config {
